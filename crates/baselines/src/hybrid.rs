@@ -1,0 +1,562 @@
+//! Hybrid disaggregation (§5 "Large-scale deployment"): a static
+//! prefill/decode split in which the **decode instance multiplexes
+//! prefill onto its idle SMs**, MuxWise-style.
+//!
+//! The paper argues MuxWise is complementary to disaggregated
+//! deployments: low-utilization decode instances can absorb prefill work
+//! through spatial multiplexing. This scheduler implements that design
+//! point: prefill requests go to the dedicated prefill instance first;
+//! when it is backlogged, overflow prefills run on the decode instance's
+//! spare partition (the decode SLO still guarded by a worst-case
+//! estimate).
+
+use std::collections::{HashMap, VecDeque};
+
+use estimator::{ContentionGuard, GuardQuery, SoloPredictor};
+use gpusim::{ClusterSpec, CtxId, GroupId, LinkId};
+use kvcache::{KvPool, MatchOutcome};
+use modelspec::{ModelSpec, Parallelism, SeqState};
+use serving::{kv_pool_capacity_tokens, ReqId, Scheduler, ServeCtx, SloSpec};
+use simcore::SimDuration;
+
+#[derive(Debug)]
+struct PrefillReq {
+    id: ReqId,
+    seq: SeqState,
+    lock: MatchOutcome,
+    private: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Admit {
+    id: ReqId,
+    context: u64,
+    /// The context is already resident on the decode instance (local
+    /// multiplexed prefill — no migration needed).
+    local: bool,
+}
+
+#[derive(Debug)]
+struct Slot {
+    id: ReqId,
+    context: u64,
+    remaining_out: u64,
+    private: u64,
+}
+
+/// Tag name space.
+const TAG_DECODE: u64 = u64::MAX;
+const TAG_P_INSTANCE: u64 = u64::MAX - 1;
+
+/// The hybrid scheduler. See the [module docs](self).
+#[derive(Debug)]
+pub struct HybridPd {
+    model: ModelSpec,
+    par: Parallelism,
+    slo: SloSpec,
+    predictor: SoloPredictor,
+    guard: ContentionGuard,
+    p_pool_capacity: u64,
+    d_pool_capacity: u64,
+    /// Queue length (in uncached tokens) beyond which prefill overflows
+    /// to the decode instance.
+    overflow_threshold_tokens: u64,
+
+    p_group: Option<GroupId>,
+    p_ctx: Option<CtxId>,
+    d_group: Option<GroupId>,
+    d_decode_ctx: Option<CtxId>,
+    d_prefill_ctx: Option<CtxId>,
+    decode_sms: u32,
+    link: Option<LinkId>,
+    p_pool: Option<KvPool>,
+    d_pool: Option<KvPool>,
+
+    waiting: VecDeque<ReqId>,
+    p_inflight: Option<Vec<PrefillReq>>,
+    /// Overflow prefill running multiplexed on the decode instance.
+    mux_inflight: Option<PrefillReq>,
+    next_mux_tag: u64,
+    mux_tags: HashMap<u64, ()>,
+    transferring: HashMap<u64, Admit>,
+    pending_admit: VecDeque<Admit>,
+    decode: Vec<Slot>,
+    decode_inflight: bool,
+    next_transfer_tag: u64,
+    overflow_count: u64,
+    dropped: u64,
+}
+
+impl HybridPd {
+    /// Creates the hybrid scheduler on a half/half split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not fit a half-cluster instance.
+    pub fn new(
+        model: &ModelSpec,
+        cluster: &ClusterSpec,
+        slo: SloSpec,
+        predictor: SoloPredictor,
+        guard: ContentionGuard,
+    ) -> HybridPd {
+        let half = cluster.num_gpus / 2;
+        assert!(half > 0, "need at least two GPUs");
+        let capacity = kv_pool_capacity_tokens(cluster, model, half, half, 0.0);
+        assert!(
+            capacity > 0,
+            "model does not fit on a half-cluster instance"
+        );
+        HybridPd {
+            model: model.clone(),
+            par: Parallelism::tp(half, cluster.nvlink_gbs),
+            slo,
+            predictor,
+            guard,
+            p_pool_capacity: capacity,
+            d_pool_capacity: capacity,
+            overflow_threshold_tokens: 8_192,
+            p_group: None,
+            p_ctx: None,
+            d_group: None,
+            d_decode_ctx: None,
+            d_prefill_ctx: None,
+            decode_sms: 0,
+            link: None,
+            p_pool: None,
+            d_pool: None,
+            waiting: VecDeque::new(),
+            p_inflight: None,
+            mux_inflight: None,
+            next_mux_tag: 1,
+            mux_tags: HashMap::new(),
+            transferring: HashMap::new(),
+            pending_admit: VecDeque::new(),
+            decode: Vec::new(),
+            decode_inflight: false,
+            next_transfer_tag: 1_000_000,
+            overflow_count: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Prefills absorbed by the decode instance's spare SMs.
+    pub fn overflow_prefills(&self) -> u64 {
+        self.overflow_count
+    }
+
+    fn queued_uncached_tokens(&self, ctx: &ServeCtx) -> u64 {
+        let pool = self.p_pool.as_ref().expect("pool");
+        self.waiting
+            .iter()
+            .map(|&id| {
+                let spec = ctx.request(id);
+                let blocks = spec.content.blocks(pool.block_size());
+                spec.input_tokens() - pool.peek_prefix(&blocks)
+            })
+            .sum()
+    }
+
+    fn try_dispatch_prefills(&mut self, ctx: &mut ServeCtx) {
+        self.try_start_instance_prefill(ctx);
+        // Overflow path: backlogged and the decode instance has spare SMs.
+        if self.mux_inflight.is_none()
+            && !self.waiting.is_empty()
+            && self.queued_uncached_tokens(ctx) > self.overflow_threshold_tokens
+        {
+            self.try_start_mux_prefill(ctx);
+        }
+    }
+
+    fn try_start_instance_prefill(&mut self, ctx: &mut ServeCtx) {
+        if self.p_inflight.is_some() || self.waiting.is_empty() {
+            return;
+        }
+        let mut reqs = Vec::new();
+        let mut new_total = 0u64;
+        while let Some(&id) = self.waiting.front() {
+            if reqs.len() >= 32 || new_total > 16_384 {
+                break;
+            }
+            let spec = ctx.request(id).clone();
+            let pool = self.p_pool.as_mut().expect("pool");
+            let blocks = spec.content.blocks(pool.block_size());
+            let reused = pool.peek_prefix(&blocks);
+            let new_tokens = spec.input_tokens() - reused;
+            if !pool.try_alloc_private(new_tokens, ctx.now()) {
+                if reqs.is_empty() && self.decode.is_empty() && self.mux_inflight.is_none() {
+                    self.waiting.pop_front();
+                    ctx.finish_request(id);
+                    self.dropped += 1;
+                    continue;
+                }
+                break;
+            }
+            let lock = pool.match_prefix(&blocks, ctx.now());
+            let seq = SeqState::new(
+                spec.input_tokens() - lock.matched_tokens,
+                lock.matched_tokens,
+            );
+            new_total += seq.new_tokens;
+            self.waiting.pop_front();
+            reqs.push(PrefillReq {
+                id,
+                private: seq.new_tokens,
+                seq,
+                lock,
+            });
+        }
+        if reqs.is_empty() {
+            return;
+        }
+        let batch: Vec<SeqState> = reqs.iter().map(|r| r.seq).collect();
+        let work = self.model.prefill_full_work(&batch, &self.par);
+        let launch = SimDuration::from_secs(
+            ctx.gpu.spec().layer_graph_launch.as_secs() * self.model.num_layers as f64,
+        );
+        let ready = ctx.now() + launch;
+        let (g, c) = (self.p_group.expect("started"), self.p_ctx.expect("started"));
+        ctx.gpu.submit(g, c, work, ready, TAG_P_INSTANCE);
+        self.p_inflight = Some(reqs);
+    }
+
+    /// Runs one overflow prefill on the decode instance's prefill
+    /// partition (spatially multiplexed with decode).
+    fn try_start_mux_prefill(&mut self, ctx: &mut ServeCtx) {
+        let Some(&id) = self.waiting.front() else {
+            return;
+        };
+        let spec = ctx.request(id).clone();
+        let pool = self.d_pool.as_mut().expect("pool");
+        // The multiplexed prefill computes into the decode pool directly
+        // (no migration needed afterwards); +1 covers the first generated
+        // token's KV entry.
+        if !pool.try_alloc_private(spec.input_tokens() + 1, ctx.now()) {
+            return;
+        }
+        self.waiting.pop_front();
+        // No cross-instance cache: the decode side recomputes the full
+        // input.
+        let seq = SeqState::new(spec.input_tokens(), 0);
+        let work = self.model.prefill_full_work(&[seq], &self.par);
+        let launch = SimDuration::from_secs(
+            ctx.gpu.spec().layer_graph_launch.as_secs() * self.model.num_layers as f64,
+        );
+        let ready = ctx.now() + launch;
+        let (g, c) = (
+            self.d_group.expect("started"),
+            self.d_prefill_ctx.expect("started"),
+        );
+        let tag = self.next_mux_tag;
+        self.next_mux_tag += 1;
+        self.mux_tags.insert(tag, ());
+        ctx.gpu.submit(g, c, work, ready, tag);
+        self.mux_inflight = Some(PrefillReq {
+            id,
+            private: spec.input_tokens() + 1,
+            seq,
+            lock: MatchOutcome {
+                matched_tokens: 0,
+                path: Vec::new(),
+            },
+        });
+        self.overflow_count += 1;
+    }
+
+    fn on_instance_prefill_done(&mut self, ctx: &mut ServeCtx) {
+        let reqs = self.p_inflight.take().expect("in flight");
+        for r in reqs {
+            let spec = ctx.request(r.id).clone();
+            if ctx.tokens_emitted(r.id) == 0 {
+                ctx.emit_tokens(r.id, 1);
+            }
+            let pool = self.p_pool.as_mut().expect("pool");
+            pool.unlock(&r.lock);
+            pool.free_private(r.private);
+            pool.insert(&spec.content.blocks(pool.block_size()), ctx.now());
+            let context = spec.input_tokens() + 1;
+            let bytes = context as f64 * self.model.kv_bytes_per_token() / self.par.tp as f64;
+            let tag = self.next_transfer_tag;
+            self.next_transfer_tag += 1;
+            ctx.gpu
+                .submit_transfer(self.link.expect("link"), bytes, tag);
+            self.transferring.insert(
+                tag,
+                Admit {
+                    id: r.id,
+                    context,
+                    local: false,
+                },
+            );
+        }
+        self.try_dispatch_prefills(ctx);
+    }
+
+    fn on_mux_prefill_done(&mut self, ctx: &mut ServeCtx) {
+        let r = self.mux_inflight.take().expect("in flight");
+        if ctx.tokens_emitted(r.id) == 0 {
+            ctx.emit_tokens(r.id, 1);
+        }
+        let spec = ctx.request(r.id).clone();
+        // Already resident in the decode pool; admit directly.
+        self.pending_admit.push_back(Admit {
+            id: r.id,
+            context: spec.input_tokens() + 1,
+            local: true,
+        });
+        self.try_admit_decode(ctx);
+        self.try_dispatch_prefills(ctx);
+    }
+
+    fn try_admit_decode(&mut self, ctx: &mut ServeCtx) {
+        while let Some(&admit) = self.pending_admit.front() {
+            if !admit.local {
+                let pool = self.d_pool.as_mut().expect("pool");
+                if !pool.try_alloc_private(admit.context, ctx.now()) {
+                    break;
+                }
+            }
+            self.pending_admit.pop_front();
+            let spec = ctx.request(admit.id).clone();
+            let emitted = ctx.tokens_emitted(admit.id);
+            let remaining = spec.output_tokens.saturating_sub(emitted);
+            if remaining == 0 {
+                self.d_pool
+                    .as_mut()
+                    .expect("pool")
+                    .free_private(admit.context);
+                ctx.finish_request(admit.id);
+                continue;
+            }
+            self.decode.push(Slot {
+                id: admit.id,
+                context: admit.context,
+                remaining_out: remaining,
+                private: admit.context,
+            });
+        }
+        self.launch_decode(ctx);
+    }
+
+    /// Chooses the decode partition: smallest configuration meeting the
+    /// worst-case TBT, considering the multiplexed prefill as co-runner.
+    fn desired_decode_sms(&self, ctx: &ServeCtx) -> u32 {
+        let configs = ctx.gpu.spec().partition_configs();
+        if self.decode.is_empty() {
+            return configs[0];
+        }
+        let ctxs: Vec<u64> = self.decode.iter().map(|s| s.context).collect();
+        let budget = self.slo.tbt.as_secs() * 0.9 - ctx.gpu.spec().graph_launch.as_secs();
+        for &sms in &configs {
+            let solo = self.predictor.decode_latency(sms, &ctxs);
+            let q = GuardQuery {
+                prefill_new: self
+                    .mux_inflight
+                    .as_ref()
+                    .map(|r| r.seq.new_tokens)
+                    .unwrap_or(0),
+                prefill_reused: 0,
+                decode_batch: ctxs.len(),
+                decode_context: ctxs.iter().sum::<u64>() / ctxs.len() as u64,
+                decode_sms: sms,
+            };
+            if solo * self.guard.factor(&q) <= budget {
+                return sms;
+            }
+        }
+        *configs.last().expect("non-empty")
+    }
+
+    fn launch_decode(&mut self, ctx: &mut ServeCtx) {
+        if self.decode_inflight || self.decode.is_empty() {
+            return;
+        }
+        let now = ctx.now();
+        loop {
+            let need = self.decode.len() as u64;
+            if need == 0 {
+                return;
+            }
+            if self
+                .d_pool
+                .as_mut()
+                .expect("pool")
+                .try_alloc_private(need, now)
+            {
+                for s in &mut self.decode {
+                    s.private += 1;
+                }
+                break;
+            }
+            let victim = self.decode.pop().expect("non-empty");
+            self.d_pool
+                .as_mut()
+                .expect("pool")
+                .free_private(victim.private);
+            self.waiting.push_front(victim.id);
+        }
+        // Re-partition the decode instance when possible.
+        let desired = self.desired_decode_sms(ctx);
+        let (g, dc, pc) = (
+            self.d_group.expect("started"),
+            self.d_decode_ctx.expect("started"),
+            self.d_prefill_ctx.expect("started"),
+        );
+        if desired != self.decode_sms && ctx.gpu.is_idle(g, dc) && ctx.gpu.is_idle(g, pc) {
+            let sm_count = ctx.gpu.spec().sm_count;
+            if desired < self.decode_sms {
+                ctx.gpu.resize_context(g, dc, desired);
+                ctx.gpu.resize_context(g, pc, sm_count - desired);
+            } else {
+                ctx.gpu.resize_context(g, pc, sm_count - desired);
+                ctx.gpu.resize_context(g, dc, desired);
+            }
+            self.decode_sms = desired;
+        }
+        let ctxs: Vec<u64> = self.decode.iter().map(|s| s.context).collect();
+        let work = self.model.decode_iter_work(&ctxs, &self.par);
+        let ready = now + ctx.gpu.spec().graph_launch;
+        ctx.gpu.submit(g, dc, work, ready, TAG_DECODE);
+        self.decode_inflight = true;
+    }
+
+    fn on_decode_done(&mut self, ctx: &mut ServeCtx) {
+        self.decode_inflight = false;
+        for s in &mut self.decode {
+            ctx.emit_tokens(s.id, 1);
+            s.context += 1;
+            s.remaining_out -= 1;
+        }
+        let mut i = 0;
+        while i < self.decode.len() {
+            if self.decode[i].remaining_out == 0 {
+                let slot = self.decode.remove(i);
+                self.d_pool
+                    .as_mut()
+                    .expect("pool")
+                    .free_private(slot.private);
+                ctx.finish_request(slot.id);
+            } else {
+                i += 1;
+            }
+        }
+        self.try_admit_decode(ctx);
+        self.launch_decode(ctx);
+        self.try_dispatch_prefills(ctx);
+    }
+}
+
+impl Scheduler for HybridPd {
+    fn on_start(&mut self, ctx: &mut ServeCtx) {
+        let n = ctx.gpu.num_gpus();
+        let half = n / 2;
+        let sms = ctx.gpu.spec().sm_count;
+        let pg = ctx.gpu.create_group((0..half).collect());
+        let dg = ctx.gpu.create_group((half..n).collect());
+        self.p_ctx = Some(ctx.gpu.set_context(pg, sms));
+        self.decode_sms = ctx.gpu.spec().partition_configs()[0];
+        self.d_decode_ctx = Some(ctx.gpu.set_context(dg, self.decode_sms));
+        self.d_prefill_ctx = Some(ctx.gpu.set_context(dg, sms - self.decode_sms));
+        self.p_group = Some(pg);
+        self.d_group = Some(dg);
+        self.link = Some(ctx.gpu.create_link(0.0, SimDuration::from_micros(5.0)));
+        self.p_pool = Some(KvPool::new(self.p_pool_capacity, 64));
+        self.d_pool = Some(KvPool::new(self.d_pool_capacity, 64));
+    }
+
+    fn on_arrival(&mut self, id: ReqId, ctx: &mut ServeCtx) {
+        self.waiting.push_back(id);
+        self.try_dispatch_prefills(ctx);
+    }
+
+    fn on_kernel_done(&mut self, tag: u64, ctx: &mut ServeCtx) {
+        if tag == TAG_DECODE {
+            self.on_decode_done(ctx);
+        } else if tag == TAG_P_INSTANCE {
+            self.on_instance_prefill_done(ctx);
+        } else if self.mux_tags.remove(&tag).is_some() {
+            self.on_mux_prefill_done(ctx);
+        }
+    }
+
+    fn on_transfer_done(&mut self, tag: u64, ctx: &mut ServeCtx) {
+        if let Some(admit) = self.transferring.remove(&tag) {
+            self.pending_admit.push_back(admit);
+            self.try_admit_decode(ctx);
+        }
+    }
+
+    fn groups(&self) -> Vec<GroupId> {
+        self.p_group.into_iter().chain(self.d_group).collect()
+    }
+
+    fn streams(&self) -> Vec<(GroupId, CtxId)> {
+        let mut v = Vec::new();
+        if let (Some(g), Some(c)) = (self.p_group, self.p_ctx) {
+            v.push((g, c));
+        }
+        if let (Some(g), Some(c)) = (self.d_group, self.d_decode_ctx) {
+            v.push((g, c));
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::GpuSim;
+    use serving::Driver;
+    use simcore::SimRng;
+    use workload::{generate, WorkloadKind};
+
+    fn build() -> (ModelSpec, ClusterSpec, SloSpec, HybridPd) {
+        let cluster = ClusterSpec::dgx_a100();
+        let model = ModelSpec::llama8b();
+        let slo = SloSpec::llama8b();
+        let par = Parallelism::tp(4, cluster.nvlink_gbs);
+        let predictor = SoloPredictor::profile(&model, &cluster, &par, &[16, 48, 92, 108]);
+        let guard = ContentionGuard::flat(1.2);
+        let engine = HybridPd::new(&model, &cluster, slo, predictor, guard);
+        (model, cluster, slo, engine)
+    }
+
+    #[test]
+    fn completes_and_absorbs_overflow() {
+        let (_, cluster, slo, mut engine) = build();
+        let mut rng = SimRng::seed_from(61);
+        // High rate: the prefill instance backlogs, overflow kicks in.
+        let reqs = generate(WorkloadKind::Conversation, 120, 8.0, &mut rng);
+        let rep = Driver::new(GpuSim::from_cluster(&cluster), reqs, slo).run(&mut engine);
+        assert_eq!(rep.finished, rep.total);
+        assert!(
+            engine.overflow_prefills() > 0,
+            "overflow multiplexing never engaged"
+        );
+    }
+
+    #[test]
+    fn decode_slo_holds_despite_multiplexed_prefill() {
+        let (_, cluster, slo, mut engine) = build();
+        let mut rng = SimRng::seed_from(62);
+        let reqs = generate(WorkloadKind::ToolAgent, 100, 6.0, &mut rng);
+        let rep = Driver::new(GpuSim::from_cluster(&cluster), reqs, slo).run(&mut engine);
+        assert_eq!(rep.finished, rep.total);
+        let mut r = rep.clone();
+        assert!(
+            r.tbt.p99() <= slo.tbt.as_secs() * 1.1,
+            "p99 TBT {} under overflow multiplexing",
+            r.tbt.p99()
+        );
+    }
+
+    #[test]
+    fn light_load_never_overflows() {
+        let (_, cluster, slo, mut engine) = build();
+        let mut rng = SimRng::seed_from(63);
+        let reqs = generate(WorkloadKind::ShareGpt, 30, 0.5, &mut rng);
+        let rep = Driver::new(GpuSim::from_cluster(&cluster), reqs, slo).run(&mut engine);
+        assert_eq!(rep.finished, rep.total);
+        assert_eq!(engine.overflow_prefills(), 0);
+    }
+}

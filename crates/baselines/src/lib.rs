@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+//! Baseline serving systems the paper compares MuxWise against (§4.1),
+//! reimplemented as [`serving::Scheduler`]s on the same GPU simulator:
+//!
+//! * [`ChunkedPrefill`] — SGLang with SARATHI-Serve chunked prefill: each
+//!   iteration fuses the ongoing decode batch with a prefill chunk capped
+//!   by an offline-tuned token budget. Shares one KV pool (full reuse),
+//!   but couples decode SLO to the budget — the dilemma of §2.3.2.
+//! * [`ChunkedPrefill::nanoflow`] — NanoFlow: chunked-prefill with
+//!   operator-level nano-batch overlap. Gains compute overlap but
+//!   duplicates weight loading per iteration, which backfires when the
+//!   fused batch is memory-bound (§4.2.1).
+//! * [`SglangPd`] — static 1:1 prefill/decode disaggregation (Splitwise
+//!   lineage, SGLang-PD implementation): two 4-GPU TP-4 instances with
+//!   separate (halved) KV pools and NVLink KV migration.
+//! * [`LoongServe`] — dynamic disaggregation with elastic sequence
+//!   parallelism: prefill scales across free GPUs, KV migrates to the
+//!   decode group, and **no cross-request KV reuse** (multi-turn context
+//!   is recomputed every turn, §2.3.1).
+//! * [`HybridPd`] — §5's large-scale deployment idea: static
+//!   disaggregation whose decode instance absorbs overflow prefill on its
+//!   idle SMs via spatial multiplexing (MuxWise as a building block
+//!   inside disaggregated fleets).
+//! * [`related::WindServe`] — §6: spatial multiplexing on plain CUDA
+//!   streams: a fixed half/half SM split, no estimator, whole-phase
+//!   prefill launches.
+//! * [`related::TemporalMux`] — §6: the temporal-only variant (layer-wise
+//!   prefill squeezed between decode iterations, never concurrent).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use baselines::ChunkedPrefill;
+//! use gpusim::{ClusterSpec, GpuSim};
+//! use modelspec::ModelSpec;
+//! use serving::{Driver, SloSpec};
+//! use simcore::SimRng;
+//! use workload::{generate, WorkloadKind};
+//!
+//! let cluster = ClusterSpec::dgx_a100();
+//! let model = ModelSpec::llama8b();
+//! let slo = SloSpec::llama8b();
+//! let mut engine = ChunkedPrefill::tuned(&model, &cluster, 8, slo);
+//! let mut rng = SimRng::seed_from(1);
+//! let reqs = generate(WorkloadKind::ShareGpt, 100, 2.0, &mut rng);
+//! let rep = Driver::new(GpuSim::from_cluster(&cluster), reqs, slo).run(&mut engine);
+//! println!("{}/{} finished", rep.finished, rep.total);
+//! ```
+
+pub mod chunked;
+pub mod hybrid;
+pub mod loongserve;
+pub mod pd;
+pub mod related;
+
+pub use chunked::ChunkedPrefill;
+pub use hybrid::HybridPd;
+pub use loongserve::LoongServe;
+pub use pd::SglangPd;
+pub use related::{TemporalMux, WindServe};

@@ -1,0 +1,386 @@
+//! LoongServe: dynamic disaggregation with elastic sequence parallelism.
+//!
+//! Prefill jobs elastically grab GPU groups — the prefill half of the
+//! server, plus the decode half whenever decode is idle — and run with
+//! sequence parallelism across them. After prefill, the KV cache
+//! migrates to the decode group. **No KV is kept after a request
+//! finishes**: scaling releases the cache immediately (§2.3.1), so every
+//! multi-turn follow-up recomputes its entire context — the recompute
+//! penalty that dominates LoongServe's TTFT on Conversation/Tool&Agent.
+
+use std::collections::{HashMap, VecDeque};
+
+use gpusim::{ClusterSpec, CtxId, GroupId, LinkId};
+use kvcache::KvPool;
+use modelspec::{ModelSpec, Parallelism, SeqState};
+use serving::{kv_pool_capacity_tokens, ReqId, Scheduler, ServeCtx, SloSpec};
+use simcore::SimDuration;
+
+/// A prefill job running on an elastic group.
+#[derive(Debug)]
+struct Job {
+    id: ReqId,
+    gpus: Vec<u32>,
+    group: GroupId,
+    ctx_id: CtxId,
+}
+
+/// A migrated context awaiting decode admission.
+#[derive(Debug, Clone, Copy)]
+struct Admit {
+    id: ReqId,
+    context: u64,
+}
+
+/// One decode-batch entry.
+#[derive(Debug)]
+struct Slot {
+    id: ReqId,
+    context: u64,
+    remaining_out: u64,
+    private: u64,
+}
+
+/// The LoongServe scheduler. See the [module docs](self).
+#[derive(Debug)]
+pub struct LoongServe {
+    model: ModelSpec,
+    /// Tensor-parallel degree inside each group (paper: 4 for Llama-70B,
+    /// 2 for Llama-8B).
+    tp: u32,
+    nvlink_gbs: f64,
+    d_pool_capacity: u64,
+    num_gpus: u32,
+    d_group: Option<GroupId>,
+    d_ctx: Option<CtxId>,
+    link: Option<LinkId>,
+    d_pool: Option<KvPool>,
+    free_gpus: Vec<u32>,
+    waiting: VecDeque<ReqId>,
+    jobs: HashMap<u64, Job>,
+    transferring: HashMap<u64, Admit>,
+    pending_admit: VecDeque<Admit>,
+    decode: Vec<Slot>,
+    decode_inflight: bool,
+    next_tag: u64,
+    dropped: u64,
+    /// Total tokens recomputed because no cross-request reuse exists.
+    recomputed_tokens: u64,
+}
+
+impl LoongServe {
+    /// Creates the scheduler with the paper's model-parallel
+    /// configuration: `tp` per group (4 for 70B-class, 2 for 8B-class);
+    /// the decode group owns `tp` GPUs, the rest serve elastic prefill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has fewer than `2 × tp` GPUs or the model
+    /// does not fit the decode group.
+    pub fn new(model: &ModelSpec, cluster: &ClusterSpec, tp: u32, _slo: SloSpec) -> LoongServe {
+        assert!(cluster.num_gpus >= 2 * tp, "need at least two TP groups");
+        let d_pool_capacity = kv_pool_capacity_tokens(cluster, model, tp, tp, 0.0);
+        assert!(d_pool_capacity > 0, "model does not fit the decode group");
+        LoongServe {
+            model: model.clone(),
+            tp,
+            nvlink_gbs: cluster.nvlink_gbs,
+            d_pool_capacity,
+            num_gpus: cluster.num_gpus,
+            d_group: None,
+            d_ctx: None,
+            link: None,
+            d_pool: None,
+            free_gpus: Vec::new(),
+            waiting: VecDeque::new(),
+            jobs: HashMap::new(),
+            transferring: HashMap::new(),
+            pending_admit: VecDeque::new(),
+            decode: Vec::new(),
+            decode_inflight: false,
+            next_tag: 1,
+            dropped: 0,
+            recomputed_tokens: 0,
+        }
+    }
+
+    /// Tokens that had to be recomputed because the KV cache was released
+    /// (the cross-request reuse LoongServe gives up).
+    pub fn recomputed_tokens(&self) -> u64 {
+        self.recomputed_tokens
+    }
+
+    /// Requests dropped because they could never fit the pool.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn try_start_prefills(&mut self, ctx: &mut ServeCtx) {
+        while let Some(&id) = self.waiting.front() {
+            // Elastic sizing: long inputs take more GPU groups; the
+            // decode half can be borrowed while decode is idle.
+            let spec = ctx.request(id).clone();
+            let input = spec.input_tokens();
+            let wanted_groups = (1 + input / 32_768).min(4) as usize;
+            // Elasticity lives on the prefill side: jobs size their
+            // groups from the free pool. The decode group keeps serving
+            // throughout (real LoongServe migrates decode to fewer GPUs
+            // rather than pausing it).
+            let available = self.free_gpus.clone();
+            let take_gpus = (wanted_groups * self.tp as usize).min(available.len());
+            let take_gpus = take_gpus - take_gpus % self.tp as usize;
+            if take_gpus == 0 {
+                break;
+            }
+            let gpus: Vec<u32> = available[..take_gpus].to_vec();
+            // Remove from the free pool (borrowed decode GPUs are tracked
+            // by the job itself; decode cannot run while borrowed since
+            // its ids overlap — enforced by `decode_can_run`).
+            self.free_gpus.retain(|g| !gpus.contains(g));
+            self.waiting.pop_front();
+
+            let sp = (gpus.len() as u32) / self.tp;
+            let par = Parallelism::tp_sp(self.tp, sp, self.nvlink_gbs);
+            // No cross-request reuse: the full input is recomputed.
+            self.recomputed_tokens += spec.prior_context;
+            let seq = SeqState::new(input, 0);
+            let work = self.model.prefill_full_work(&[seq], &par);
+            let group = ctx.gpu.create_group(gpus.clone());
+            let sms = ctx.gpu.spec().sm_count;
+            let c = ctx.gpu.set_context(group, sms);
+            let launch = SimDuration::from_secs(
+                ctx.gpu.spec().layer_graph_launch.as_secs() * self.model.num_layers as f64,
+            );
+            let ready = ctx.now() + launch;
+            let tag = self.next_tag;
+            self.next_tag += 1;
+            ctx.gpu.submit(group, c, work, ready, tag);
+            self.jobs.insert(
+                tag,
+                Job {
+                    id,
+                    gpus,
+                    group,
+                    ctx_id: c,
+                },
+            );
+        }
+    }
+
+    fn decode_can_run(&self) -> bool {
+        true // the decode group's GPUs are never lent out
+    }
+
+    fn on_prefill_done(&mut self, tag: u64, ctx: &mut ServeCtx) {
+        let job = self.jobs.remove(&tag).expect("known job");
+        ctx.gpu.remove_context(job.group, job.ctx_id);
+        ctx.gpu.destroy_group(job.group);
+        for g in job.gpus {
+            if g >= self.tp {
+                self.free_gpus.push(g);
+            }
+        }
+        self.free_gpus.sort_unstable();
+        if ctx.tokens_emitted(job.id) == 0 {
+            ctx.emit_tokens(job.id, 1);
+        }
+        // Migrate to the decode group; the source copy is released
+        // immediately (LoongServe keeps no spare KV).
+        let spec = ctx.request(job.id).clone();
+        let context = spec.input_tokens() + 1;
+        let bytes = context as f64 * self.model.kv_bytes_per_token() / self.tp as f64;
+        let t = self.next_tag;
+        self.next_tag += 1;
+        ctx.gpu.submit_transfer(self.link.expect("link"), bytes, t);
+        self.transferring.insert(
+            t,
+            Admit {
+                id: job.id,
+                context,
+            },
+        );
+        self.try_start_prefills(ctx);
+    }
+
+    fn try_admit_decode(&mut self, ctx: &mut ServeCtx) {
+        while let Some(&admit) = self.pending_admit.front() {
+            let pool = self.d_pool.as_mut().expect("pool");
+            if !pool.try_alloc_private(admit.context, ctx.now()) {
+                break;
+            }
+            self.pending_admit.pop_front();
+            let spec = ctx.request(admit.id).clone();
+            let emitted = ctx.tokens_emitted(admit.id);
+            let remaining = spec.output_tokens.saturating_sub(emitted);
+            if remaining == 0 {
+                self.d_pool
+                    .as_mut()
+                    .expect("pool")
+                    .free_private(admit.context);
+                ctx.finish_request(admit.id);
+                continue;
+            }
+            self.decode.push(Slot {
+                id: admit.id,
+                context: admit.context,
+                remaining_out: remaining,
+                private: admit.context,
+            });
+        }
+        self.launch_decode(ctx);
+    }
+
+    fn launch_decode(&mut self, ctx: &mut ServeCtx) {
+        if self.decode_inflight || self.decode.is_empty() || !self.decode_can_run() {
+            return;
+        }
+        let now = ctx.now();
+        loop {
+            let need = self.decode.len() as u64;
+            if need == 0 {
+                return;
+            }
+            if self
+                .d_pool
+                .as_mut()
+                .expect("pool")
+                .try_alloc_private(need, now)
+            {
+                for s in &mut self.decode {
+                    s.private += 1;
+                }
+                break;
+            }
+            let victim = self.decode.pop().expect("non-empty");
+            self.d_pool
+                .as_mut()
+                .expect("pool")
+                .free_private(victim.private);
+            self.waiting.push_front(victim.id);
+        }
+        let ctxs: Vec<u64> = self.decode.iter().map(|s| s.context).collect();
+        let par = Parallelism::tp(self.tp, self.nvlink_gbs);
+        let work = self.model.decode_iter_work(&ctxs, &par);
+        let ready = now + ctx.gpu.spec().graph_launch;
+        let (g, c) = (self.d_group.expect("started"), self.d_ctx.expect("started"));
+        ctx.gpu.submit(g, c, work, ready, 0);
+        self.decode_inflight = true;
+    }
+
+    fn on_decode_done(&mut self, ctx: &mut ServeCtx) {
+        self.decode_inflight = false;
+        for s in &mut self.decode {
+            ctx.emit_tokens(s.id, 1);
+            s.context += 1;
+            s.remaining_out -= 1;
+        }
+        let mut i = 0;
+        while i < self.decode.len() {
+            if self.decode[i].remaining_out == 0 {
+                let slot = self.decode.remove(i);
+                // Everything is released — nothing is cached for the
+                // session's next turn.
+                self.d_pool
+                    .as_mut()
+                    .expect("pool")
+                    .free_private(slot.private);
+                ctx.finish_request(slot.id);
+            } else {
+                i += 1;
+            }
+        }
+        self.try_admit_decode(ctx);
+        self.launch_decode(ctx);
+        self.try_start_prefills(ctx);
+    }
+}
+
+impl Scheduler for LoongServe {
+    fn on_start(&mut self, ctx: &mut ServeCtx) {
+        let sms = ctx.gpu.spec().sm_count;
+        let dg = ctx.gpu.create_group((0..self.tp).collect());
+        self.d_ctx = Some(ctx.gpu.set_context(dg, sms));
+        self.d_group = Some(dg);
+        self.free_gpus = (self.tp..self.num_gpus).collect();
+        self.link = Some(ctx.gpu.create_link(0.0, SimDuration::from_micros(5.0)));
+        self.d_pool = Some(KvPool::new(self.d_pool_capacity, 64));
+    }
+
+    fn on_arrival(&mut self, id: ReqId, ctx: &mut ServeCtx) {
+        self.waiting.push_back(id);
+        self.try_start_prefills(ctx);
+    }
+
+    fn on_kernel_done(&mut self, tag: u64, ctx: &mut ServeCtx) {
+        if tag == 0 {
+            self.on_decode_done(ctx);
+        } else {
+            self.on_prefill_done(tag, ctx);
+        }
+    }
+
+    fn on_transfer_done(&mut self, tag: u64, ctx: &mut ServeCtx) {
+        if let Some(admit) = self.transferring.remove(&tag) {
+            self.pending_admit.push_back(admit);
+            self.try_admit_decode(ctx);
+        }
+    }
+
+    fn groups(&self) -> Vec<GroupId> {
+        self.d_group.into_iter().collect()
+    }
+
+    fn streams(&self) -> Vec<(GroupId, CtxId)> {
+        match (self.d_group, self.d_ctx) {
+            (Some(g), Some(c)) => vec![(g, c)],
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::GpuSim;
+    use serving::Driver;
+    use simcore::SimRng;
+    use workload::{generate, WorkloadKind};
+
+    fn run(kind: WorkloadKind, n: usize, rate: f64) -> (serving::Report, LoongServe) {
+        let cluster = ClusterSpec::dgx_a100();
+        let model = ModelSpec::llama8b();
+        let slo = SloSpec::llama8b();
+        let mut engine = LoongServe::new(&model, &cluster, 2, slo);
+        let mut rng = SimRng::seed_from(31);
+        let reqs = generate(kind, n, rate, &mut rng);
+        let rep = Driver::new(GpuSim::from_cluster(&cluster), reqs, slo).run(&mut engine);
+        (rep, engine)
+    }
+
+    #[test]
+    fn completes_sharegpt() {
+        let (rep, engine) = run(WorkloadKind::ShareGpt, 80, 4.0);
+        assert_eq!(rep.finished, rep.total);
+        // Single-turn: nothing to recompute.
+        assert_eq!(engine.recomputed_tokens(), 0);
+    }
+
+    #[test]
+    fn multi_turn_recomputes_context() {
+        let (rep, engine) = run(WorkloadKind::Conversation, 40, 1.0);
+        assert_eq!(rep.finished, rep.total);
+        assert!(
+            engine.recomputed_tokens() > 10_000,
+            "multi-turn context must be recomputed: {}",
+            engine.recomputed_tokens()
+        );
+    }
+
+    #[test]
+    fn elastic_groups_release_gpus() {
+        let (rep, engine) = run(WorkloadKind::Loogle, 20, 1.0);
+        assert_eq!(rep.finished, rep.total);
+        // All prefill GPUs returned to the free pool at the end.
+        assert_eq!(engine.free_gpus.len(), 6);
+    }
+}

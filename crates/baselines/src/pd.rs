@@ -1,0 +1,421 @@
+//! SGLang-PD: static 1:1 prefill/decode disaggregation.
+//!
+//! Two 4-GPU TP-4 instances. The prefill instance runs whole prefill
+//! phases and caches computed prefixes in **its own** pool; finished
+//! prefills migrate their KV over NVLink to the decode instance, which
+//! holds active contexts in **its own** pool. Each instance pays the full
+//! model weights on half the GPUs, so the combined cache capacity is far
+//! below an aggregated deployment — the §2.3.1 drawback that shows up as
+//! stalls on cache-hungry workloads.
+
+use std::collections::{HashMap, VecDeque};
+
+use gpusim::{ClusterSpec, CtxId, GroupId, LinkId};
+use kvcache::{KvPool, MatchOutcome};
+use modelspec::{ModelSpec, Parallelism, SeqState};
+use serving::{kv_pool_capacity_tokens, ReqId, Scheduler, ServeCtx, SloSpec};
+use simcore::SimDuration;
+
+/// One request in the prefill instance.
+#[derive(Debug)]
+struct PrefillReq {
+    id: ReqId,
+    seq: SeqState,
+    lock: MatchOutcome,
+    private: u64,
+    /// Decode-pool tokens reserved up front (§4.3: "the system must
+    /// still reserve slots for KV caches during prefill and decode";
+    /// prefill stalls when the decode pool cannot host the context).
+    reserved: u64,
+}
+
+/// A migrated context waiting for (or holding) decode-pool space.
+#[derive(Debug, Clone, Copy)]
+struct Admit {
+    id: ReqId,
+    context: u64,
+}
+
+/// One request in the decode batch (decode-instance pool space only).
+#[derive(Debug)]
+struct Slot {
+    id: ReqId,
+    context: u64,
+    remaining_out: u64,
+    private: u64,
+}
+
+/// The static-disaggregation scheduler. See the [module docs](self).
+#[derive(Debug)]
+pub struct SglangPd {
+    model: ModelSpec,
+    par: Parallelism,
+    p_pool_capacity: u64,
+    d_pool_capacity: u64,
+    p_group: Option<GroupId>,
+    p_ctx: Option<CtxId>,
+    d_group: Option<GroupId>,
+    d_ctx: Option<CtxId>,
+    link: Option<LinkId>,
+    p_pool: Option<KvPool>,
+    d_pool: Option<KvPool>,
+    waiting: VecDeque<ReqId>,
+    prefill: Option<Vec<PrefillReq>>,
+    transferring: HashMap<u64, Admit>,
+    pending_admit: VecDeque<Admit>,
+    decode: Vec<Slot>,
+    decode_inflight: bool,
+    next_tag: u64,
+    dropped: u64,
+    max_prefill_batch_tokens: u64,
+}
+
+impl SglangPd {
+    /// Creates the scheduler: prefill on GPUs 0–3, decode on 4–7, both
+    /// TP-4, each with its own KV pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not fit on a 4-GPU instance (e.g.
+    /// Qwen-235B — the paper notes disaggregation is infeasible there).
+    pub fn new(model: &ModelSpec, cluster: &ClusterSpec, _slo: SloSpec) -> SglangPd {
+        assert!(cluster.num_gpus >= 2, "disaggregation needs ≥ 2 GPUs");
+        let half = cluster.num_gpus / 2;
+        let capacity = kv_pool_capacity_tokens(cluster, model, half, half, 0.0);
+        assert!(
+            capacity > 0,
+            "model does not fit on a half-cluster instance"
+        );
+        SglangPd {
+            model: model.clone(),
+            par: Parallelism::tp(half, cluster.nvlink_gbs),
+            p_pool_capacity: capacity,
+            d_pool_capacity: capacity,
+            p_group: None,
+            p_ctx: None,
+            d_group: None,
+            d_ctx: None,
+            link: None,
+            p_pool: None,
+            d_pool: None,
+            waiting: VecDeque::new(),
+            prefill: None,
+            transferring: HashMap::new(),
+            pending_admit: VecDeque::new(),
+            decode: Vec::new(),
+            decode_inflight: false,
+            next_tag: 1,
+            dropped: 0,
+            max_prefill_batch_tokens: 16_384,
+        }
+    }
+
+    /// Prefill-instance pool statistics (cache hit rate under the halved
+    /// capacity — Fig. 5's effect).
+    pub fn prefill_pool_stats(&self) -> Option<kvcache::PoolStats> {
+        self.p_pool.as_ref().map(|p| p.stats())
+    }
+
+    /// Requests dropped because they could never fit the pool.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn try_start_prefill(&mut self, ctx: &mut ServeCtx) {
+        if self.prefill.is_some() || self.waiting.is_empty() {
+            return;
+        }
+        let mut reqs = Vec::new();
+        let mut new_total = 0u64;
+        while let Some(&id) = self.waiting.front() {
+            if reqs.len() >= 32 {
+                break;
+            }
+            let spec = ctx.request(id).clone();
+            let pool = self.p_pool.as_mut().expect("pool");
+            let blocks = spec.content.blocks(pool.block_size());
+            let reused = pool.peek_prefix(&blocks);
+            let new_tokens = spec.input_tokens() - reused;
+            if !reqs.is_empty() && new_total + new_tokens > self.max_prefill_batch_tokens {
+                break;
+            }
+            if !pool.try_alloc_private(new_tokens, ctx.now()) {
+                if reqs.is_empty() && self.prefill.is_none() && self.idle_everywhere() {
+                    self.waiting.pop_front();
+                    ctx.finish_request(id);
+                    self.dropped += 1;
+                    continue;
+                }
+                break;
+            }
+            // Reserve the decode-instance slot before prefilling; when
+            // the decode pool is exhausted, prefill stalls (the
+            // OpenThoughts pathology of §4.3).
+            let reserved = spec.input_tokens() + 1;
+            if !self
+                .d_pool
+                .as_mut()
+                .expect("pool")
+                .try_alloc_private(reserved, ctx.now())
+            {
+                self.p_pool.as_mut().expect("pool").free_private(new_tokens);
+                if reqs.is_empty() && self.prefill.is_none() && self.idle_everywhere() {
+                    self.waiting.pop_front();
+                    ctx.finish_request(id);
+                    self.dropped += 1;
+                    continue;
+                }
+                break;
+            }
+            let pool = self.p_pool.as_mut().expect("pool");
+            let lock = pool.match_prefix(&blocks, ctx.now());
+            let seq = SeqState::new(
+                spec.input_tokens() - lock.matched_tokens,
+                lock.matched_tokens,
+            );
+            new_total += seq.new_tokens;
+            self.waiting.pop_front();
+            reqs.push(PrefillReq {
+                id,
+                private: seq.new_tokens,
+                seq,
+                lock,
+                reserved,
+            });
+        }
+        if reqs.is_empty() {
+            return;
+        }
+        let batch: Vec<SeqState> = reqs.iter().map(|r| r.seq).collect();
+        let work = self.model.prefill_full_work(&batch, &self.par);
+        let spec = ctx.gpu.spec();
+        let launch = SimDuration::from_secs(
+            spec.layer_graph_launch.as_secs() * self.model.num_layers as f64,
+        );
+        let ready = ctx.now() + launch;
+        let (g, c) = (self.p_group.expect("started"), self.p_ctx.expect("started"));
+        ctx.gpu.submit(g, c, work, ready, 0);
+        self.prefill = Some(reqs);
+    }
+
+    fn idle_everywhere(&self) -> bool {
+        self.decode.is_empty()
+            && self.transferring.is_empty()
+            && self.pending_admit.is_empty()
+            && !self.decode_inflight
+    }
+
+    fn on_prefill_done(&mut self, ctx: &mut ServeCtx) {
+        let reqs = self.prefill.take().expect("prefill in flight");
+        for r in reqs {
+            let spec = ctx.request(r.id).clone();
+            if ctx.tokens_emitted(r.id) == 0 {
+                ctx.emit_tokens(r.id, 1);
+            }
+            // Cache the computed prompt in the prefill pool for future
+            // turns, then release the working allocation.
+            let pool = self.p_pool.as_mut().expect("pool");
+            pool.unlock(&r.lock);
+            pool.free_private(r.private);
+            pool.insert(&spec.content.blocks(pool.block_size()), ctx.now());
+            // Migrate the KV cache to the decode instance (sharded over
+            // the instance's NVLink pairs).
+            let context = spec.input_tokens() + 1;
+            let bytes = context as f64 * self.model.kv_bytes_per_token() / self.par.tp as f64;
+            let tag = self.next_tag;
+            self.next_tag += 1;
+            ctx.gpu
+                .submit_transfer(self.link.expect("link"), bytes, tag);
+            debug_assert_eq!(r.reserved, context, "reservation covers the context");
+            self.transferring.insert(tag, Admit { id: r.id, context });
+        }
+        self.try_start_prefill(ctx);
+    }
+
+    fn try_admit_decode(&mut self, ctx: &mut ServeCtx) {
+        while let Some(&admit) = self.pending_admit.front() {
+            // Space was reserved at prefill admission; join directly.
+            self.pending_admit.pop_front();
+            let spec = ctx.request(admit.id).clone();
+            let emitted = ctx.tokens_emitted(admit.id);
+            let remaining = spec.output_tokens.saturating_sub(emitted);
+            if remaining == 0 {
+                let pool = self.d_pool.as_mut().expect("pool");
+                pool.free_private(admit.context);
+                ctx.finish_request(admit.id);
+                continue;
+            }
+            self.decode.push(Slot {
+                id: admit.id,
+                context: admit.context,
+                remaining_out: remaining,
+                private: admit.context,
+            });
+        }
+        self.launch_decode(ctx);
+    }
+
+    fn launch_decode(&mut self, ctx: &mut ServeCtx) {
+        if self.decode_inflight || self.decode.is_empty() {
+            return;
+        }
+        let now = ctx.now();
+        loop {
+            let need = self.decode.len() as u64;
+            if need == 0 {
+                return;
+            }
+            if self
+                .d_pool
+                .as_mut()
+                .expect("pool")
+                .try_alloc_private(need, now)
+            {
+                for s in &mut self.decode {
+                    s.private += 1;
+                }
+                break;
+            }
+            // Decode pool exhausted: requeue the newest context to the
+            // prefill instance (full recompute there).
+            let victim = self.decode.pop().expect("non-empty");
+            self.d_pool
+                .as_mut()
+                .expect("pool")
+                .free_private(victim.private);
+            self.waiting.push_front(victim.id);
+        }
+        let ctxs: Vec<u64> = self.decode.iter().map(|s| s.context).collect();
+        let work = self.model.decode_iter_work(&ctxs, &self.par);
+        let ready = now + ctx.gpu.spec().graph_launch;
+        let (g, c) = (self.d_group.expect("started"), self.d_ctx.expect("started"));
+        ctx.gpu.submit(g, c, work, ready, u64::MAX);
+        self.decode_inflight = true;
+    }
+
+    fn on_decode_done(&mut self, ctx: &mut ServeCtx) {
+        self.decode_inflight = false;
+        for s in &mut self.decode {
+            ctx.emit_tokens(s.id, 1);
+            s.context += 1;
+            s.remaining_out -= 1;
+        }
+        let mut i = 0;
+        while i < self.decode.len() {
+            if self.decode[i].remaining_out == 0 {
+                let slot = self.decode.remove(i);
+                self.d_pool
+                    .as_mut()
+                    .expect("pool")
+                    .free_private(slot.private);
+                ctx.finish_request(slot.id);
+            } else {
+                i += 1;
+            }
+        }
+        self.try_admit_decode(ctx);
+        self.launch_decode(ctx);
+        self.try_start_prefill(ctx);
+    }
+}
+
+impl Scheduler for SglangPd {
+    fn on_start(&mut self, ctx: &mut ServeCtx) {
+        let n = ctx.gpu.num_gpus();
+        let half = n / 2;
+        let sms = ctx.gpu.spec().sm_count;
+        let pg = ctx.gpu.create_group((0..half).collect());
+        let dg = ctx.gpu.create_group((half..n).collect());
+        self.p_ctx = Some(ctx.gpu.set_context(pg, sms));
+        self.d_ctx = Some(ctx.gpu.set_context(dg, sms));
+        self.p_group = Some(pg);
+        self.d_group = Some(dg);
+        self.link = Some(ctx.gpu.create_link(0.0, SimDuration::from_micros(5.0)));
+        self.p_pool = Some(KvPool::new(self.p_pool_capacity, 64));
+        self.d_pool = Some(KvPool::new(self.d_pool_capacity, 64));
+    }
+
+    fn on_arrival(&mut self, id: ReqId, ctx: &mut ServeCtx) {
+        self.waiting.push_back(id);
+        self.try_start_prefill(ctx);
+    }
+
+    fn on_kernel_done(&mut self, tag: u64, ctx: &mut ServeCtx) {
+        if tag == u64::MAX {
+            self.on_decode_done(ctx);
+        } else {
+            self.on_prefill_done(ctx);
+        }
+    }
+
+    fn on_transfer_done(&mut self, tag: u64, ctx: &mut ServeCtx) {
+        if let Some(admit) = self.transferring.remove(&tag) {
+            self.pending_admit.push_back(admit);
+            self.try_admit_decode(ctx);
+        }
+    }
+
+    fn groups(&self) -> Vec<GroupId> {
+        self.p_group.into_iter().chain(self.d_group).collect()
+    }
+
+    fn streams(&self) -> Vec<(GroupId, CtxId)> {
+        let mut v = Vec::new();
+        if let (Some(g), Some(c)) = (self.p_group, self.p_ctx) {
+            v.push((g, c));
+        }
+        if let (Some(g), Some(c)) = (self.d_group, self.d_ctx) {
+            v.push((g, c));
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::GpuSim;
+    use serving::Driver;
+    use simcore::SimRng;
+    use workload::{generate, WorkloadKind};
+
+    fn run(kind: WorkloadKind, n: usize, rate: f64) -> (serving::Report, SglangPd) {
+        let cluster = ClusterSpec::dgx_a100();
+        let model = ModelSpec::llama8b();
+        let slo = SloSpec::llama8b();
+        let mut engine = SglangPd::new(&model, &cluster, slo);
+        let mut rng = SimRng::seed_from(21);
+        let reqs = generate(kind, n, rate, &mut rng);
+        let rep = Driver::new(GpuSim::from_cluster(&cluster), reqs, slo).run(&mut engine);
+        (rep, engine)
+    }
+
+    #[test]
+    fn completes_sharegpt_with_transfers() {
+        let (rep, _) = run(WorkloadKind::ShareGpt, 80, 4.0);
+        assert_eq!(rep.finished, rep.total);
+        // Decode is isolated on its instance: TBT comfortably under SLO.
+        let mut tbt = rep.tbt.clone();
+        assert!(tbt.p99() < 0.050, "p99 TBT {}", tbt.p99());
+    }
+
+    #[test]
+    fn multi_turn_hit_rate_suffers_vs_shared_pool() {
+        let (rep, engine) = run(WorkloadKind::Conversation, 50, 1.0);
+        assert_eq!(rep.finished, rep.total);
+        let stats = engine.prefill_pool_stats().expect("pool");
+        // Outputs never reach the prefill pool, so reuse is partial at
+        // best (the aggregated-pool systems cache input+output).
+        assert!(stats.hit_rate() < 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn rejects_models_too_large_for_half_cluster() {
+        SglangPd::new(
+            &ModelSpec::qwen235b(),
+            &ClusterSpec::dgx_a100(),
+            SloSpec::llama70b(),
+        );
+    }
+}

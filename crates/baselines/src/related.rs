@@ -1,0 +1,486 @@
+//! Related-work multiplexing variants evaluated in §6 of the paper.
+//!
+//! * [`WindServe`] — prefill and decode co-run via plain CUDA streams:
+//!   modeled as a **fixed half/half SM split** with no latency estimator,
+//!   no worst-case guard, and whole-phase prefill launches. Contention is
+//!   uncontrolled and the partition never adapts, so decode SLOs wobble
+//!   and prefill starves under load (MuxWise reports a 1.61× goodput win
+//!   against it).
+//! * [`TemporalMux`] — a Tropical-style temporal-only variant enhanced
+//!   with layer-wise prefill: between decode iterations, as many prefill
+//!   layers as fit in the TBT slack run on the **full** GPU; the phases
+//!   never overlap spatially, so decode's memory-bound iterations leave
+//!   the compute idle (≥ 20 % worse than MuxWise in the paper's trials).
+
+use std::collections::VecDeque;
+
+use estimator::SoloPredictor;
+use gpusim::{ClusterSpec, CtxId, GroupId, KernelKind};
+use kvcache::{KvPool, MatchOutcome};
+use modelspec::{ModelSpec, Parallelism, SeqState};
+use serving::{kv_pool_capacity_tokens, ReqId, Scheduler, ServeCtx, SloSpec};
+use simcore::SimDuration;
+
+#[derive(Debug)]
+struct PrefillReq {
+    id: ReqId,
+    seq: SeqState,
+    lock: MatchOutcome,
+    private: u64,
+}
+
+#[derive(Debug)]
+struct Slot {
+    id: ReqId,
+    context: u64,
+    remaining_out: u64,
+    lock: MatchOutcome,
+    private: u64,
+}
+
+/// Shared plumbing of the two variants (single pool, simple decode
+/// batch, whole-request prefill bookkeeping).
+#[derive(Debug)]
+struct Common {
+    model: ModelSpec,
+    par: Parallelism,
+    pool_capacity: u64,
+    pool: Option<KvPool>,
+    waiting: VecDeque<ReqId>,
+    decode: Vec<Slot>,
+    decode_inflight: bool,
+}
+
+impl Common {
+    fn new(model: &ModelSpec, cluster: &ClusterSpec, tp: u32) -> Common {
+        let pool_capacity = kv_pool_capacity_tokens(cluster, model, cluster.num_gpus, tp, 0.0);
+        assert!(pool_capacity > 0, "model does not fit on this cluster");
+        Common {
+            model: model.clone(),
+            par: Parallelism::tp(tp, cluster.nvlink_gbs),
+            pool_capacity,
+            pool: None,
+            waiting: VecDeque::new(),
+            decode: Vec::new(),
+            decode_inflight: false,
+        }
+    }
+
+    fn admit_one(&mut self, ctx: &mut ServeCtx) -> Option<PrefillReq> {
+        let &id = self.waiting.front()?;
+        let spec = ctx.request(id).clone();
+        let pool = self.pool.as_mut().expect("pool");
+        let blocks = spec.content.blocks(pool.block_size());
+        let reused = pool.peek_prefix(&blocks);
+        let new_tokens = spec.input_tokens() - reused;
+        if !pool.try_alloc_private(new_tokens, ctx.now()) {
+            if self.decode.is_empty() && !self.decode_inflight {
+                self.waiting.pop_front();
+                ctx.finish_request(id);
+            }
+            return None;
+        }
+        let lock = pool.match_prefix(&blocks, ctx.now());
+        self.waiting.pop_front();
+        let seq = SeqState::new(
+            spec.input_tokens() - lock.matched_tokens,
+            lock.matched_tokens,
+        );
+        Some(PrefillReq {
+            id,
+            private: seq.new_tokens,
+            seq,
+            lock,
+        })
+    }
+
+    fn finish_prefill(&mut self, r: PrefillReq, ctx: &mut ServeCtx) {
+        let spec = ctx.request(r.id).clone();
+        if ctx.tokens_emitted(r.id) == 0 {
+            ctx.emit_tokens(r.id, 1);
+        }
+        let emitted = ctx.tokens_emitted(r.id);
+        let remaining = spec.output_tokens.saturating_sub(emitted);
+        let (lock, private) = crate::chunked::migrate_prefill_kv(
+            self.pool.as_mut().expect("pool"),
+            &spec.content,
+            r.lock,
+            r.private,
+            ctx.now(),
+        );
+        let slot = Slot {
+            id: r.id,
+            context: spec.input_tokens() + emitted,
+            remaining_out: remaining,
+            lock,
+            private,
+        };
+        if remaining == 0 {
+            self.retire(slot, ctx);
+        } else {
+            self.decode.push(slot);
+        }
+    }
+
+    fn retire(&mut self, slot: Slot, ctx: &mut ServeCtx) {
+        let spec = ctx.request(slot.id).clone();
+        let pool = self.pool.as_mut().expect("pool");
+        let mut committed = spec.content.clone();
+        committed.push(spec.session, ctx.tokens_emitted(slot.id));
+        pool.unlock(&slot.lock);
+        pool.free_private(slot.private);
+        pool.insert(&committed.blocks(pool.block_size()), ctx.now());
+        ctx.finish_request(slot.id);
+    }
+
+    /// Allocates the per-iteration decode KV growth, requeueing victims
+    /// when the pool runs dry. Returns `false` when the batch emptied.
+    fn grow_decode_kv(&mut self, ctx: &mut ServeCtx) -> bool {
+        loop {
+            let need = self.decode.len() as u64;
+            if need == 0 {
+                return false;
+            }
+            if self
+                .pool
+                .as_mut()
+                .expect("pool")
+                .try_alloc_private(need, ctx.now())
+            {
+                for s in &mut self.decode {
+                    s.private += 1;
+                }
+                return true;
+            }
+            let victim = self.decode.pop().expect("non-empty");
+            let pool = self.pool.as_mut().expect("pool");
+            pool.unlock(&victim.lock);
+            pool.free_private(victim.private);
+            self.waiting.push_front(victim.id);
+        }
+    }
+
+    fn advance_decode(&mut self, ctx: &mut ServeCtx) {
+        for s in &mut self.decode {
+            ctx.emit_tokens(s.id, 1);
+            s.context += 1;
+            s.remaining_out -= 1;
+        }
+        let mut i = 0;
+        while i < self.decode.len() {
+            if self.decode[i].remaining_out == 0 {
+                let slot = self.decode.remove(i);
+                self.retire(slot, ctx);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+
+/// WindServe-style stream multiplexing: fixed 50/50 SM split, no
+/// estimator, whole-phase prefill launches. See the [module docs](self).
+#[derive(Debug)]
+pub struct WindServe {
+    common: Common,
+    group: Option<GroupId>,
+    d_ctx: Option<CtxId>,
+    p_ctx: Option<CtxId>,
+    prefill: Option<PrefillReq>,
+}
+
+impl WindServe {
+    /// Creates the scheduler.
+    pub fn new(model: &ModelSpec, cluster: &ClusterSpec, tp: u32, _slo: SloSpec) -> WindServe {
+        WindServe {
+            common: Common::new(model, cluster, tp),
+            group: None,
+            d_ctx: None,
+            p_ctx: None,
+            prefill: None,
+        }
+    }
+
+    fn try_start_prefill(&mut self, ctx: &mut ServeCtx) {
+        if self.prefill.is_some() {
+            return;
+        }
+        let Some(r) = self.common.admit_one(ctx) else {
+            return;
+        };
+        let work = self
+            .common
+            .model
+            .prefill_full_work(&[r.seq], &self.common.par);
+        let spec = ctx.gpu.spec();
+        let launch = SimDuration::from_secs(
+            spec.layer_graph_launch.as_secs() * self.common.model.num_layers as f64,
+        );
+        let ready = ctx.now() + launch;
+        ctx.gpu.submit(
+            self.group.expect("started"),
+            self.p_ctx.expect("started"),
+            work,
+            ready,
+            1,
+        );
+        self.prefill = Some(r);
+    }
+
+    fn launch_decode(&mut self, ctx: &mut ServeCtx) {
+        if self.common.decode_inflight || self.common.decode.is_empty() {
+            return;
+        }
+        if !self.common.grow_decode_kv(ctx) {
+            return;
+        }
+        let ctxs: Vec<u64> = self.common.decode.iter().map(|s| s.context).collect();
+        let work = self.common.model.decode_iter_work(&ctxs, &self.common.par);
+        let ready = ctx.now() + ctx.gpu.spec().graph_launch;
+        ctx.gpu.submit(
+            self.group.expect("started"),
+            self.d_ctx.expect("started"),
+            work,
+            ready,
+            0,
+        );
+        self.common.decode_inflight = true;
+    }
+}
+
+impl Scheduler for WindServe {
+    fn on_start(&mut self, ctx: &mut ServeCtx) {
+        let gpus: Vec<u32> = (0..ctx.gpu.num_gpus()).collect();
+        let group = ctx.gpu.create_group(gpus);
+        let sms = ctx.gpu.spec().sm_count;
+        self.d_ctx = Some(ctx.gpu.set_context(group, sms / 2));
+        self.p_ctx = Some(ctx.gpu.set_context(group, sms - sms / 2));
+        self.group = Some(group);
+        self.common.pool = Some(KvPool::new(self.common.pool_capacity, 64));
+    }
+
+    fn on_arrival(&mut self, id: ReqId, ctx: &mut ServeCtx) {
+        self.common.waiting.push_back(id);
+        self.try_start_prefill(ctx);
+    }
+
+    fn on_kernel_done(&mut self, tag: u64, ctx: &mut ServeCtx) {
+        if tag == 0 {
+            self.common.decode_inflight = false;
+            self.common.advance_decode(ctx);
+        } else if let Some(r) = self.prefill.take() {
+            self.common.finish_prefill(r, ctx);
+            self.try_start_prefill(ctx);
+        }
+        self.launch_decode(ctx);
+        self.try_start_prefill(ctx);
+    }
+
+    fn groups(&self) -> Vec<GroupId> {
+        self.group.into_iter().collect()
+    }
+
+    fn streams(&self) -> Vec<(GroupId, CtxId)> {
+        match (self.group, self.d_ctx, self.p_ctx) {
+            (Some(g), Some(d), Some(p)) => vec![(g, d), (g, p)],
+            _ => Vec::new(),
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+
+/// Temporal-only multiplexing: layer-wise prefill squeezed into the TBT
+/// slack between decode iterations, never spatially concurrent. See the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct TemporalMux {
+    common: Common,
+    slo: SloSpec,
+    predictor: SoloPredictor,
+    group: Option<GroupId>,
+    ctx_id: Option<CtxId>,
+    prefill: Option<PrefillReq>,
+    layers_done: u32,
+    layers_inflight: u32,
+    sm_count: u32,
+}
+
+/// Tags distinguishing the phases.
+const TAG_DECODE: u64 = 0;
+const TAG_LAYER: u64 = 1;
+
+impl TemporalMux {
+    /// Creates the scheduler; `predictor` sizes the per-gap layer bursts.
+    pub fn new(
+        model: &ModelSpec,
+        cluster: &ClusterSpec,
+        tp: u32,
+        slo: SloSpec,
+        predictor: SoloPredictor,
+    ) -> TemporalMux {
+        TemporalMux {
+            common: Common::new(model, cluster, tp),
+            slo,
+            predictor,
+            group: None,
+            ctx_id: None,
+            prefill: None,
+            layers_done: 0,
+            layers_inflight: 0,
+            sm_count: cluster.gpu.sm_count,
+        }
+    }
+
+    fn schedule(&mut self, ctx: &mut ServeCtx) {
+        // One shared stream: alternate a decode iteration with a burst of
+        // prefill layers that fits the remaining TBT slack.
+        if self.common.decode_inflight || self.layers_inflight > 0 {
+            return;
+        }
+        if self.prefill.is_none() {
+            if let Some(r) = self.common.admit_one(ctx) {
+                self.prefill = Some(r);
+                self.layers_done = 0;
+            }
+        }
+        let (group, c) = (self.group.expect("started"), self.ctx_id.expect("started"));
+        let ctxs: Vec<u64> = self.common.decode.iter().map(|s| s.context).collect();
+        let have_decode = !ctxs.is_empty();
+        let t_decode = if have_decode {
+            self.predictor.decode_latency(self.sm_count, &ctxs)
+        } else {
+            0.0
+        };
+        if let Some(r) = &self.prefill {
+            let total_layers = self.common.model.num_layers;
+            let t_phase = self.predictor.prefill_latency(self.sm_count, &[r.seq]);
+            let t_layer = (t_phase / total_layers as f64).max(1e-6);
+            let slack = if have_decode {
+                (self.slo.tbt.as_secs() * 0.9 - t_decode).max(0.0)
+            } else {
+                f64::INFINITY
+            };
+            let n = if slack.is_infinite() {
+                total_layers - self.layers_done
+            } else {
+                ((slack / t_layer).floor() as u32).min(total_layers - self.layers_done)
+            };
+            if n > 0 {
+                let layer = self
+                    .common
+                    .model
+                    .prefill_layer_work(&[r.seq], &self.common.par);
+                let mut burst = layer.scaled(n as f64);
+                if self.layers_done + n == total_layers {
+                    burst = burst.plus(&self.common.model.lm_head_work(1.0, &self.common.par));
+                }
+                burst.kind = KernelKind::Prefill;
+                let launch =
+                    SimDuration::from_secs(ctx.gpu.spec().layer_graph_launch.as_secs() * n as f64);
+                let ready = ctx.now() + launch;
+                ctx.gpu.submit(group, c, burst, ready, TAG_LAYER);
+                self.layers_inflight = n;
+            }
+        }
+        if have_decode {
+            if !self.common.grow_decode_kv(ctx) {
+                return;
+            }
+            let ctxs: Vec<u64> = self.common.decode.iter().map(|s| s.context).collect();
+            let work = self.common.model.decode_iter_work(&ctxs, &self.common.par);
+            let ready = ctx.now() + ctx.gpu.spec().graph_launch;
+            ctx.gpu.submit(group, c, work, ready, TAG_DECODE);
+            self.common.decode_inflight = true;
+        }
+    }
+}
+
+impl Scheduler for TemporalMux {
+    fn on_start(&mut self, ctx: &mut ServeCtx) {
+        let gpus: Vec<u32> = (0..ctx.gpu.num_gpus()).collect();
+        let group = ctx.gpu.create_group(gpus);
+        let sms = ctx.gpu.spec().sm_count;
+        self.ctx_id = Some(ctx.gpu.set_context(group, sms));
+        self.group = Some(group);
+        self.common.pool = Some(KvPool::new(self.common.pool_capacity, 64));
+    }
+
+    fn on_arrival(&mut self, id: ReqId, ctx: &mut ServeCtx) {
+        self.common.waiting.push_back(id);
+        self.schedule(ctx);
+    }
+
+    fn on_kernel_done(&mut self, tag: u64, ctx: &mut ServeCtx) {
+        match tag {
+            TAG_DECODE => {
+                self.common.decode_inflight = false;
+                self.common.advance_decode(ctx);
+            }
+            _ => {
+                self.layers_done += self.layers_inflight;
+                self.layers_inflight = 0;
+                if self.layers_done >= self.common.model.num_layers {
+                    if let Some(r) = self.prefill.take() {
+                        self.common.finish_prefill(r, ctx);
+                    }
+                }
+            }
+        }
+        self.schedule(ctx);
+    }
+
+    fn groups(&self) -> Vec<GroupId> {
+        self.group.into_iter().collect()
+    }
+
+    fn streams(&self) -> Vec<(GroupId, CtxId)> {
+        match (self.group, self.ctx_id) {
+            (Some(g), Some(c)) => vec![(g, c)],
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::GpuSim;
+    use serving::Driver;
+    use simcore::SimRng;
+    use workload::{generate, WorkloadKind};
+
+    fn cluster_model() -> (ClusterSpec, ModelSpec, SloSpec) {
+        (
+            ClusterSpec::dgx_a100(),
+            ModelSpec::llama8b(),
+            SloSpec::llama8b(),
+        )
+    }
+
+    #[test]
+    fn windserve_completes_sharegpt() {
+        let (cluster, model, slo) = cluster_model();
+        let mut engine = WindServe::new(&model, &cluster, 8, slo);
+        let mut rng = SimRng::seed_from(51);
+        let reqs = generate(WorkloadKind::ShareGpt, 80, 3.0, &mut rng);
+        let rep = Driver::new(GpuSim::from_cluster(&cluster), reqs, slo).run(&mut engine);
+        assert_eq!(rep.finished, rep.total);
+    }
+
+    #[test]
+    fn temporal_completes_sharegpt_and_respects_slack() {
+        let (cluster, model, slo) = cluster_model();
+        let par = Parallelism::tp(8, cluster.nvlink_gbs);
+        let predictor = SoloPredictor::profile(&model, &cluster, &par, &[108]);
+        let mut engine = TemporalMux::new(&model, &cluster, 8, slo, predictor);
+        let mut rng = SimRng::seed_from(52);
+        let reqs = generate(WorkloadKind::ShareGpt, 80, 3.0, &mut rng);
+        let rep = Driver::new(GpuSim::from_cluster(&cluster), reqs, slo).run(&mut engine);
+        assert_eq!(rep.finished, rep.total);
+        let mut tbt = rep.tbt.clone();
+        assert!(tbt.p99() < slo.tbt.as_secs() * 1.6, "p99 {}", tbt.p99());
+    }
+}

@@ -1,0 +1,162 @@
+//! Criterion micro-benchmarks of the substrate data structures: the
+//! radix KV pool, the event queue, the latency predictor, the contention
+//! guard, cost-model evaluation and workload generation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use estimator::{ContentionGuard, GuardQuery, SoloPredictor};
+use gpusim::{ClusterSpec, GpuSim, KernelKind, WorkItem};
+use kvcache::{Block, KvPool};
+use modelspec::{ModelSpec, Parallelism, SeqState};
+use simcore::{EventQueue, SimRng, SimTime};
+use std::time::Duration;
+use workload::{generate, WorkloadKind};
+
+fn bench_kv_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvcache");
+    group.bench_function("match_insert_1k_tokens", |b| {
+        let mut pool = KvPool::new(1 << 22, 64);
+        let mut stream = 0u64;
+        let mut clock = 0u64;
+        b.iter(|| {
+            stream += 1;
+            clock += 1;
+            let blocks = Block::sequence(stream % 512, 1024, 64);
+            let m = pool.match_prefix(black_box(&blocks), SimTime::from_nanos(clock));
+            pool.unlock(&m);
+            pool.insert(&blocks, SimTime::from_nanos(clock));
+        })
+    });
+    group.bench_function("eviction_churn", |b| {
+        // Pool sized to hold ~64 sequences: every insert evicts.
+        let mut pool = KvPool::new(64 * 1024, 64);
+        let mut stream = 0u64;
+        let mut clock = 0u64;
+        b.iter(|| {
+            stream += 1;
+            clock += 1;
+            pool.insert(
+                &Block::sequence(stream, 1024, 64),
+                SimTime::from_nanos(clock),
+            );
+        })
+    });
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(SimTime::from_nanos(rng.next_range(1_000_000)), i);
+            }
+            let mut count = 0;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            black_box(count)
+        })
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let cluster = ClusterSpec::dgx_a100();
+    let model = ModelSpec::llama70b();
+    let par = Parallelism::tp(8, cluster.nvlink_gbs);
+    let pred = SoloPredictor::profile(&model, &cluster, &par, &[16, 92]);
+    let ctxs: Vec<u64> = (0..64).map(|i| 1000 + i * 137).collect();
+    c.bench_function("predictor_decode_latency_bs64", |b| {
+        b.iter(|| black_box(pred.decode_latency(16, black_box(&ctxs))))
+    });
+    let batch = [SeqState::new(4096, 8192), SeqState::new(512, 0)];
+    c.bench_function("predictor_prefill_latency", |b| {
+        b.iter(|| black_box(pred.prefill_latency(92, black_box(&batch))))
+    });
+    let guard = ContentionGuard::flat(1.2);
+    let q = GuardQuery {
+        prefill_new: 4096,
+        prefill_reused: 8192,
+        decode_batch: 64,
+        decode_context: 2048,
+        decode_sms: 16,
+    };
+    c.bench_function("guard_factor_lookup", |b| {
+        b.iter(|| black_box(guard.factor(black_box(&q))))
+    });
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let model = ModelSpec::llama70b();
+    let par = Parallelism::tp(8, 600.0);
+    let batch: Vec<SeqState> = (0..16)
+        .map(|i| SeqState::new(512 + i * 64, i * 777))
+        .collect();
+    c.bench_function("cost_prefill_layer_bs16", |b| {
+        b.iter(|| black_box(model.prefill_layer_work(black_box(&batch), &par)))
+    });
+    let ctxs: Vec<u64> = (0..256).map(|i| 500 + i * 53).collect();
+    c.bench_function("cost_decode_iter_bs256", |b| {
+        b.iter(|| black_box(model.decode_iter_work(black_box(&ctxs), &par)))
+    });
+}
+
+fn bench_gpusim(c: &mut Criterion) {
+    c.bench_function("gpusim_100_kernel_corun", |b| {
+        b.iter(|| {
+            let mut sim = GpuSim::from_cluster(&ClusterSpec::dgx_a100());
+            let g = sim.create_group((0..8).collect());
+            let d = sim.set_context(g, 16);
+            let p = sim.set_context(g, 92);
+            for i in 0..50 {
+                sim.submit(
+                    g,
+                    d,
+                    WorkItem::new(KernelKind::Decode, 1e11, 2e10, 0.0),
+                    SimTime::ZERO,
+                    i,
+                );
+                sim.submit(
+                    g,
+                    p,
+                    WorkItem::new(KernelKind::Prefill, 5e12, 1e9, 0.0),
+                    SimTime::ZERO,
+                    100 + i,
+                );
+            }
+            let mut n = 0;
+            while let Some(t) = sim.next_event_time() {
+                sim.advance_to(t);
+                n += sim.drain_completed().len();
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_workload_gen(c: &mut Criterion) {
+    c.bench_function("workload_generate_1k_tool_agent", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SimRng::seed_from(seed);
+            black_box(generate(WorkloadKind::ToolAgent, 1000, 1.0, &mut rng))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+    targets =
+    bench_kv_pool,
+    bench_event_queue,
+    bench_predictor,
+    bench_cost_model,
+    bench_gpusim,
+    bench_workload_gen
+}
+criterion_main!(benches);

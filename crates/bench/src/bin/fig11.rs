@@ -1,0 +1,90 @@
+//! Figure 11: decode slowdown under prefill-decode multiplexing across
+//! SM partitions, models and GPUs.
+//!
+//! For each decode partition, prefill total context 1 K–128 K and decode
+//! batch reused length 1 K–1024 K (total), reports the min/mean/max
+//! slowdown — the paper observes "nearly zero to about 30 %" with high
+//! configuration-to-configuration variation.
+
+use bench::{banner, save_record};
+use estimator::{measure_decode_corun_slowdown, GuardQuery};
+use gpusim::ClusterSpec;
+use modelspec::{ModelSpec, Parallelism};
+
+fn sweep(model: &ModelSpec, cluster: &ClusterSpec, label: &str) {
+    let par = Parallelism::tp(cluster.num_gpus, cluster.nvlink_gbs);
+    println!("\n{label}");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>8}",
+        "decodeSMs", "min", "mean", "max", "samples"
+    );
+    for &sms in &cluster.gpu.partition_configs() {
+        let prefill_sms = cluster.gpu.sm_count - sms;
+        let mut min: f64 = f64::INFINITY;
+        let mut max: f64 = 0.0;
+        let mut sum = 0.0;
+        let mut n = 0u32;
+        for &p_total in &[1_024u64, 8_192, 32_768, 131_072] {
+            for &d_total in &[1_024u64, 16_384, 131_072, 1_048_576] {
+                for &bs in &[8usize, 64, 256] {
+                    let q = GuardQuery {
+                        prefill_new: p_total / 2,
+                        prefill_reused: p_total / 2,
+                        decode_batch: bs,
+                        decode_context: (d_total / bs as u64).min(model.max_context),
+                        decode_sms: sms,
+                    };
+                    let s = measure_decode_corun_slowdown(model, cluster, &par, &q, prefill_sms);
+                    min = min.min(s);
+                    max = max.max(s);
+                    sum += s;
+                    n += 1;
+                }
+            }
+        }
+        let mean = sum / n as f64;
+        println!(
+            "{:>10} {:>9.1}% {:>9.1}% {:>9.1}% {:>8}",
+            sms,
+            (min - 1.0) * 100.0,
+            (mean - 1.0) * 100.0,
+            (max - 1.0) * 100.0,
+            n
+        );
+        save_record(
+            "fig11",
+            &serde_json::json!({
+                "testbed": label, "decode_sms": sms,
+                "min": min, "mean": mean, "max": max,
+            }),
+        );
+    }
+}
+
+fn main() {
+    banner("Figure 11: decode slowdown under multiplexing");
+    sweep(
+        &ModelSpec::llama8b(),
+        &ClusterSpec::dgx_a100(),
+        "Llama-8B / 8xA100",
+    );
+    sweep(
+        &ModelSpec::llama70b(),
+        &ClusterSpec::dgx_a100(),
+        "Llama-70B / 8xA100",
+    );
+    sweep(
+        &ModelSpec::llama8b(),
+        &ClusterSpec::dgx_h100(),
+        "Llama-8B / 8xH100",
+    );
+    sweep(
+        &ModelSpec::llama70b(),
+        &ClusterSpec::dgx_h100(),
+        "Llama-70B / 8xH100",
+    );
+    println!(
+        "\nExpected shape (paper): slowdowns range from ~0% to ~20% (A100) / ~30% \
+         (H100), varying irregularly across partition configurations."
+    );
+}

@@ -1,0 +1,37 @@
+//! Figure 13: the two scaled real-world traces (request rate over time,
+//! bursty with spikes up to ~13× within a minute).
+
+use bench::{banner, save_record};
+use workload::arrivals::{conversation_trace_rates, tool_agent_trace_rates};
+
+fn describe(name: &str, rates: &[f64]) {
+    let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+    let max = rates.iter().copied().fold(0.0f64, f64::max);
+    // Per-minute averages for the plotted series.
+    println!(
+        "\n{name}: mean {mean:.2} req/s, peak {max:.2} req/s (spike {:.1}x)",
+        max / mean
+    );
+    print!("per-minute req/s:");
+    for (i, chunk) in rates.chunks(60).enumerate() {
+        let m = chunk.iter().sum::<f64>() / chunk.len() as f64;
+        print!(" {m:.1}");
+        save_record(
+            "fig13",
+            &serde_json::json!({"trace": name, "minute": i, "rate": m}),
+        );
+        if i >= 19 {
+            break;
+        }
+    }
+    println!();
+}
+
+fn main() {
+    banner("Figure 13: scaled real-world request-rate traces");
+    let conv = conversation_trace_rates(1200, 1.0);
+    let tool = tool_agent_trace_rates(1200, 1.0);
+    describe("Conversation", &conv);
+    describe("Tool&Agent", &tool);
+    println!("\nExpected shape (paper): bursty patterns with up to 13x spikes within a minute.");
+}

@@ -1,0 +1,43 @@
+//! Figure 16: newer GPUs and a larger MoE model — P99 TTFT/TBT of
+//! MuxWise vs chunked-prefill for Llama-8B/70B on 8×H100 and
+//! Qwen3-235B-A22B on 8×H200 (disaggregated systems cannot host the MoE
+//! model, as the paper notes).
+
+use bench::harness::{real_world_trace, run_trace, LatencyRow};
+use bench::systems::{SystemKind, Testbed};
+use bench::{banner, save_record};
+use workload::WorkloadKind;
+
+fn panel(tb: &Testbed, base_rate: f64, label: &str) {
+    banner(&format!("Figure 16 panel: {label}"));
+    LatencyRow::print_header();
+    let trace = real_world_trace(WorkloadKind::ToolAgent, 600, base_rate, 0xF16);
+    let mut rows = Vec::new();
+    for kind in [SystemKind::MuxWise, SystemKind::Chunked] {
+        let Some(report) = run_trace(tb, kind, trace.clone()) else {
+            println!("{:<11} (unsupported)", kind.name());
+            continue;
+        };
+        let row = LatencyRow::from_report(kind.name(), &report);
+        row.print();
+        save_record("fig16", &serde_json::json!({"panel": label, "row": row}));
+        rows.push(row);
+    }
+    if rows.len() == 2 {
+        println!(
+            "   speedup: TTFT p99 {:.2}x, TBT p99 {:.2}x",
+            rows[1].ttft_p99 / rows[0].ttft_p99,
+            rows[1].tbt_p99_ms / rows[0].tbt_p99_ms
+        );
+    }
+}
+
+fn main() {
+    panel(&Testbed::llama8b_h100(), 4.0, "Llama-8B / 8xH100");
+    panel(&Testbed::llama70b_h100(), 1.0, "Llama-70B / 8xH100");
+    panel(&Testbed::qwen235b_h200(), 1.2, "Qwen3-235B-A22B / 8xH200");
+    println!(
+        "\nExpected shape (paper): MuxWise averages 2.28x on P99 TTFT and 1.81x on \
+         P99 TBT over chunked-prefill across the three testbeds."
+    );
+}

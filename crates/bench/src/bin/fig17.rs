@@ -1,0 +1,93 @@
+//! Figure 17: P99 TTFT/TBT and goodput on three synthetic workloads with
+//! Llama-70B — ShareGPT (moderate/moderate), LooGLE (ultra-long input,
+//! short output), OpenThoughts (short input, ultra-long output).
+
+use bench::harness::{goodput_sweep, stability_run};
+use bench::systems::{SystemKind, Testbed};
+use bench::{banner, save_record};
+use workload::WorkloadKind;
+
+fn panel(tb: &Testbed, workload: WorkloadKind, n: usize, rates: &[f64]) {
+    banner(&format!("Figure 17 panel: Llama-70B / {}", workload.name()));
+    let mut goodputs = Vec::new();
+    for kind in SystemKind::headline() {
+        let Some(result) = goodput_sweep(tb, kind, workload, n, rates, 0xF17) else {
+            println!("{:<11} (unsupported)", kind.name());
+            continue;
+        };
+        print!("{:<11}", kind.name());
+        for p in &result.points {
+            print!(
+                " [{:.2}/s ttft={:.1}s tbt={:.0}ms{}]",
+                p.rate,
+                p.p99_ttft,
+                p.p99_tbt * 1e3,
+                if p.passes(tb.slo.tbt.as_secs()) {
+                    ""
+                } else {
+                    " ✗"
+                }
+            );
+            save_record(
+                "fig17",
+                &serde_json::json!({
+                    "workload": workload.name(), "system": kind.name(),
+                    "rate": p.rate, "p99_ttft_s": p.p99_ttft,
+                    "p99_tbt_ms": p.p99_tbt * 1e3, "stable": p.stable,
+                }),
+            );
+        }
+        println!("\n   goodput: {:.2} req/s", result.goodput_rate);
+        goodputs.push((kind, result.goodput_rate));
+    }
+    if let Some(&(_, mux)) = goodputs.iter().find(|(k, _)| *k == SystemKind::MuxWise) {
+        for (k, g) in &goodputs {
+            if *k != SystemKind::MuxWise && *g > 0.0 {
+                println!("   MuxWise vs {}: {:.2}x", k.name(), mux / g);
+            }
+        }
+    }
+    // A quick latency snapshot at the middle rate for the record.
+    let mid = rates[rates.len() / 2];
+    for kind in SystemKind::headline() {
+        if let Some(rep) = stability_run(tb, kind, workload, n, mid, 0xF17) {
+            let mut r = rep.clone();
+            save_record(
+                "fig17_snapshot",
+                &serde_json::json!({
+                    "workload": workload.name(), "system": kind.name(), "rate": mid,
+                    "p99_ttft_s": r.ttft.p99(), "p99_tbt_ms": r.tbt.p99() * 1e3,
+                }),
+            );
+        }
+    }
+}
+
+fn main() {
+    let tb = Testbed::llama70b_a100();
+    panel(
+        &tb,
+        WorkloadKind::ShareGpt,
+        600,
+        &[2.0, 4.0, 7.0, 10.0, 14.0, 19.0, 25.0, 33.0, 43.0, 55.0],
+    );
+    panel(
+        &tb,
+        WorkloadKind::Loogle,
+        80,
+        &[0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35],
+    );
+    panel(
+        &tb,
+        WorkloadKind::OpenThoughts,
+        150,
+        &[0.45, 0.7, 1.0, 1.4, 1.9],
+    );
+    println!(
+        "\nExpected shape (paper): MuxWise goodput 1.9x/1.73x/9.5x/1.46x over \
+         chunked/NanoFlow/LoongServe/SGLang-PD on ShareGPT; 1.71x/2x/1.33x/2x on \
+         LooGLE; 2x/2x/(LoongServe never meets)/2x on OpenThoughts. SGLang-PD \
+         struggles on OpenThoughts (pool exhaustion) and LooGLE (prefill-half \
+         queueing); LoongServe struggles on OpenThoughts."
+    );
+}

@@ -1,0 +1,74 @@
+//! Figure 19: ablation of the bubble-less multiplex engine — MuxWise vs
+//! (−layer-wise execution) vs (−layer-wise −query-based sync) on the
+//! Tool&Agent workload, for Llama-8B and Llama-70B.
+
+use bench::systems::Testbed;
+use bench::{banner, save_record};
+use gpusim::GpuSim;
+use muxwise::{MuxWise, MuxWiseConfig};
+use serving::Driver;
+use simcore::SimRng;
+use workload::{generate, WorkloadKind};
+
+fn run(tb: &Testbed, cfg: MuxWiseConfig, rate: f64, n: usize) -> serving::Report {
+    let mut engine = MuxWise::new(&tb.model, &tb.cluster, tb.tp, tb.slo, tb.est.clone(), cfg);
+    let mut rng = SimRng::seed_from(0xF19);
+    let reqs = generate(WorkloadKind::ToolAgent, n, rate, &mut rng);
+    Driver::new(GpuSim::from_cluster(&tb.cluster), reqs, tb.slo).run(&mut engine)
+}
+
+fn panel(tb: &Testbed, rates: &[f64], n: usize, label: &str) {
+    banner(&format!("Figure 19 panel: {label}"));
+    println!(
+        "{:<24} {:>8} {:>10} {:>10} {:>10}",
+        "variant", "rate", "tbtAvg", "tbtP99", "ttftP99"
+    );
+    for &rate in rates {
+        for (name, cfg) in [
+            ("full engine", MuxWiseConfig::default()),
+            ("- layer-wise", MuxWiseConfig::without_layer_wise()),
+            ("- layer-wise - qsync", MuxWiseConfig::without_query_sync()),
+        ] {
+            let rep = run(tb, cfg, rate, n);
+            let mut r = rep.clone();
+            println!(
+                "{:<24} {:>6.1}/s {:>8.1}ms {:>8.1}ms {:>9.2}s",
+                name,
+                rate,
+                r.tbt.mean() * 1e3,
+                r.tbt.p99() * 1e3,
+                r.ttft.p99()
+            );
+            save_record(
+                "fig19",
+                &serde_json::json!({
+                    "panel": label, "variant": name, "rate": rate,
+                    "tbt_avg_ms": r.tbt.mean() * 1e3,
+                    "tbt_p99_ms": r.tbt.p99() * 1e3,
+                    "ttft_p99_s": r.ttft.p99(),
+                }),
+            );
+        }
+    }
+}
+
+fn main() {
+    panel(
+        &Testbed::llama8b_a100(),
+        &[4.0, 8.0],
+        400,
+        "Llama-8B / Tool&Agent",
+    );
+    panel(
+        &Testbed::llama70b_a100(),
+        &[0.5, 1.0],
+        200,
+        "Llama-70B / Tool&Agent",
+    );
+    println!(
+        "\nExpected shape (paper): disabling layer-wise execution adds ~10 ms \
+         (the prefill launch time) to decode latency; further disabling \
+         query-based synchronization causes large stalls (+314 ms for Llama-8B, \
+         +672 ms for Llama-70B)."
+    );
+}

@@ -1,0 +1,80 @@
+//! §4.5: the cost of realizing PD-multiplexing — CUDA-graph memory
+//! overhead (~6.2 % of GPU memory) and layer-wise launch runtime overhead
+//! (< 1.5 %).
+
+use bench::{banner, save_record};
+use gpusim::{ClusterSpec, GpuSim};
+use modelspec::{ModelSpec, Parallelism, SeqState};
+
+fn main() {
+    banner("§4.5 overhead: memory");
+    println!(
+        "{:<12} {:<12} {:>10} {:>12} {:>10}",
+        "model", "GPU", "graphs MiB", "green-ctx MiB", "frac of HBM"
+    );
+    for (model, cluster) in [
+        (ModelSpec::llama8b(), ClusterSpec::dgx_a100()),
+        (ModelSpec::llama70b(), ClusterSpec::dgx_a100()),
+        (ModelSpec::llama8b(), ClusterSpec::dgx_h100()),
+        (ModelSpec::llama70b(), ClusterSpec::dgx_h100()),
+    ] {
+        let partitions = cluster.gpu.partition_configs().len();
+        let mib = cluster.gpu.graph_memory_overhead_mib(partitions, 20);
+        let frac = mib / (cluster.gpu.hbm_capacity_gib * 1024.0);
+        println!(
+            "{:<12} {:<12} {:>10.0} {:>12.0} {:>9.1}%",
+            model.name,
+            cluster.gpu.name,
+            mib - cluster.gpu.green_ctx_memory_mib,
+            cluster.gpu.green_ctx_memory_mib,
+            frac * 100.0
+        );
+        save_record(
+            "overhead",
+            &serde_json::json!({
+                "kind": "memory", "model": model.name, "gpu": cluster.gpu.name,
+                "mib": mib, "frac": frac,
+            }),
+        );
+    }
+    println!("Paper: green contexts cost ~4 MiB; graph captures ~6.2% of GPU memory.");
+
+    banner("§4.5 overhead: runtime (layer-wise vs whole-phase launch)");
+    println!(
+        "{:<12} {:>8} {:>10} {:>12} {:>12} {:>9}",
+        "model", "batch", "ctx", "full (ms)", "layered (ms)", "overhead"
+    );
+    let cluster = ClusterSpec::dgx_a100();
+    let sim = GpuSim::from_cluster(&cluster);
+    let par = Parallelism::tp(8, cluster.nvlink_gbs);
+    for model in [ModelSpec::llama8b(), ModelSpec::llama70b()] {
+        for (bs, n) in [(1u32, 2048u64), (1, 8192), (4, 2048), (8, 4096), (16, 1024)] {
+            let batch: Vec<SeqState> = (0..bs).map(|_| SeqState::new(n, 0)).collect();
+            let exec =
+                sim.solo_duration(cluster.gpu.sm_count, &model.prefill_full_work(&batch, &par));
+            let full_launch = cluster.gpu.layer_graph_launch.as_secs() * model.num_layers as f64;
+            // Layer-wise: per-layer launches overlap execution (async
+            // queue); only the first launch is exposed.
+            let layered = exec + cluster.gpu.layer_graph_launch.as_secs();
+            let full = exec + full_launch.min(exec * 0.02 + full_launch * 0.0) + full_launch;
+            let overhead = layered / exec - 1.0;
+            println!(
+                "{:<12} {:>8} {:>10} {:>12.1} {:>12.1} {:>8.2}%",
+                model.name,
+                bs,
+                n,
+                full * 1e3,
+                layered * 1e3,
+                overhead * 100.0
+            );
+            save_record(
+                "overhead",
+                &serde_json::json!({
+                    "kind": "runtime", "model": model.name, "batch": bs, "ctx": n,
+                    "layered_overhead": overhead,
+                }),
+            );
+        }
+    }
+    println!("Paper: total layer-wise launch overhead stays within 1.5%.");
+}

@@ -1,0 +1,43 @@
+//! Table 1: length statistics (min/mean/max of input, output, reused
+//! context) of the five workloads.
+
+use bench::{banner, save_record};
+use simcore::SimRng;
+use workload::{generate, length_stats, WorkloadKind};
+
+fn main() {
+    banner("Table 1: workload length statistics");
+    println!(
+        "{:<14} {:>20} {:>20} {:>20}",
+        "workload", "input (min/mean/max)", "output", "reused"
+    );
+    let mut rng = SimRng::seed_from(0x7AB1E1);
+    for kind in WorkloadKind::all() {
+        let reqs = generate(kind, 20_000, 1.0, &mut rng);
+        let (input, output, reused) = length_stats(&reqs);
+        println!(
+            "{:<14} {:>20} {:>20} {:>20}",
+            kind.name(),
+            input.cell(),
+            output.cell(),
+            if kind.is_multi_turn() || kind == WorkloadKind::OpenThoughts {
+                reused.cell()
+            } else {
+                "-".to_string()
+            }
+        );
+        save_record(
+            "table1",
+            &serde_json::json!({
+                "workload": kind.name(),
+                "input": input.cell(),
+                "output": output.cell(),
+                "reused": reused.cell(),
+            }),
+        );
+    }
+    println!(
+        "\nPaper reference: ShareGPT 4/226/1024 | LooGLE 3380/30k/81k | \
+         OpenThoughts 311/709/4633 | Conversation 891/7538/123k | Tool&Agent 891/8596/123k"
+    );
+}

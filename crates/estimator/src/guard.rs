@@ -1,0 +1,331 @@
+//! The contention guard: worst-case decode slowdown per configuration
+//! grid cell (§3.3.2).
+
+use std::collections::HashMap;
+
+use gpusim::{ClusterSpec, GpuSim, GroupId};
+use modelspec::{ModelSpec, Parallelism, SeqState};
+use simcore::SimTime;
+
+/// The five grid dimensions of a contention lookup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardQuery {
+    /// New tokens in the co-running prefill batch.
+    pub prefill_new: u64,
+    /// Reused tokens in the co-running prefill batch.
+    pub prefill_reused: u64,
+    /// Decode batch size.
+    pub decode_batch: usize,
+    /// Average per-request reused context in the decode batch.
+    pub decode_context: u64,
+    /// SMs allocated to decode.
+    pub decode_sms: u32,
+}
+
+type CellKey = (u8, u8, u8, u8, u32);
+
+/// Powers-of-4 token buckets from 2 K to 128 K (§3.3.2's sampling grid).
+fn token_bucket(tokens: u64) -> u8 {
+    match tokens {
+        0..=2_047 => 0,
+        2_048..=8_191 => 1,
+        8_192..=32_767 => 2,
+        32_768..=131_071 => 3,
+        _ => 4,
+    }
+}
+
+/// Batch-size buckets (log₂-spaced, covering the framework's captured
+/// batch sizes).
+fn batch_bucket(bs: usize) -> u8 {
+    (bs.max(1) as f64).log2().round() as u8
+}
+
+/// Worst-case decode slowdown factors, indexed by the coarse grid.
+///
+/// Cells hold the **max** slowdown observed — by offline grid profiling
+/// ([`ContentionGuard::profile`]) and refined online
+/// ([`ContentionGuard::observe`]). Queries for unvisited cells return
+/// the global max, which is conservative but safe (§3.3.2 notes the
+/// global max stays ≤ ~20 % on A100 / ~30 % on H100).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentionGuard {
+    cells: HashMap<CellKey, f64>,
+    global_max: f64,
+}
+
+impl ContentionGuard {
+    /// An empty guard that answers every query with `floor` (used when
+    /// profiling is disabled in ablations).
+    pub fn flat(floor: f64) -> ContentionGuard {
+        ContentionGuard {
+            cells: HashMap::new(),
+            global_max: floor.max(1.0),
+        }
+    }
+
+    /// Offline grid profiling: co-runs decode×prefill pairs across the
+    /// powers-of-4 token grid, a batch-size subset, and each decode
+    /// partition, recording the max slowdown per cell. The paper's ~7 K
+    /// hardware samples take ~12 hours; the same sweep against the
+    /// simulator takes well under a second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decode_partitions` is empty.
+    pub fn profile(
+        model: &ModelSpec,
+        cluster: &ClusterSpec,
+        par: &Parallelism,
+        decode_partitions: &[u32],
+    ) -> ContentionGuard {
+        assert!(!decode_partitions.is_empty());
+        const TOKENS: [u64; 4] = [2_048, 8_192, 32_768, 131_072];
+        const BATCHES: [usize; 5] = [1, 8, 32, 128, 256];
+        let mut guard = ContentionGuard {
+            cells: HashMap::new(),
+            global_max: 1.0,
+        };
+        for &sms in decode_partitions {
+            let prefill_sms = cluster.gpu.sm_count - sms;
+            if prefill_sms == 0 {
+                continue;
+            }
+            for &p_new in &TOKENS {
+                for &p_reused in &TOKENS {
+                    // §3.3.2 excludes 128K new + 128K reused (exceeds the
+                    // context window).
+                    if p_new + p_reused > model.max_context {
+                        continue;
+                    }
+                    for &bs in &BATCHES {
+                        for &d_ctx in &TOKENS {
+                            let q = GuardQuery {
+                                prefill_new: p_new,
+                                prefill_reused: p_reused,
+                                decode_batch: bs,
+                                decode_context: d_ctx,
+                                decode_sms: sms,
+                            };
+                            let slow =
+                                measure_decode_corun_slowdown(model, cluster, par, &q, prefill_sms);
+                            guard.observe(&q, slow);
+                        }
+                    }
+                }
+            }
+        }
+        guard
+    }
+
+    /// The worst-case slowdown factor (≥ 1) for the query's grid cell;
+    /// the global max for unvisited cells.
+    pub fn factor(&self, q: &GuardQuery) -> f64 {
+        self.cells
+            .get(&Self::key(q))
+            .copied()
+            .unwrap_or(self.global_max)
+    }
+
+    /// Records a measured slowdown (offline profiling or online
+    /// refinement from production executions). Cells keep their max.
+    pub fn observe(&mut self, q: &GuardQuery, slowdown: f64) {
+        let s = slowdown.max(1.0);
+        let cell = self.cells.entry(Self::key(q)).or_insert(1.0);
+        *cell = cell.max(s);
+        self.global_max = self.global_max.max(s);
+    }
+
+    /// The largest slowdown ever observed.
+    pub fn max_slowdown(&self) -> f64 {
+        self.global_max
+    }
+
+    /// Number of populated grid cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Exports the populated cells (for persistence).
+    pub fn export_cells(&self) -> Vec<((u8, u8, u8, u8, u32), f64)> {
+        let mut v: Vec<_> = self.cells.iter().map(|(&k, &s)| (k, s)).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Rebuilds a guard from exported cells.
+    pub fn from_cells(cells: Vec<((u8, u8, u8, u8, u32), f64)>) -> ContentionGuard {
+        let mut g = ContentionGuard::flat(1.0);
+        let mut global = 1.0f64;
+        for (k, s) in cells {
+            g.cells.insert(k, s.max(1.0));
+            global = global.max(s);
+        }
+        g.global_max = global;
+        g
+    }
+
+    fn key(q: &GuardQuery) -> CellKey {
+        (
+            token_bucket(q.prefill_new),
+            token_bucket(q.prefill_reused),
+            batch_bucket(q.decode_batch),
+            token_bucket(q.decode_context),
+            q.decode_sms,
+        )
+    }
+}
+
+/// Measures the decode slowdown of one co-run configuration on a fresh
+/// simulator: decode on `q.decode_sms` SMs next to a prefill batch on
+/// `prefill_sms` SMs, versus the decode's solo run. This is exactly the
+/// observation a physical profiling run would make.
+pub fn measure_decode_corun_slowdown(
+    model: &ModelSpec,
+    cluster: &ClusterSpec,
+    par: &Parallelism,
+    q: &GuardQuery,
+    prefill_sms: u32,
+) -> f64 {
+    let mut sim = GpuSim::from_cluster(cluster);
+    let group = sim.create_group((0..cluster.num_gpus).collect());
+    let d_ctx = sim.set_context(group, q.decode_sms);
+    let p_ctx = sim.set_context(group, prefill_sms);
+
+    let decode_work = model.decode_iter_work(&vec![q.decode_context; q.decode_batch], par);
+    let solo = sim.solo_duration(q.decode_sms, &decode_work);
+
+    // A prefill long enough to cover the decode iteration completely.
+    let prefill_batch = [SeqState::new(q.prefill_new, q.prefill_reused)];
+    let mut prefill_work = model.prefill_full_work(&prefill_batch, par);
+    let min_cover = solo * 4.0;
+    let one_pass = sim.solo_duration(prefill_sms, &prefill_work);
+    if one_pass < min_cover {
+        prefill_work = prefill_work.scaled((min_cover / one_pass).ceil());
+    }
+
+    let start = SimTime::from_secs(0.001);
+    sim.submit(group, p_ctx, prefill_work, start, 1);
+    sim.submit(group, d_ctx, decode_work, start, 2);
+    let finish = run_until_tag(&mut sim, group, 2);
+    let corun = (finish - start).as_secs();
+    (corun / solo).max(1.0)
+}
+
+fn run_until_tag(sim: &mut GpuSim, _group: GroupId, tag: u64) -> SimTime {
+    loop {
+        let t = sim
+            .next_event_time()
+            .expect("kernel must eventually finish");
+        sim.advance_to(t);
+        if sim.drain_completed().iter().any(|&(_, t)| t == tag) {
+            return sim.now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn guard() -> (ModelSpec, ClusterSpec, Parallelism, ContentionGuard) {
+        let cluster = ClusterSpec::dgx_a100();
+        let model = ModelSpec::llama70b();
+        let par = Parallelism::tp(8, cluster.nvlink_gbs);
+        let g = ContentionGuard::profile(&model, &cluster, &par, &[16, 48, 96]);
+        (model, cluster, par, g)
+    }
+
+    #[test]
+    fn profiled_guard_bounds_match_paper_range() {
+        let (_, _, _, g) = guard();
+        let max = g.max_slowdown();
+        assert!(max > 1.02, "some contention must be observed, got {max}");
+        assert!(max < 1.45, "slowdown cap blown: {max}");
+        assert!(g.num_cells() > 100, "grid too sparse: {}", g.num_cells());
+    }
+
+    #[test]
+    fn factor_is_conservative_for_unvisited_cells() {
+        let mut g = ContentionGuard::flat(1.0);
+        g.observe(
+            &GuardQuery {
+                prefill_new: 2048,
+                prefill_reused: 2048,
+                decode_batch: 8,
+                decode_context: 2048,
+                decode_sms: 16,
+            },
+            1.25,
+        );
+        // A totally different cell answers with the global max.
+        let other = GuardQuery {
+            prefill_new: 131_072,
+            prefill_reused: 0,
+            decode_batch: 128,
+            decode_context: 131_072,
+            decode_sms: 96,
+        };
+        assert_eq!(g.factor(&other), 1.25);
+    }
+
+    #[test]
+    fn observe_keeps_cell_max() {
+        let mut g = ContentionGuard::flat(1.0);
+        let q = GuardQuery {
+            prefill_new: 4000,
+            prefill_reused: 4000,
+            decode_batch: 32,
+            decode_context: 4000,
+            decode_sms: 32,
+        };
+        g.observe(&q, 1.1);
+        g.observe(&q, 1.3);
+        g.observe(&q, 1.05);
+        assert_eq!(g.factor(&q), 1.3);
+        // Sub-1.0 observations clamp to 1.0 and never lower a cell.
+        g.observe(&q, 0.5);
+        assert_eq!(g.factor(&q), 1.3);
+    }
+
+    #[test]
+    fn guard_covers_ground_truth_on_fresh_samples() {
+        // The whole point: predicted worst case ≥ actual co-run latency
+        // for configurations *near* profiled cells.
+        let (model, cluster, par, g) = guard();
+        let mut rng = simcore::SimRng::seed_from(7);
+        for _ in 0..40 {
+            let q = GuardQuery {
+                prefill_new: 2048 + rng.next_range(60_000),
+                prefill_reused: rng.next_range(60_000),
+                decode_batch: 1 + rng.next_range(128) as usize,
+                decode_context: 2048 + rng.next_range(100_000),
+                decode_sms: *rng.choose(&[16u32, 48, 96]).unwrap(),
+            };
+            let actual = measure_decode_corun_slowdown(
+                &model,
+                &cluster,
+                &par,
+                &q,
+                cluster.gpu.sm_count - q.decode_sms,
+            );
+            let bound = g.factor(&q);
+            assert!(
+                bound >= actual - 0.05,
+                "guard {bound} under-covers actual {actual} for {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn buckets_partition_the_range() {
+        assert_eq!(token_bucket(0), 0);
+        assert_eq!(token_bucket(2_047), 0);
+        assert_eq!(token_bucket(2_048), 1);
+        assert_eq!(token_bucket(8_192), 2);
+        assert_eq!(token_bucket(32_768), 3);
+        assert_eq!(token_bucket(200_000), 4);
+        assert_eq!(batch_bucket(1), 0);
+        assert_eq!(batch_bucket(32), 5);
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! The contention-tolerant estimator (§3.3 of the paper).
+//!
+//! MuxWise guarantees decode SLOs under spatial multiplexing by
+//! **worst-case** latency estimation: a *solo-run predictor* gives the
+//! latency of a phase on its SM partition without interference, and a
+//! *contention guard* multiplies in the worst slowdown ever observed for
+//! the configuration's neighbourhood.
+//!
+//! * [`SoloPredictor`] implements the paper's Eq. 1 and Eq. 2:
+//!   `T_prefill = θ₁·Σnᵢ² + θ₂·Σnᵢrᵢ + θ₃·Σnᵢ + θ₄` and
+//!   `T_decode = θ₁·Σrᵢ + θ₂·bs + θ₃`, with one coefficient set per SM
+//!   partition, fit by least squares on offline profiling runs (the
+//!   paper reports ≤ 8.16 % / 8.84 % max deviation; tests assert ours is
+//!   comparable).
+//! * [`ContentionGuard`] stores the **max observed decode slowdown** in a
+//!   coarse 5-dimensional grid — prefill new / reused tokens, decode
+//!   batch size, decode per-request reused tokens, SM partition — sampled
+//!   at powers-of-4 from 2 K to 128 K (§3.3.2), and is refined online
+//!   with measured slowdowns from production execution.
+//!
+//! Both are built **only from observations** of the GPU simulator — the
+//! simulator's contention ground truth is never read directly, exactly as
+//! the real system can only profile a physical GPU.
+//!
+//! # Examples
+//!
+//! ```
+//! use estimator::SoloPredictor;
+//! use gpusim::ClusterSpec;
+//! use modelspec::{ModelSpec, Parallelism, SeqState};
+//!
+//! let cluster = ClusterSpec::dgx_a100();
+//! let model = ModelSpec::llama8b();
+//! let par = Parallelism::tp(8, cluster.nvlink_gbs);
+//! let pred = SoloPredictor::profile(&model, &cluster, &par, &[16, 92, 108]);
+//! let t = pred.decode_latency(16, &[1024; 32]);
+//! assert!(t > 0.0 && t < 0.1);
+//! ```
+
+pub mod guard;
+pub mod linreg;
+pub mod persist;
+pub mod solo;
+
+pub use guard::{measure_decode_corun_slowdown, ContentionGuard, GuardQuery};
+pub use persist::{load_estimators, save_estimators, PersistError};
+pub use solo::SoloPredictor;

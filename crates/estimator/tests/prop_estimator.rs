@@ -1,0 +1,84 @@
+//! Property-based tests for the estimator.
+
+use estimator::linreg::{fit_max_affine, least_squares, predict, predict_max_affine};
+use estimator::{ContentionGuard, GuardQuery};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Least squares recovers exact linear relationships.
+    #[test]
+    fn least_squares_recovers_exact_fit(
+        a in -100.0f64..100.0,
+        b in -100.0f64..100.0,
+        xs in prop::collection::vec(-1000.0f64..1000.0, 5..50),
+    ) {
+        // Need at least two distinct x values for a well-posed fit.
+        prop_assume!(xs.iter().any(|&x| (x - xs[0]).abs() > 1e-6));
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x, 1.0]).collect();
+        let y: Vec<f64> = xs.iter().map(|&x| a * x + b).collect();
+        let theta = least_squares(&rows, &y).expect("well-posed");
+        for (row, target) in rows.iter().zip(&y) {
+            prop_assert!((predict(&theta, row) - target).abs() < 1e-6 * (1.0 + target.abs()));
+        }
+    }
+
+    /// Max-affine fitting reproduces any max-of-two-lines target closely.
+    #[test]
+    fn max_affine_recovers_two_lines(
+        a1 in 0.1f64..10.0, b1 in -50.0f64..50.0,
+        a2 in 0.1f64..10.0, b2 in -50.0f64..50.0,
+    ) {
+        // Require a visible kink inside the sample range.
+        prop_assume!((a1 - a2).abs() > 0.2);
+        let kink = (b2 - b1) / (a1 - a2);
+        prop_assume!((5.0..95.0).contains(&kink));
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 1.0]).collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| (a1 * r[0] + b1).max(a2 * r[0] + b2))
+            .collect();
+        let planes = fit_max_affine(&rows, &y, 2, 25).expect("fits");
+        for (r, &target) in rows.iter().zip(&y) {
+            let est = predict_max_affine(&planes, r);
+            prop_assert!(
+                (est - target).abs() <= 0.08 * (1.0 + target.abs()),
+                "at x={}: est {est} vs {target}",
+                r[0]
+            );
+        }
+    }
+
+    /// The guard is monotone under observation: observing can never
+    /// lower any cell, and the global max dominates every cell.
+    #[test]
+    fn guard_observation_is_monotone(
+        observations in prop::collection::vec(
+            (0u64..200_000, 0u64..200_000, 1usize..512, 0u64..200_000, 0u32..7, 0.5f64..2.0),
+            1..60,
+        ),
+    ) {
+        let mut guard = ContentionGuard::flat(1.0);
+        let mut queries = Vec::new();
+        for (pn, pr, bs, dc, sms_idx, slow) in observations {
+            let q = GuardQuery {
+                prefill_new: pn,
+                prefill_reused: pr,
+                decode_batch: bs,
+                decode_context: dc,
+                decode_sms: 16 * (sms_idx + 1),
+            };
+            let before = guard.factor(&q);
+            guard.observe(&q, slow);
+            let after = guard.factor(&q);
+            prop_assert!(after >= slow.max(1.0) - 1e-12);
+            prop_assert!(after + 1e-12 >= before.min(slow.max(1.0)));
+            queries.push(q);
+        }
+        for q in &queries {
+            prop_assert!(guard.factor(q) <= guard.max_slowdown() + 1e-12);
+            prop_assert!(guard.factor(q) >= 1.0);
+        }
+    }
+}

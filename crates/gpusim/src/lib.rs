@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+//! Discrete-event GPU simulator for the MuxWise reproduction.
+//!
+//! The paper's testbeds (8×A100-80GB, 8×H100, 8×H200 servers with NVLink)
+//! are replaced by this simulator. It models exactly the mechanisms the
+//! paper's claims depend on:
+//!
+//! * **SM partitioning via green contexts** ([`engine::GpuSim::set_context`])
+//!   at a 16-SM granularity with microsecond reconfiguration cost, matching
+//!   CUDA Green Contexts as used by MuxWise.
+//! * **Kernels as (FLOPs, bytes, fixed-time) work items** executing on a
+//!   context. A kernel's solo duration is the roofline
+//!   `max(flops / compute_rate(sms), bytes / bandwidth(sms)) + fixed`,
+//!   where achievable memory bandwidth saturates well below the full SM
+//!   count (a handful of SMs can nearly saturate HBM — this is why decode
+//!   needs few SMs and prefill many, the asymmetry the whole paper builds
+//!   on).
+//! * **Bandwidth contention between co-running contexts** via weighted
+//!   water-filling of per-GPU HBM bandwidth, plus a deterministic
+//!   configuration-dependent interference residual bounded by ~20 % on
+//!   A100-class and ~30 % on H100-class parts — reproducing the observed
+//!   range and irregularity of Fig. 11. Schedulers and estimators never
+//!   read this ground truth; they must profile, exactly as in the paper.
+//! * **Launch costs**: a 0.5 ms CUDA-graph launch for decode iterations,
+//!   ~10 ms piecewise-graph launch for a full Llama-70B prefill (split
+//!   across layers when layer-wise execution is used), and per-kernel
+//!   launch overheads — the source of the GPU bubbles in Fig. 9.
+//! * **NVLink links** for tensor-parallel all-reduce (folded into kernel
+//!   fixed time by `modelspec`) and explicit KV-cache migration transfers
+//!   (used by the disaggregated baselines).
+//!
+//! Streams are modeled by the per-context FIFO kernel queue: only the head
+//! kernel of a context runs; later submissions wait, as CUDA streams do.
+//!
+//! # Examples
+//!
+//! ```
+//! use gpusim::{GpuSim, GpuSpec, WorkItem, KernelKind};
+//! use simcore::SimTime;
+//!
+//! let mut sim = GpuSim::new(GpuSpec::a100(), 8, 600.0);
+//! let group = sim.create_group((0..8).collect());
+//! let ctx = sim.set_context(group, 108);
+//! let work = WorkItem::new(KernelKind::Prefill, 1.0e12, 1.0e9, 0.0);
+//! sim.submit(group, ctx, work, SimTime::ZERO, 1);
+//! let mut completed = Vec::new();
+//! while let Some(t) = sim.next_event_time() {
+//!     sim.advance_to(t);
+//!     completed.extend(sim.drain_completed());
+//! }
+//! assert_eq!(completed.len(), 1);
+//! ```
+
+pub mod engine;
+pub mod link;
+pub mod spec;
+pub mod work;
+
+pub use engine::{CtxId, GpuSim, GroupId, KernelId};
+pub use link::{LinkId, TransferId};
+pub use spec::{ClusterSpec, GpuSpec};
+pub use work::{KernelKind, WorkItem};

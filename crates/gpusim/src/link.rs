@@ -1,0 +1,150 @@
+//! Point-to-point transfer links (NVLink) for KV-cache migration.
+//!
+//! Disaggregated baselines (SGLang-PD, Splitwise) move a request's KV
+//! cache from the prefill instance to the decode instance; LoongServe
+//! migrates when it scales groups down. A [`Links`] channel serializes
+//! transfers FIFO at the link bandwidth plus a per-message latency.
+
+use simcore::{SimDuration, SimTime};
+
+/// Identifies a transfer link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub(crate) usize);
+
+/// Identifies a submitted transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransferId(pub(crate) usize);
+
+#[derive(Debug)]
+struct Link {
+    bw_gbs: f64,
+    latency: SimDuration,
+    busy_until: SimTime,
+    in_flight: Vec<(SimTime, TransferId, u64)>,
+}
+
+/// The set of links in a server.
+#[derive(Debug)]
+pub struct Links {
+    default_bw_gbs: f64,
+    links: Vec<Link>,
+    next_transfer: usize,
+    completed: Vec<(TransferId, u64)>,
+}
+
+impl Links {
+    /// Creates an empty link set with a default bandwidth for new links.
+    pub fn new(default_bw_gbs: f64) -> Links {
+        Links {
+            default_bw_gbs,
+            links: Vec::new(),
+            next_transfer: 0,
+            completed: Vec::new(),
+        }
+    }
+
+    /// Creates a link; `bw_gbs <= 0` uses the default bandwidth.
+    pub fn create(&mut self, bw_gbs: f64, latency: SimDuration) -> LinkId {
+        let bw = if bw_gbs > 0.0 {
+            bw_gbs
+        } else {
+            self.default_bw_gbs
+        };
+        self.links.push(Link {
+            bw_gbs: bw,
+            latency,
+            busy_until: SimTime::ZERO,
+            in_flight: Vec::new(),
+        });
+        LinkId(self.links.len() - 1)
+    }
+
+    /// Enqueues a transfer at time `now`; FIFO per link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is negative or not finite.
+    pub fn submit(&mut self, now: SimTime, link: LinkId, bytes: f64, tag: u64) -> TransferId {
+        assert!(bytes.is_finite() && bytes >= 0.0, "invalid bytes {bytes}");
+        let l = &mut self.links[link.0];
+        let start = now.max(l.busy_until);
+        let dur = SimDuration::from_secs(bytes / (l.bw_gbs * 1e9)) + l.latency;
+        let finish = start + dur;
+        l.busy_until = finish;
+        let id = TransferId(self.next_transfer);
+        self.next_transfer += 1;
+        l.in_flight.push((finish, id, tag));
+        id
+    }
+
+    /// Earliest in-flight completion across all links.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        self.links
+            .iter()
+            .flat_map(|l| l.in_flight.iter().map(|&(t, _, _)| t))
+            .min()
+    }
+
+    /// Moves transfers finishing at or before `now` to the completed list.
+    pub fn advance_to(&mut self, now: SimTime) {
+        for l in &mut self.links {
+            let mut i = 0;
+            while i < l.in_flight.len() {
+                if l.in_flight[i].0 <= now {
+                    let (_, id, tag) = l.in_flight.remove(i);
+                    self.completed.push((id, tag));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Drains completed transfers in completion order.
+    pub fn drain_completed(&mut self) -> Vec<(TransferId, u64)> {
+        std::mem::take(&mut self.completed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_duration_matches_bandwidth() {
+        let mut links = Links::new(600.0);
+        let l = links.create(0.0, SimDuration::from_micros(5.0));
+        links.submit(SimTime::ZERO, l, 600.0e9, 1); // exactly 1 second
+        let t = links.next_completion().unwrap();
+        assert!((t.as_secs() - 1.000005).abs() < 1e-9);
+        links.advance_to(t);
+        assert_eq!(links.drain_completed(), vec![(TransferId(0), 1)]);
+    }
+
+    #[test]
+    fn fifo_serialization() {
+        let mut links = Links::new(100.0);
+        let l = links.create(100.0, SimDuration::ZERO);
+        links.submit(SimTime::ZERO, l, 100.0e9, 1); // 1s
+        links.submit(SimTime::ZERO, l, 100.0e9, 2); // finishes at 2s
+        links.advance_to(SimTime::from_secs(1.5));
+        assert_eq!(links.drain_completed().len(), 1);
+        links.advance_to(SimTime::from_secs(2.5));
+        assert_eq!(links.drain_completed(), vec![(TransferId(1), 2)]);
+    }
+
+    #[test]
+    fn idle_link_has_no_completion() {
+        let links = Links::new(100.0);
+        assert!(links.next_completion().is_none());
+    }
+
+    #[test]
+    fn zero_byte_transfer_costs_latency_only() {
+        let mut links = Links::new(100.0);
+        let l = links.create(100.0, SimDuration::from_micros(5.0));
+        links.submit(SimTime::from_secs(1.0), l, 0.0, 9);
+        let t = links.next_completion().unwrap();
+        assert!((t.as_secs() - 1.000005).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,159 @@
+//! Work items: what schedulers submit to the GPU.
+//!
+//! A [`WorkItem`] is the resource footprint of one kernel batch — e.g. "one
+//! transformer layer of prefill for this batch" or "one full decode
+//! iteration". The `modelspec` crate produces these from model architecture
+//! and sequence lengths; `gpusim` turns them into time.
+
+/// The phase a kernel belongs to; used for accounting and for the
+/// deterministic interference residual (different phase pairs contend
+/// differently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelKind {
+    /// Prompt processing (compute-bound).
+    Prefill,
+    /// Token generation (memory-bound).
+    Decode,
+    /// A fused chunked-prefill iteration (prefill chunk + decode batch).
+    Fused,
+    /// Anything else (warm-up, profiling probes).
+    Other,
+}
+
+/// The resource footprint of one kernel, **per GPU** of the executing
+/// group.
+///
+/// # Examples
+///
+/// ```
+/// use gpusim::{WorkItem, KernelKind};
+/// let w = WorkItem::new(KernelKind::Decode, 1.0e11, 2.0e10, 50e-6);
+/// assert_eq!(w.flops, 1.0e11);
+/// let sum = w.plus(&w);
+/// assert_eq!(sum.bytes, 4.0e10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkItem {
+    /// Phase tag.
+    pub kind: KernelKind,
+    /// Floating-point operations per GPU.
+    pub flops: f64,
+    /// HBM bytes moved per GPU (weights + KV cache + activations).
+    pub bytes: f64,
+    /// Fixed time in seconds not overlapped with compute/memory
+    /// (all-reduce latencies, kernel tails).
+    pub fixed_secs: f64,
+}
+
+impl WorkItem {
+    /// Creates a work item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is negative or not finite.
+    pub fn new(kind: KernelKind, flops: f64, bytes: f64, fixed_secs: f64) -> WorkItem {
+        assert!(flops.is_finite() && flops >= 0.0, "invalid flops: {flops}");
+        assert!(bytes.is_finite() && bytes >= 0.0, "invalid bytes: {bytes}");
+        assert!(
+            fixed_secs.is_finite() && fixed_secs >= 0.0,
+            "invalid fixed time: {fixed_secs}"
+        );
+        WorkItem {
+            kind,
+            flops,
+            bytes,
+            fixed_secs,
+        }
+    }
+
+    /// An empty work item of the given kind (zero cost).
+    pub fn empty(kind: KernelKind) -> WorkItem {
+        WorkItem::new(kind, 0.0, 0.0, 0.0)
+    }
+
+    /// Component-wise sum, keeping `self`'s kind. Used to aggregate
+    /// multiple layers into one launch.
+    pub fn plus(&self, other: &WorkItem) -> WorkItem {
+        WorkItem {
+            kind: self.kind,
+            flops: self.flops + other.flops,
+            bytes: self.bytes + other.bytes,
+            fixed_secs: self.fixed_secs + other.fixed_secs,
+        }
+    }
+
+    /// Component-wise scaling (e.g. `layer_cost.scaled(n_layers as f64)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `factor` is negative.
+    pub fn scaled(&self, factor: f64) -> WorkItem {
+        debug_assert!(factor >= 0.0);
+        WorkItem {
+            kind: self.kind,
+            flops: self.flops * factor,
+            bytes: self.bytes * factor,
+            fixed_secs: self.fixed_secs * factor,
+        }
+    }
+
+    /// True if the item performs no work at all.
+    pub fn is_empty(&self) -> bool {
+        self.flops == 0.0 && self.bytes == 0.0 && self.fixed_secs == 0.0
+    }
+
+    /// Arithmetic intensity in FLOPs per byte (∞-safe: returns
+    /// `f64::INFINITY` for pure-compute items, 0 for empty ones).
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0.0 {
+            if self.flops == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.flops / self.bytes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plus_and_scaled() {
+        let a = WorkItem::new(KernelKind::Prefill, 1.0, 2.0, 3.0);
+        let b = WorkItem::new(KernelKind::Decode, 10.0, 20.0, 30.0);
+        let s = a.plus(&b);
+        assert_eq!(s.kind, KernelKind::Prefill);
+        assert_eq!((s.flops, s.bytes, s.fixed_secs), (11.0, 22.0, 33.0));
+        let d = b.scaled(0.5);
+        assert_eq!((d.flops, d.bytes, d.fixed_secs), (5.0, 10.0, 15.0));
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(WorkItem::empty(KernelKind::Other).is_empty());
+        assert!(!WorkItem::new(KernelKind::Other, 0.0, 0.0, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn intensity_edges() {
+        assert_eq!(WorkItem::empty(KernelKind::Other).intensity(), 0.0);
+        assert_eq!(
+            WorkItem::new(KernelKind::Other, 5.0, 0.0, 0.0).intensity(),
+            f64::INFINITY
+        );
+        assert_eq!(
+            WorkItem::new(KernelKind::Other, 6.0, 2.0, 0.0).intensity(),
+            3.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid flops")]
+    fn rejects_nan() {
+        WorkItem::new(KernelKind::Other, f64::NAN, 0.0, 0.0);
+    }
+}

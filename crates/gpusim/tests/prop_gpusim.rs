@@ -1,0 +1,144 @@
+//! Property-based tests for the GPU simulator: conservation, ordering
+//! and bounded contention under arbitrary kernel mixes.
+
+use gpusim::{GpuSim, GpuSpec, KernelKind, WorkItem};
+use proptest::prelude::*;
+use simcore::SimTime;
+
+fn kernel_strategy() -> impl Strategy<Value = (u8, f64, f64, u64)> {
+    // (ctx index selector, flops, bytes, ready_at ns)
+    (0u8..3, 1e9f64..5e13, 0f64..5e10, 0u64..50_000_000)
+}
+
+fn drain(sim: &mut GpuSim) -> Vec<(SimTime, u64)> {
+    let mut out = Vec::new();
+    while let Some(t) = sim.next_event_time() {
+        sim.advance_to(t);
+        for (_, tag) in sim.drain_completed() {
+            out.push((sim.now(), tag));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every submitted kernel completes exactly once, and completions on
+    /// one context respect submission (FIFO) order.
+    #[test]
+    fn kernels_conserve_and_order(kernels in prop::collection::vec(kernel_strategy(), 1..40)) {
+        let mut sim = GpuSim::new(GpuSpec::a100(), 8, 600.0);
+        let g = sim.create_group((0..8).collect());
+        let ctxs = [
+            sim.set_context(g, 16),
+            sim.set_context(g, 32),
+            sim.set_context(g, 48),
+        ];
+        let mut per_ctx: Vec<Vec<u64>> = vec![Vec::new(); 3];
+        for (i, &(c, flops, bytes, ready)) in kernels.iter().enumerate() {
+            let kind = if c == 0 { KernelKind::Decode } else { KernelKind::Prefill };
+            let work = WorkItem::new(kind, flops, bytes, 0.0);
+            sim.submit(g, ctxs[c as usize], work, SimTime::from_nanos(ready), i as u64);
+            per_ctx[c as usize].push(i as u64);
+        }
+        let done = drain(&mut sim);
+        prop_assert_eq!(done.len(), kernels.len(), "kernel lost or duplicated");
+        // FIFO per context.
+        for (c, expected) in per_ctx.iter().enumerate() {
+            let seen: Vec<u64> = done
+                .iter()
+                .map(|&(_, tag)| tag)
+                .filter(|t| kernels[*t as usize].0 as usize == c)
+                .collect();
+            prop_assert_eq!(&seen, expected, "context {} completion order", c);
+        }
+    }
+
+    /// Co-running never makes a kernel *faster* than solo, and never
+    /// slower than the theoretical contention bound.
+    #[test]
+    fn corun_slowdown_is_bounded(
+        d_bytes in 1e9f64..4e10,
+        p_flops in 1e12f64..8e13,
+        p_bytes in 0f64..6e10,
+    ) {
+        let spec = GpuSpec::a100();
+        let cap = spec.contention_residual_max;
+        let mut sim = GpuSim::new(spec, 8, 600.0);
+        let g = sim.create_group((0..8).collect());
+        let d_ctx = sim.set_context(g, 16);
+        let p_ctx = sim.set_context(g, 92);
+        let decode = WorkItem::new(KernelKind::Decode, 1e11, d_bytes, 0.0);
+        let solo = sim.solo_duration(16, &decode);
+        // Make prefill long enough to cover the decode.
+        let prefill = WorkItem::new(KernelKind::Prefill, p_flops, p_bytes, 0.0);
+        let p_solo = sim.solo_duration(92, &prefill);
+        let scale = (solo * 3.0 / p_solo).max(1.0);
+        let start = SimTime::from_secs(0.001);
+        sim.submit(g, p_ctx, prefill.scaled(scale.ceil()), start, 1);
+        sim.submit(g, d_ctx, decode, start, 2);
+        let done = drain(&mut sim);
+        let decode_done = done.iter().find(|&&(_, tag)| tag == 2).expect("decode completes").0;
+        let corun = (decode_done - start).as_secs();
+        prop_assert!(corun >= solo * 0.999, "speedup impossible: {corun} vs {solo}");
+        // Upper bound: bandwidth halving at worst (weighted fill) plus
+        // the residual cap, with slack for discretization.
+        prop_assert!(
+            corun <= solo * (2.5 + cap),
+            "slowdown {} implausible",
+            corun / solo
+        );
+    }
+
+    /// advance_to never moves time backwards and next_event_time is
+    /// monotone as the simulation progresses.
+    #[test]
+    fn time_is_monotone(kernels in prop::collection::vec(kernel_strategy(), 1..25)) {
+        let mut sim = GpuSim::new(GpuSpec::h100(), 8, 900.0);
+        let g = sim.create_group((0..8).collect());
+        let c = sim.set_context(g, 132);
+        for (i, &(_, flops, bytes, ready)) in kernels.iter().enumerate() {
+            let work = WorkItem::new(KernelKind::Other, flops, bytes, 0.0);
+            sim.submit(g, c, work, SimTime::from_nanos(ready), i as u64);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some(t) = sim.next_event_time() {
+            prop_assert!(t >= last);
+            sim.advance_to(t);
+            sim.drain_completed();
+            last = t;
+        }
+    }
+
+    /// Solo duration scales down monotonically with more SMs.
+    #[test]
+    fn solo_duration_monotone_in_sms(flops in 1e10f64..1e14, bytes in 0f64..1e11) {
+        let sim = GpuSim::new(GpuSpec::a100(), 1, 600.0);
+        let work = WorkItem::new(KernelKind::Prefill, flops, bytes, 0.0);
+        let mut last = f64::INFINITY;
+        for sms in [16, 32, 48, 64, 80, 96, 108] {
+            let t = sim.solo_duration(sms, &work);
+            prop_assert!(t <= last * 1.0000001, "more SMs made it slower");
+            last = t;
+        }
+    }
+
+    /// Link transfers complete in FIFO order with duration proportional
+    /// to bytes.
+    #[test]
+    fn transfers_are_fifo(sizes in prop::collection::vec(1e6f64..1e10, 1..20)) {
+        let mut sim = GpuSim::new(GpuSpec::a100(), 2, 600.0);
+        let link = sim.create_link(600.0, simcore::SimDuration::from_micros(5.0));
+        for (i, &b) in sizes.iter().enumerate() {
+            sim.submit_transfer(link, b, i as u64);
+        }
+        let mut seen = Vec::new();
+        while let Some(t) = sim.next_event_time() {
+            sim.advance_to(t);
+            seen.extend(sim.drain_completed_transfers().into_iter().map(|(_, tag)| tag));
+        }
+        let expected: Vec<u64> = (0..sizes.len() as u64).collect();
+        prop_assert_eq!(seen, expected);
+    }
+}

@@ -1,0 +1,353 @@
+//! The radix tree over content blocks.
+//!
+//! Each node corresponds to one block of cached tokens. Children are
+//! keyed by block hash in a `BTreeMap` so traversal order — and therefore
+//! eviction order among ties — is deterministic.
+
+use std::collections::BTreeMap;
+
+use simcore::SimTime;
+
+/// A fixed-size run of tokens identified by a content hash.
+///
+/// # Examples
+///
+/// ```
+/// use kvcache::Block;
+/// let a = Block::sequence(1, 130, 64);
+/// assert_eq!(a.len(), 3); // 64 + 64 + 2 tokens
+/// assert_eq!(a[2].tokens, 2);
+/// let b = Block::sequence(1, 200, 64);
+/// assert_eq!(a[0], b[0]); // same stream → shared prefix blocks
+/// assert_ne!(a[2], b[2]); // partial tail block differs from full block
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Block {
+    /// Content hash of the block.
+    pub key: u64,
+    /// Tokens in the block (equal to the block size except possibly the
+    /// last block of a sequence).
+    pub tokens: u32,
+}
+
+impl Block {
+    /// Derives the block sequence for the first `tokens` tokens of a
+    /// deterministic content stream `stream_id`. Prefixes of the same
+    /// stream yield prefix block sequences, which is how the workload
+    /// generator expresses multi-turn context reuse.
+    ///
+    /// A partial tail block hashes differently from the full block at the
+    /// same position (a half-filled KV page cannot be shared with a
+    /// request that continues past it... it can only be shared by exact
+    /// restatement, which the tail hash encodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn sequence(stream_id: u64, tokens: u64, block_size: u32) -> Vec<Block> {
+        assert!(block_size > 0, "zero block size");
+        let bs = block_size as u64;
+        let full = tokens / bs;
+        let tail = tokens % bs;
+        let mut out = Vec::with_capacity((full + 1) as usize);
+        for i in 0..full {
+            out.push(Block {
+                key: mix(stream_id, i, bs as u32),
+                tokens: block_size,
+            });
+        }
+        if tail > 0 {
+            out.push(Block {
+                key: mix(stream_id, full, tail as u32),
+                tokens: tail as u32,
+            });
+        }
+        out
+    }
+
+    /// Total token count of a block sequence.
+    pub fn total_tokens(blocks: &[Block]) -> u64 {
+        blocks.iter().map(|b| b.tokens as u64).sum()
+    }
+}
+
+fn mix(stream: u64, index: u64, fill: u32) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in [stream, index, fill as u64] {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        h ^= h >> 29;
+    }
+    h
+}
+
+/// Index of a node in the tree's slab.
+pub(crate) type NodeId = usize;
+
+#[derive(Debug)]
+pub(crate) struct Node {
+    pub key: u64,
+    pub tokens: u32,
+    pub parent: NodeId,
+    pub children: BTreeMap<u64, NodeId>,
+    pub refs: u32,
+    pub last_access: SimTime,
+    pub alive: bool,
+}
+
+/// The tree: a slab of nodes with node 0 as the sentinel root, plus an
+/// LRU-ordered index of evictable leaves (alive, unreferenced, childless)
+/// so eviction is O(log n) instead of a full scan.
+#[derive(Debug)]
+pub(crate) struct RadixTree {
+    nodes: Vec<Node>,
+    free: Vec<NodeId>,
+    evictable: std::collections::BTreeSet<(SimTime, NodeId)>,
+}
+
+pub(crate) const ROOT: NodeId = 0;
+
+impl RadixTree {
+    pub fn new() -> RadixTree {
+        RadixTree {
+            nodes: vec![Node {
+                key: 0,
+                tokens: 0,
+                parent: ROOT,
+                children: BTreeMap::new(),
+                refs: 1, // the root is never evictable
+                last_access: SimTime::ZERO,
+                alive: true,
+            }],
+            free: Vec::new(),
+            evictable: std::collections::BTreeSet::new(),
+        }
+    }
+
+    #[cfg(test)]
+    #[allow(dead_code)] // used by some, not all, test configurations
+    pub fn node(&self, id: NodeId) -> &Node {
+        debug_assert!(self.nodes[id].alive, "dead node access");
+        &self.nodes[id]
+    }
+
+    fn is_evictable(&self, id: NodeId) -> bool {
+        let n = &self.nodes[id];
+        id != ROOT && n.alive && n.refs == 0 && n.children.is_empty()
+    }
+
+    /// Re-derives the node's membership in the evictable index after a
+    /// state change; `old_access` is its access time before the change.
+    fn reindex(&mut self, id: NodeId, old_access: SimTime) {
+        self.evictable.remove(&(old_access, id));
+        self.evictable.remove(&(self.nodes[id].last_access, id));
+        if self.is_evictable(id) {
+            self.evictable.insert((self.nodes[id].last_access, id));
+        }
+    }
+
+    /// Increments a node's reference count (pins it against eviction).
+    pub fn inc_ref(&mut self, id: NodeId, now: SimTime) {
+        let old = self.nodes[id].last_access;
+        self.nodes[id].refs += 1;
+        self.nodes[id].last_access = now;
+        self.reindex(id, old);
+    }
+
+    /// Decrements a node's reference count.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when the node is not referenced.
+    pub fn dec_ref(&mut self, id: NodeId) {
+        debug_assert!(self.nodes[id].refs > 0, "unlock of unlocked node");
+        self.nodes[id].refs = self.nodes[id].refs.saturating_sub(1);
+        let old = self.nodes[id].last_access;
+        self.reindex(id, old);
+    }
+
+    /// Walks the longest existing path matching `blocks`; returns
+    /// `(path, matched_tokens)`. Does not touch access times.
+    pub fn walk(&self, blocks: &[Block]) -> (Vec<NodeId>, u64) {
+        let mut cur = ROOT;
+        let mut path = Vec::new();
+        let mut tokens = 0u64;
+        for b in blocks {
+            match self.nodes[cur].children.get(&b.key) {
+                Some(&child) if self.nodes[child].tokens == b.tokens => {
+                    path.push(child);
+                    tokens += b.tokens as u64;
+                    cur = child;
+                }
+                _ => break,
+            }
+        }
+        (path, tokens)
+    }
+
+    /// Inserts missing nodes along `blocks`, returning the full path and
+    /// the number of **new** tokens added.
+    pub fn insert_path(&mut self, blocks: &[Block], now: SimTime) -> (Vec<NodeId>, u64) {
+        let mut cur = ROOT;
+        let mut path = Vec::with_capacity(blocks.len());
+        let mut new_tokens = 0u64;
+        for b in blocks {
+            let existing = self.nodes[cur].children.get(&b.key).copied();
+            let next = match existing {
+                Some(child) if self.nodes[child].tokens == b.tokens => child,
+                _ => {
+                    let id = self.alloc(Node {
+                        key: b.key,
+                        tokens: b.tokens,
+                        parent: cur,
+                        children: BTreeMap::new(),
+                        refs: 0,
+                        last_access: now,
+                        alive: true,
+                    });
+                    self.nodes[cur].children.insert(b.key, id);
+                    // `cur` just gained a child: it is no longer a leaf.
+                    let cur_access = self.nodes[cur].last_access;
+                    self.reindex(cur, cur_access);
+                    new_tokens += b.tokens as u64;
+                    id
+                }
+            };
+            let old = self.nodes[next].last_access;
+            self.nodes[next].last_access = now;
+            self.reindex(next, old);
+            path.push(next);
+            cur = next;
+        }
+        (path, new_tokens)
+    }
+
+    fn alloc(&mut self, node: Node) -> NodeId {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id] = node;
+            id
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    /// Removes an unreferenced leaf, returning its token count.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the node is referenced, has children, or
+    /// is the root.
+    pub fn remove_leaf(&mut self, id: NodeId) -> u32 {
+        debug_assert_ne!(id, ROOT);
+        debug_assert_eq!(self.nodes[id].refs, 0, "evicting a locked node");
+        debug_assert!(self.nodes[id].children.is_empty(), "evicting an inner node");
+        let parent = self.nodes[id].parent;
+        let key = self.nodes[id].key;
+        self.evictable.remove(&(self.nodes[id].last_access, id));
+        self.nodes[parent].children.remove(&key);
+        self.nodes[id].alive = false;
+        self.free.push(id);
+        if parent != ROOT {
+            // The parent may have just become an evictable leaf.
+            let old = self.nodes[parent].last_access;
+            self.reindex(parent, old);
+        }
+        self.nodes[id].tokens
+    }
+
+    /// The least-recently-used evictable leaf, if any (O(log n)).
+    pub fn lru_evictable(&self) -> Option<NodeId> {
+        self.evictable.iter().next().map(|&(_, id)| id)
+    }
+
+    /// All evictable leaves (alive, zero refs, no children), LRU-first.
+    #[cfg(test)]
+    pub fn evictable_leaves(&self) -> Vec<NodeId> {
+        self.evictable.iter().map(|&(_, id)| id).collect()
+    }
+
+    /// Total tokens stored in live non-root nodes.
+    pub fn total_tokens(&self) -> u64 {
+        self.nodes
+            .iter()
+            .skip(1)
+            .filter(|n| n.alive)
+            .map(|n| n.tokens as u64)
+            .sum()
+    }
+
+    /// Number of live non-root nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.iter().skip(1).filter(|n| n.alive).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_prefix_property() {
+        let a = Block::sequence(9, 640, 64);
+        let b = Block::sequence(9, 1280, 64);
+        assert_eq!(&b[..10], &a[..]);
+        assert_eq!(Block::total_tokens(&a), 640);
+    }
+
+    #[test]
+    fn different_streams_do_not_collide() {
+        let a = Block::sequence(1, 64, 64);
+        let b = Block::sequence(2, 64, 64);
+        assert_ne!(a[0].key, b[0].key);
+    }
+
+    #[test]
+    fn walk_and_insert_roundtrip() {
+        let mut t = RadixTree::new();
+        let blocks = Block::sequence(3, 300, 64);
+        let (path, added) = t.insert_path(&blocks, SimTime::ZERO);
+        assert_eq!(added, 300);
+        assert_eq!(path.len(), 5);
+        let (walked, tokens) = t.walk(&blocks);
+        assert_eq!(walked, path);
+        assert_eq!(tokens, 300);
+        // Re-insert adds nothing.
+        let (_, added2) = t.insert_path(&blocks, SimTime::ZERO);
+        assert_eq!(added2, 0);
+        assert_eq!(t.total_tokens(), 300);
+    }
+
+    #[test]
+    fn partial_match_stops_at_divergence() {
+        let mut t = RadixTree::new();
+        t.insert_path(&Block::sequence(3, 128, 64), SimTime::ZERO);
+        let longer = Block::sequence(3, 256, 64);
+        let (path, tokens) = t.walk(&longer);
+        assert_eq!(tokens, 128);
+        assert_eq!(path.len(), 2);
+    }
+
+    #[test]
+    fn remove_leaf_frees_tokens() {
+        let mut t = RadixTree::new();
+        let blocks = Block::sequence(3, 128, 64);
+        let (path, _) = t.insert_path(&blocks, SimTime::ZERO);
+        let leaf = *path.last().unwrap();
+        assert_eq!(t.evictable_leaves(), vec![leaf]);
+        assert_eq!(t.remove_leaf(leaf), 64);
+        assert_eq!(t.total_tokens(), 64);
+        // Parent becomes a leaf.
+        assert_eq!(t.evictable_leaves(), vec![path[0]]);
+    }
+
+    #[test]
+    fn slab_reuses_freed_slots() {
+        let mut t = RadixTree::new();
+        let (p, _) = t.insert_path(&Block::sequence(1, 64, 64), SimTime::ZERO);
+        t.remove_leaf(p[0]);
+        let before = t.len();
+        t.insert_path(&Block::sequence(2, 64, 64), SimTime::ZERO);
+        assert_eq!(t.len(), before + 1);
+    }
+}

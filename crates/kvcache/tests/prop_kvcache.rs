@@ -1,0 +1,138 @@
+//! Property-based tests: the KV pool maintains its invariants under
+//! arbitrary operation sequences.
+
+use kvcache::{Block, KvPool, MatchOutcome};
+use proptest::prelude::*;
+use simcore::SimTime;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { stream: u64, tokens: u64 },
+    Match { stream: u64, tokens: u64 },
+    UnlockOldest,
+    AllocPrivate { tokens: u64 },
+    FreePrivate,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..20, 1u64..5_000).prop_map(|(stream, tokens)| Op::Insert { stream, tokens }),
+        (0u64..20, 1u64..5_000).prop_map(|(stream, tokens)| Op::Match { stream, tokens }),
+        Just(Op::UnlockOldest),
+        (1u64..3_000).prop_map(|tokens| Op::AllocPrivate { tokens }),
+        Just(Op::FreePrivate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under any operation sequence: usage never exceeds capacity unless
+    /// forced by locks; the tree's accounting matches the pool counters;
+    /// locked prefixes survive eviction pressure.
+    #[test]
+    fn pool_invariants_hold(
+        capacity in 2_000u64..50_000,
+        ops in prop::collection::vec(op_strategy(), 1..120),
+    ) {
+        let mut pool = KvPool::new(capacity, 64);
+        let mut clock = 0u64;
+        let mut locks: Vec<(MatchOutcome, u64, u64)> = Vec::new(); // (lock, stream, tokens)
+        let mut privates: Vec<u64> = Vec::new();
+        for op in ops {
+            clock += 1;
+            let now = SimTime::from_nanos(clock);
+            match op {
+                Op::Insert { stream, tokens } => {
+                    let blocks = Block::sequence(stream, tokens, 64);
+                    let ok = pool.insert(&blocks, now);
+                    if ok {
+                        // Inserted content is immediately matchable.
+                        prop_assert_eq!(pool.peek_prefix(&blocks), tokens);
+                    }
+                }
+                Op::Match { stream, tokens } => {
+                    let blocks = Block::sequence(stream, tokens, 64);
+                    let m = pool.match_prefix(&blocks, now);
+                    prop_assert!(m.matched_tokens <= tokens);
+                    locks.push((m, stream, tokens));
+                }
+                Op::UnlockOldest => {
+                    if !locks.is_empty() {
+                        let (m, _, _) = locks.remove(0);
+                        pool.unlock(&m);
+                    }
+                }
+                Op::AllocPrivate { tokens } => {
+                    if pool.try_alloc_private(tokens, now) {
+                        privates.push(tokens);
+                    }
+                }
+                Op::FreePrivate => {
+                    if let Some(t) = privates.pop() {
+                        pool.free_private(t);
+                    }
+                }
+            }
+            pool.check_invariants();
+            // Locked prefixes must still be resident.
+            for (m, stream, _tokens) in &locks {
+                if m.matched_tokens > 0 {
+                    let blocks = Block::sequence(*stream, m.matched_tokens, 64);
+                    prop_assert!(
+                        pool.peek_prefix(&blocks) >= m.matched_tokens,
+                        "a locked prefix was evicted"
+                    );
+                }
+            }
+            prop_assert_eq!(
+                pool.private_tokens(),
+                privates.iter().sum::<u64>()
+            );
+        }
+    }
+
+    /// Hit statistics are consistent: hits never exceed lookups' tokens.
+    #[test]
+    fn stats_are_consistent(
+        ops in prop::collection::vec((0u64..8, 64u64..2_000), 1..60),
+    ) {
+        let mut pool = KvPool::new(1 << 20, 64);
+        let mut clock = 0u64;
+        for (stream, tokens) in ops {
+            clock += 1;
+            let now = SimTime::from_nanos(clock);
+            let blocks = Block::sequence(stream, tokens, 64);
+            let m = pool.match_prefix(&blocks, now);
+            pool.unlock(&m);
+            pool.insert(&blocks, now);
+            let s = pool.stats();
+            prop_assert!(s.hit_tokens <= s.lookup_tokens);
+            prop_assert!((0.0..=1.0).contains(&s.hit_rate()));
+        }
+    }
+
+    /// Block sequences preserve the prefix property for any lengths.
+    #[test]
+    fn block_prefix_property(stream in any::<u64>(), a in 1u64..10_000, b in 1u64..10_000) {
+        let (short, long) = (a.min(b), a.max(b));
+        let sa = Block::sequence(stream, short, 64);
+        let sb = Block::sequence(stream, long, 64);
+        let full_blocks = (short / 64) as usize;
+        prop_assert_eq!(&sa[..full_blocks], &sb[..full_blocks]);
+        prop_assert_eq!(Block::total_tokens(&sa), short);
+        prop_assert_eq!(Block::total_tokens(&sb), long);
+    }
+
+    /// Repeated insert of the same content is idempotent in token
+    /// accounting.
+    #[test]
+    fn insert_is_idempotent(stream in any::<u64>(), tokens in 1u64..5_000) {
+        let mut pool = KvPool::new(1 << 20, 64);
+        let blocks = Block::sequence(stream, tokens, 64);
+        prop_assert!(pool.insert(&blocks, SimTime::ZERO));
+        let used = pool.used_tokens();
+        prop_assert!(pool.insert(&blocks, SimTime::from_nanos(1)));
+        prop_assert_eq!(pool.used_tokens(), used);
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! LLM architecture specifications and analytical cost models.
+//!
+//! Real model weights are unnecessary for serving-latency research: a
+//! phase's duration is determined by the FLOPs it executes and the bytes
+//! it moves, both of which follow from the architecture (Table 2 of the
+//! paper gives exactly this analysis). This crate turns
+//! (architecture, batch composition, parallelism) into
+//! [`gpusim::WorkItem`]s:
+//!
+//! * **Prefill** (with prefix caching): per layer,
+//!   `O(n·d² + L·n·d)` attention FLOPs and `O(n·d²)` FFN FLOPs for `n` new
+//!   tokens on top of `r = L − n` reused tokens, plus reading the reused
+//!   KV cache and writing the new one.
+//! * **Decode**: per iteration, `O(d² + (r+1)·d)` FLOPs per sequence and —
+//!   dominating — a full read of the layer weights plus the sequence's KV
+//!   cache, which is what makes decode memory-bound.
+//! * **Tensor parallelism** divides FLOPs/bytes per GPU and adds two
+//!   ring all-reduces per layer over NVLink (folded into fixed time).
+//! * **MoE** (Qwen3-235B-A22B): all experts resident in memory, `top_k`
+//!   active per token; decode touches only the experts its batch routes
+//!   to, prefill effectively touches all of them.
+//!
+//! # Examples
+//!
+//! ```
+//! use modelspec::{ModelSpec, Parallelism, SeqState};
+//!
+//! let model = ModelSpec::llama70b();
+//! let par = Parallelism::tp(8, 600.0);
+//! let batch = [SeqState::new(2048, 0)];
+//! let layer = model.prefill_layer_work(&batch, &par);
+//! let full = model.prefill_full_work(&batch, &par);
+//! assert!(full.flops > layer.flops * 79.0);
+//! ```
+
+pub mod cost;
+pub mod spec;
+
+pub use cost::{Parallelism, SeqState};
+pub use spec::{ModelSpec, MoeSpec};

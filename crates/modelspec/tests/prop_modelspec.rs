@@ -1,0 +1,114 @@
+//! Property-based tests: cost-model monotonicity and scaling laws
+//! (Table 2 of the paper, as invariants).
+
+use modelspec::{ModelSpec, Parallelism, SeqState};
+use proptest::prelude::*;
+
+fn models() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec::llama8b(),
+        ModelSpec::llama70b(),
+        ModelSpec::qwen235b(),
+        ModelSpec::codellama34b(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Prefill cost is strictly monotone in new tokens and non-decreasing
+    /// in reused tokens, for every model.
+    #[test]
+    fn prefill_monotone(
+        model_idx in 0usize..4,
+        n in 1u64..60_000,
+        r in 0u64..60_000,
+        dn in 1u64..5_000,
+        dr in 1u64..5_000,
+    ) {
+        let model = &models()[model_idx];
+        let par = Parallelism::tp(8, 600.0);
+        let base = model.prefill_layer_work(&[SeqState::new(n, r)], &par);
+        let more_new = model.prefill_layer_work(&[SeqState::new(n + dn, r)], &par);
+        let more_reused = model.prefill_layer_work(&[SeqState::new(n, r + dr)], &par);
+        prop_assert!(more_new.flops > base.flops);
+        prop_assert!(more_new.bytes > base.bytes);
+        prop_assert!(more_reused.flops > base.flops);
+        prop_assert!(more_reused.bytes > base.bytes);
+    }
+
+    /// Decode cost is monotone in batch size and total context.
+    #[test]
+    fn decode_monotone(
+        model_idx in 0usize..4,
+        bs in 1usize..256,
+        ctx in 1u64..100_000,
+    ) {
+        let model = &models()[model_idx];
+        let par = Parallelism::tp(8, 600.0);
+        let base = model.decode_iter_work(&vec![ctx; bs], &par);
+        let bigger_batch = model.decode_iter_work(&vec![ctx; bs + 1], &par);
+        let longer_ctx = model.decode_iter_work(&vec![ctx + 1000; bs], &par);
+        prop_assert!(bigger_batch.flops > base.flops);
+        prop_assert!(bigger_batch.bytes >= base.bytes);
+        prop_assert!(longer_ctx.bytes > base.bytes);
+    }
+
+    /// Tensor parallelism divides compute exactly: per-GPU FLOPs × degree
+    /// is invariant.
+    #[test]
+    fn tp_conserves_flops(
+        model_idx in 0usize..4,
+        n in 64u64..20_000,
+        tp in 1u32..9,
+    ) {
+        let model = &models()[model_idx];
+        let batch = [SeqState::new(n, 0)];
+        let single = model.prefill_full_work(&batch, &Parallelism::tp(1, 600.0));
+        let sharded = model.prefill_full_work(&batch, &Parallelism::tp(tp, 600.0));
+        prop_assert!((single.flops - sharded.flops * tp as f64).abs() / single.flops < 1e-9);
+    }
+
+    /// A batch costs the same FLOPs as the sum of its sequences
+    /// (additivity of the layer cost).
+    #[test]
+    fn batch_cost_is_additive(
+        a_new in 1u64..10_000, a_r in 0u64..10_000,
+        b_new in 1u64..10_000, b_r in 0u64..10_000,
+    ) {
+        let model = ModelSpec::llama8b();
+        let par = Parallelism::tp(8, 600.0);
+        let sa = SeqState::new(a_new, a_r);
+        let sb = SeqState::new(b_new, b_r);
+        let together = model.prefill_layer_work(&[sa, sb], &par);
+        let separate = model
+            .prefill_layer_work(&[sa], &par)
+            .plus(&model.prefill_layer_work(&[sb], &par));
+        prop_assert!((together.flops - separate.flops).abs() / together.flops < 1e-9);
+        // Bytes differ by the double-counted weight read; FLOPs must not.
+    }
+
+    /// KV accounting: per-token bytes × tokens equals the batch KV write
+    /// traffic in the layer cost (scaled by TP degree).
+    #[test]
+    fn kv_write_accounting(model_idx in 0usize..4, n in 64u64..50_000) {
+        let model = &models()[model_idx];
+        let par = Parallelism::tp(8, 600.0);
+        let with = model.prefill_layer_work(&[SeqState::new(n, 0)], &par);
+        let without = model.prefill_layer_work(&[SeqState::new(n, n)], &par);
+        // Adding `n` reused tokens adds exactly n KV-layer reads.
+        let expected = n as f64 * model.kv_bytes_per_token_layer() / 8.0;
+        prop_assert!(((without.bytes - with.bytes) - expected).abs() < 1.0);
+    }
+
+    /// Sequence parallelism never reduces total FLOPs and adds comm time.
+    #[test]
+    fn sp_adds_overhead(n in 1024u64..50_000) {
+        let model = ModelSpec::llama70b();
+        let tp8 = model.prefill_layer_work(&[SeqState::new(n, 0)], &Parallelism::tp(8, 600.0));
+        let esp = model
+            .prefill_layer_work(&[SeqState::new(n, 0)], &Parallelism::tp_sp(4, 2, 600.0));
+        prop_assert!((tp8.flops - esp.flops).abs() / tp8.flops < 1e-9);
+        prop_assert!(esp.fixed_secs >= tp8.fixed_secs);
+    }
+}

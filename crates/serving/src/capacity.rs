@@ -1,0 +1,102 @@
+//! KV-cache pool sizing from hardware and model footprints.
+
+use gpusim::ClusterSpec;
+use modelspec::ModelSpec;
+
+/// Fraction of GPU memory reserved for activations, workspace and
+/// fragmentation slack.
+const ACTIVATION_RESERVE_FRAC: f64 = 0.08;
+
+/// Computes the KV-pool capacity, in tokens, of a serving instance that
+/// owns `num_gpus` GPUs of `cluster` and shards the model `tp`-ways.
+///
+/// `graph_memory_mib` accounts for captured CUDA graphs (MuxWise's §4.5
+/// overhead: multiple partition configurations multiply the captures).
+///
+/// Returns 0 when the model does not fit at all.
+///
+/// # Panics
+///
+/// Panics if `tp` is zero or `num_gpus` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use serving::kv_pool_capacity_tokens;
+/// use gpusim::ClusterSpec;
+/// use modelspec::ModelSpec;
+///
+/// let cluster = ClusterSpec::dgx_a100();
+/// let model = ModelSpec::llama70b();
+/// // A shared 8-GPU pool is roughly twice the per-instance pool of a
+/// // 1:1 disaggregated split (which also pays doubled weights).
+/// let shared = kv_pool_capacity_tokens(&cluster, &model, 8, 8, 0.0);
+/// let split = kv_pool_capacity_tokens(&cluster, &model, 4, 4, 0.0);
+/// assert!(shared > 2 * split);
+/// ```
+pub fn kv_pool_capacity_tokens(
+    cluster: &ClusterSpec,
+    model: &ModelSpec,
+    num_gpus: u32,
+    tp: u32,
+    graph_memory_mib: f64,
+) -> u64 {
+    assert!(tp > 0 && num_gpus > 0);
+    let gib = 1024.0 * 1024.0 * 1024.0;
+    let per_gpu_hbm = cluster.gpu.hbm_capacity_gib * gib;
+    let weights_per_gpu = model.weight_bytes_per_gpu(tp);
+    let reserve = per_gpu_hbm * ACTIVATION_RESERVE_FRAC;
+    let graphs = graph_memory_mib * 1024.0 * 1024.0;
+    let free_per_gpu = per_gpu_hbm - weights_per_gpu - reserve - graphs;
+    if free_per_gpu <= 0.0 {
+        return 0;
+    }
+    let total_free = free_per_gpu * num_gpus as f64;
+    (total_free / model.kv_bytes_per_token()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llama70b_shared_pool_is_hundreds_of_gb() {
+        let cap =
+            kv_pool_capacity_tokens(&ClusterSpec::dgx_a100(), &ModelSpec::llama70b(), 8, 8, 0.0);
+        let gb = cap as f64 * ModelSpec::llama70b().kv_bytes_per_token() / 1e9;
+        assert!(
+            (300.0..520.0).contains(&gb),
+            "pool {gb} GB out of expected range"
+        );
+    }
+
+    #[test]
+    fn disaggregation_shrinks_the_pool() {
+        let cluster = ClusterSpec::dgx_a100();
+        let model = ModelSpec::llama70b();
+        let shared = kv_pool_capacity_tokens(&cluster, &model, 8, 8, 0.0);
+        let per_instance = kv_pool_capacity_tokens(&cluster, &model, 4, 4, 0.0);
+        // Each instance must hold the full weights on half the GPUs, so
+        // two instances together cache strictly less than the shared pool.
+        assert!(2 * per_instance < shared);
+    }
+
+    #[test]
+    fn graph_memory_reduces_capacity() {
+        let cluster = ClusterSpec::dgx_a100();
+        let model = ModelSpec::llama8b();
+        let without = kv_pool_capacity_tokens(&cluster, &model, 8, 8, 0.0);
+        let with = kv_pool_capacity_tokens(&cluster, &model, 8, 8, 6.2 / 100.0 * 80.0 * 1024.0);
+        assert!(with < without);
+        let frac = 1.0 - with as f64 / without as f64;
+        assert!(frac > 0.04 && frac < 0.12, "graph overhead frac {frac}");
+    }
+
+    #[test]
+    fn oversized_model_yields_zero() {
+        // Qwen-235B on a 4-GPU A100 slice cannot even hold weights.
+        let cap =
+            kv_pool_capacity_tokens(&ClusterSpec::dgx_a100(), &ModelSpec::qwen235b(), 4, 4, 0.0);
+        assert_eq!(cap, 0);
+    }
+}

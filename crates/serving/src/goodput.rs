@@ -1,0 +1,149 @@
+//! Goodput search: the highest request rate served under SLO (Fig. 15).
+
+use crate::metrics::Report;
+
+/// One point of an SLO-attainment sweep.
+#[derive(Debug, Clone)]
+pub struct GoodputPoint {
+    /// Offered request rate (requests/second).
+    pub rate: f64,
+    /// P99 TBT in seconds.
+    pub p99_tbt: f64,
+    /// P99 TTFT in seconds.
+    pub p99_ttft: f64,
+    /// Fraction of TBT samples within SLO.
+    pub attainment: f64,
+    /// Whether the system kept up with the load.
+    pub stable: bool,
+    /// Output-token throughput.
+    pub token_throughput: f64,
+    /// GPU utilization.
+    pub utilization: f64,
+}
+
+impl GoodputPoint {
+    /// Builds a point from a run report.
+    pub fn from_report(rate: f64, report: &mut Report) -> GoodputPoint {
+        GoodputPoint {
+            rate,
+            p99_tbt: report.tbt.p99(),
+            p99_ttft: report.ttft.p99(),
+            attainment: report.tbt_attainment(),
+            stable: report.is_stable(),
+            token_throughput: report.token_throughput(),
+            utilization: report.utilization,
+        }
+    }
+
+    /// The paper's pass criterion: stable and P99 TBT within target.
+    pub fn passes(&self, tbt_slo_secs: f64) -> bool {
+        self.stable && self.p99_tbt <= tbt_slo_secs * 1.0001
+    }
+}
+
+/// Result of a rate sweep.
+#[derive(Debug, Clone)]
+pub struct GoodputResult {
+    /// All evaluated points, in rate order.
+    pub points: Vec<GoodputPoint>,
+    /// Highest passing rate (requests/second); 0 if none passed.
+    pub goodput_rate: f64,
+    /// Token throughput at the goodput rate.
+    pub goodput_tokens_per_sec: f64,
+    /// Utilization at the goodput rate.
+    pub goodput_utilization: f64,
+}
+
+/// Sweeps `rates` (ascending), running `run_at` for each, and stopping
+/// after the first failing rate beyond a passing one (the paper stops
+/// "once the serving system becomes unstable or fails to meet the TBT
+/// SLO").
+///
+/// # Panics
+///
+/// Panics if `rates` is empty or not strictly increasing.
+pub fn find_goodput(
+    rates: &[f64],
+    tbt_slo_secs: f64,
+    mut run_at: impl FnMut(f64) -> Report,
+) -> GoodputResult {
+    assert!(!rates.is_empty(), "empty rate sweep");
+    assert!(
+        rates.windows(2).all(|w| w[0] < w[1]),
+        "rates must be strictly increasing"
+    );
+    let mut points = Vec::new();
+    let mut best: Option<&GoodputPoint> = None;
+    for &rate in rates {
+        let mut report = run_at(rate);
+        let point = GoodputPoint::from_report(rate, &mut report);
+        let pass = point.passes(tbt_slo_secs);
+        points.push(point);
+        if !pass && points.iter().any(|p| p.passes(tbt_slo_secs)) {
+            break;
+        }
+    }
+    for p in &points {
+        if p.passes(tbt_slo_secs) {
+            best = Some(p);
+        }
+    }
+    let (rate, toks, util) = best
+        .map(|p| (p.rate, p.token_throughput, p.utilization))
+        .unwrap_or((0.0, 0.0, 0.0));
+    GoodputResult {
+        goodput_rate: rate,
+        goodput_tokens_per_sec: toks,
+        goodput_utilization: util,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRecorder;
+    use crate::request::SloSpec;
+    use simcore::{SimDuration, SimTime};
+
+    /// Fabricates a report whose P99 TBT grows with rate and that goes
+    /// unstable past a knee.
+    fn fake_report(rate: f64) -> Report {
+        let mut m = MetricsRecorder::new(1);
+        let tbt = 0.02 + 0.01 * rate;
+        m.emit_tokens(0, SimTime::from_secs(1.0), 1);
+        m.emit_tokens(0, SimTime::from_secs(1.0 + tbt), 1);
+        if rate <= 8.0 {
+            m.finish(0, SimTime::from_secs(2.0));
+        }
+        m.report(
+            &[SimTime::ZERO],
+            SimDuration::from_secs(10.0),
+            &SloSpec::llama70b(),
+        )
+    }
+
+    #[test]
+    fn finds_knee_rate() {
+        let rates = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0];
+        let res = find_goodput(&rates, 0.100, fake_report);
+        // TBT crosses 100ms at rate 8 (0.02+0.08=0.10 ok) and fails at
+        // rate 10 (0.12) — and rate 10 is also unstable.
+        assert_eq!(res.goodput_rate, 8.0);
+        // Sweep stops after first failure beyond a pass.
+        assert_eq!(res.points.len(), 5);
+    }
+
+    #[test]
+    fn no_passing_rate_yields_zero() {
+        let res = find_goodput(&[5.0, 10.0], 0.001, fake_report);
+        assert_eq!(res.goodput_rate, 0.0);
+        assert_eq!(res.goodput_tokens_per_sec, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_rates() {
+        find_goodput(&[2.0, 1.0], 0.1, fake_report);
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! The serving framework: request lifecycle, event-driven driver, SLO
+//! metrics, goodput search.
+//!
+//! Every serving system in the reproduction — MuxWise and the four
+//! baselines — is a [`Scheduler`]: a policy object that reacts to request
+//! arrivals, kernel completions, KV transfers and timers by submitting
+//! work to the shared [`gpusim::GpuSim`]. The [`Driver`] owns the
+//! simulator, the event queue and the metrics recorder, and runs the
+//! simulation to completion.
+//!
+//! Metrics follow the paper (§4.1):
+//!
+//! * **TTFT** — arrival to first output token (prefill SLO).
+//! * **TBT** — gap between consecutive output tokens of one request
+//!   (decode SLO; stricter than the averaged TPOT).
+//! * **TPOT** — mean time per output token after the first.
+//! * **E2E** — arrival to last token.
+//! * **SLO attainment / goodput** — fraction of TBT samples within the
+//!   target; goodput is the highest request rate whose P99 TBT meets the
+//!   target while the system remains stable ([`goodput::find_goodput`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use serving::SloSpec;
+//! use simcore::SimDuration;
+//!
+//! let slo = SloSpec::new(
+//!     SimDuration::from_millis(500.0),
+//!     SimDuration::from_millis(100.0),
+//! );
+//! assert_eq!(slo.tbt.as_millis(), 100.0);
+//! ```
+
+pub mod capacity;
+pub mod driver;
+pub mod goodput;
+pub mod metrics;
+pub mod request;
+
+pub use capacity::kv_pool_capacity_tokens;
+pub use driver::{Driver, Scheduler, ServeCtx};
+pub use goodput::{find_goodput, GoodputPoint, GoodputResult};
+pub use metrics::{MetricsRecorder, Report};
+pub use request::{ReqId, SloSpec};

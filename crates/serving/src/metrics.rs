@@ -1,0 +1,304 @@
+//! Latency metrics and end-of-run reports.
+
+use simcore::stats::Summary;
+use simcore::{SimDuration, SimTime};
+
+use crate::request::{ReqId, ReqRuntime, SloSpec};
+
+/// Records token-emission timestamps per request during a run.
+#[derive(Debug)]
+pub struct MetricsRecorder {
+    pub(crate) runtimes: Vec<ReqRuntime>,
+    total_tokens: u64,
+}
+
+impl MetricsRecorder {
+    /// Creates a recorder for `n` requests.
+    pub fn new(n: usize) -> MetricsRecorder {
+        MetricsRecorder {
+            runtimes: (0..n).map(|_| ReqRuntime::new()).collect(),
+            total_tokens: 0,
+        }
+    }
+
+    /// Records the emission of `count` output tokens for `req` at `now`
+    /// (decode iterations emit one per request; the prefill's completion
+    /// emits the first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `req` is out of range.
+    pub fn emit_tokens(&mut self, req: ReqId, now: SimTime, count: u64) {
+        let r = &mut self.runtimes[req];
+        for _ in 0..count {
+            match r.last_token_at {
+                None => r.first_token_at = Some(now),
+                Some(prev) => {
+                    // Multiple tokens at one instant (e.g. a final flush)
+                    // contribute zero-gap TBT samples only for the first.
+                    let gap = (now - prev).as_secs();
+                    r.tbt_samples.push(gap);
+                }
+            }
+            r.last_token_at = Some(now);
+            r.tokens_emitted += 1;
+            self.total_tokens += 1;
+        }
+    }
+
+    /// Marks a request finished.
+    pub fn finish(&mut self, req: ReqId, now: SimTime) {
+        self.runtimes[req].finished_at = Some(now);
+    }
+
+    /// Whether the request has finished.
+    pub fn is_finished(&self, req: ReqId) -> bool {
+        self.runtimes[req].finished_at.is_some()
+    }
+
+    /// Tokens emitted so far for one request.
+    pub fn tokens_emitted(&self, req: ReqId) -> u64 {
+        self.runtimes[req].tokens_emitted
+    }
+
+    /// Total output tokens across all requests.
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// Builds the final report. `arrivals` gives each request's arrival
+    /// time; `makespan` the simulated span used for throughput.
+    pub fn report(&self, arrivals: &[SimTime], makespan: SimDuration, slo: &SloSpec) -> Report {
+        assert_eq!(arrivals.len(), self.runtimes.len());
+        let mut ttft = Summary::new();
+        let mut tbt = Summary::new();
+        let mut tpot = Summary::new();
+        let mut e2e = Summary::new();
+        let mut ttft_per_token = Summary::new();
+        let mut finished = 0usize;
+        for (r, &arr) in self.runtimes.iter().zip(arrivals) {
+            if let Some(first) = r.first_token_at {
+                let t = (first - arr).as_secs();
+                ttft.record(t);
+                // TTFT normalized by input length is only meaningful with
+                // the input length, which the caller folds in; here we
+                // record raw TTFT and let callers divide (Fig. 20 uses
+                // `ttft_per_token` filled by `report_with_inputs`).
+                ttft_per_token.record(t);
+            }
+            for &s in &r.tbt_samples {
+                tbt.record(s);
+            }
+            if let (Some(first), Some(last)) = (r.first_token_at, r.last_token_at) {
+                if r.tokens_emitted > 1 {
+                    tpot.record((last - first).as_secs() / (r.tokens_emitted - 1) as f64);
+                }
+            }
+            if let Some(done) = r.finished_at {
+                e2e.record((done - arr).as_secs());
+                finished += 1;
+            }
+        }
+        Report {
+            ttft,
+            tbt,
+            tpot,
+            e2e,
+            ttft_per_token,
+            finished,
+            total: self.runtimes.len(),
+            total_tokens: self.total_tokens,
+            makespan,
+            slo: *slo,
+            utilization: 0.0,
+            bubble_ratio: 0.0,
+            diverged: false,
+        }
+    }
+
+    /// Like [`MetricsRecorder::report`] but fills the TTFT-per-input-token
+    /// distribution used by the preemption study (Fig. 20).
+    pub fn report_with_inputs(
+        &self,
+        arrivals: &[SimTime],
+        input_tokens: &[u64],
+        makespan: SimDuration,
+        slo: &SloSpec,
+    ) -> Report {
+        let mut rep = self.report(arrivals, makespan, slo);
+        let mut per_token = Summary::new();
+        for ((r, &arr), &inp) in self.runtimes.iter().zip(arrivals).zip(input_tokens) {
+            if let Some(first) = r.first_token_at {
+                per_token.record((first - arr).as_secs() / inp.max(1) as f64);
+            }
+        }
+        rep.ttft_per_token = per_token;
+        rep
+    }
+}
+
+/// Aggregated latency/throughput results of one serving run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Time-to-first-token samples (seconds).
+    pub ttft: Summary,
+    /// Time-between-tokens samples (seconds).
+    pub tbt: Summary,
+    /// Time-per-output-token samples (seconds).
+    pub tpot: Summary,
+    /// End-to-end latency samples (seconds).
+    pub e2e: Summary,
+    /// TTFT divided by input length (seconds/token; Fig. 20).
+    pub ttft_per_token: Summary,
+    /// Requests that completed.
+    pub finished: usize,
+    /// Requests submitted.
+    pub total: usize,
+    /// Output tokens generated.
+    pub total_tokens: u64,
+    /// Simulated wall-clock span.
+    pub makespan: SimDuration,
+    /// The SLO the run was evaluated against.
+    pub slo: SloSpec,
+    /// Aggregated GPU utilization (filled by the driver from simulator
+    /// accounting).
+    pub utilization: f64,
+    /// Mean bubble ratio across compute streams.
+    pub bubble_ratio: f64,
+    /// Set by load harnesses when queueing delay diverged (e.g. P99 TTFT
+    /// comparable to the whole trace span): the offered load exceeded
+    /// capacity even if every request eventually completed.
+    pub diverged: bool,
+}
+
+impl Report {
+    /// Fraction of requests that finished.
+    pub fn completion_rate(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.finished as f64 / self.total as f64
+        }
+    }
+
+    /// A run is *stable* when it kept up with the offered load
+    /// (≥ 99 % completion and no queue divergence). Unstable baselines
+    /// are reported but excluded from speedup averages, as in §4.2.1.
+    pub fn is_stable(&self) -> bool {
+        self.completion_rate() >= 0.99 && !self.diverged
+    }
+
+    /// Fraction of TBT samples within the SLO target.
+    pub fn tbt_attainment(&self) -> f64 {
+        self.tbt.fraction_le(self.slo.tbt.as_secs())
+    }
+
+    /// True when the 99th-percentile TBT meets the target (the paper's
+    /// SLO-guarantee criterion).
+    pub fn meets_tbt_slo(&mut self) -> bool {
+        self.tbt.p99() <= self.slo.tbt.as_secs() * 1.0001
+    }
+
+    /// Output-token throughput over the makespan (tokens/second).
+    pub fn token_throughput(&self) -> f64 {
+        let secs = self.makespan.as_secs();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.total_tokens as f64 / secs
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn oneline(&mut self) -> String {
+        format!(
+            "p99TTFT={:.3}s p99TBT={:.1}ms attain={:.1}% tok/s={:.0} done={}/{} util={:.1}%",
+            self.ttft.p99(),
+            self.tbt.p99() * 1e3,
+            self.tbt_attainment() * 100.0,
+            self.token_throughput(),
+            self.finished,
+            self.total,
+            self.utilization * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slo() -> SloSpec {
+        SloSpec::llama70b()
+    }
+
+    #[test]
+    fn ttft_and_tbt_from_emissions() {
+        let mut m = MetricsRecorder::new(1);
+        let arr = [SimTime::from_secs(1.0)];
+        m.emit_tokens(0, SimTime::from_secs(1.5), 1); // TTFT 0.5
+        m.emit_tokens(0, SimTime::from_secs(1.58), 1); // TBT 0.08
+        m.emit_tokens(0, SimTime::from_secs(1.70), 1); // TBT 0.12
+        m.finish(0, SimTime::from_secs(1.70));
+        let mut rep = m.report(&arr, SimDuration::from_secs(1.0), &slo());
+        assert!((rep.ttft.mean() - 0.5).abs() < 1e-9);
+        assert_eq!(rep.tbt.len(), 2);
+        assert!((rep.tbt.max() - 0.12).abs() < 1e-9);
+        assert!((rep.tpot.mean() - 0.1).abs() < 1e-9);
+        assert!((rep.e2e.mean() - 0.7).abs() < 1e-9);
+        assert_eq!(rep.finished, 1);
+        assert!(rep.is_stable());
+        assert!(!rep.meets_tbt_slo()); // 120 ms > 100 ms target
+        assert_eq!(rep.tbt_attainment(), 0.5);
+    }
+
+    #[test]
+    fn throughput_counts_all_tokens() {
+        let mut m = MetricsRecorder::new(2);
+        m.emit_tokens(0, SimTime::from_secs(0.1), 1);
+        m.emit_tokens(1, SimTime::from_secs(0.2), 1);
+        m.emit_tokens(0, SimTime::from_secs(0.3), 1);
+        let rep = m.report(
+            &[SimTime::ZERO, SimTime::ZERO],
+            SimDuration::from_secs(3.0),
+            &slo(),
+        );
+        assert_eq!(rep.total_tokens, 3);
+        assert!((rep.token_throughput() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unfinished_requests_break_stability() {
+        let m = MetricsRecorder::new(2);
+        let rep = m.report(
+            &[SimTime::ZERO, SimTime::ZERO],
+            SimDuration::from_secs(1.0),
+            &slo(),
+        );
+        assert_eq!(rep.finished, 0);
+        assert!(!rep.is_stable());
+        assert_eq!(rep.completion_rate(), 0.0);
+    }
+
+    #[test]
+    fn ttft_per_token_normalizes_by_input() {
+        let mut m = MetricsRecorder::new(1);
+        m.emit_tokens(0, SimTime::from_secs(2.0), 1);
+        let rep = m.report_with_inputs(
+            &[SimTime::ZERO],
+            &[1000],
+            SimDuration::from_secs(2.0),
+            &slo(),
+        );
+        let mut per = rep.ttft_per_token.clone();
+        assert!((per.p50() - 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_emission_counts() {
+        let mut m = MetricsRecorder::new(1);
+        m.emit_tokens(0, SimTime::from_secs(0.5), 3);
+        assert_eq!(m.tokens_emitted(0), 3);
+        assert_eq!(m.total_tokens(), 3);
+    }
+}

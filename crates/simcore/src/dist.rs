@@ -1,0 +1,288 @@
+//! Bounded long-tail samplers for workload calibration.
+//!
+//! Table 1 of the paper characterizes each workload by the (min, mean, max)
+//! of its input/output/reused lengths. [`BoundedLogNormal`] produces
+//! positive, long-tailed samples matching a target (min, mean, max) triple:
+//! the underlying log-normal's σ is chosen so the distribution's mass fits
+//! the span, μ is then solved so the *truncated* mean matches the target,
+//! and samples outside the bounds are resampled (with a clamped fallback).
+
+use crate::rng::SimRng;
+
+/// A log-normal distribution truncated to `[min, max]` whose truncated mean
+/// matches a calibration target.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::{SimRng, dist::BoundedLogNormal};
+/// // ShareGPT input lengths: min 4, mean 226, max 1024.
+/// let d = BoundedLogNormal::from_min_mean_max(4.0, 226.0, 1024.0);
+/// let mut rng = SimRng::seed_from(1);
+/// let x = d.sample(&mut rng);
+/// assert!((4.0..=1024.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedLogNormal {
+    mu: f64,
+    sigma: f64,
+    min: f64,
+    max: f64,
+}
+
+impl BoundedLogNormal {
+    /// Calibrates the distribution to the given (min, mean, max).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min <= mean <= max`.
+    pub fn from_min_mean_max(min: f64, mean: f64, max: f64) -> BoundedLogNormal {
+        assert!(
+            min > 0.0 && min <= mean && mean <= max,
+            "invalid calibration: min={min} mean={mean} max={max}"
+        );
+        if (max - min).abs() < f64::EPSILON {
+            return BoundedLogNormal {
+                mu: mean.ln(),
+                sigma: 0.0,
+                min,
+                max,
+            };
+        }
+        // Heuristic: span of a log-normal is ~±3σ in log space, so pick σ
+        // from the log-range, capped to keep sampling efficient.
+        let sigma = ((max.ln() - min.ln()) / 6.0).clamp(0.05, 1.6);
+        // Solve mu by bisection so the truncated mean hits the target.
+        let (mut lo, mut hi) = (min.ln() - 4.0, max.ln() + 4.0);
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            let m = truncated_mean(mid, sigma, min, max);
+            if m < mean {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        BoundedLogNormal {
+            mu: 0.5 * (lo + hi),
+            sigma,
+            min,
+            max,
+        }
+    }
+
+    /// Draws one sample in `[min, max]`.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        if self.sigma == 0.0 {
+            return self.mu.exp().clamp(self.min, self.max);
+        }
+        for _ in 0..64 {
+            let x = (self.mu + self.sigma * rng.normal()).exp();
+            if (self.min..=self.max).contains(&x) {
+                return x;
+            }
+        }
+        // Pathological calibration: fall back to clamping.
+        (self.mu + self.sigma * rng.normal())
+            .exp()
+            .clamp(self.min, self.max)
+    }
+
+    /// Draws one sample rounded to a positive integer token count.
+    pub fn sample_tokens(&self, rng: &mut SimRng) -> u64 {
+        self.sample(rng).round().max(1.0) as u64
+    }
+
+    /// Lower bound of the support.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Upper bound of the support.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Analytical mean of the truncated distribution.
+    pub fn mean(&self) -> f64 {
+        if self.sigma == 0.0 {
+            self.mu.exp()
+        } else {
+            truncated_mean(self.mu, self.sigma, self.min, self.max)
+        }
+    }
+}
+
+/// Standard normal CDF via the complementary error function approximation
+/// (Abramowitz & Stegun 7.1.26; max abs error ~1.5e-7).
+fn phi(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Mean of LogNormal(mu, sigma) truncated to [a, b].
+fn truncated_mean(mu: f64, sigma: f64, a: f64, b: f64) -> f64 {
+    let alpha = (a.ln() - mu) / sigma;
+    let beta = (b.ln() - mu) / sigma;
+    let denom = phi(beta) - phi(alpha);
+    if denom < 1e-12 {
+        // Essentially all mass outside [a,b]; return nearest edge.
+        return if (mu - a.ln()).abs() < (mu - b.ln()).abs() {
+            a
+        } else {
+            b
+        };
+    }
+    let num = phi(beta - sigma) - phi(alpha - sigma);
+    (mu + 0.5 * sigma * sigma).exp() * num / denom
+}
+
+/// A discrete empirical distribution over `u64` values with weights.
+///
+/// Used for things like turn counts per session.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::{SimRng, dist::Discrete};
+/// let d = Discrete::new(vec![(1, 0.5), (2, 0.3), (8, 0.2)]);
+/// let mut rng = SimRng::seed_from(5);
+/// assert!([1, 2, 8].contains(&d.sample(&mut rng)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discrete {
+    values: Vec<u64>,
+    cumulative: Vec<f64>,
+}
+
+impl Discrete {
+    /// Builds from `(value, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty or the total weight is not positive.
+    pub fn new(pairs: Vec<(u64, f64)>) -> Discrete {
+        assert!(!pairs.is_empty(), "empty discrete distribution");
+        let total: f64 = pairs.iter().map(|(_, w)| w).sum();
+        assert!(total > 0.0, "non-positive total weight");
+        let mut values = Vec::with_capacity(pairs.len());
+        let mut cumulative = Vec::with_capacity(pairs.len());
+        let mut acc = 0.0;
+        for (v, w) in pairs {
+            acc += w / total;
+            values.push(v);
+            cumulative.push(acc);
+        }
+        Discrete { values, cumulative }
+    }
+
+    /// Draws one value.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.next_f64();
+        let idx = self
+            .cumulative
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.values.len() - 1);
+        self.values[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_calibration(min: f64, mean: f64, max: f64, tol_frac: f64) {
+        let d = BoundedLogNormal::from_min_mean_max(min, mean, max);
+        let mut rng = SimRng::seed_from(99);
+        let n = 200_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            assert!(
+                x >= min - 1e-9 && x <= max + 1e-9,
+                "sample {x} outside [{min},{max}]"
+            );
+            sum += x;
+        }
+        let emp = sum / n as f64;
+        assert!(
+            (emp - mean).abs() / mean < tol_frac,
+            "empirical mean {emp} vs target {mean} ({min}..{max})"
+        );
+    }
+
+    #[test]
+    fn calibrates_sharegpt_input() {
+        check_calibration(4.0, 226.0, 1024.0, 0.05);
+    }
+
+    #[test]
+    fn calibrates_loogle_input() {
+        check_calibration(3380.0, 30_000.0, 81_000.0, 0.05);
+    }
+
+    #[test]
+    fn calibrates_openthoughts_output() {
+        check_calibration(684.0, 8374.0, 32_000.0, 0.05);
+    }
+
+    #[test]
+    fn calibrates_conversation_input() {
+        check_calibration(891.0, 7538.0, 123_000.0, 0.07);
+    }
+
+    #[test]
+    fn degenerate_point_mass() {
+        let d = BoundedLogNormal::from_min_mean_max(10.0, 10.0, 10.0);
+        let mut rng = SimRng::seed_from(1);
+        assert_eq!(d.sample_tokens(&mut rng), 10);
+        assert!((d.mean() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid calibration")]
+    fn rejects_bad_order() {
+        BoundedLogNormal::from_min_mean_max(10.0, 5.0, 20.0);
+    }
+
+    #[test]
+    fn erf_sanity() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427).abs() < 1e-3);
+        assert!((phi(0.0) - 0.5).abs() < 1e-7);
+        assert!((phi(1.96) - 0.975).abs() < 1e-3);
+    }
+
+    #[test]
+    fn discrete_frequencies() {
+        let d = Discrete::new(vec![(1, 1.0), (2, 3.0)]);
+        let mut rng = SimRng::seed_from(44);
+        let mut twos = 0;
+        let n = 40_000;
+        for _ in 0..n {
+            if d.sample(&mut rng) == 2 {
+                twos += 1;
+            }
+        }
+        let frac = twos as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty discrete")]
+    fn discrete_rejects_empty() {
+        Discrete::new(vec![]);
+    }
+}

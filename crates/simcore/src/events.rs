@@ -1,0 +1,194 @@
+//! Deterministic timestamped event queue with lazy cancellation.
+//!
+//! Events pushed at the same timestamp pop in insertion (FIFO) order, so a
+//! simulation driven by this queue is fully deterministic. Cancellation is
+//! O(1): [`EventQueue::cancel`] marks a handle dead and the entry is
+//! discarded when it surfaces. This is exactly what the GPU simulator needs
+//! when processor-sharing rates change and previously predicted kernel
+//! completion times become stale.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Identifies a scheduled event so it can be cancelled before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventHandle(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse to get earliest-first with
+        // FIFO tie-breaking on the sequence number.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timestamped events.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let h = q.push(SimTime::from_secs(5.0), "cancel me");
+/// q.push(SimTime::from_secs(5.0), "keep me");
+/// q.cancel(h);
+/// let (_, ev, _) = q.pop().unwrap();
+/// assert_eq!(ev, "keep me");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`; returns a handle usable with
+    /// [`EventQueue::cancel`].
+    pub fn push(&mut self, time: SimTime, event: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+        EventHandle(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the handle
+    /// had not already fired or been cancelled. Cancelling an already-fired
+    /// handle is a no-op (the mark is dropped once the entry surfaces).
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.cancelled.insert(handle.0)
+    }
+
+    /// Removes and returns the earliest live event as
+    /// `(time, event, handle)`, or `None` if the queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E, EventHandle)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            return Some((entry.time, entry.event, EventHandle(entry.seq)));
+        }
+        None
+    }
+
+    /// The timestamp of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    /// Number of entries currently in the heap, including not-yet-purged
+    /// cancelled entries (an upper bound on live events).
+    pub fn len_upper_bound(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3.0), 3);
+        q.push(SimTime::from_secs(1.0), 1);
+        q.push(SimTime::from_secs(2.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e, _)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_tie_breaking() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1.0);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e, _)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_skips_entry() {
+        let mut q = EventQueue::new();
+        let h1 = q.push(SimTime::from_secs(1.0), "a");
+        q.push(SimTime::from_secs(2.0), "b");
+        assert!(q.cancel(h1));
+        assert!(!q.cancel(h1), "double cancel reports false");
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.push(SimTime::from_secs(1.0), ());
+        q.push(SimTime::from_secs(4.0), ());
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(4.0)));
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn empty_queue() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.pop().is_none());
+        assert!(q.peek_time().is_none());
+        assert!(q.is_empty());
+    }
+}

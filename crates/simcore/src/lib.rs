@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! Discrete-event simulation kernel for the MuxWise reproduction.
+//!
+//! This crate provides the building blocks every other simulation crate in
+//! the workspace is written against:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-nanosecond simulated time with
+//!   total ordering (safe to use as event-queue keys) and lossless
+//!   conversions to/from floating-point seconds for rate arithmetic.
+//! * [`EventQueue`] — a deterministic priority queue of timestamped events
+//!   with FIFO tie-breaking and O(1) lazy cancellation.
+//! * [`SimRng`] — a small, seedable, splittable PRNG so every experiment in
+//!   the paper reproduction is bit-for-bit repeatable.
+//! * [`dist`] — bounded long-tail samplers used to calibrate workload
+//!   generators to the min/mean/max statistics of Table 1 of the paper.
+//! * [`stats`] — percentile/summary helpers used for TTFT/TBT/TPOT
+//!   reporting (P50/P99, means, CDFs).
+//!
+//! # Examples
+//!
+//! ```
+//! use simcore::{EventQueue, SimTime, SimDuration};
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.push(SimTime::from_secs(2.0), "later");
+//! q.push(SimTime::from_secs(1.0), "sooner");
+//! let (t, ev, _) = q.pop().unwrap();
+//! assert_eq!(ev, "sooner");
+//! assert_eq!(t, SimTime::from_secs(1.0));
+//! ```
+
+pub mod dist;
+pub mod events;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use events::{EventHandle, EventQueue};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

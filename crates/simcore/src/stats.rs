@@ -1,0 +1,326 @@
+//! Summary statistics for latency reporting.
+//!
+//! The paper reports Avg / P50 / P99 of TTFT, TBT, TPOT and end-to-end
+//! latency, plus CDFs (Fig. 20) and SLO-attainment fractions (Fig. 15).
+//! [`Summary`] collects samples and computes all of these.
+
+use std::fmt;
+
+/// A collection of `f64` samples with percentile and mean queries.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::stats::Summary;
+/// let mut s = Summary::new();
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     s.record(v);
+/// }
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.percentile(50.0), 2.5);
+/// assert_eq!(s.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Summary {
+        Summary::default()
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on NaN samples.
+    pub fn record(&mut self, v: f64) {
+        debug_assert!(!v.is_nan(), "NaN sample");
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Maximum sample; 0 when empty.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Minimum sample; 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `p`-th percentile (0..=100) with linear interpolation; 0 when
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        debug_assert!((0.0..=100.0).contains(&p));
+        self.ensure_sorted();
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let n = self.samples.len();
+        if n == 1 {
+            return self.samples[0];
+        }
+        let rank = p / 100.0 * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac
+    }
+
+    /// Median (P50).
+    pub fn p50(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&mut self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    /// Fraction of samples ≤ `threshold` (the SLO-attainment metric);
+    /// 1.0 when empty (an empty window violates nothing).
+    pub fn fraction_le(&self, threshold: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 1.0;
+        }
+        let ok = self.samples.iter().filter(|&&v| v <= threshold).count();
+        ok as f64 / self.samples.len() as f64
+    }
+
+    /// Empirical CDF evaluated at `points.len() + 1` evenly spaced
+    /// quantiles, returned as `(value, cumulative_fraction)` pairs. Used
+    /// for Fig. 20-style plots.
+    pub fn cdf(&mut self, points: usize) -> Vec<(f64, f64)> {
+        self.ensure_sorted();
+        if self.samples.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        (0..=points)
+            .map(|i| {
+                let q = i as f64 / points as f64 * 100.0;
+                let v = self.percentile(q);
+                (v, q / 100.0)
+            })
+            .collect()
+    }
+
+    /// Merges another summary's samples into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// Read-only view of the raw samples (unsorted unless a percentile was
+    /// queried).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        self.samples.extend(iter);
+        self.sorted = false;
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Summary {
+        let mut s = Summary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = self.clone();
+        write!(
+            f,
+            "n={} mean={:.4} p50={:.4} p99={:.4} max={:.4}",
+            s.len(),
+            s.mean(),
+            s.p50(),
+            s.p99(),
+            s.max()
+        )
+    }
+}
+
+/// Online mean/variance accumulator (Welford) for cheap running stats.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::stats::Online;
+/// let mut o = Online::new();
+/// for v in [2.0, 4.0, 6.0] {
+///     o.record(v);
+/// }
+/// assert_eq!(o.mean(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Online {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Online {
+    /// Creates an empty accumulator.
+    pub fn new() -> Online {
+        Online::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.n += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (v - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance; 0 with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_interpolate() {
+        let mut s: Summary = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert!((s.p50() - 50.5).abs() < 1e-9);
+        assert!((s.p99() - 99.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.p99(), 0.0);
+        assert_eq!(s.fraction_le(1.0), 1.0);
+        assert!(s.cdf(10).is_empty());
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = Summary::new();
+        s.record(7.0);
+        assert_eq!(s.p50(), 7.0);
+        assert_eq!(s.p99(), 7.0);
+        assert_eq!(s.min(), 7.0);
+    }
+
+    #[test]
+    fn fraction_le_counts() {
+        let s: Summary = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(s.fraction_le(2.0), 0.5);
+        assert_eq!(s.fraction_le(0.5), 0.0);
+        assert_eq!(s.fraction_le(10.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut s: Summary = (0..1000).map(|i| (i % 37) as f64).collect();
+        let cdf = s.cdf(20);
+        assert_eq!(cdf.len(), 21);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a: Summary = [1.0, 2.0].into_iter().collect();
+        let b: Summary = [3.0, 4.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.mean(), 2.5);
+    }
+
+    #[test]
+    fn online_matches_batch() {
+        let vals = [1.5, 2.5, 3.5, 10.0, -2.0];
+        let mut o = Online::new();
+        for v in vals {
+            o.record(v);
+        }
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+        assert!((o.mean() - mean).abs() < 1e-12);
+        assert!((o.variance() - var).abs() < 1e-9);
+        assert_eq!(o.count(), 5);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s: Summary = [1.0].into_iter().collect();
+        assert!(format!("{s}").contains("n=1"));
+    }
+}

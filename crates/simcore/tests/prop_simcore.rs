@@ -1,0 +1,123 @@
+//! Property-based tests for the simulation kernel.
+
+use proptest::prelude::*;
+use simcore::stats::Summary;
+use simcore::{EventQueue, SimDuration, SimRng, SimTime};
+
+proptest! {
+    /// Events pop in non-decreasing time order regardless of push order,
+    /// and same-time events pop FIFO.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        let mut popped = 0;
+        while let Some((t, idx, _)) = q.pop() {
+            prop_assert!(t >= last_time);
+            if t == last_time {
+                if let Some(&prev) = seen_at_time.last() {
+                    if times[prev] == times[idx] {
+                        prop_assert!(idx > prev, "FIFO violated at equal timestamps");
+                    }
+                }
+            } else {
+                seen_at_time.clear();
+            }
+            seen_at_time.push(idx);
+            last_time = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Cancelled events never surface; everything else does.
+    #[test]
+    fn event_queue_cancellation(
+        times in prop::collection::vec(0u64..100, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let mut handles = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            handles.push(q.push(SimTime::from_nanos(t), i));
+        }
+        let mut cancelled = std::collections::HashSet::new();
+        for (i, (&h, c)) in handles.iter().zip(cancel_mask.iter().cycle()).enumerate() {
+            if *c && q.cancel(h) {
+                cancelled.insert(i);
+            }
+        }
+        let mut surfaced = std::collections::HashSet::new();
+        while let Some((_, idx, _)) = q.pop() {
+            surfaced.insert(idx);
+        }
+        prop_assert!(surfaced.is_disjoint(&cancelled));
+        prop_assert_eq!(surfaced.len() + cancelled.len(), times.len());
+    }
+
+    /// Percentiles are bounded by min/max, monotone in p, and the CDF is
+    /// non-decreasing.
+    #[test]
+    fn summary_percentile_properties(samples in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let mut s: Summary = samples.iter().copied().collect();
+        let (min, max) = (s.min(), s.max().max(s.min()));
+        let mut last = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = s.percentile(p);
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+            prop_assert!(v >= last - 1e-12);
+            last = v;
+        }
+        let cdf = s.cdf(16);
+        for w in cdf.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0 + 1e-12);
+        }
+    }
+
+    /// fraction_le is a proper CDF point: monotone in the threshold and
+    /// consistent with percentile.
+    #[test]
+    fn fraction_le_monotone(samples in prop::collection::vec(0f64..100.0, 1..200)) {
+        let s: Summary = samples.iter().copied().collect();
+        let mut last = 0.0;
+        for t in [0.0, 10.0, 25.0, 50.0, 75.0, 100.0] {
+            let f = s.fraction_le(t);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= last);
+            last = f;
+        }
+        prop_assert_eq!(s.fraction_le(100.0), 1.0);
+    }
+
+    /// Time arithmetic is consistent: (t + d) - t == d for representable
+    /// values.
+    #[test]
+    fn time_add_sub_roundtrip(base in 0u64..u64::MAX / 2, delta in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(base);
+        let d = SimDuration::from_nanos(delta);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert!(t + d >= t);
+    }
+
+    /// The RNG's uniform range output is always in range and covers it.
+    #[test]
+    fn rng_range_bounds(seed in any::<u64>(), n in 1u64..1000) {
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.next_range(n) < n);
+        }
+    }
+
+    /// Split streams never mirror the parent.
+    #[test]
+    fn rng_split_diverges(seed in any::<u64>()) {
+        let mut parent = SimRng::seed_from(seed);
+        let mut child = parent.split();
+        let same = (0..32).filter(|_| parent.next_u64() == child.next_u64()).count();
+        prop_assert!(same < 4);
+    }
+}

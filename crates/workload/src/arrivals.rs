@@ -1,0 +1,171 @@
+//! Arrival processes: homogeneous Poisson and bursty real-world traces.
+//!
+//! Fig. 13 of the paper shows the two production traces after scaling:
+//! bursty request patterns with spikes up to 13× within a minute.
+//! [`bursty_trace`] synthesizes rate profiles with the same character and
+//! [`nonhomogeneous_poisson`] turns any per-second rate profile into
+//! arrival timestamps.
+
+use simcore::{SimDuration, SimRng, SimTime};
+
+/// Homogeneous Poisson arrivals: `n` timestamps at `rate` per second.
+///
+/// # Panics
+///
+/// Panics if `rate` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use workload::arrivals::poisson;
+/// use simcore::SimRng;
+/// let mut rng = SimRng::seed_from(3);
+/// let times = poisson(100, 10.0, &mut rng);
+/// assert_eq!(times.len(), 100);
+/// ```
+pub fn poisson(n: usize, rate: f64, rng: &mut SimRng) -> Vec<SimTime> {
+    assert!(rate > 0.0, "non-positive rate");
+    let mut t = SimTime::ZERO;
+    (0..n)
+        .map(|_| {
+            t = t + SimDuration::from_secs(rng.exponential(rate));
+            t
+        })
+        .collect()
+}
+
+/// Non-homogeneous Poisson arrivals over a per-second rate profile
+/// (`rates[s]` = expected arrivals during second `s`), via thinning.
+pub fn nonhomogeneous_poisson(rates: &[f64], rng: &mut SimRng) -> Vec<SimTime> {
+    let max_rate = rates.iter().copied().fold(0.0f64, f64::max);
+    if max_rate <= 0.0 {
+        return Vec::new();
+    }
+    let horizon = rates.len() as f64;
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    loop {
+        t += rng.exponential(max_rate);
+        if t >= horizon {
+            break;
+        }
+        let rate = rates[t as usize];
+        if rng.next_f64() < rate / max_rate {
+            out.push(SimTime::from_secs(t));
+        }
+    }
+    out
+}
+
+/// Synthesizes a bursty per-second rate profile in the style of the
+/// paper's scaled production traces (Fig. 13): a slowly drifting base
+/// load with sharp spikes reaching up to `spike_factor`× the base within
+/// a minute.
+///
+/// # Panics
+///
+/// Panics if `duration_secs` is zero or `base_rate` is not positive.
+pub fn bursty_trace(
+    duration_secs: usize,
+    base_rate: f64,
+    spike_factor: f64,
+    rng: &mut SimRng,
+) -> Vec<f64> {
+    assert!(duration_secs > 0 && base_rate > 0.0);
+    let mut rates = Vec::with_capacity(duration_secs);
+    let mut drift = 1.0f64;
+    let mut spike_left = 0usize;
+    let mut spike_level = 1.0;
+    for s in 0..duration_secs {
+        // Slow sinusoidal drift plus a random walk.
+        let wave = 1.0 + 0.35 * (s as f64 / 180.0 * std::f64::consts::TAU).sin();
+        drift = (drift + 0.05 * (rng.next_f64() - 0.5)).clamp(0.6, 1.5);
+        // Occasionally open a spike window of 10–40 seconds.
+        if spike_left == 0 && rng.chance(1.0 / 150.0) {
+            spike_left = 10 + rng.next_range(31) as usize;
+            spike_level = 2.0 + (spike_factor - 2.0) * rng.next_f64();
+        }
+        let spike = if spike_left > 0 {
+            spike_left -= 1;
+            spike_level
+        } else {
+            1.0
+        };
+        rates.push(wave * drift * spike);
+    }
+    // Normalize so the profile's mean equals `base_rate` (the scaling of
+    // Fig. 13: traces are scaled down to a target average load).
+    let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+    for r in &mut rates {
+        *r *= base_rate / mean;
+    }
+    rates
+}
+
+/// The Conversation-trace profile used for Fig. 13/14 (deterministic for
+/// a given seed).
+pub fn conversation_trace_rates(duration_secs: usize, base_rate: f64) -> Vec<f64> {
+    let mut rng = SimRng::seed_from(0xC0171);
+    bursty_trace(duration_secs, base_rate, 13.0, &mut rng)
+}
+
+/// The Tool&Agent-trace profile used for Fig. 13/14.
+pub fn tool_agent_trace_rates(duration_secs: usize, base_rate: f64) -> Vec<f64> {
+    let mut rng = SimRng::seed_from(0x7001A);
+    bursty_trace(duration_secs, base_rate, 10.0, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_gap() {
+        let mut rng = SimRng::seed_from(9);
+        let times = poisson(20_000, 4.0, &mut rng);
+        let span = times.last().unwrap().as_secs();
+        assert!((20_000.0 / span - 4.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn nonhomogeneous_matches_profile_mass() {
+        let mut rng = SimRng::seed_from(10);
+        let rates = vec![2.0; 300]; // 600 expected arrivals
+        let times = nonhomogeneous_poisson(&rates, &mut rng);
+        assert!((times.len() as f64 - 600.0).abs() < 80.0, "{}", times.len());
+        for w in times.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn zero_profile_yields_nothing() {
+        let mut rng = SimRng::seed_from(11);
+        assert!(nonhomogeneous_poisson(&[0.0; 10], &mut rng).is_empty());
+    }
+
+    #[test]
+    fn bursty_trace_has_spikes() {
+        let rates = conversation_trace_rates(1200, 1.0);
+        let base: f64 = rates.iter().sum::<f64>() / rates.len() as f64;
+        let max = rates.iter().copied().fold(0.0f64, f64::max);
+        assert!(
+            max / base > 3.0,
+            "expected visible bursts: max {max} vs mean {base}"
+        );
+        assert!(max / base < 20.0);
+        assert!(rates.iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn trace_profiles_are_deterministic() {
+        assert_eq!(
+            conversation_trace_rates(100, 2.0),
+            conversation_trace_rates(100, 2.0)
+        );
+        assert_ne!(
+            conversation_trace_rates(100, 2.0),
+            tool_agent_trace_rates(100, 2.0)
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Request content as segments of deterministic token streams.
+//!
+//! Token *values* never matter for serving latency — only identity for
+//! prefix matching. A request's context is therefore a list of
+//! `(stream_id, token_count)` segments: e.g. OpenThoughts requests are
+//! `[(SYSTEM, 243), (own_stream, n)]`, so every request shares the system
+//! prompt's cache blocks; a Conversation turn is `[(session, L_t)]` where
+//! `L_t` grows turn over turn, sharing all previous turns' blocks.
+
+use kvcache::Block;
+
+/// The token content of a request's input context.
+///
+/// # Examples
+///
+/// ```
+/// use workload::ContentSpec;
+/// let sys = ContentSpec::single(1, 243);
+/// let mut req = sys.clone();
+/// req.push(42, 500);
+/// assert_eq!(req.total_tokens(), 743);
+/// let a = sys.blocks(64);
+/// let b = req.blocks(64);
+/// assert_eq!(&b[..a.len()], &a[..]); // shared system-prompt prefix
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct ContentSpec {
+    segments: Vec<(u64, u64)>,
+}
+
+impl ContentSpec {
+    /// Content consisting of the first `tokens` tokens of one stream.
+    pub fn single(stream: u64, tokens: u64) -> ContentSpec {
+        let mut c = ContentSpec::default();
+        c.push(stream, tokens);
+        c
+    }
+
+    /// Appends `tokens` tokens of `stream`. Appending to the same stream
+    /// as the last segment extends that segment (preserving the prefix
+    /// property for growing sessions).
+    pub fn push(&mut self, stream: u64, tokens: u64) {
+        if tokens == 0 {
+            return;
+        }
+        if let Some(last) = self.segments.last_mut() {
+            if last.0 == stream {
+                last.1 += tokens;
+                return;
+            }
+        }
+        self.segments.push((stream, tokens));
+    }
+
+    /// Total input tokens.
+    pub fn total_tokens(&self) -> u64 {
+        self.segments.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// The cache-block sequence of this content.
+    ///
+    /// Each segment contributes its own blocks; a new segment always
+    /// starts a fresh block (as paged KV caches do at prefix-divergence
+    /// points).
+    pub fn blocks(&self, block_size: u32) -> Vec<Block> {
+        let mut out = Vec::new();
+        for &(stream, tokens) in &self.segments {
+            out.extend(Block::sequence(stream, tokens, block_size));
+        }
+        out
+    }
+
+    /// The segments as `(stream, tokens)` pairs.
+    pub fn segments(&self) -> &[(u64, u64)] {
+        &self.segments
+    }
+
+    /// True if this content has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.total_tokens() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvcache::KvPool;
+    use simcore::SimTime;
+
+    #[test]
+    fn push_extends_matching_stream() {
+        let mut c = ContentSpec::single(9, 100);
+        c.push(9, 50);
+        assert_eq!(c.segments(), &[(9, 150)]);
+        c.push(10, 5);
+        c.push(9, 5);
+        assert_eq!(c.segments().len(), 3);
+    }
+
+    #[test]
+    fn zero_push_is_noop() {
+        let mut c = ContentSpec::default();
+        c.push(1, 0);
+        assert!(c.is_empty());
+        assert!(c.blocks(64).is_empty());
+    }
+
+    #[test]
+    fn growing_session_reuses_prefix_in_pool() {
+        let mut pool = KvPool::new(1 << 20, 64);
+        let turn1 = ContentSpec::single(77, 1000);
+        pool.insert(&turn1.blocks(64), SimTime::ZERO);
+
+        let mut turn2 = turn1.clone();
+        turn2.push(77, 800); // previous output + new user tokens
+        let m = pool.match_prefix(&turn2.blocks(64), SimTime::from_secs(1.0));
+        // 1000 tokens = 15 full blocks + 40-token tail; the tail block is
+        // not shareable with the continuation, so 15×64 = 960 reused.
+        assert_eq!(m.matched_tokens, 960);
+        pool.unlock(&m);
+    }
+
+    #[test]
+    fn shared_system_prompt_across_requests() {
+        let mut pool = KvPool::new(1 << 20, 64);
+        let mut r1 = ContentSpec::single(1, 256); // system prompt stream
+        r1.push(100, 500);
+        let mut r2 = ContentSpec::single(1, 256);
+        r2.push(101, 700);
+        pool.insert(&r1.blocks(64), SimTime::ZERO);
+        let m = pool.match_prefix(&r2.blocks(64), SimTime::from_secs(1.0));
+        assert_eq!(m.matched_tokens, 256);
+        pool.unlock(&m);
+    }
+}

@@ -1,0 +1,143 @@
+//! Length statistics — regenerates Table 1 from generated workloads.
+
+use crate::gen::RequestSpec;
+
+/// Min / mean / max of one length metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LengthStats {
+    /// Smallest observed value.
+    pub min: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl LengthStats {
+    fn of(values: impl Iterator<Item = u64>) -> LengthStats {
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        let mut sum = 0u128;
+        let mut n = 0u64;
+        for v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v as u128;
+            n += 1;
+        }
+        if n == 0 {
+            LengthStats {
+                min: 0,
+                mean: 0.0,
+                max: 0,
+            }
+        } else {
+            LengthStats {
+                min,
+                mean: sum as f64 / n as f64,
+                max,
+            }
+        }
+    }
+
+    /// Formats as the paper's `min/mean/max` cell.
+    pub fn cell(&self) -> String {
+        format!("{}/{:.0}/{}", self.min, self.mean, self.max)
+    }
+}
+
+/// Input / output / reused length statistics of a request set (one Table
+/// 1 row).
+///
+/// # Examples
+///
+/// ```
+/// use workload::{generate, length_stats, WorkloadKind};
+/// use simcore::SimRng;
+/// let mut rng = SimRng::seed_from(1);
+/// let reqs = generate(WorkloadKind::ShareGpt, 1000, 1.0, &mut rng);
+/// let (input, output, _reused) = length_stats(&reqs);
+/// assert!(input.mean > 150.0 && input.mean < 300.0);
+/// assert!(output.max <= 1838);
+/// ```
+pub fn length_stats(reqs: &[RequestSpec]) -> (LengthStats, LengthStats, LengthStats) {
+    (
+        LengthStats::of(reqs.iter().map(|r| r.input_tokens())),
+        LengthStats::of(reqs.iter().map(|r| r.output_tokens)),
+        LengthStats::of(reqs.iter().map(|r| r.prior_context)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, WorkloadKind};
+    use simcore::SimRng;
+
+    fn stats_for(kind: WorkloadKind, n: usize) -> (LengthStats, LengthStats, LengthStats) {
+        let mut rng = SimRng::seed_from(0xAB1E);
+        let reqs = generate(kind, n, 1.0, &mut rng);
+        length_stats(&reqs)
+    }
+
+    fn assert_close(actual: f64, target: f64, tol: f64, what: &str) {
+        assert!(
+            (actual - target).abs() / target < tol,
+            "{what}: got {actual}, want ≈{target}"
+        );
+    }
+
+    #[test]
+    fn sharegpt_matches_table1() {
+        let (input, output, reused) = stats_for(WorkloadKind::ShareGpt, 5000);
+        assert!(input.min >= 4 && input.max <= 1024);
+        assert_close(input.mean, 226.0, 0.10, "ShareGPT input mean");
+        assert_close(output.mean, 195.0, 0.10, "ShareGPT output mean");
+        assert_eq!(reused.max, 0);
+    }
+
+    #[test]
+    fn loogle_matches_table1() {
+        let (input, output, _) = stats_for(WorkloadKind::Loogle, 3000);
+        assert!(input.min >= 3380 && input.max <= 81_000);
+        assert_close(input.mean, 30_000.0, 0.10, "LooGLE input mean");
+        assert_close(output.mean, 15.0, 0.25, "LooGLE output mean");
+    }
+
+    #[test]
+    fn openthoughts_matches_table1() {
+        let (input, output, reused) = stats_for(WorkloadKind::OpenThoughts, 3000);
+        assert!(input.min >= 311 && input.max <= 4633);
+        assert_close(input.mean, 709.0, 0.12, "OpenThoughts input mean");
+        assert_close(output.mean, 8374.0, 0.10, "OpenThoughts output mean");
+        assert_eq!(reused.min, 243);
+        assert_eq!(reused.max, 243);
+    }
+
+    #[test]
+    fn conversation_matches_table1() {
+        let (input, output, reused) = stats_for(WorkloadKind::Conversation, 8000);
+        assert!(input.min >= 891);
+        assert_close(input.mean, 7538.0, 0.35, "Conversation input mean");
+        assert_close(output.mean, 342.0, 0.15, "Conversation output mean");
+        assert_close(reused.mean, 4496.0, 0.45, "Conversation reused mean");
+        assert_eq!(reused.min, 0);
+    }
+
+    #[test]
+    fn tool_agent_matches_table1() {
+        let (input, output, reused) = stats_for(WorkloadKind::ToolAgent, 8000);
+        assert!(input.min >= 891);
+        assert_close(input.mean, 8596.0, 0.35, "Tool&Agent input mean");
+        assert_close(output.mean, 182.0, 0.15, "Tool&Agent output mean");
+        assert_close(reused.mean, 4905.0, 0.45, "Tool&Agent reused mean");
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let (i, o, r) = length_stats(&[]);
+        assert_eq!((i.min, i.max), (0, 0));
+        assert_eq!(o.mean, 0.0);
+        assert_eq!(r.cell(), "0/0/0");
+    }
+}

@@ -1,0 +1,163 @@
+//! Trace serialization: save and replay request traces as JSON lines,
+//! the artifact format the paper's evaluation scripts emit.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::gen::RequestSpec;
+
+/// Errors from trace I/O.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A line was not a valid request record.
+    Parse {
+        /// 1-indexed line number of the offending record.
+        line: usize,
+        /// The underlying JSON error.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceError::Parse { line, message } => {
+                write!(f, "invalid trace record at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> TraceError {
+        TraceError::Io(e)
+    }
+}
+
+/// Writes a trace as JSON lines (one request per line).
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] on filesystem failures.
+///
+/// # Examples
+///
+/// ```no_run
+/// use simcore::SimRng;
+/// use workload::{generate, trace, WorkloadKind};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = SimRng::seed_from(1);
+/// let reqs = generate(WorkloadKind::ShareGpt, 100, 2.0, &mut rng);
+/// trace::save_trace("trace.jsonl", &reqs)?;
+/// let replay = trace::load_trace("trace.jsonl")?;
+/// assert_eq!(replay, reqs);
+/// # Ok(())
+/// # }
+/// ```
+pub fn save_trace(path: impl AsRef<Path>, reqs: &[RequestSpec]) -> Result<(), TraceError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for r in reqs {
+        let line = serde_json::to_string(r).map_err(|e| TraceError::Parse {
+            line: r.id as usize,
+            message: e.to_string(),
+        })?;
+        writeln!(w, "{line}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a trace written by [`save_trace`].
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] on filesystem failures and
+/// [`TraceError::Parse`] on malformed lines.
+pub fn load_trace(path: impl AsRef<Path>) -> Result<Vec<RequestSpec>, TraceError> {
+    let r = BufReader::new(File::open(path)?);
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req: RequestSpec = serde_json::from_str(&line).map_err(|e| TraceError::Parse {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
+        out.push(req);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, WorkloadKind};
+    use simcore::SimRng;
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let mut rng = SimRng::seed_from(42);
+        let reqs = generate(WorkloadKind::ToolAgent, 50, 1.0, &mut rng);
+        let dir = std::env::temp_dir().join("muxwise-trace-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("roundtrip.jsonl");
+        save_trace(&path, &reqs).expect("save");
+        let replay = load_trace(&path).expect("load");
+        assert_eq!(replay, reqs);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let dir = std::env::temp_dir().join("muxwise-trace-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("bad.jsonl");
+        std::fs::write(&path, "{not json}\n").expect("write");
+        match load_trace(&path) {
+            Err(TraceError::Parse { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        match load_trace("/definitely/not/here.jsonl") {
+            Err(TraceError::Io(_)) => {}
+            other => panic!("expected io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let mut rng = SimRng::seed_from(7);
+        let reqs = generate(WorkloadKind::ShareGpt, 3, 1.0, &mut rng);
+        let dir = std::env::temp_dir().join("muxwise-trace-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("gaps.jsonl");
+        let mut body = String::new();
+        for r in &reqs {
+            body.push_str(&serde_json::to_string(r).expect("json"));
+            body.push_str("\n\n");
+        }
+        std::fs::write(&path, body).expect("write");
+        assert_eq!(load_trace(&path).expect("load"), reqs);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for workload generation.
+
+use proptest::prelude::*;
+use simcore::SimRng;
+use workload::{generate, generate_sessions, length_stats, ContentSpec, WorkloadKind};
+
+fn kinds() -> [WorkloadKind; 5] {
+    WorkloadKind::all()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generated traces always respect Table 1's hard bounds.
+    #[test]
+    fn lengths_respect_bounds(kind_idx in 0usize..5, seed in any::<u64>()) {
+        let kind = kinds()[kind_idx];
+        let mut rng = SimRng::seed_from(seed);
+        let reqs = generate(kind, 50, 1.0, &mut rng);
+        let (input, output, _) = length_stats(&reqs);
+        match kind {
+            WorkloadKind::ShareGpt => {
+                prop_assert!(input.min >= 4 && input.max <= 1024);
+                prop_assert!(output.min >= 4 && output.max <= 1838);
+            }
+            WorkloadKind::Loogle => {
+                prop_assert!(input.min >= 3380 && input.max <= 81_000);
+                prop_assert!(output.max <= 326);
+            }
+            WorkloadKind::OpenThoughts => {
+                prop_assert!(input.min >= 311 && input.max <= 4633);
+                prop_assert!(output.min >= 684 && output.max <= 32_000);
+            }
+            _ => {
+                prop_assert!(input.min >= 891);
+                prop_assert!(output.max <= 2000);
+            }
+        }
+    }
+
+    /// Requests are id-dense, arrival-sorted, and session turns appear in
+    /// order under any seed and rate.
+    #[test]
+    fn trace_structure_is_well_formed(
+        kind_idx in 0usize..5,
+        seed in any::<u64>(),
+        rate in 0.1f64..50.0,
+    ) {
+        let kind = kinds()[kind_idx];
+        let mut rng = SimRng::seed_from(seed);
+        let reqs = generate(kind, 60, rate, &mut rng);
+        let mut last_turn = std::collections::HashMap::new();
+        for (i, r) in reqs.iter().enumerate() {
+            prop_assert_eq!(r.id, i as u64);
+            if i > 0 {
+                prop_assert!(r.arrival >= reqs[i - 1].arrival);
+            }
+            if let Some(&t) = last_turn.get(&r.session) {
+                prop_assert!(r.turn > t);
+            }
+            last_turn.insert(r.session, r.turn);
+            prop_assert!(r.prior_context <= r.input_tokens());
+            prop_assert!(r.output_tokens >= 1);
+        }
+    }
+
+    /// A later turn's context strictly extends the session's earlier
+    /// block sequence (the property KV reuse depends on).
+    #[test]
+    fn turns_share_block_prefixes(seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from(seed);
+        let reqs = generate(WorkloadKind::ToolAgent, 80, 1.0, &mut rng);
+        let mut by_session: std::collections::HashMap<u64, Vec<&workload::RequestSpec>> =
+            std::collections::HashMap::new();
+        for r in &reqs {
+            by_session.entry(r.session).or_default().push(r);
+        }
+        for turns in by_session.values() {
+            for w in turns.windows(2) {
+                let a = w[0].content.blocks(64);
+                let b = w[1].content.blocks(64);
+                // All of a's full blocks are a prefix of b.
+                let full = w[0].input_tokens() as usize / 64;
+                prop_assert_eq!(&a[..full], &b[..full]);
+            }
+        }
+    }
+
+    /// ContentSpec push/extend semantics: total tokens are conserved and
+    /// same-stream pushes coalesce.
+    #[test]
+    fn content_spec_conserves_tokens(pushes in prop::collection::vec((0u64..5, 0u64..10_000), 1..30)) {
+        let mut c = ContentSpec::default();
+        let mut total = 0;
+        for &(stream, tokens) in &pushes {
+            c.push(stream, tokens);
+            total += tokens;
+        }
+        prop_assert_eq!(c.total_tokens(), total);
+        prop_assert_eq!(
+            c.blocks(64).iter().map(|b| b.tokens as u64).sum::<u64>(),
+            total
+        );
+        // No two adjacent segments share a stream.
+        for w in c.segments().windows(2) {
+            prop_assert_ne!(w[0].0, w[1].0);
+        }
+    }
+
+    /// Session-based generation produces globally sorted arrivals.
+    #[test]
+    fn sessions_are_sorted(seed in any::<u64>(), think in 1.0f64..300.0) {
+        let mut rng = SimRng::seed_from(seed);
+        let reqs = generate_sessions(WorkloadKind::Conversation, 20, 1.0, think, &mut rng);
+        for w in reqs.windows(2) {
+            prop_assert!(w[1].arrival >= w[0].arrival);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Goodput sweep: find the highest request rate each system serves under
+//! the TBT SLO (a miniature of the paper's Fig. 15).
+//!
+//! ```sh
+//! cargo run --release -p muxwise --example goodput_sweep
+//! ```
+
+use baselines::ChunkedPrefill;
+use gpusim::{ClusterSpec, GpuSim};
+use modelspec::ModelSpec;
+use muxwise::{Estimators, MuxWise, MuxWiseConfig};
+use serving::{find_goodput, Driver, Scheduler, SloSpec};
+use simcore::{SimRng, SimTime};
+use workload::{generate, WorkloadKind};
+
+fn run_at(
+    make: &dyn Fn() -> Box<dyn Scheduler>,
+    cluster: &ClusterSpec,
+    slo: SloSpec,
+    rate: f64,
+    n: usize,
+) -> serving::Report {
+    let mut rng = SimRng::seed_from(11);
+    let reqs = generate(WorkloadKind::ToolAgent, n, rate, &mut rng);
+    let horizon = reqs.last().map(|r| r.arrival).unwrap_or(SimTime::ZERO)
+        + simcore::SimDuration::from_secs(60.0);
+    let mut engine = make();
+    let mut report = Driver::new(GpuSim::from_cluster(cluster), reqs, slo)
+        .with_max_sim_time(horizon)
+        .run(engine.as_mut());
+    if report.ttft.clone().p99() > 0.5 * n as f64 / rate {
+        report.diverged = true;
+    }
+    report
+}
+
+fn main() {
+    let cluster = ClusterSpec::dgx_a100();
+    let model = ModelSpec::llama70b();
+    let slo = SloSpec::llama70b();
+    println!("goodput on Tool&Agent, Llama-70B / 8xA100, 100ms TBT SLO\n");
+    let est = Estimators::profile(&model, &cluster, cluster.num_gpus);
+    let rates = [0.25, 0.5, 0.75, 1.0, 1.3, 1.7];
+
+    let systems: Vec<(&str, Box<dyn Fn() -> Box<dyn Scheduler>>)> = vec![
+        (
+            "MuxWise",
+            Box::new({
+                let (m, c, e) = (model.clone(), cluster.clone(), est.clone());
+                move || -> Box<dyn Scheduler> {
+                    Box::new(MuxWise::new(
+                        &m,
+                        &c,
+                        8,
+                        slo,
+                        e.clone(),
+                        MuxWiseConfig::default(),
+                    ))
+                }
+            }),
+        ),
+        (
+            "Chunked",
+            Box::new({
+                let (m, c) = (model.clone(), cluster.clone());
+                move || -> Box<dyn Scheduler> { Box::new(ChunkedPrefill::tuned(&m, &c, 8, slo)) }
+            }),
+        ),
+    ];
+
+    let mut goodputs = Vec::new();
+    for (name, make) in &systems {
+        let result = find_goodput(&rates, slo.tbt.as_secs(), |rate| {
+            run_at(make.as_ref(), &cluster, slo, rate, 200)
+        });
+        println!(
+            "{name:<9} goodput {:.2} req/s ({:.0} tok/s)",
+            result.goodput_rate, result.goodput_tokens_per_sec
+        );
+        for p in &result.points {
+            println!(
+                "   {:>5.2}/s  p99 TBT {:>5.1} ms  p99 TTFT {:>6.2} s  {}",
+                p.rate,
+                p.p99_tbt * 1e3,
+                p.p99_ttft,
+                if p.passes(slo.tbt.as_secs()) {
+                    "pass"
+                } else {
+                    "FAIL"
+                }
+            );
+        }
+        goodputs.push(result.goodput_rate);
+    }
+    if goodputs.len() == 2 && goodputs[1] > 0.0 {
+        println!(
+            "\nMuxWise / Chunked goodput ratio: {:.2}x",
+            goodputs[0] / goodputs[1]
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: serve a chatbot workload with MuxWise on a simulated
+//! 8×A100 server and print the latency report.
+//!
+//! ```sh
+//! cargo run --release -p muxwise --example quickstart
+//! ```
+
+use gpusim::{ClusterSpec, GpuSim};
+use modelspec::ModelSpec;
+use muxwise::{Estimators, MuxWise, MuxWiseConfig};
+use serving::{Driver, SloSpec};
+use simcore::SimRng;
+use workload::{generate, WorkloadKind};
+
+fn main() {
+    // 1. Pick hardware, model and SLOs (the paper's Llama-8B setup:
+    //    500 ms TTFT, 50 ms TBT).
+    let cluster = ClusterSpec::dgx_a100();
+    let model = ModelSpec::llama8b();
+    let slo = SloSpec::llama8b();
+
+    // 2. One-time offline profiling builds the solo-run predictor and the
+    //    contention guard (seconds against the simulator).
+    println!("profiling {} on {} ...", model.name, cluster.gpu.name);
+    let estimators = Estimators::profile(&model, &cluster, cluster.num_gpus);
+
+    // 3. Create the engine and a workload: 500 ShareGPT requests arriving
+    //    Poisson at 8 requests/second.
+    let mut engine = MuxWise::new(
+        &model,
+        &cluster,
+        cluster.num_gpus,
+        slo,
+        estimators,
+        MuxWiseConfig::default(),
+    );
+    let mut rng = SimRng::seed_from(42);
+    let requests = generate(WorkloadKind::ShareGpt, 500, 8.0, &mut rng);
+
+    // 4. Run the simulation.
+    let report = Driver::new(GpuSim::from_cluster(&cluster), requests, slo).run(&mut engine);
+
+    // 5. Inspect the results.
+    let mut r = report.clone();
+    println!("\nfinished {}/{} requests", r.finished, r.total);
+    println!(
+        "TTFT   p50 {:>7.1} ms   p99 {:>7.1} ms",
+        r.ttft.p50() * 1e3,
+        r.ttft.p99() * 1e3
+    );
+    println!(
+        "TBT    p50 {:>7.1} ms   p99 {:>7.1} ms",
+        r.tbt.p50() * 1e3,
+        r.tbt.p99() * 1e3
+    );
+    println!("TPOT   p50 {:>7.1} ms", r.tpot.p50() * 1e3);
+    println!(
+        "throughput {:.0} tokens/s, GPU utilization {:.1}%",
+        r.token_throughput(),
+        r.utilization * 100.0
+    );
+    println!(
+        "TBT SLO ({} ms): {}",
+        slo.tbt.as_millis(),
+        if r.meets_tbt_slo() {
+            "met at P99"
+        } else {
+            "VIOLATED"
+        }
+    );
+    let stats = engine.pool_stats().expect("pool initialized");
+    println!("KV cache hit rate: {:.1}%", stats.hit_rate() * 100.0);
+}

@@ -1,0 +1,244 @@
+//! Cross-crate end-to-end tests: every serving system completes every
+//! workload, deterministically, with sane metrics.
+
+use baselines::{ChunkedPrefill, LoongServe, SglangPd, TemporalMux, WindServe};
+use estimator::SoloPredictor;
+use gpusim::{ClusterSpec, GpuSim};
+use modelspec::{ModelSpec, Parallelism};
+use muxwise::{Estimators, MuxWise, MuxWiseConfig};
+use serving::{Driver, Report, Scheduler, SloSpec};
+use simcore::SimRng;
+use workload::{generate, WorkloadKind};
+
+fn testbed() -> (ModelSpec, ClusterSpec, SloSpec, Estimators) {
+    let cluster = ClusterSpec::dgx_a100();
+    let model = ModelSpec::llama8b();
+    let slo = SloSpec::llama8b();
+    let est = Estimators::profile(&model, &cluster, 8);
+    (model, cluster, slo, est)
+}
+
+fn engines(
+    model: &ModelSpec,
+    cluster: &ClusterSpec,
+    slo: SloSpec,
+    est: &Estimators,
+) -> Vec<(&'static str, Box<dyn Scheduler>)> {
+    let par = Parallelism::tp(8, cluster.nvlink_gbs);
+    vec![
+        (
+            "muxwise",
+            Box::new(MuxWise::new(
+                model,
+                cluster,
+                8,
+                slo,
+                est.clone(),
+                MuxWiseConfig::default(),
+            )) as Box<dyn Scheduler>,
+        ),
+        (
+            "chunked",
+            Box::new(ChunkedPrefill::tuned(model, cluster, 8, slo)),
+        ),
+        (
+            "nanoflow",
+            Box::new(ChunkedPrefill::nanoflow(model, cluster, 8, slo)),
+        ),
+        (
+            "loongserve",
+            Box::new(LoongServe::new(model, cluster, 2, slo)),
+        ),
+        ("sglang-pd", Box::new(SglangPd::new(model, cluster, slo))),
+        (
+            "windserve",
+            Box::new(WindServe::new(model, cluster, 8, slo)),
+        ),
+        (
+            "temporal",
+            Box::new(TemporalMux::new(
+                model,
+                cluster,
+                8,
+                slo,
+                SoloPredictor::profile(model, cluster, &par, &[cluster.gpu.sm_count]),
+            )),
+        ),
+    ]
+}
+
+fn run(
+    engine: &mut dyn Scheduler,
+    cluster: &ClusterSpec,
+    slo: SloSpec,
+    kind: WorkloadKind,
+    n: usize,
+    rate: f64,
+    seed: u64,
+) -> Report {
+    let mut rng = SimRng::seed_from(seed);
+    let reqs = generate(kind, n, rate, &mut rng);
+    Driver::new(GpuSim::from_cluster(cluster), reqs, slo).run(engine)
+}
+
+#[test]
+fn every_system_completes_every_workload() {
+    let (model, cluster, slo, est) = testbed();
+    for kind in WorkloadKind::all() {
+        // Keep long-input/long-output workloads small so the matrix runs
+        // quickly in debug builds.
+        let (n, rate) = match kind {
+            WorkloadKind::ShareGpt => (60, 3.0),
+            WorkloadKind::Loogle => (10, 0.2),
+            WorkloadKind::OpenThoughts => (8, 0.2),
+            _ => (40, 1.0),
+        };
+        for (name, mut engine) in engines(&model, &cluster, slo, &est) {
+            let rep = run(engine.as_mut(), &cluster, slo, kind, n, rate, 99);
+            assert_eq!(
+                rep.finished,
+                rep.total,
+                "{name} left requests unfinished on {}",
+                kind.name()
+            );
+            assert!(rep.total_tokens > 0, "{name} emitted no tokens");
+        }
+    }
+}
+
+#[test]
+fn all_output_tokens_are_emitted_exactly() {
+    let (model, cluster, slo, est) = testbed();
+    let mut rng = SimRng::seed_from(5);
+    let reqs = generate(WorkloadKind::ShareGpt, 80, 4.0, &mut rng);
+    let expected: u64 = reqs.iter().map(|r| r.output_tokens).sum();
+    for (name, mut engine) in engines(&model, &cluster, slo, &est) {
+        let mut rng = SimRng::seed_from(5);
+        let reqs = generate(WorkloadKind::ShareGpt, 80, 4.0, &mut rng);
+        let rep = Driver::new(GpuSim::from_cluster(&cluster), reqs, slo).run(engine.as_mut());
+        assert_eq!(
+            rep.total_tokens, expected,
+            "{name} emitted a different number of tokens than requested"
+        );
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let (model, cluster, slo, est) = testbed();
+    let one = |est: &Estimators| {
+        let mut engine = MuxWise::new(
+            &model,
+            &cluster,
+            8,
+            slo,
+            est.clone(),
+            MuxWiseConfig::default(),
+        );
+        let rep = run(
+            &mut engine,
+            &cluster,
+            slo,
+            WorkloadKind::Conversation,
+            50,
+            1.5,
+            31,
+        );
+        let mut r = rep.clone();
+        (r.ttft.p99(), r.tbt.p99(), rep.total_tokens, rep.makespan)
+    };
+    assert_eq!(one(&est), one(&est));
+}
+
+#[test]
+fn muxwise_pool_is_fully_released_after_run() {
+    let (model, cluster, slo, est) = testbed();
+    let mut engine = MuxWise::new(
+        &model,
+        &cluster,
+        8,
+        slo,
+        est.clone(),
+        MuxWiseConfig::default(),
+    );
+    let rep = run(
+        &mut engine,
+        &cluster,
+        slo,
+        WorkloadKind::ToolAgent,
+        60,
+        2.0,
+        77,
+    );
+    assert_eq!(rep.finished, rep.total);
+    let pool = engine.pool().expect("pool initialized");
+    assert_eq!(
+        pool.private_tokens(),
+        0,
+        "working KV allocations must all be returned"
+    );
+    pool.check_invariants();
+}
+
+#[test]
+fn chunked_pool_is_fully_released_after_run() {
+    let (model, cluster, slo, _) = testbed();
+    let mut engine = ChunkedPrefill::tuned(&model, &cluster, 8, slo);
+    let rep = run(
+        &mut engine,
+        &cluster,
+        slo,
+        WorkloadKind::ToolAgent,
+        60,
+        2.0,
+        78,
+    );
+    assert_eq!(rep.finished, rep.total);
+    let pool = engine.pool().expect("pool initialized");
+    assert_eq!(pool.private_tokens(), 0);
+    pool.check_invariants();
+}
+
+#[test]
+fn ttft_is_never_negative_or_absurd() {
+    let (model, cluster, slo, est) = testbed();
+    for (name, mut engine) in engines(&model, &cluster, slo, &est) {
+        let rep = run(
+            engine.as_mut(),
+            &cluster,
+            slo,
+            WorkloadKind::ShareGpt,
+            50,
+            5.0,
+            13,
+        );
+        let mut r = rep.clone();
+        assert!(r.ttft.min() >= 0.0, "{name} produced negative TTFT");
+        assert!(
+            r.ttft.max() < rep.makespan.as_secs() + 1e-9,
+            "{name} produced TTFT beyond the makespan"
+        );
+        assert!(r.tbt.min() >= 0.0, "{name} produced negative TBT");
+    }
+}
+
+#[test]
+fn moe_model_serves_on_h200() {
+    let cluster = ClusterSpec::dgx_h200();
+    let model = ModelSpec::qwen235b();
+    let slo = SloSpec::llama70b();
+    let est = Estimators::profile(&model, &cluster, 8);
+    let mut engine = MuxWise::new(&model, &cluster, 8, slo, est, MuxWiseConfig::default());
+    let rep = run(
+        &mut engine,
+        &cluster,
+        slo,
+        WorkloadKind::ShareGpt,
+        40,
+        2.0,
+        21,
+    );
+    assert_eq!(rep.finished, rep.total);
+    let mut r = rep.clone();
+    assert!(r.tbt.p99() < slo.tbt.as_secs() * 1.5, "MoE TBT blew up");
+}
