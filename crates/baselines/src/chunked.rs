@@ -271,10 +271,9 @@ impl ChunkedPrefill {
         let mut launch = spec.graph_launch;
         if !pieces.is_empty() {
             // A chunk relaunches the whole model pass piecewise.
-            launch = launch
-                + SimDuration::from_secs(
-                    spec.layer_graph_launch.as_secs() * self.model.num_layers as f64,
-                );
+            launch += SimDuration::from_secs(
+                spec.layer_graph_launch.as_secs() * self.model.num_layers as f64,
+            );
         }
         let ready = now + launch;
         ctx.gpu.submit(group, c, work, ready, 1);

@@ -542,11 +542,10 @@ mod tests {
         let reqs = generate(WorkloadKind::ToolAgent, 100, 6.0, &mut rng);
         let rep = Driver::new(GpuSim::from_cluster(&cluster), reqs, slo).run(&mut engine);
         assert_eq!(rep.finished, rep.total);
-        let mut r = rep.clone();
         assert!(
-            r.tbt.p99() <= slo.tbt.as_secs() * 1.1,
+            rep.tbt.p99() <= slo.tbt.as_secs() * 1.1,
             "p99 TBT {} under overflow multiplexing",
-            r.tbt.p99()
+            rep.tbt.p99()
         );
     }
 

@@ -395,8 +395,7 @@ mod tests {
         let (rep, _) = run(WorkloadKind::ShareGpt, 80, 4.0);
         assert_eq!(rep.finished, rep.total);
         // Decode is isolated on its instance: TBT comfortably under SLO.
-        let mut tbt = rep.tbt.clone();
-        assert!(tbt.p99() < 0.050, "p99 TBT {}", tbt.p99());
+        assert!(rep.tbt.p99() < 0.050, "p99 TBT {}", rep.tbt.p99());
     }
 
     #[test]

@@ -480,7 +480,10 @@ mod tests {
         let reqs = generate(WorkloadKind::ShareGpt, 80, 3.0, &mut rng);
         let rep = Driver::new(GpuSim::from_cluster(&cluster), reqs, slo).run(&mut engine);
         assert_eq!(rep.finished, rep.total);
-        let mut tbt = rep.tbt.clone();
-        assert!(tbt.p99() < slo.tbt.as_secs() * 1.6, "p99 {}", tbt.p99());
+        assert!(
+            rep.tbt.p99() < slo.tbt.as_secs() * 1.6,
+            "p99 {}",
+            rep.tbt.p99()
+        );
     }
 }

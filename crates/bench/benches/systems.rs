@@ -6,11 +6,12 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use gpusim::{ClusterSpec, GpuSim};
 use modelspec::ModelSpec;
 use muxwise::Estimators;
-use serving::{Driver, SloSpec};
+use serving::Driver;
 use simcore::SimRng;
 use std::time::Duration;
 use workload::{generate, WorkloadKind};
 
+use bench::sweep::{run_sweep, SweepJob};
 use bench::systems::{SystemKind, Testbed};
 
 fn testbed() -> Testbed {
@@ -79,6 +80,34 @@ fn bench_driver_overhead(c: &mut Criterion) {
     });
 }
 
+fn bench_sweep_runner(c: &mut Criterion) {
+    // The parallel sweep pool vs its sequential path over the same job
+    // grid (2 systems × 2 rates; results are asserted identical in the
+    // sweep unit tests, here we only time the two paths).
+    let tb = testbed();
+    let tb = &tb;
+    let jobs: Vec<SweepJob<'_>> = [SystemKind::MuxWise, SystemKind::Chunked]
+        .into_iter()
+        .flat_map(|kind| {
+            [3.0f64, 6.0].into_iter().map(move |rate| SweepJob {
+                tb,
+                kind,
+                workload: WorkloadKind::ShareGpt,
+                n: 60,
+                rate,
+                seed: 0xBE,
+            })
+        })
+        .collect();
+    let mut group = c.benchmark_group("sweep_runner");
+    group.sample_size(10);
+    group.bench_function("sequential_4jobs", |b| {
+        b.iter(|| black_box(jobs.iter().map(SweepJob::run).collect::<Vec<_>>()))
+    });
+    group.bench_function("parallel_4jobs", |b| b.iter(|| black_box(run_sweep(&jobs))));
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
@@ -88,6 +117,7 @@ criterion_group! {
     targets =
     bench_serving_systems,
     bench_offline_profiling,
-    bench_driver_overhead
+    bench_driver_overhead,
+    bench_sweep_runner
 }
 criterion_main!(benches);

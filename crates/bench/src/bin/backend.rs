@@ -34,12 +34,11 @@ fn main() {
         let mut rng = SimRng::seed_from(0xBAC0);
         let reqs = generate(WorkloadKind::ToolAgent, 200, 1.0, &mut rng);
         let rep = Driver::new(GpuSim::from_cluster(&tb.cluster), reqs, tb.slo).run(&mut engine);
-        let mut r = rep.clone();
         println!(
             "{:<14} {:>8.1}ms {:>9.2}s {:>9.1}% {:>12}",
             name,
-            r.tbt.p99() * 1e3,
-            r.ttft.p99(),
+            rep.tbt.p99() * 1e3,
+            rep.ttft.p99(),
             rep.utilization * 100.0,
             engine.partition_log().len().saturating_sub(1)
         );
@@ -47,8 +46,8 @@ fn main() {
             "backend",
             &serde_json::json!({
                 "backend": name,
-                "tbt_p99_ms": r.tbt.p99() * 1e3,
-                "ttft_p99_s": r.ttft.p99(),
+                "tbt_p99_ms": rep.tbt.p99() * 1e3,
+                "ttft_p99_s": rep.ttft.p99(),
                 "utilization": rep.utilization,
                 "reconfigs": engine.partition_log().len().saturating_sub(1),
             }),

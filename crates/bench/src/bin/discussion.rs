@@ -5,8 +5,12 @@
 //! (2) the contention-guard ablation — without worst-case estimation,
 //!     solo-run predictions under-provision decode partitions and the
 //!     TBT SLO leaks.
+//!
+//! Both the two hybrid-deployment runs and the 12-case guard grid run
+//! concurrently on the sweep pool; the main thread prints in order.
 
 use baselines::{HybridPd, SglangPd};
+use bench::sweep::parallel_map;
 use bench::systems::Testbed;
 use bench::{banner, save_record};
 use gpusim::GpuSim;
@@ -27,6 +31,18 @@ fn run(
     Driver::new(GpuSim::from_cluster(&tb.cluster), reqs, tb.slo).run(engine)
 }
 
+/// One evaluated cell of the §3.3 guard-planning grid.
+struct GuardCase {
+    bs: usize,
+    ctx_len: u64,
+    solo_pick: u32,
+    guard_pick: u32,
+    solo_actual: f64,
+    guard_actual: f64,
+    solo_pred: f64,
+    guard_bound: f64,
+}
+
 fn main() {
     let tb = Testbed::llama70b_a100();
 
@@ -36,46 +52,49 @@ fn main() {
         "system", "ttftAvg", "ttftP99", "tbtP99", "overflow"
     );
     let rate = 1.1;
-    let mut pd = SglangPd::new(&tb.model, &tb.cluster, tb.slo);
-    let rep = run(&mut pd, &tb, WorkloadKind::ToolAgent, 250, rate);
-    let mut r = rep.clone();
-    println!(
-        "{:<12} {:>9.2}s {:>9.2}s {:>8.1}ms {:>10}",
-        "SGLang-PD",
-        r.ttft.mean(),
-        r.ttft.p99(),
-        r.tbt.p99() * 1e3,
-        "-"
-    );
-    save_record(
-        "discussion",
-        &serde_json::json!({"system": "SGLang-PD", "rate": rate,
-            "ttft_p99_s": r.ttft.p99(), "tbt_p99_ms": r.tbt.p99() * 1e3}),
-    );
-
-    let mut hybrid = HybridPd::new(
-        &tb.model,
-        &tb.cluster,
-        tb.slo,
-        tb.est.predictor.clone(),
-        tb.est.guard.clone(),
-    );
-    let rep = run(&mut hybrid, &tb, WorkloadKind::ToolAgent, 250, rate);
-    let mut r = rep.clone();
-    println!(
-        "{:<12} {:>9.2}s {:>9.2}s {:>8.1}ms {:>10}",
-        "Hybrid",
-        r.ttft.mean(),
-        r.ttft.p99(),
-        r.tbt.p99() * 1e3,
-        hybrid.overflow_prefills()
-    );
-    save_record(
-        "discussion",
-        &serde_json::json!({"system": "Hybrid", "rate": rate,
-            "ttft_p99_s": r.ttft.p99(), "tbt_p99_ms": r.tbt.p99() * 1e3,
-            "overflow": hybrid.overflow_prefills()}),
-    );
+    // Each worker builds its own engine; overflow is `None` for the
+    // plain SGLang-PD run.
+    let hybrid_flags = [false, true];
+    let runs = parallel_map(&hybrid_flags, |&hybrid| {
+        if hybrid {
+            let mut engine = HybridPd::new(
+                &tb.model,
+                &tb.cluster,
+                tb.slo,
+                tb.est.predictor.clone(),
+                tb.est.guard.clone(),
+            );
+            let rep = run(&mut engine, &tb, WorkloadKind::ToolAgent, 250, rate);
+            (rep, Some(engine.overflow_prefills()))
+        } else {
+            let mut engine = SglangPd::new(&tb.model, &tb.cluster, tb.slo);
+            let rep = run(&mut engine, &tb, WorkloadKind::ToolAgent, 250, rate);
+            (rep, None)
+        }
+    });
+    for (rep, overflow) in &runs {
+        let name = if overflow.is_some() {
+            "Hybrid"
+        } else {
+            "SGLang-PD"
+        };
+        println!(
+            "{:<12} {:>9.2}s {:>9.2}s {:>8.1}ms {:>10}",
+            name,
+            rep.ttft.mean(),
+            rep.ttft.p99(),
+            rep.tbt.p99() * 1e3,
+            overflow.map_or("-".to_string(), |o| o.to_string())
+        );
+        let mut record = serde_json::json!({"system": name, "rate": rate,
+            "ttft_p99_s": rep.ttft.p99(), "tbt_p99_ms": rep.tbt.p99() * 1e3});
+        if let Some(o) = overflow {
+            record = serde_json::json!({"system": name, "rate": rate,
+                "ttft_p99_s": rep.ttft.p99(), "tbt_p99_ms": rep.tbt.p99() * 1e3,
+                "overflow": *o});
+        }
+        save_record("discussion", &record);
+    }
 
     banner("§3.3 ablation: partition planning with vs without the guard (H100)");
     // For a grid of decode states next to a heavy prefill, pick the
@@ -86,6 +105,76 @@ fn main() {
     let budget = tbh.slo.tbt.as_secs() * 0.9 - tbh.cluster.gpu.graph_launch.as_secs();
     let par = modelspec::Parallelism::tp(8, tbh.cluster.nvlink_gbs);
     let configs = tbh.cluster.gpu.partition_configs();
+    let grid: Vec<(usize, u64)> = [32usize, 96, 192, 256]
+        .into_iter()
+        .flat_map(|bs| [2_048u64, 8_192, 32_768].map(|ctx_len| (bs, ctx_len)))
+        .collect();
+    let cells = parallel_map(&grid, |&(bs, ctx_len)| {
+        let ctxs = vec![ctx_len; bs];
+        let pick = |use_guard: bool| -> u32 {
+            for &sms in &configs {
+                let solo = tbh.est.predictor.decode_latency(sms, &ctxs);
+                let f = if use_guard {
+                    tbh.est.guard.factor(&estimator::GuardQuery {
+                        prefill_new: 8_192,
+                        prefill_reused: 8_192,
+                        decode_batch: bs,
+                        decode_context: ctx_len,
+                        decode_sms: sms,
+                    })
+                } else {
+                    1.0
+                };
+                if solo * f <= budget {
+                    return sms;
+                }
+            }
+            *configs.last().expect("non-empty")
+        };
+        let actual = |sms: u32| -> f64 {
+            let q = estimator::GuardQuery {
+                prefill_new: 8_192,
+                prefill_reused: 8_192,
+                decode_batch: bs,
+                decode_context: ctx_len,
+                decode_sms: sms,
+            };
+            let slow = estimator::measure_decode_corun_slowdown(
+                &tbh.model,
+                &tbh.cluster,
+                &par,
+                &q,
+                tbh.cluster.gpu.sm_count - sms,
+            );
+            let sim = GpuSim::from_cluster(&tbh.cluster);
+            let solo = sim.solo_duration(sms, &tbh.model.decode_iter_work(&ctxs, &par));
+            solo * slow + tbh.cluster.gpu.graph_launch.as_secs()
+        };
+        let (sp, gp) = (pick(false), pick(true));
+        let (sa, ga) = (actual(sp), actual(gp));
+        let solo_pred =
+            tbh.est.predictor.decode_latency(sp, &ctxs) + tbh.cluster.gpu.graph_launch.as_secs();
+        let guard_bound = tbh.est.predictor.decode_latency(gp, &ctxs)
+            * tbh.est.guard.factor(&estimator::GuardQuery {
+                prefill_new: 8_192,
+                prefill_reused: 8_192,
+                decode_batch: bs,
+                decode_context: ctx_len,
+                decode_sms: gp,
+            })
+            + tbh.cluster.gpu.graph_launch.as_secs();
+        GuardCase {
+            bs,
+            ctx_len,
+            solo_pick: sp,
+            guard_pick: gp,
+            solo_actual: sa,
+            guard_actual: ga,
+            solo_pred,
+            guard_bound,
+        }
+    });
+
     let mut solo_viol = 0u32;
     let mut guard_viol = 0u32;
     let mut cases = 0u32;
@@ -96,90 +185,35 @@ fn main() {
         "{:<22} {:>9} {:>9} {:>11} {:>11}",
         "decode state", "soloPick", "guardPick", "soloActual", "guardActual"
     );
-    for bs in [32usize, 96, 192, 256] {
-        for ctx_len in [2_048u64, 8_192, 32_768] {
-            let ctxs = vec![ctx_len; bs];
-            let pick = |use_guard: bool| -> u32 {
-                for &sms in &configs {
-                    let solo = tbh.est.predictor.decode_latency(sms, &ctxs);
-                    let f = if use_guard {
-                        tbh.est.guard.factor(&estimator::GuardQuery {
-                            prefill_new: 8_192,
-                            prefill_reused: 8_192,
-                            decode_batch: bs,
-                            decode_context: ctx_len,
-                            decode_sms: sms,
-                        })
-                    } else {
-                        1.0
-                    };
-                    if solo * f <= budget {
-                        return sms;
-                    }
-                }
-                *configs.last().expect("non-empty")
-            };
-            let actual = |sms: u32| -> f64 {
-                let q = estimator::GuardQuery {
-                    prefill_new: 8_192,
-                    prefill_reused: 8_192,
-                    decode_batch: bs,
-                    decode_context: ctx_len,
-                    decode_sms: sms,
-                };
-                let slow = estimator::measure_decode_corun_slowdown(
-                    &tbh.model,
-                    &tbh.cluster,
-                    &par,
-                    &q,
-                    tbh.cluster.gpu.sm_count - sms,
-                );
-                let sim = GpuSim::from_cluster(&tbh.cluster);
-                let solo = sim.solo_duration(sms, &tbh.model.decode_iter_work(&ctxs, &par));
-                solo * slow + tbh.cluster.gpu.graph_launch.as_secs()
-            };
-            let (sp, gp) = (pick(false), pick(true));
-            let (sa, ga) = (actual(sp), actual(gp));
-            let target = tbh.slo.tbt.as_secs();
-            cases += 1;
-            // The guard's guarantee: solo × factor must cover the actual
-            // co-run latency, while the solo prediction alone does not.
-            let solo_pred = tbh.est.predictor.decode_latency(sp, &ctxs)
-                + tbh.cluster.gpu.graph_launch.as_secs();
-            if solo_pred < sa {
-                underestimates += 1;
-                max_underestimate = max_underestimate.max(sa / solo_pred - 1.0);
-            }
-            let bound = tbh.est.predictor.decode_latency(gp, &ctxs)
-                * tbh.est.guard.factor(&estimator::GuardQuery {
-                    prefill_new: 8_192,
-                    prefill_reused: 8_192,
-                    decode_batch: bs,
-                    decode_context: ctx_len,
-                    decode_sms: gp,
-                })
-                + tbh.cluster.gpu.graph_launch.as_secs();
-            if bound * 1.02 >= ga {
-                covered += 1;
-            }
-            if sa > target {
-                solo_viol += 1;
-            }
-            if ga > target {
-                guard_viol += 1;
-            }
-            println!(
-                "bs={:<4} ctx={:<9} {:>6}SMs {:>6}SMs {:>9.1}ms{} {:>9.1}ms{}",
-                bs,
-                ctx_len,
-                sp,
-                gp,
-                sa * 1e3,
-                if sa > target { "!" } else { " " },
-                ga * 1e3,
-                if ga > target { "!" } else { " " }
-            );
+    let target = tbh.slo.tbt.as_secs();
+    for c in &cells {
+        cases += 1;
+        // The guard's guarantee: solo × factor must cover the actual
+        // co-run latency, while the solo prediction alone does not.
+        if c.solo_pred < c.solo_actual {
+            underestimates += 1;
+            max_underestimate = max_underestimate.max(c.solo_actual / c.solo_pred - 1.0);
         }
+        if c.guard_bound * 1.02 >= c.guard_actual {
+            covered += 1;
+        }
+        if c.solo_actual > target {
+            solo_viol += 1;
+        }
+        if c.guard_actual > target {
+            guard_viol += 1;
+        }
+        println!(
+            "bs={:<4} ctx={:<9} {:>6}SMs {:>6}SMs {:>9.1}ms{} {:>9.1}ms{}",
+            c.bs,
+            c.ctx_len,
+            c.solo_pick,
+            c.guard_pick,
+            c.solo_actual * 1e3,
+            if c.solo_actual > target { "!" } else { " " },
+            c.guard_actual * 1e3,
+            if c.guard_actual > target { "!" } else { " " }
+        );
     }
     println!(
         "

@@ -2,65 +2,86 @@
 //! traces (Conversation, Tool&Agent) for Llama-8B and Llama-70B across
 //! all five systems. P99 TTFT / TBT are the Fig. 14 bars; the
 //! Avg/P50 columns of the 70B runs reproduce Tables 3 and 4.
+//!
+//! All 4 panels × 5 systems run concurrently on the sweep pool; rows are
+//! printed afterwards in panel order, so output matches a sequential run.
 
 use bench::harness::{real_world_trace, run_trace, LatencyRow};
+use bench::sweep::parallel_map;
 use bench::systems::{SystemKind, Testbed};
 use bench::{banner, save_record};
-use workload::WorkloadKind;
+use workload::{RequestSpec, WorkloadKind};
 
 /// Trace length in simulated seconds.
 const DURATION: usize = 600;
 
-fn run_panel(tb: &Testbed, workload: WorkloadKind, base_rate: f64, label: &str) {
-    banner(&format!("Figure 14 panel: {label}"));
-    LatencyRow::print_header();
-    let trace = real_world_trace(workload, DURATION, base_rate, 0xF14);
-    for kind in SystemKind::headline() {
-        let Some(report) = run_trace(tb, kind, trace.clone()) else {
-            println!("{:<11} (unsupported)", kind.name());
-            continue;
-        };
-        let row = LatencyRow::from_report(kind.name(), &report);
-        row.print();
-        save_record(
-            "fig14",
-            &serde_json::json!({
-                "panel": label,
-                "row": row,
-                "p99_ttft_s": row.ttft_p99,
-                "p99_tbt_ms": row.tbt_p99_ms,
-            }),
-        );
-    }
-}
-
 fn main() {
     let tb8 = Testbed::llama8b_a100();
-    run_panel(
-        &tb8,
-        WorkloadKind::Conversation,
-        1.2,
-        "(a) Llama-8B / Conversation",
-    );
-    run_panel(
-        &tb8,
-        WorkloadKind::ToolAgent,
-        1.2,
-        "(b) Llama-8B / Tool&Agent",
-    );
     let tb70 = Testbed::llama70b_a100();
-    run_panel(
-        &tb70,
-        WorkloadKind::Conversation,
-        0.35,
-        "(c) Llama-70B / Conversation (Table 3)",
-    );
-    run_panel(
-        &tb70,
-        WorkloadKind::ToolAgent,
-        0.35,
-        "(d) Llama-70B / Tool&Agent (Table 4)",
-    );
+    let panels: Vec<(&Testbed, WorkloadKind, f64, &str)> = vec![
+        (
+            &tb8,
+            WorkloadKind::Conversation,
+            1.2,
+            "(a) Llama-8B / Conversation",
+        ),
+        (
+            &tb8,
+            WorkloadKind::ToolAgent,
+            1.2,
+            "(b) Llama-8B / Tool&Agent",
+        ),
+        (
+            &tb70,
+            WorkloadKind::Conversation,
+            0.35,
+            "(c) Llama-70B / Conversation (Table 3)",
+        ),
+        (
+            &tb70,
+            WorkloadKind::ToolAgent,
+            0.35,
+            "(d) Llama-70B / Tool&Agent (Table 4)",
+        ),
+    ];
+    let traces: Vec<Vec<RequestSpec>> = panels
+        .iter()
+        .map(|&(_, workload, base_rate, _)| real_world_trace(workload, DURATION, base_rate, 0xF14))
+        .collect();
+
+    // One job per (panel, system); workers only compute, the main thread
+    // prints in submission order below.
+    let jobs: Vec<(usize, SystemKind)> = (0..panels.len())
+        .flat_map(|p| SystemKind::headline().map(|kind| (p, kind)))
+        .collect();
+    let reports = parallel_map(&jobs, |&(p, kind)| {
+        run_trace(panels[p].0, kind, traces[p].clone())
+    });
+
+    let mut results = jobs.iter().zip(reports);
+    for (p, &(_, _, _, label)) in panels.iter().enumerate() {
+        banner(&format!("Figure 14 panel: {label}"));
+        LatencyRow::print_header();
+        for _ in SystemKind::headline() {
+            let (&(jp, kind), report) = results.next().expect("one result per job");
+            debug_assert_eq!(jp, p);
+            let Some(report) = report else {
+                println!("{:<11} (unsupported)", kind.name());
+                continue;
+            };
+            let row = LatencyRow::from_report(kind.name(), &report);
+            row.print();
+            save_record(
+                "fig14",
+                &serde_json::json!({
+                    "panel": label,
+                    "row": row,
+                    "p99_ttft_s": row.ttft_p99,
+                    "p99_tbt_ms": row.tbt_p99_ms,
+                }),
+            );
+        }
+    }
     println!(
         "\nExpected shape (paper): MuxWise has the best P99 TTFT (3.57x over chunked, \
          5.98x over NanoFlow, 4.65x over LoongServe, 1.66x over SGLang-PD on average); \

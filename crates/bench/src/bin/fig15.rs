@@ -5,30 +5,32 @@
 //! system's **goodput** is the highest rate at which it stays stable and
 //! keeps P99 TBT within the SLO. Table 5 reports token throughput and
 //! GPU utilization at each system's goodput point.
+//!
+//! Every (system × rate) grid point runs concurrently on the sweep pool
+//! ([`bench::sweep::parallel_goodput`]); the per-system results are
+//! identical to the sequential `find_goodput` sweep.
 
-use bench::harness::stability_run;
+use bench::sweep::parallel_goodput;
 use bench::systems::{SystemKind, Testbed};
 use bench::{banner, save_record};
-use serving::find_goodput;
 use workload::WorkloadKind;
 
 const SEED: u64 = 0xF15;
 
 fn sweep(tb: &Testbed, label: &str, n_reqs: usize, rates: &[f64]) {
     banner(&format!("Figure 15: SLO attainment sweep — {label}"));
+    let kinds = SystemKind::headline();
+    let results = parallel_goodput(tb, &kinds, WorkloadKind::ToolAgent, n_reqs, rates, SEED);
     let mut goodputs: Vec<(SystemKind, f64, f64, f64)> = Vec::new();
-    for kind in SystemKind::headline() {
-        if tb.build(kind).is_none() {
+    for (kind, result) in kinds.into_iter().zip(results) {
+        let Some(result) = result else {
             println!("{:<11} (unsupported)", kind.name());
             continue;
-        }
+        };
         println!(
             "{:<11} rate→(p99TBT ms, p99TTFT s, attain%, util%)",
             kind.name()
         );
-        let result = find_goodput(rates, tb.slo.tbt.as_secs(), |rate| {
-            stability_run(tb, kind, WorkloadKind::ToolAgent, n_reqs, rate, SEED).expect("buildable")
-        });
         for p in &result.points {
             println!(
                 "   {:>5.2}/s: ({:>6.1}, {:>6.2}, {:>5.1}%, {:>5.1}%){}",

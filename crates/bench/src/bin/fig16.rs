@@ -2,40 +2,60 @@
 //! MuxWise vs chunked-prefill for Llama-8B/70B on 8×H100 and
 //! Qwen3-235B-A22B on 8×H200 (disaggregated systems cannot host the MoE
 //! model, as the paper notes).
+//!
+//! All 3 panels × 2 systems run concurrently on the sweep pool; rows are
+//! printed afterwards in panel order, so output matches a sequential run.
 
 use bench::harness::{real_world_trace, run_trace, LatencyRow};
+use bench::sweep::parallel_map;
 use bench::systems::{SystemKind, Testbed};
 use bench::{banner, save_record};
-use workload::WorkloadKind;
+use workload::{RequestSpec, WorkloadKind};
 
-fn panel(tb: &Testbed, base_rate: f64, label: &str) {
-    banner(&format!("Figure 16 panel: {label}"));
-    LatencyRow::print_header();
-    let trace = real_world_trace(WorkloadKind::ToolAgent, 600, base_rate, 0xF16);
-    let mut rows = Vec::new();
-    for kind in [SystemKind::MuxWise, SystemKind::Chunked] {
-        let Some(report) = run_trace(tb, kind, trace.clone()) else {
-            println!("{:<11} (unsupported)", kind.name());
-            continue;
-        };
-        let row = LatencyRow::from_report(kind.name(), &report);
-        row.print();
-        save_record("fig16", &serde_json::json!({"panel": label, "row": row}));
-        rows.push(row);
-    }
-    if rows.len() == 2 {
-        println!(
-            "   speedup: TTFT p99 {:.2}x, TBT p99 {:.2}x",
-            rows[1].ttft_p99 / rows[0].ttft_p99,
-            rows[1].tbt_p99_ms / rows[0].tbt_p99_ms
-        );
-    }
-}
+const KINDS: [SystemKind; 2] = [SystemKind::MuxWise, SystemKind::Chunked];
 
 fn main() {
-    panel(&Testbed::llama8b_h100(), 4.0, "Llama-8B / 8xH100");
-    panel(&Testbed::llama70b_h100(), 1.0, "Llama-70B / 8xH100");
-    panel(&Testbed::qwen235b_h200(), 1.2, "Qwen3-235B-A22B / 8xH200");
+    let panels: Vec<(Testbed, f64, &str)> = vec![
+        (Testbed::llama8b_h100(), 4.0, "Llama-8B / 8xH100"),
+        (Testbed::llama70b_h100(), 1.0, "Llama-70B / 8xH100"),
+        (Testbed::qwen235b_h200(), 1.2, "Qwen3-235B-A22B / 8xH200"),
+    ];
+    let traces: Vec<Vec<RequestSpec>> = panels
+        .iter()
+        .map(|&(_, base_rate, _)| real_world_trace(WorkloadKind::ToolAgent, 600, base_rate, 0xF16))
+        .collect();
+
+    let jobs: Vec<(usize, SystemKind)> = (0..panels.len())
+        .flat_map(|p| KINDS.map(|kind| (p, kind)))
+        .collect();
+    let reports = parallel_map(&jobs, |&(p, kind)| {
+        run_trace(&panels[p].0, kind, traces[p].clone())
+    });
+
+    let mut results = jobs.iter().zip(reports);
+    for (_, _, label) in &panels {
+        banner(&format!("Figure 16 panel: {label}"));
+        LatencyRow::print_header();
+        let mut rows = Vec::new();
+        for _ in KINDS {
+            let (&(_, kind), report) = results.next().expect("one result per job");
+            let Some(report) = report else {
+                println!("{:<11} (unsupported)", kind.name());
+                continue;
+            };
+            let row = LatencyRow::from_report(kind.name(), &report);
+            row.print();
+            save_record("fig16", &serde_json::json!({"panel": label, "row": row}));
+            rows.push(row);
+        }
+        if rows.len() == 2 {
+            println!(
+                "   speedup: TTFT p99 {:.2}x, TBT p99 {:.2}x",
+                rows[1].ttft_p99 / rows[0].ttft_p99,
+                rows[1].tbt_p99_ms / rows[0].tbt_p99_ms
+            );
+        }
+    }
     println!(
         "\nExpected shape (paper): MuxWise averages 2.28x on P99 TTFT and 1.81x on \
          P99 TBT over chunked-prefill across the three testbeds."

@@ -1,17 +1,22 @@
 //! Figure 17: P99 TTFT/TBT and goodput on three synthetic workloads with
 //! Llama-70B — ShareGPT (moderate/moderate), LooGLE (ultra-long input,
 //! short output), OpenThoughts (short input, ultra-long output).
+//!
+//! Each panel's (system × rate) grid and its mid-rate snapshot run on
+//! the sweep pool; printed output matches the sequential sweep.
 
-use bench::harness::{goodput_sweep, stability_run};
+use bench::sweep::{parallel_goodput, run_sweep, SweepJob};
 use bench::systems::{SystemKind, Testbed};
 use bench::{banner, save_record};
 use workload::WorkloadKind;
 
 fn panel(tb: &Testbed, workload: WorkloadKind, n: usize, rates: &[f64]) {
     banner(&format!("Figure 17 panel: Llama-70B / {}", workload.name()));
+    let kinds = SystemKind::headline();
+    let results = parallel_goodput(tb, &kinds, workload, n, rates, 0xF17);
     let mut goodputs = Vec::new();
-    for kind in SystemKind::headline() {
-        let Some(result) = goodput_sweep(tb, kind, workload, n, rates, 0xF17) else {
+    for (kind, result) in kinds.into_iter().zip(results) {
+        let Some(result) = result else {
             println!("{:<11} (unsupported)", kind.name());
             continue;
         };
@@ -49,14 +54,23 @@ fn panel(tb: &Testbed, workload: WorkloadKind, n: usize, rates: &[f64]) {
     }
     // A quick latency snapshot at the middle rate for the record.
     let mid = rates[rates.len() / 2];
-    for kind in SystemKind::headline() {
-        if let Some(rep) = stability_run(tb, kind, workload, n, mid, 0xF17) {
-            let mut r = rep.clone();
+    let jobs: Vec<SweepJob<'_>> = SystemKind::headline()
+        .map(|kind| SweepJob {
+            tb,
+            kind,
+            workload,
+            n,
+            rate: mid,
+            seed: 0xF17,
+        })
+        .to_vec();
+    for (job, rep) in jobs.iter().zip(run_sweep(&jobs)) {
+        if let Some(rep) = rep {
             save_record(
                 "fig17_snapshot",
                 &serde_json::json!({
-                    "workload": workload.name(), "system": kind.name(), "rate": mid,
-                    "p99_ttft_s": r.ttft.p99(), "p99_tbt_ms": r.tbt.p99() * 1e3,
+                    "workload": workload.name(), "system": job.kind.name(), "rate": mid,
+                    "p99_ttft_s": rep.ttft.p99(), "p99_tbt_ms": rep.tbt.p99() * 1e3,
                 }),
             );
         }

@@ -20,7 +20,7 @@ fn run_and_log(tb: &Testbed, reqs: Vec<workload::RequestSpec>, label: &str) {
         tb.est.clone(),
         MuxWiseConfig::default(),
     );
-    Driver::new(GpuSim::from_cluster(&tb.cluster), reqs, tb.slo).run(&mut engine);
+    let rep = Driver::new(GpuSim::from_cluster(&tb.cluster), reqs, tb.slo).run(&mut engine);
     let log = engine.partition_log();
     let mut histogram = std::collections::BTreeMap::new();
     for w in log.windows(2) {
@@ -28,7 +28,9 @@ fn run_and_log(tb: &Testbed, reqs: Vec<workload::RequestSpec>, label: &str) {
         *histogram.entry(w[0].1).or_insert(0.0) += dur;
     }
     if let Some(&(t, sms)) = log.last() {
-        *histogram.entry(sms).or_insert(0.0) += 1.0_f64.max((t - t).as_secs());
+        // Credit the final configuration with the remainder of the run.
+        let end = simcore::SimTime::ZERO + rep.makespan;
+        *histogram.entry(sms).or_insert(0.0) += 1.0_f64.max((end - t).as_secs());
     }
     let total: f64 = histogram.values().sum();
     println!(

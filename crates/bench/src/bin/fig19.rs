@@ -1,7 +1,11 @@
 //! Figure 19: ablation of the bubble-less multiplex engine — MuxWise vs
 //! (−layer-wise execution) vs (−layer-wise −query-based sync) on the
 //! Tool&Agent workload, for Llama-8B and Llama-70B.
+//!
+//! All (rate × variant) points of a panel run concurrently on the sweep
+//! pool; rows are printed afterwards in sweep order.
 
+use bench::sweep::parallel_map;
 use bench::systems::Testbed;
 use bench::{banner, save_record};
 use gpusim::GpuSim;
@@ -17,38 +21,47 @@ fn run(tb: &Testbed, cfg: MuxWiseConfig, rate: f64, n: usize) -> serving::Report
     Driver::new(GpuSim::from_cluster(&tb.cluster), reqs, tb.slo).run(&mut engine)
 }
 
+fn variants() -> [(&'static str, MuxWiseConfig); 3] {
+    [
+        ("full engine", MuxWiseConfig::default()),
+        ("- layer-wise", MuxWiseConfig::without_layer_wise()),
+        ("- layer-wise - qsync", MuxWiseConfig::without_query_sync()),
+    ]
+}
+
 fn panel(tb: &Testbed, rates: &[f64], n: usize, label: &str) {
     banner(&format!("Figure 19 panel: {label}"));
     println!(
         "{:<24} {:>8} {:>10} {:>10} {:>10}",
         "variant", "rate", "tbtAvg", "tbtP99", "ttftP99"
     );
-    for &rate in rates {
-        for (name, cfg) in [
-            ("full engine", MuxWiseConfig::default()),
-            ("- layer-wise", MuxWiseConfig::without_layer_wise()),
-            ("- layer-wise - qsync", MuxWiseConfig::without_query_sync()),
-        ] {
-            let rep = run(tb, cfg, rate, n);
-            let mut r = rep.clone();
-            println!(
-                "{:<24} {:>6.1}/s {:>8.1}ms {:>8.1}ms {:>9.2}s",
-                name,
-                rate,
-                r.tbt.mean() * 1e3,
-                r.tbt.p99() * 1e3,
-                r.ttft.p99()
-            );
-            save_record(
-                "fig19",
-                &serde_json::json!({
-                    "panel": label, "variant": name, "rate": rate,
-                    "tbt_avg_ms": r.tbt.mean() * 1e3,
-                    "tbt_p99_ms": r.tbt.p99() * 1e3,
-                    "ttft_p99_s": r.ttft.p99(),
-                }),
-            );
-        }
+    let jobs: Vec<(f64, &'static str, MuxWiseConfig)> = rates
+        .iter()
+        .flat_map(|&rate| {
+            variants()
+                .into_iter()
+                .map(move |(name, cfg)| (rate, name, cfg))
+        })
+        .collect();
+    let reports = parallel_map(&jobs, |(rate, _, cfg)| run(tb, cfg.clone(), *rate, n));
+    for ((rate, name, _), rep) in jobs.iter().zip(&reports) {
+        println!(
+            "{:<24} {:>6.1}/s {:>8.1}ms {:>8.1}ms {:>9.2}s",
+            name,
+            rate,
+            rep.tbt.mean() * 1e3,
+            rep.tbt.p99() * 1e3,
+            rep.ttft.p99()
+        );
+        save_record(
+            "fig19",
+            &serde_json::json!({
+                "panel": label, "variant": *name, "rate": *rate,
+                "tbt_avg_ms": rep.tbt.mean() * 1e3,
+                "tbt_p99_ms": rep.tbt.p99() * 1e3,
+                "ttft_p99_s": rep.ttft.p99(),
+            }),
+        );
     }
 }
 

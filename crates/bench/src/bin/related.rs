@@ -2,8 +2,11 @@
 //! plain-stream multiplexer (paper: 1.61× goodput on ShareGPT, Llama-8B,
 //! A100, 50 ms TBT) and vs the enhanced temporal-only variant
 //! (paper: temporal-only is at least 20 % worse).
+//!
+//! The whole (system × rate) grid runs concurrently on the sweep pool;
+//! per-system results are identical to the sequential goodput sweep.
 
-use bench::harness::goodput_sweep;
+use bench::sweep::parallel_goodput;
 use bench::systems::{SystemKind, Testbed};
 use bench::{banner, save_record};
 use workload::WorkloadKind;
@@ -18,14 +21,15 @@ fn main() {
         serving::SloSpec::llama8b(),
     );
     let rates = [4.0, 8.0, 12.0, 16.0, 20.0, 25.0, 30.0, 36.0, 43.0];
-    let mut results = Vec::new();
-    for kind in [
+    let kinds = [
         SystemKind::MuxWise,
         SystemKind::WindServe,
         SystemKind::TemporalMux,
-    ] {
-        let result = goodput_sweep(&tb, kind, WorkloadKind::ShareGpt, 600, &rates, 0x6E1)
-            .expect("all three are buildable");
+    ];
+    let sweeps = parallel_goodput(&tb, &kinds, WorkloadKind::ShareGpt, 600, &rates, 0x6E1);
+    let mut results = Vec::new();
+    for (kind, result) in kinds.into_iter().zip(sweeps) {
+        let result = result.expect("all three are buildable");
         println!(
             "{:<11} goodput {:.1} req/s ({:.0} tok/s)",
             kind.name(),

@@ -1,10 +1,18 @@
 //! `serve` — the command-line driver: run any serving system over a
 //! generated or replayed trace and print the latency report.
 //!
+//! `--system` accepts a comma-separated list; the systems run
+//! concurrently on the sweep pool and their rows print in list order.
+//!
 //! ```sh
 //! cargo run --release -p bench --bin serve -- \
 //!     --system muxwise --model llama-70b --gpu a100 \
 //!     --workload tool-agent --requests 200 --rate 1.0
+//!
+//! # Compare several systems over one trace in a single run:
+//! cargo run --release -p bench --bin serve -- \
+//!     --system muxwise,chunked,sglang-pd --model llama-8b \
+//!     --workload sharegpt --requests 500 --rate 8
 //!
 //! # Replay a saved trace against chunked prefill:
 //! cargo run --release -p bench --bin serve -- \
@@ -17,6 +25,7 @@
 //! ```
 
 use bench::harness::LatencyRow;
+use bench::sweep::parallel_map;
 use bench::systems::{SystemKind, Testbed};
 use gpusim::{ClusterSpec, GpuSim};
 use modelspec::ModelSpec;
@@ -26,7 +35,7 @@ use workload::{generate, trace, RequestSpec, WorkloadKind};
 
 #[derive(Debug)]
 struct Args {
-    system: SystemKind,
+    systems: Vec<SystemKind>,
     model: ModelSpec,
     cluster: ClusterSpec,
     workload: WorkloadKind,
@@ -41,7 +50,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve [--system muxwise|muxwise-preempt|chunked|nanoflow|loongserve|sglang-pd|windserve|temporal]\n\
+        "usage: serve [--system muxwise|muxwise-preempt|chunked|nanoflow|loongserve|sglang-pd|windserve|temporal[,...]]\n\
          \x20            [--model llama-8b|llama-70b|qwen-235b|codellama-34b]\n\
          \x20            [--gpu a100|h100|h200] [--gpus N]\n\
          \x20            [--workload sharegpt|loogle|openthoughts|conversation|tool-agent]\n\
@@ -52,9 +61,26 @@ fn usage() -> ! {
     std::process::exit(2)
 }
 
+fn parse_system(name: &str) -> SystemKind {
+    match name {
+        "muxwise" => SystemKind::MuxWise,
+        "muxwise-preempt" => SystemKind::MuxWisePreempt,
+        "chunked" => SystemKind::Chunked,
+        "nanoflow" => SystemKind::NanoFlow,
+        "loongserve" => SystemKind::LoongServe,
+        "sglang-pd" => SystemKind::SglangPd,
+        "windserve" => SystemKind::WindServe,
+        "temporal" => SystemKind::TemporalMux,
+        other => {
+            eprintln!("unknown system: {other}");
+            usage()
+        }
+    }
+}
+
 fn parse_args() -> Args {
     let mut args = Args {
-        system: SystemKind::MuxWise,
+        systems: vec![SystemKind::MuxWise],
         model: ModelSpec::llama8b(),
         cluster: ClusterSpec::dgx_a100(),
         workload: WorkloadKind::ShareGpt,
@@ -76,19 +102,12 @@ fn parse_args() -> Args {
         };
         match flag.as_str() {
             "--system" => {
-                args.system = match value("--system").as_str() {
-                    "muxwise" => SystemKind::MuxWise,
-                    "muxwise-preempt" => SystemKind::MuxWisePreempt,
-                    "chunked" => SystemKind::Chunked,
-                    "nanoflow" => SystemKind::NanoFlow,
-                    "loongserve" => SystemKind::LoongServe,
-                    "sglang-pd" => SystemKind::SglangPd,
-                    "windserve" => SystemKind::WindServe,
-                    "temporal" => SystemKind::TemporalMux,
-                    other => {
-                        eprintln!("unknown system: {other}");
-                        usage()
-                    }
+                args.systems = value("--system")
+                    .split(',')
+                    .map(|s| parse_system(s.trim()))
+                    .collect();
+                if args.systems.is_empty() {
+                    usage()
                 }
             }
             "--model" => {
@@ -185,11 +204,12 @@ fn main() {
         println!("trace saved to {path} ({} requests)", reqs.len());
     }
 
+    let names: Vec<&str> = args.systems.iter().map(|s| s.name()).collect();
     println!(
         "serving {} requests of {} with {} on {}x{} ({} TBT target)",
         reqs.len(),
         args.workload.name(),
-        args.system.name(),
+        names.join(","),
         args.cluster.num_gpus,
         args.cluster.gpu.name,
         slo.tbt,
@@ -212,28 +232,41 @@ fn main() {
             Testbed::new(args.model, args.cluster, slo)
         }
     };
-    let Some(mut engine) = tb.build(args.system) else {
-        eprintln!(
-            "{} cannot host {} on this cluster (instance too small)",
-            args.system.name(),
-            tb.model.name
-        );
-        std::process::exit(1);
-    };
-    let report = Driver::new(GpuSim::from_cluster(&tb.cluster), reqs, slo).run(engine.as_mut());
+    for &system in &args.systems {
+        if tb.build(system).is_none() {
+            eprintln!(
+                "{} cannot host {} on this cluster (instance too small)",
+                system.name(),
+                tb.model.name
+            );
+            std::process::exit(1);
+        }
+    }
+    let reports = parallel_map(&args.systems, |&system| {
+        let mut engine = tb.build(system).expect("checked above");
+        Driver::new(GpuSim::from_cluster(&tb.cluster), reqs.clone(), slo).run(engine.as_mut())
+    });
     println!();
     LatencyRow::print_header();
-    LatencyRow::from_report(args.system.name(), &report).print();
-    let mut r = report.clone();
-    println!(
-        "\ntokens/s {:.0} | GPU util {:.1}% | bubble {:.1}% | TBT SLO {}",
-        r.token_throughput(),
-        r.utilization * 100.0,
-        r.bubble_ratio * 100.0,
-        if r.meets_tbt_slo() {
-            "met at P99"
+    for (system, report) in args.systems.iter().zip(&reports) {
+        LatencyRow::from_report(system.name(), report).print();
+    }
+    for (system, report) in args.systems.iter().zip(&reports) {
+        let tag = if args.systems.len() > 1 {
+            format!("{}: ", system.name())
         } else {
-            "VIOLATED"
-        },
-    );
+            String::new()
+        };
+        println!(
+            "\n{tag}tokens/s {:.0} | GPU util {:.1}% | bubble {:.1}% | TBT SLO {}",
+            report.token_throughput(),
+            report.utilization * 100.0,
+            report.bubble_ratio * 100.0,
+            if report.meets_tbt_slo() {
+                "met at P99"
+            } else {
+                "VIOLATED"
+            },
+        );
+    }
 }

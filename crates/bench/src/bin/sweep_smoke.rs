@@ -1,0 +1,94 @@
+//! `sweep_smoke` — times the parallel sweep runner against the
+//! sequential path on a representative experiment grid, verifies the
+//! results are identical, and writes the measurements to
+//! `BENCH_sweep.json`.
+//!
+//! The grid is 2 systems × 4 rates of the Fig. 15-style stability sweep
+//! (small request counts so the smoke run finishes in seconds). On a
+//! ≥4-core machine the parallel pass should be ≥2× faster; on fewer
+//! cores the speedup degrades gracefully (and with 1 thread the pool
+//! falls back to the sequential path exactly).
+
+use std::time::Instant;
+
+use bench::banner;
+use bench::sweep::{num_threads, run_sweep, SweepJob};
+use bench::systems::{SystemKind, Testbed};
+use workload::WorkloadKind;
+
+fn main() {
+    banner("sweep_smoke: parallel sweep runner vs sequential baseline");
+    let tb = Testbed::llama8b_a100();
+    let tb = &tb;
+    let jobs: Vec<SweepJob<'_>> = [SystemKind::MuxWise, SystemKind::Chunked]
+        .into_iter()
+        .flat_map(|kind| {
+            [2.0f64, 4.0, 6.0, 8.0]
+                .into_iter()
+                .map(move |rate| SweepJob {
+                    tb,
+                    kind,
+                    workload: WorkloadKind::ShareGpt,
+                    n: 150,
+                    rate,
+                    seed: 0x50_0E,
+                })
+        })
+        .collect();
+
+    // Warm-up pass so neither timed pass pays one-time costs (page
+    // faults, lazy allocations).
+    let _ = jobs[0].run();
+
+    let t0 = Instant::now();
+    let sequential: Vec<_> = jobs.iter().map(SweepJob::run).collect();
+    let wall_seq = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel = run_sweep(&jobs);
+    let wall_par = t1.elapsed().as_secs_f64();
+
+    assert_eq!(
+        parallel, sequential,
+        "parallel sweep must be bit-identical to the sequential path"
+    );
+
+    let sim_secs: f64 = sequential
+        .iter()
+        .flatten()
+        .map(|r| r.makespan.as_secs())
+        .sum();
+    let threads = num_threads();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let speedup = wall_seq / wall_par;
+
+    println!("jobs: {} (2 systems x 4 rates)", jobs.len());
+    println!("threads: {threads} (cores available: {cores})");
+    println!(
+        "sequential: {wall_seq:.3}s wall, {:.0} sim-s/wall-s",
+        sim_secs / wall_seq
+    );
+    println!(
+        "parallel:   {wall_par:.3}s wall, {:.0} sim-s/wall-s",
+        sim_secs / wall_par
+    );
+    println!("speedup: {speedup:.2}x (expect >=2x on a >=4-core runner)");
+
+    let record = serde_json::json!({
+        "bench": "sweep_smoke",
+        "jobs": jobs.len(),
+        "threads": threads,
+        "cores": cores,
+        "simulated_seconds": sim_secs,
+        "wall_sequential_s": wall_seq,
+        "wall_parallel_s": wall_par,
+        "sim_seconds_per_wall_second_sequential": sim_secs / wall_seq,
+        "sim_seconds_per_wall_second_parallel": sim_secs / wall_par,
+        "speedup": speedup,
+        "identical_results": true,
+    });
+    match std::fs::write("BENCH_sweep.json", format!("{record}\n")) {
+        Ok(()) => println!("wrote BENCH_sweep.json"),
+        Err(e) => eprintln!("failed to write BENCH_sweep.json: {e}"),
+    }
+}

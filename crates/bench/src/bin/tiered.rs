@@ -4,7 +4,11 @@
 //!
 //! For each turn we account three ways of obtaining the context's KV:
 //! device hit (free), host hit (PCIe fetch), recompute (prefill FLOPs).
+//!
+//! The five host-memory sizes run concurrently on the sweep pool; each
+//! worker replays the whole shared trace against its own pool.
 
+use bench::sweep::parallel_map;
 use bench::{banner, save_record};
 use gpusim::{ClusterSpec, GpuSim};
 use kvcache::TieredPool;
@@ -15,12 +19,19 @@ use workload::{generate_sessions, WorkloadKind};
 /// PCIe Gen4 x16 effective bandwidth per GPU, GB/s.
 const PCIE_GBS: f64 = 25.0;
 
+struct TierRow {
+    device_frac: f64,
+    host_frac: f64,
+    miss_frac: f64,
+    fetch_ms_per_req: f64,
+    recompute_ms_per_req: f64,
+}
+
 fn main() {
     banner("Extension: host-memory KV tier (device hit / host fetch / recompute)");
     let cluster = ClusterSpec::dgx_a100();
     let model = ModelSpec::llama70b();
     let par = Parallelism::tp(8, cluster.nvlink_gbs);
-    let sim = GpuSim::from_cluster(&cluster);
     let kv_per_token = model.kv_bytes_per_token();
 
     let device_gb = 400.0; // ≈ the shared pool of an 8xA100 deployment
@@ -29,11 +40,9 @@ fn main() {
     let mut rng = SimRng::seed_from(0x71E2);
     let reqs = generate_sessions(WorkloadKind::ToolAgent, 4000, 0.5, 120.0, &mut rng);
 
-    println!(
-        "{:>10} {:>12} {:>12} {:>12} {:>14} {:>14}",
-        "host (GB)", "device hit", "host hit", "recompute", "fetch ms/req", "recmp ms/req"
-    );
-    for host_gb in [0.0, 512.0, 1024.0, 2048.0, 4096.0] {
+    let host_gbs = [0.0, 512.0, 1024.0, 2048.0, 4096.0];
+    let rows = parallel_map(&host_gbs, |&host_gb| {
+        let sim = GpuSim::from_cluster(&cluster);
         let host_tokens = ((host_gb * 1e9 / kv_per_token) as u64).max(1);
         let mut pool = TieredPool::new(device_tokens, host_tokens, 64);
         let mut recompute_tokens = 0u64;
@@ -63,25 +72,36 @@ fn main() {
             pool.insert(&full.blocks(64), r.arrival);
         }
         let d = pool.device_stats();
-        let device_frac = d.hit_tokens as f64 / lookup_tokens as f64;
-        let host_frac = pool.host_hit_tokens() as f64 / lookup_tokens as f64;
-        let miss_frac = recompute_tokens as f64 / lookup_tokens as f64;
+        TierRow {
+            device_frac: d.hit_tokens as f64 / lookup_tokens as f64,
+            host_frac: pool.host_hit_tokens() as f64 / lookup_tokens as f64,
+            miss_frac: recompute_tokens as f64 / lookup_tokens as f64,
+            fetch_ms_per_req: fetch_secs * 1e3 / reqs.len() as f64,
+            recompute_ms_per_req: recompute_secs * 1e3 / reqs.len() as f64,
+        }
+    });
+
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>14} {:>14}",
+        "host (GB)", "device hit", "host hit", "recompute", "fetch ms/req", "recmp ms/req"
+    );
+    for (host_gb, row) in host_gbs.iter().zip(&rows) {
         println!(
             "{:>10.0} {:>11.1}% {:>11.1}% {:>11.1}% {:>13.2} {:>13.1}",
             host_gb,
-            device_frac * 100.0,
-            host_frac * 100.0,
-            miss_frac * 100.0,
-            fetch_secs * 1e3 / reqs.len() as f64,
-            recompute_secs * 1e3 / reqs.len() as f64,
+            row.device_frac * 100.0,
+            row.host_frac * 100.0,
+            row.miss_frac * 100.0,
+            row.fetch_ms_per_req,
+            row.recompute_ms_per_req,
         );
         save_record(
             "tiered",
             &serde_json::json!({
-                "host_gb": host_gb, "device_hit": device_frac,
-                "host_hit": host_frac, "recompute": miss_frac,
-                "fetch_ms_per_req": fetch_secs * 1e3 / reqs.len() as f64,
-                "recompute_ms_per_req": recompute_secs * 1e3 / reqs.len() as f64,
+                "host_gb": *host_gb, "device_hit": row.device_frac,
+                "host_hit": row.host_frac, "recompute": row.miss_frac,
+                "fetch_ms_per_req": row.fetch_ms_per_req,
+                "recompute_ms_per_req": row.recompute_ms_per_req,
             }),
         );
     }

@@ -79,7 +79,7 @@ pub fn stability_run(
     let grace = (60.0 + max_out * tb.slo.tbt.as_secs() * 0.35).min(1_800.0);
     let span = n as f64 / rate;
     let mut report = run_poisson_horizon(tb, kind, workload, n, rate, seed, grace)?;
-    if report.ttft.clone().p99() > 0.5 * span {
+    if report.ttft.p99() > 0.5 * span {
         report.diverged = true;
     }
     Some(report)
@@ -155,8 +155,7 @@ pub struct LatencyRow {
 
 impl LatencyRow {
     /// Extracts the row from a run report.
-    pub fn from_report(system: &str, report: &Report) -> LatencyRow {
-        let mut r = report.clone();
+    pub fn from_report(system: &str, r: &Report) -> LatencyRow {
         LatencyRow {
             system: system.to_string(),
             ttft_avg: r.ttft.mean(),
@@ -178,7 +177,7 @@ impl LatencyRow {
     /// Prints the table header.
     pub fn print_header() {
         println!(
-            "{:<11} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8} {:>9} {:>9}  {}",
+            "{:<11} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8} {:>9} {:>9}  state",
             "system",
             "ttftAvg",
             "ttftP50",
@@ -189,8 +188,7 @@ impl LatencyRow {
             "e2eAvg",
             "e2eP50",
             "tpotAvg",
-            "tpotP50",
-            "state"
+            "tpotP50"
         );
     }
 
@@ -236,9 +234,9 @@ mod tests {
             .expect("buildable");
         let b = run_poisson(&tb, SystemKind::Chunked, WorkloadKind::ShareGpt, 30, 2.0, 7)
             .expect("buildable");
-        let (mut ra, mut rb) = (a.clone(), b.clone());
-        assert_eq!(ra.ttft.p99(), rb.ttft.p99());
+        assert_eq!(a.ttft.p99(), b.ttft.p99());
         assert_eq!(a.total_tokens, b.total_tokens);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! [`harness`] runs traces and rate sweeps against them.
 
 pub mod harness;
+pub mod sweep;
 pub mod systems;
 
 use std::fs::OpenOptions;

@@ -903,7 +903,7 @@ mod tests {
     #[test]
     fn sharegpt_completes_within_slo() {
         let est = est8b();
-        let (mut rep, _) = run(
+        let (rep, _) = run(
             WorkloadKind::ShareGpt,
             120,
             4.0,

@@ -24,6 +24,10 @@ pub struct GuardQuery {
 
 type CellKey = (u8, u8, u8, u8, u32);
 
+/// One populated guard-grid cell in exported form: bucketed query key
+/// plus its worst observed slowdown.
+pub type GuardCell = (CellKey, f64);
+
 /// Powers-of-4 token buckets from 2 K to 128 K (§3.3.2's sampling grid).
 fn token_bucket(tokens: u64) -> u8 {
     match tokens {
@@ -147,14 +151,14 @@ impl ContentionGuard {
     }
 
     /// Exports the populated cells (for persistence).
-    pub fn export_cells(&self) -> Vec<((u8, u8, u8, u8, u32), f64)> {
+    pub fn export_cells(&self) -> Vec<GuardCell> {
         let mut v: Vec<_> = self.cells.iter().map(|(&k, &s)| (k, s)).collect();
-        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v.sort_by_key(|a| a.0);
         v
     }
 
     /// Rebuilds a guard from exported cells.
-    pub fn from_cells(cells: Vec<((u8, u8, u8, u8, u32), f64)>) -> ContentionGuard {
+    pub fn from_cells(cells: Vec<GuardCell>) -> ContentionGuard {
         let mut g = ContentionGuard::flat(1.0);
         let mut global = 1.0f64;
         for (k, s) in cells {

@@ -63,10 +63,11 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         a.swap(col, pivot);
         b.swap(col, pivot);
         // Eliminate below.
+        let pivot_row = a[col].clone();
         for row in col + 1..k {
-            let f = a[row][col] / a[col][col];
-            for j in col..k {
-                a[row][j] -= f * a[col][j];
+            let f = a[row][col] / pivot_row[col];
+            for (j, v) in a[row].iter_mut().enumerate().skip(col) {
+                *v -= f * pivot_row[j];
             }
             b[row] -= f * b[col];
         }

@@ -10,7 +10,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
 
-use crate::guard::ContentionGuard;
+use crate::guard::{ContentionGuard, GuardCell};
 use crate::solo::SoloPredictor;
 
 /// On-disk form of a profiled estimator pair.
@@ -19,7 +19,7 @@ struct Artifact {
     /// Format version for forward compatibility.
     version: u32,
     predictor: SoloPredictor,
-    guard_cells: Vec<((u8, u8, u8, u8, u32), f64)>,
+    guard_cells: Vec<GuardCell>,
 }
 
 const VERSION: u32 = 1;

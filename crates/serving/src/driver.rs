@@ -21,6 +21,15 @@ enum Event {
     Timer(u64),
 }
 
+// The parallel sweep runner moves drivers into worker threads and sends
+// their reports back; catch any regression at compile time rather than
+// at a distant use site.
+const _: () = {
+    const fn require_send<T: Send>() {}
+    require_send::<Report>();
+    require_send::<Driver>();
+};
+
 /// Shared state the scheduler manipulates: the GPU simulator, the request
 /// list, metrics, and timers.
 #[derive(Debug)]
@@ -83,7 +92,11 @@ impl ServeCtx {
 /// All methods receive the mutable [`ServeCtx`]; the driver guarantees
 /// `ctx.now()` is the event's timestamp and that GPU state is advanced to
 /// it.
-pub trait Scheduler {
+///
+/// `Send` is a supertrait so boxed schedulers can be built inside the
+/// parallel sweep runner's worker threads; every engine in this
+/// workspace is plain owned data, so the bound costs nothing.
+pub trait Scheduler: Send {
     /// One-time setup (create groups/contexts, size pools).
     fn on_start(&mut self, ctx: &mut ServeCtx);
     /// A request arrived.
@@ -287,8 +300,7 @@ mod tests {
         assert_eq!(rep.total_tokens, 8);
         assert!(rep.is_stable());
         // Second request queues behind the first: kernel FIFO.
-        let mut ttft = rep.ttft.clone();
-        assert!(ttft.max() >= 0.014, "queued TTFT {}", ttft.max());
+        assert!(rep.ttft.max() >= 0.014, "queued TTFT {}", rep.ttft.max());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::metrics::Report;
 
 /// One point of an SLO-attainment sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GoodputPoint {
     /// Offered request rate (requests/second).
     pub rate: f64,
@@ -23,7 +23,7 @@ pub struct GoodputPoint {
 
 impl GoodputPoint {
     /// Builds a point from a run report.
-    pub fn from_report(rate: f64, report: &mut Report) -> GoodputPoint {
+    pub fn from_report(rate: f64, report: &Report) -> GoodputPoint {
         GoodputPoint {
             rate,
             p99_tbt: report.tbt.p99(),
@@ -42,7 +42,7 @@ impl GoodputPoint {
 }
 
 /// Result of a rate sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GoodputResult {
     /// All evaluated points, in rate order.
     pub points: Vec<GoodputPoint>,
@@ -67,27 +67,53 @@ pub fn find_goodput(
     tbt_slo_secs: f64,
     mut run_at: impl FnMut(f64) -> Report,
 ) -> GoodputResult {
-    assert!(!rates.is_empty(), "empty rate sweep");
-    assert!(
-        rates.windows(2).all(|w| w[0] < w[1]),
-        "rates must be strictly increasing"
-    );
+    assert_ascending(rates);
     let mut points = Vec::new();
-    let mut best: Option<&GoodputPoint> = None;
     for &rate in rates {
-        let mut report = run_at(rate);
-        let point = GoodputPoint::from_report(rate, &mut report);
+        let report = run_at(rate);
+        let point = GoodputPoint::from_report(rate, &report);
         let pass = point.passes(tbt_slo_secs);
         points.push(point);
         if !pass && points.iter().any(|p| p.passes(tbt_slo_secs)) {
             break;
         }
     }
-    for p in &points {
-        if p.passes(tbt_slo_secs) {
-            best = Some(p);
+    finalize(points, tbt_slo_secs)
+}
+
+/// Builds a [`GoodputResult`] from points that were evaluated eagerly
+/// (e.g. by a parallel sweep that ran every rate concurrently), applying
+/// the same early-stop truncation as [`find_goodput`]: points after the
+/// first failing rate beyond a passing one are dropped, so the result is
+/// identical to what the sequential sweep would have produced.
+///
+/// # Panics
+///
+/// Panics if the point rates are empty or not strictly increasing.
+pub fn assemble_goodput(points: Vec<GoodputPoint>, tbt_slo_secs: f64) -> GoodputResult {
+    let rates: Vec<f64> = points.iter().map(|p| p.rate).collect();
+    assert_ascending(&rates);
+    let mut kept = Vec::with_capacity(points.len());
+    for point in points {
+        let pass = point.passes(tbt_slo_secs);
+        kept.push(point);
+        if !pass && kept.iter().any(|p| p.passes(tbt_slo_secs)) {
+            break;
         }
     }
+    finalize(kept, tbt_slo_secs)
+}
+
+fn assert_ascending(rates: &[f64]) {
+    assert!(!rates.is_empty(), "empty rate sweep");
+    assert!(
+        rates.windows(2).all(|w| w[0] < w[1]),
+        "rates must be strictly increasing"
+    );
+}
+
+fn finalize(points: Vec<GoodputPoint>, tbt_slo_secs: f64) -> GoodputResult {
+    let best = points.iter().rfind(|p| p.passes(tbt_slo_secs));
     let (rate, toks, util) = best
         .map(|p| (p.rate, p.token_throughput, p.utilization))
         .unwrap_or((0.0, 0.0, 0.0));
@@ -145,5 +171,19 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn rejects_unsorted_rates() {
         find_goodput(&[2.0, 1.0], 0.1, fake_report);
+    }
+
+    #[test]
+    fn assemble_matches_sequential_sweep() {
+        // An eager evaluation of every rate, then truncation, must equal
+        // the lazily short-circuited sweep bit for bit.
+        let rates = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0];
+        let eager: Vec<GoodputPoint> = rates
+            .iter()
+            .map(|&r| GoodputPoint::from_report(r, &fake_report(r)))
+            .collect();
+        let assembled = super::assemble_goodput(eager, 0.100);
+        let sequential = find_goodput(&rates, 0.100, fake_report);
+        assert_eq!(assembled, sequential);
     }
 }

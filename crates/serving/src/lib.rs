@@ -41,6 +41,6 @@ pub mod request;
 
 pub use capacity::kv_pool_capacity_tokens;
 pub use driver::{Driver, Scheduler, ServeCtx};
-pub use goodput::{find_goodput, GoodputPoint, GoodputResult};
+pub use goodput::{assemble_goodput, find_goodput, GoodputPoint, GoodputResult};
 pub use metrics::{MetricsRecorder, Report};
 pub use request::{ReqId, SloSpec};

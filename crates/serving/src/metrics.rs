@@ -138,7 +138,11 @@ impl MetricsRecorder {
 }
 
 /// Aggregated latency/throughput results of one serving run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field (including raw latency samples in
+/// insertion order), which is how the parallel sweep runner asserts its
+/// output is bit-identical to a sequential run.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Report {
     /// Time-to-first-token samples (seconds).
     pub ttft: Summary,
@@ -195,7 +199,7 @@ impl Report {
 
     /// True when the 99th-percentile TBT meets the target (the paper's
     /// SLO-guarantee criterion).
-    pub fn meets_tbt_slo(&mut self) -> bool {
+    pub fn meets_tbt_slo(&self) -> bool {
         self.tbt.p99() <= self.slo.tbt.as_secs() * 1.0001
     }
 
@@ -210,7 +214,7 @@ impl Report {
     }
 
     /// One-line human-readable summary.
-    pub fn oneline(&mut self) -> String {
+    pub fn oneline(&self) -> String {
         format!(
             "p99TTFT={:.3}s p99TBT={:.1}ms attain={:.1}% tok/s={:.0} done={}/{} util={:.1}%",
             self.ttft.p99(),
@@ -240,7 +244,7 @@ mod tests {
         m.emit_tokens(0, SimTime::from_secs(1.58), 1); // TBT 0.08
         m.emit_tokens(0, SimTime::from_secs(1.70), 1); // TBT 0.12
         m.finish(0, SimTime::from_secs(1.70));
-        let mut rep = m.report(&arr, SimDuration::from_secs(1.0), &slo());
+        let rep = m.report(&arr, SimDuration::from_secs(1.0), &slo());
         assert!((rep.ttft.mean() - 0.5).abs() < 1e-9);
         assert_eq!(rep.tbt.len(), 2);
         assert!((rep.tbt.max() - 0.12).abs() < 1e-9);
@@ -290,7 +294,7 @@ mod tests {
             SimDuration::from_secs(2.0),
             &slo(),
         );
-        let mut per = rep.ttft_per_token.clone();
+        let per = rep.ttft_per_token.clone();
         assert!((per.p50() - 0.002).abs() < 1e-9);
     }
 

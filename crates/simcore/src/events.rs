@@ -2,24 +2,43 @@
 //!
 //! Events pushed at the same timestamp pop in insertion (FIFO) order, so a
 //! simulation driven by this queue is fully deterministic. Cancellation is
-//! O(1): [`EventQueue::cancel`] marks a handle dead and the entry is
-//! discarded when it surfaces. This is exactly what the GPU simulator needs
-//! when processor-sharing rates change and previously predicted kernel
-//! completion times become stale.
+//! O(1): [`EventQueue::cancel`] invalidates the handle's slot and the stale
+//! entry is discarded when it surfaces. This is exactly what the GPU
+//! simulator needs when processor-sharing rates change and previously
+//! predicted kernel completion times become stale.
+//!
+//! Liveness is tracked by a generation-tagged slab instead of a hash set:
+//! every scheduled event owns a slot in a `Vec`, and both the heap entry
+//! and the [`EventHandle`] carry the slot's generation at scheduling time.
+//! Firing or cancelling bumps the generation, so stale handles and stale
+//! heap entries are recognized by a single indexed compare — the hot `pop`
+//! path does no hashing, and cancelling an already-fired handle leaves no
+//! residue behind (the `HashSet` formulation leaked a mark forever in that
+//! case, since no heap entry remained to consume it).
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
 /// Identifies a scheduled event so it can be cancelled before it fires.
+///
+/// A handle names one *scheduling* of an event, not the slot it happens to
+/// occupy: once the event fires or is cancelled, the handle is dead and
+/// [`EventQueue::cancel`] returns `false` for it, even if the slot has
+/// been reused by a later push.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventHandle(u64);
+pub struct EventHandle {
+    slot: u32,
+    gen: u64,
+}
 
 #[derive(Debug)]
 struct Entry<E> {
     time: SimTime,
     seq: u64,
+    slot: u32,
+    gen: u64,
     event: E,
 }
 
@@ -63,8 +82,13 @@ impl<E> Ord for Entry<E> {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<u64>,
+    /// Current generation of each slot; an entry or handle is live iff
+    /// its recorded generation equals the slot's.
+    slot_gens: Vec<u64>,
+    /// Slots whose event fired or was cancelled, ready for reuse.
+    free: Vec<u32>,
     next_seq: u64,
+    live: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -78,8 +102,10 @@ impl<E> EventQueue<E> {
     pub fn new() -> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            slot_gens: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
+            live: 0,
         }
     }
 
@@ -88,25 +114,66 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, event: E) -> EventHandle {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
-        EventHandle(seq)
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = u32::try_from(self.slot_gens.len()).expect("slot count fits in u32");
+                self.slot_gens.push(0);
+                slot
+            }
+        };
+        let gen = self.slot_gens[slot as usize];
+        self.live += 1;
+        self.heap.push(Entry {
+            time,
+            seq,
+            slot,
+            gen,
+            event,
+        });
+        EventHandle { slot, gen }
+    }
+
+    /// Retires a slot: stale handles and heap entries stop matching, and
+    /// the slot becomes reusable.
+    fn retire(&mut self, slot: u32) {
+        self.slot_gens[slot as usize] += 1;
+        self.free.push(slot);
+        self.live -= 1;
+    }
+
+    /// True when `slot`/`gen` name a still-scheduled event.
+    fn is_live(&self, slot: u32, gen: u64) -> bool {
+        self.slot_gens[slot as usize] == gen
     }
 
     /// Cancels a previously scheduled event. Returns `true` if the handle
-    /// had not already fired or been cancelled. Cancelling an already-fired
-    /// handle is a no-op (the mark is dropped once the entry surfaces).
+    /// had not already fired or been cancelled; an already-dead handle is
+    /// a no-op returning `false` and leaves no bookkeeping behind.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        self.cancelled.insert(handle.0)
+        if self.is_live(handle.slot, handle.gen) {
+            self.retire(handle.slot);
+            true
+        } else {
+            false
+        }
     }
 
     /// Removes and returns the earliest live event as
-    /// `(time, event, handle)`, or `None` if the queue is empty.
+    /// `(time, event, handle)`, or `None` if the queue is empty. The
+    /// returned handle is already dead (the event fired); it is provided
+    /// for identification only.
     pub fn pop(&mut self) -> Option<(SimTime, E, EventHandle)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
+            if !self.is_live(entry.slot, entry.gen) {
                 continue;
             }
-            return Some((entry.time, entry.event, EventHandle(entry.seq)));
+            self.retire(entry.slot);
+            let handle = EventHandle {
+                slot: entry.slot,
+                gen: entry.gen,
+            };
+            return Some((entry.time, entry.event, handle));
         }
         None
     }
@@ -114,20 +181,22 @@ impl<E> EventQueue<E> {
     /// The timestamp of the earliest live event without removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-                continue;
+            if self.is_live(entry.slot, entry.gen) {
+                return Some(entry.time);
             }
-            return Some(entry.time);
+            self.heap.pop();
         }
         None
     }
 
+    /// Number of live (scheduled, not cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
     /// True if no live events remain.
-    pub fn is_empty(&mut self) -> bool {
-        self.peek_time().is_none()
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
     }
 
     /// Number of entries currently in the heap, including not-yet-purged
@@ -190,5 +259,44 @@ mod tests {
         assert!(q.pop().is_none());
         assert!(q.peek_time().is_none());
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancelling_fired_handle_is_rejected_and_leaks_nothing() {
+        let mut q = EventQueue::new();
+        let h = q.push(SimTime::from_secs(1.0), "x");
+        let (_, _, fired) = q.pop().unwrap();
+        assert_eq!(fired, h);
+        // Regression: the HashSet formulation returned `true` here and
+        // kept the mark forever, since no heap entry remained to consume
+        // it. The slab rejects the dead handle outright.
+        assert!(!q.cancel(h), "cancelling a fired handle must be a no-op");
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.len_upper_bound(), 0);
+        // The slot is reused, yet the old handle must not be able to
+        // cancel the new occupant.
+        let h2 = q.push(SimTime::from_secs(2.0), "y");
+        assert!(!q.cancel(h), "stale handle must not hit a reused slot");
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(h2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn live_count_tracks_pushes_cancels_and_pops() {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = (0..10)
+            .map(|i| q.push(SimTime::from_secs(f64::from(i)), i))
+            .collect();
+        assert_eq!(q.len(), 10);
+        for h in handles.iter().take(5) {
+            assert!(q.cancel(*h));
+        }
+        assert_eq!(q.len(), 5);
+        // Cancelled entries still sit in the heap until they surface.
+        assert_eq!(q.len_upper_bound(), 10);
+        while q.pop().is_some() {}
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.len_upper_bound(), 0);
     }
 }

@@ -84,15 +84,37 @@ impl Summary {
         }
     }
 
+    /// Returns the `lo`-th order statistic and, when `need_hi` is set,
+    /// the `lo + 1`-th, without mutating the sample order. Sorted
+    /// summaries answer by direct indexing; unsorted ones run an O(n)
+    /// quickselect over a scratch copy instead of a full sort.
+    fn order_stats(&self, lo: usize, need_hi: bool) -> (f64, f64) {
+        if self.sorted {
+            let hi = if need_hi { lo + 1 } else { lo };
+            return (self.samples[lo], self.samples[hi]);
+        }
+        let mut scratch = self.samples.clone();
+        let (_, &mut lo_v, rest) =
+            scratch.select_nth_unstable_by(lo, |a, b| a.partial_cmp(b).expect("NaN sample"));
+        let hi_v = if need_hi {
+            rest.iter().copied().fold(f64::INFINITY, f64::min)
+        } else {
+            lo_v
+        };
+        (lo_v, hi_v)
+    }
+
     /// The `p`-th percentile (0..=100) with linear interpolation; 0 when
-    /// empty.
+    /// empty. Does not reorder the samples: unsorted summaries are
+    /// answered by an O(n) selection rather than a full sort, so the
+    /// query needs only `&self` and reports stay byte-identical however
+    /// many percentiles were read from them.
     ///
     /// # Panics
     ///
     /// Panics in debug builds if `p` is outside `[0, 100]`.
-    pub fn percentile(&mut self, p: f64) -> f64 {
+    pub fn percentile(&self, p: f64) -> f64 {
         debug_assert!((0.0..=100.0).contains(&p));
-        self.ensure_sorted();
         if self.samples.is_empty() {
             return 0.0;
         }
@@ -102,18 +124,18 @@ impl Summary {
         }
         let rank = p / 100.0 * (n - 1) as f64;
         let lo = rank.floor() as usize;
-        let hi = rank.ceil() as usize;
         let frac = rank - lo as f64;
-        self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac
+        let (lo_v, hi_v) = self.order_stats(lo, frac > 0.0);
+        lo_v * (1.0 - frac) + hi_v * frac
     }
 
     /// Median (P50).
-    pub fn p50(&mut self) -> f64 {
+    pub fn p50(&self) -> f64 {
         self.percentile(50.0)
     }
 
     /// 99th percentile.
-    pub fn p99(&mut self) -> f64 {
+    pub fn p99(&self) -> f64 {
         self.percentile(99.0)
     }
 
@@ -174,15 +196,14 @@ impl FromIterator<f64> for Summary {
 
 impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut s = self.clone();
         write!(
             f,
             "n={} mean={:.4} p50={:.4} p99={:.4} max={:.4}",
-            s.len(),
-            s.mean(),
-            s.p50(),
-            s.p99(),
-            s.max()
+            self.len(),
+            self.mean(),
+            self.p50(),
+            self.p99(),
+            self.max()
         )
     }
 }
@@ -251,7 +272,7 @@ mod tests {
 
     #[test]
     fn percentiles_interpolate() {
-        let mut s: Summary = (1..=100).map(|i| i as f64).collect();
+        let s: Summary = (1..=100).map(|i| i as f64).collect();
         assert_eq!(s.percentile(0.0), 1.0);
         assert_eq!(s.percentile(100.0), 100.0);
         assert!((s.p50() - 50.5).abs() < 1e-9);
@@ -274,6 +295,26 @@ mod tests {
         assert_eq!(s.p50(), 7.0);
         assert_eq!(s.p99(), 7.0);
         assert_eq!(s.min(), 7.0);
+    }
+
+    #[test]
+    fn percentile_does_not_reorder_samples() {
+        let s: Summary = [5.0, 1.0, 4.0, 2.0, 3.0].into_iter().collect();
+        let before = s.samples().to_vec();
+        let _ = s.p99();
+        let _ = s.percentile(37.5);
+        assert_eq!(s.samples(), before.as_slice());
+    }
+
+    #[test]
+    fn sorted_and_unsorted_percentiles_agree() {
+        let vals: Vec<f64> = (0..257).map(|i| ((i * 7919) % 811) as f64).collect();
+        let unsorted: Summary = vals.iter().copied().collect();
+        let mut sorted = unsorted.clone();
+        sorted.ensure_sorted();
+        for p in [0.0, 1.0, 12.5, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(unsorted.percentile(p), sorted.percentile(p));
+        }
     }
 
     #[test]

@@ -128,7 +128,7 @@ impl SimDuration {
     /// (e.g. zero remaining work, zero rate) and the clamp keeps the
     /// simulator total.
     pub fn from_secs(secs: f64) -> SimDuration {
-        if !(secs > 0.0) {
+        if secs.is_nan() || secs <= 0.0 {
             return SimDuration::ZERO;
         }
         if secs.is_infinite() || secs * NANOS_PER_SEC >= u64::MAX as f64 {
@@ -176,7 +176,7 @@ impl SimDuration {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_add(rhs.0).unwrap_or(u64::MAX))
+        SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
@@ -203,7 +203,7 @@ impl Sub for SimTime {
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_add(rhs.0).unwrap_or(u64::MAX))
+        SimDuration(self.0.saturating_add(rhs.0))
     }
 }
 

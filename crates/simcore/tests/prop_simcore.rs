@@ -78,6 +78,35 @@ proptest! {
         }
     }
 
+    /// The quickselect percentile matches the old sort-based
+    /// implementation exactly (same interpolation, same order statistics)
+    /// and never reorders the underlying samples.
+    #[test]
+    fn percentile_matches_sort_based_reference(
+        samples in prop::collection::vec(-1e6f64..1e6, 1..300),
+        p in 0f64..100.0,
+    ) {
+        let s: Summary = samples.iter().copied().collect();
+        let before = s.samples().to_vec();
+
+        // The pre-optimization implementation: full sort, then
+        // interpolate between the two straddling order statistics.
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let expected = if sorted.len() == 1 {
+            sorted[0]
+        } else {
+            let rank = p / 100.0 * (sorted.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let frac = rank - lo as f64;
+            let hi = (lo + 1).min(sorted.len() - 1);
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        };
+
+        prop_assert_eq!(s.percentile(p), expected);
+        prop_assert_eq!(s.samples(), before.as_slice());
+    }
+
     /// fraction_le is a proper CDF point: monotone in the threshold and
     /// consistent with percentile.
     #[test]

@@ -28,7 +28,7 @@ pub fn poisson(n: usize, rate: f64, rng: &mut SimRng) -> Vec<SimTime> {
     let mut t = SimTime::ZERO;
     (0..n)
         .map(|_| {
-            t = t + SimDuration::from_secs(rng.exponential(rate));
+            t += SimDuration::from_secs(rng.exponential(rate));
             t
         })
         .collect()

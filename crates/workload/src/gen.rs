@@ -202,7 +202,7 @@ pub fn generate(kind: WorkloadKind, n: usize, rate: f64, rng: &mut SimRng) -> Ve
     reqs.truncate(n);
     let mut t = SimTime::ZERO;
     for (i, r) in reqs.iter_mut().enumerate() {
-        t = t + simcore::SimDuration::from_secs(rng.exponential(rate));
+        t += simcore::SimDuration::from_secs(rng.exponential(rate));
         r.arrival = t;
         r.id = i as u64;
     }
@@ -228,12 +228,12 @@ pub fn generate_sessions(
     let mut reqs = Vec::new();
     let mut t0 = SimTime::ZERO;
     for session in 1..=n_sessions as u64 {
-        t0 = t0 + simcore::SimDuration::from_secs(rng.exponential(session_rate));
+        t0 += simcore::SimDuration::from_secs(rng.exponential(session_rate));
         let mut t = t0;
         for mut turn in session_turns(kind, session, rng) {
             turn.arrival = t;
             reqs.push(turn);
-            t = t + simcore::SimDuration::from_secs(rng.exponential(1.0 / think_secs));
+            t += simcore::SimDuration::from_secs(rng.exponential(1.0 / think_secs));
         }
     }
     reqs.sort_by_key(|r| (r.arrival, r.session, r.turn));
@@ -314,7 +314,7 @@ pub fn generate_mixed(
     }
     let mut t = SimTime::ZERO;
     for (i, r) in reqs.iter_mut().enumerate() {
-        t = t + simcore::SimDuration::from_secs(rng.exponential(rate));
+        t += simcore::SimDuration::from_secs(rng.exponential(rate));
         r.arrival = t;
         r.id = i as u64;
     }

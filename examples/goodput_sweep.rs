@@ -28,11 +28,14 @@ fn run_at(
     let mut report = Driver::new(GpuSim::from_cluster(cluster), reqs, slo)
         .with_max_sim_time(horizon)
         .run(engine.as_mut());
-    if report.ttft.clone().p99() > 0.5 * n as f64 / rate {
+    if report.ttft.p99() > 0.5 * n as f64 / rate {
         report.diverged = true;
     }
     report
 }
+
+/// Deferred engine constructor, so each rate point gets a fresh system.
+type EngineFactory = Box<dyn Fn() -> Box<dyn Scheduler>>;
 
 fn main() {
     let cluster = ClusterSpec::dgx_a100();
@@ -42,7 +45,7 @@ fn main() {
     let est = Estimators::profile(&model, &cluster, cluster.num_gpus);
     let rates = [0.25, 0.5, 0.75, 1.0, 1.3, 1.7];
 
-    let systems: Vec<(&str, Box<dyn Fn() -> Box<dyn Scheduler>>)> = vec![
+    let systems: Vec<(&str, EngineFactory)> = vec![
         (
             "MuxWise",
             Box::new({

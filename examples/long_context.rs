@@ -42,8 +42,8 @@ fn main() {
         let mut engine = MuxWise::new(&model, &cluster, 8, slo, est.clone(), cfg);
         let report =
             Driver::new(GpuSim::from_cluster(&cluster), trace.clone(), slo).run(&mut engine);
-        let mut per_token = report.ttft_per_token.clone();
-        let mut raw = report.ttft.clone();
+        let per_token = &report.ttft_per_token;
+        let raw = &report.ttft;
         println!("{label}:");
         println!("  preemptions performed: {}", engine.preemptions());
         println!(

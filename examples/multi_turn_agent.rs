@@ -21,7 +21,7 @@ fn run(name: &str, engine: &mut dyn Scheduler, cluster: &ClusterSpec, slo: SloSp
     let mut rng = SimRng::seed_from(7);
     let requests = generate(WorkloadKind::ToolAgent, 300, 0.8, &mut rng);
     let report = Driver::new(GpuSim::from_cluster(cluster), requests, slo).run(engine);
-    let mut r = report.clone();
+    let r = report;
     println!(
         "{name:<11} TTFT p50 {:>6.2}s p99 {:>6.2}s | TBT p99 {:>5.1}ms | {} finished",
         r.ttft.p50(),

@@ -41,7 +41,7 @@ fn main() {
     let report = Driver::new(GpuSim::from_cluster(&cluster), requests, slo).run(&mut engine);
 
     // 5. Inspect the results.
-    let mut r = report.clone();
+    let r = report;
     println!("\nfinished {}/{} requests", r.finished, r.total);
     println!(
         "TTFT   p50 {:>7.1} ms   p99 {:>7.1} ms",

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints (warnings are errors), full test suite.
+# Run before every commit: ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo clippy --all-targets -- -D warnings
+cargo test -q

@@ -144,8 +144,12 @@ fn runs_are_deterministic() {
             1.5,
             31,
         );
-        let mut r = rep.clone();
-        (r.ttft.p99(), r.tbt.p99(), rep.total_tokens, rep.makespan)
+        (
+            rep.ttft.p99(),
+            rep.tbt.p99(),
+            rep.total_tokens,
+            rep.makespan,
+        )
     };
     assert_eq!(one(&est), one(&est));
 }
@@ -212,13 +216,12 @@ fn ttft_is_never_negative_or_absurd() {
             5.0,
             13,
         );
-        let mut r = rep.clone();
-        assert!(r.ttft.min() >= 0.0, "{name} produced negative TTFT");
+        assert!(rep.ttft.min() >= 0.0, "{name} produced negative TTFT");
         assert!(
-            r.ttft.max() < rep.makespan.as_secs() + 1e-9,
+            rep.ttft.max() < rep.makespan.as_secs() + 1e-9,
             "{name} produced TTFT beyond the makespan"
         );
-        assert!(r.tbt.min() >= 0.0, "{name} produced negative TBT");
+        assert!(rep.tbt.min() >= 0.0, "{name} produced negative TBT");
     }
 }
 
@@ -239,6 +242,5 @@ fn moe_model_serves_on_h200() {
         21,
     );
     assert_eq!(rep.finished, rep.total);
-    let mut r = rep.clone();
-    assert!(r.tbt.p99() < slo.tbt.as_secs() * 1.5, "MoE TBT blew up");
+    assert!(rep.tbt.p99() < slo.tbt.as_secs() * 1.5, "MoE TBT blew up");
 }

@@ -72,12 +72,11 @@ fn muxwise_beats_chunked_tbt_on_multiturn() {
         80,
         3.0,
     );
-    let (mut m, mut c) = (mux_rep.clone(), chunk_rep.clone());
     assert!(
-        m.tbt.p99() * 2.0 < c.tbt.p99(),
+        mux_rep.tbt.p99() * 2.0 < chunk_rep.tbt.p99(),
         "MuxWise p99 TBT {} vs chunked {}",
-        m.tbt.p99(),
-        c.tbt.p99()
+        mux_rep.tbt.p99(),
+        chunk_rep.tbt.p99()
     );
 }
 
@@ -110,16 +109,15 @@ fn sglang_pd_tradeoff_visible() {
     let mux_rep = run(&mut mux, &cluster, slo, WorkloadKind::ToolAgent, 80, 0.8);
     let mut pd = SglangPd::new(&model, &cluster, slo);
     let pd_rep = run(&mut pd, &cluster, slo, WorkloadKind::ToolAgent, 80, 0.8);
-    let (mut m, mut p) = (mux_rep.clone(), pd_rep.clone());
     assert!(
-        m.ttft.p99() < p.ttft.p99(),
+        mux_rep.ttft.p99() < pd_rep.ttft.p99(),
         "MuxWise p99 TTFT {} should beat SGLang-PD {}",
-        m.ttft.p99(),
-        p.ttft.p99()
+        mux_rep.ttft.p99(),
+        pd_rep.ttft.p99()
     );
     // Both meet the decode SLO.
-    assert!(m.tbt.p99() < slo.tbt.as_secs());
-    assert!(p.tbt.p99() < slo.tbt.as_secs());
+    assert!(mux_rep.tbt.p99() < slo.tbt.as_secs());
+    assert!(pd_rep.tbt.p99() < slo.tbt.as_secs());
 }
 
 /// §3.3.2: the contention guard's worst-case factors stay within the

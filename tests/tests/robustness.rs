@@ -160,7 +160,6 @@ fn single_request_round_trip() {
     let rep = Driver::new(GpuSim::from_cluster(&cluster), reqs, slo).run(&mut engine);
     assert_eq!(rep.finished, 1);
     assert_eq!(rep.total_tokens, out);
-    let mut r = rep.clone();
     // TTFT of an unloaded prefill: a few tens of milliseconds at most.
-    assert!(r.ttft.max() < 0.25, "unloaded TTFT {}", r.ttft.max());
+    assert!(rep.ttft.max() < 0.25, "unloaded TTFT {}", rep.ttft.max());
 }

@@ -1,0 +1,242 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset this workspace's benches use — `Criterion`
+//! builder methods, `bench_function`, benchmark groups with
+//! `bench_with_input`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! simple warm-up plus timed loop reporting the mean iteration time;
+//! there is no statistical analysis or report output.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size.unwrap_or(self.parent.sample_size);
+        let saved = self.parent.sample_size;
+        self.parent.sample_size = sample_size;
+        self.parent.bench_function(&full, f);
+        self.parent.sample_size = saved;
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Finishes the group (no-op; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter label.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `function/parameter`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Measures `routine`, discarding a warm-up period first.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+
+        // Aim each sample at measurement/sample_size wall time using the
+        // warm-up rate as the iterations-per-sample estimate.
+        let per_iter = if warm_iters > 0 {
+            warm_start.elapsed() / warm_iters as u32
+        } else {
+            Duration::from_millis(100)
+        };
+        let target = self.measurement / self.sample_size as u32;
+        let iters_per_sample = (target.as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += iters_per_sample;
+        }
+        self.result = Some((total, iters));
+    }
+
+    fn report(&self, name: &str) {
+        match self.result {
+            Some((total, iters)) if iters > 0 => {
+                let mean = total.as_secs_f64() / iters as f64;
+                println!("bench: {name:<50} {} /iter ({iters} iters)", human_time(mean));
+            }
+            _ => println!("bench: {name:<50} (no measurement)"),
+        }
+    }
+}
+
+fn human_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+);
+    };
+}
+
+/// Declares the benchmark harness entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(2);
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_ids_render() {
+        let id = BenchmarkId::new("run", "fast");
+        assert_eq!(id.to_string(), "run/fast");
+    }
+}

@@ -1,0 +1,264 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! vendored `serde` facade, covering the shapes this workspace uses:
+//!
+//! * non-generic structs with named fields → JSON objects,
+//! * non-generic tuple structs — one field serializes transparently as
+//!   the inner value (serde's newtype behaviour), more fields as arrays,
+//! * non-generic enums whose variants are all unit variants → strings.
+//!
+//! The input item is parsed directly from the token stream (the real
+//! `syn`/`quote` stack is unavailable offline); unsupported shapes panic
+//! with a clear compile-time message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named { name: String, fields: Vec<String> },
+    Tuple { name: String, arity: usize },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Consumes leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`) from the token iterator.
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // The bracketed attribute body.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a field-list token stream on top-level commas, tracking angle
+/// brackets so `BTreeMap<K, V>` style types do not split early. Commas
+/// inside parenthesized or bracketed groups are naturally invisible
+/// because groups are single token trees.
+fn split_top_level(body: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut pieces = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                pieces.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        pieces.last_mut().expect("non-empty").push(tt);
+    }
+    pieces.retain(|p| !p.is_empty());
+    pieces
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generic types are not supported");
+        }
+    }
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) => g,
+        other => panic!("serde derive: expected type body, got {other:?}"),
+    };
+    match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => {
+            let mut fields = Vec::new();
+            for piece in split_top_level(body.stream()) {
+                let mut it = piece.into_iter().peekable();
+                skip_attrs_and_vis(&mut it);
+                match it.next() {
+                    Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+                    other => panic!("serde derive: expected field name, got {other:?}"),
+                }
+            }
+            Shape::Named { name, fields }
+        }
+        ("struct", Delimiter::Parenthesis) => Shape::Tuple {
+            name,
+            arity: split_top_level(body.stream()).len(),
+        },
+        ("enum", Delimiter::Brace) => {
+            let mut variants = Vec::new();
+            for piece in split_top_level(body.stream()) {
+                let mut it = piece.into_iter().peekable();
+                skip_attrs_and_vis(&mut it);
+                match it.next() {
+                    Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+                    other => panic!("serde derive: expected variant name, got {other:?}"),
+                }
+                if it.next().is_some() {
+                    panic!("serde derive (vendored): only unit enum variants are supported");
+                }
+            }
+            Shape::UnitEnum { name, variants }
+        }
+        other => panic!("serde derive: unsupported item shape {other:?}"),
+    }
+}
+
+/// Derives `serde::Serialize` (vendored facade).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_shape(input) {
+        Shape::Named { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                pairs.join(", ")
+            )
+        }
+        Shape::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Tuple { name, arity } => {
+            let items: Vec<String> = (0..arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\"))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+    };
+    body.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (vendored facade).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_shape(input) {
+        Shape::Named { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::field(v, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Tuple { name, arity } => {
+            let items: Vec<String> = (0..arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let items = v.as_array().ok_or_else(|| ::serde::DeError(\
+                             ::std::format!(\"expected {arity}-element array\")))?;\n\
+                         if items.len() != {arity} {{\n\
+                             return ::std::result::Result::Err(::serde::DeError(\
+                                 ::std::format!(\"expected {arity}-element array\")));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}({}))\n\
+                     }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v.as_str().ok_or_else(|| ::serde::DeError(\
+                             ::std::format!(\"expected variant string for {name}\")))? {{\n\
+                             {},\n\
+                             other => ::std::result::Result::Err(::serde::DeError(\
+                                 ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    body.parse().expect("generated Deserialize impl parses")
+}
