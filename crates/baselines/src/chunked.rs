@@ -3,33 +3,26 @@
 use std::collections::VecDeque;
 
 use gpusim::{ClusterSpec, CtxId, GpuSim, GroupId, KernelKind, WorkItem};
-use kvcache::{KvPool, MatchOutcome};
+use kvcache::KvPool;
 use modelspec::{ModelSpec, Parallelism, SeqState};
-use serving::{kv_pool_capacity_tokens, ReqId, Scheduler, ServeCtx, SloSpec};
+use serving::lease::{KvLease, LeaseTable};
+use serving::lifecycle::{EngineCounters, Lifecycle};
+use serving::{
+    kv_pool_capacity_tokens, DecodeBatch, DecodeSlot, ReqId, Scheduler, ServeCtx, SloSpec,
+};
 use simcore::SimDuration;
 
 /// A request whose prompt is being processed chunk by chunk.
 #[derive(Debug)]
 struct PrefillProgress {
     id: ReqId,
-    lock: MatchOutcome,
+    lease: KvLease,
     /// Cached prefix (reused) length at admission.
     cached: u64,
     /// Uncached prompt tokens to process in total.
     total_new: u64,
     /// Prompt tokens processed so far.
     done_new: u64,
-    private: u64,
-}
-
-/// A request in the decode batch.
-#[derive(Debug)]
-struct Slot {
-    id: ReqId,
-    context: u64,
-    remaining_out: u64,
-    lock: MatchOutcome,
-    private: u64,
 }
 
 /// SGLang-style chunked prefill: every iteration fuses the decode batch
@@ -46,15 +39,13 @@ pub struct ChunkedPrefill {
     pool_capacity: u64,
     group: Option<GroupId>,
     ctx_id: Option<CtxId>,
-    pool: Option<KvPool>,
+    table: Option<LeaseTable>,
+    lifecycle: Lifecycle,
     waiting: VecDeque<ReqId>,
     prefilling: VecDeque<PrefillProgress>,
-    decode: Vec<Slot>,
+    decode: DecodeBatch,
     /// Pieces of the in-flight iteration: `(request id, tokens)`.
     inflight: Option<Vec<(ReqId, u64)>>,
-    requeue_count: u64,
-    dropped: u64,
-    max_decode_batch: usize,
 }
 
 /// The candidate token budgets tried by offline tuning (descending).
@@ -88,14 +79,12 @@ impl ChunkedPrefill {
             pool_capacity,
             group: None,
             ctx_id: None,
-            pool: None,
+            table: None,
+            lifecycle: Lifecycle::new(),
             waiting: VecDeque::new(),
             prefilling: VecDeque::new(),
-            decode: Vec::new(),
+            decode: DecodeBatch::new(),
             inflight: None,
-            requeue_count: 0,
-            dropped: 0,
-            max_decode_batch: 256,
         }
     }
 
@@ -132,17 +121,17 @@ impl ChunkedPrefill {
 
     /// KV-pool hit statistics.
     pub fn pool_stats(&self) -> Option<kvcache::PoolStats> {
-        self.pool.as_ref().map(|p| p.stats())
+        self.table.as_ref().map(|t| t.stats())
     }
 
     /// Requests dropped because they could never fit the pool.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.lifecycle.counters().drops
     }
 
     /// Read access to the shared pool (for invariant checks in tests).
     pub fn pool(&self) -> Option<&KvPool> {
-        self.pool.as_ref()
+        self.table.as_ref().map(|t| t.pool())
     }
 
     fn admit_waiting(&mut self, ctx: &mut ServeCtx) {
@@ -151,17 +140,17 @@ impl ChunkedPrefill {
                 break;
             }
             let spec = ctx.request(id).clone();
-            let pool = self.pool.as_mut().expect("pool");
-            let lock = pool.match_prefix(&spec.content.blocks(pool.block_size()), ctx.now());
-            let cached = lock.matched_tokens;
+            let table = self.table.as_mut().expect("table");
+            let lease = table.lease_prefix(&spec.content.blocks(table.block_size()), ctx.now());
+            let cached = lease.matched_tokens();
             self.waiting.pop_front();
+            self.lifecycle.admit(id);
             self.prefilling.push_back(PrefillProgress {
                 id,
-                lock,
+                lease,
                 cached,
                 total_new: spec.input_tokens() - cached,
                 done_new: 0,
-                private: 0,
             });
         }
     }
@@ -179,29 +168,13 @@ impl ChunkedPrefill {
         }
         let now = ctx.now();
         // Grow decode KV by one token per sequence; requeue victims when
-        // the pool is exhausted.
-        loop {
-            let need = self.decode.len() as u64;
-            if need == 0 {
-                break;
-            }
-            if self
-                .pool
-                .as_mut()
-                .expect("pool")
-                .try_alloc_private(need, now)
-            {
-                for s in &mut self.decode {
-                    s.private += 1;
-                }
-                break;
-            }
-            let victim = self.decode.pop().expect("non-empty");
-            let pool = self.pool.as_mut().expect("pool");
-            pool.unlock(&victim.lock);
-            pool.free_private(victim.private);
-            self.waiting.push_front(victim.id);
-            self.requeue_count += 1;
+        // the pool is exhausted (their leases return through the table —
+        // re-admission re-matches the radix tree fresh, so `cached` can
+        // never go stale).
+        let table = self.table.as_mut().expect("table");
+        for id in self.decode.grow_for_iteration(table, now) {
+            self.waiting.push_front(id);
+            self.lifecycle.requeue(id);
         }
 
         // Assemble the fused batch: decode first, then a chunk within the
@@ -218,11 +191,11 @@ impl ChunkedPrefill {
             if take == 0 {
                 continue;
             }
-            let pool = self.pool.as_mut().expect("pool");
-            if !pool.try_alloc_private(take, now) {
+            let table = self.table.as_mut().expect("table");
+            if !table.try_alloc_private(take, now) {
                 break;
             }
-            p.private += take;
+            p.lease.absorb_private(take);
             // The chunk re-reads the KV of everything before it —
             // cached prefix plus all earlier chunks (§2.3.2's
             // repetitive access).
@@ -237,17 +210,15 @@ impl ChunkedPrefill {
             // (cannot ever fit) to stay live.
             if self.decode.is_empty() && self.inflight.is_none() {
                 if let Some(p) = self.prefilling.pop_front() {
-                    let pool = self.pool.as_mut().expect("pool");
-                    pool.unlock(&p.lock);
-                    pool.free_private(p.private);
+                    self.table.as_mut().expect("table").release(p.lease);
                     ctx.finish_request(p.id);
-                    self.dropped += 1;
+                    self.lifecycle.drop_request(p.id);
                 }
             }
             return;
         }
 
-        let ctxs: Vec<u64> = self.decode.iter().map(|s| s.context).collect();
+        let ctxs: Vec<u64> = self.decode.contexts().collect();
         let chunk_tokens: u64 = pieces.iter().map(|&(_, t)| t).sum();
         let mut work = chunk_work;
         if !ctxs.is_empty() {
@@ -280,33 +251,21 @@ impl ChunkedPrefill {
         self.inflight = Some(pieces);
     }
 
-    fn retire_slot(&mut self, slot: Slot, ctx: &mut ServeCtx) {
+    fn retire_slot(&mut self, slot: DecodeSlot, ctx: &mut ServeCtx) {
         let spec = ctx.request(slot.id).clone();
-        let pool = self.pool.as_mut().expect("pool");
+        let table = self.table.as_mut().expect("table");
         let mut committed = spec.content.clone();
         committed.push(spec.session, ctx.tokens_emitted(slot.id));
-        pool.unlock(&slot.lock);
-        pool.free_private(slot.private);
-        pool.insert(&committed.blocks(pool.block_size()), ctx.now());
+        table.release_and_commit(slot.lease, &committed.blocks(table.block_size()), ctx.now());
         ctx.finish_request(slot.id);
+        self.lifecycle.finish(slot.id);
     }
 
     fn on_iteration_done(&mut self, ctx: &mut ServeCtx) {
         let pieces = self.inflight.take().unwrap_or_default();
         // Decode side: one token each.
-        for s in &mut self.decode {
-            ctx.emit_tokens(s.id, 1);
-            s.context += 1;
-            s.remaining_out -= 1;
-        }
-        let mut i = 0;
-        while i < self.decode.len() {
-            if self.decode[i].remaining_out == 0 {
-                let slot = self.decode.remove(i);
-                self.retire_slot(slot, ctx);
-            } else {
-                i += 1;
-            }
+        for slot in self.decode.advance_iteration(ctx) {
+            self.retire_slot(slot, ctx);
         }
         // Prefill side: advance chunk progress; completed prompts join
         // the decode batch immediately (inflight batching).
@@ -314,7 +273,7 @@ impl ChunkedPrefill {
             if let Some(pos) = self.prefilling.iter().position(|p| p.id == id) {
                 self.prefilling[pos].done_new += tokens;
                 if self.prefilling[pos].done_new >= self.prefilling[pos].total_new {
-                    let p = self.prefilling.remove(pos).expect("present");
+                    let mut p = self.prefilling.remove(pos).expect("present");
                     let spec = ctx.request(p.id).clone();
                     if ctx.tokens_emitted(p.id) == 0 {
                         ctx.emit_tokens(p.id, 1);
@@ -323,29 +282,22 @@ impl ChunkedPrefill {
                     let remaining = spec.output_tokens.saturating_sub(emitted);
                     // Commit the prompt KV to the shared radix right away
                     // (SGLang's tree holds KV as soon as it is computed).
-                    let (lock, private) = migrate_prefill_kv(
-                        self.pool.as_mut().expect("pool"),
-                        &spec.content,
-                        p.lock,
-                        p.private,
-                        ctx.now(),
-                    );
-                    let slot = Slot {
+                    let table = self.table.as_mut().expect("table");
+                    let blocks = spec.content.blocks(table.block_size());
+                    table.migrate(&mut p.lease, &blocks, ctx.now());
+                    let slot = DecodeSlot {
                         id: p.id,
                         context: spec.input_tokens() + emitted,
                         remaining_out: remaining,
-                        lock,
-                        private,
+                        lease: p.lease,
                     };
-                    if remaining == 0 || self.decode.len() >= self.max_decode_batch {
-                        if remaining == 0 {
-                            self.retire_slot(slot, ctx);
-                        } else {
-                            // Batch full: park the finished prefill as a
-                            // zero-progress decode candidate next round.
-                            self.decode.push(slot);
-                        }
+                    if remaining == 0 {
+                        self.retire_slot(slot, ctx);
                     } else {
+                        // Even when the batch is full, park the finished
+                        // prefill as a zero-progress decode candidate for
+                        // the next round.
+                        self.lifecycle.begin_decode(slot.id);
                         self.decode.push(slot);
                     }
                 }
@@ -363,7 +315,7 @@ impl Scheduler for ChunkedPrefill {
         let sms = ctx.gpu.spec().sm_count;
         self.ctx_id = Some(ctx.gpu.set_context(group, sms));
         self.group = Some(group);
-        self.pool = Some(KvPool::new(self.pool_capacity, 64));
+        self.table = Some(LeaseTable::new(self.pool_capacity, 64));
     }
 
     fn on_arrival(&mut self, id: ReqId, ctx: &mut ServeCtx) {
@@ -386,26 +338,13 @@ impl Scheduler for ChunkedPrefill {
             _ => Vec::new(),
         }
     }
-}
 
-/// Moves a finished prefill's working KV into the shared radix tree,
-/// swapping the eviction lock onto the committed path (keeps the private
-/// allocation when the insert cannot be admitted).
-pub(crate) fn migrate_prefill_kv(
-    pool: &mut KvPool,
-    content: &workload::ContentSpec,
-    old_lock: MatchOutcome,
-    private: u64,
-    now: simcore::SimTime,
-) -> (MatchOutcome, u64) {
-    let blocks = content.blocks(pool.block_size());
-    if pool.insert(&blocks, now) {
-        let new_lock = pool.lock_prefix(&blocks, now);
-        pool.unlock(&old_lock);
-        pool.free_private(private);
-        (new_lock, 0)
-    } else {
-        (old_lock, private)
+    fn counters(&self) -> EngineCounters {
+        self.lifecycle.counters()
+    }
+
+    fn lease_tables(&self) -> Vec<&LeaseTable> {
+        self.table.iter().collect()
     }
 }
 

@@ -14,17 +14,19 @@ use std::collections::{HashMap, VecDeque};
 
 use estimator::{ContentionGuard, GuardQuery, SoloPredictor};
 use gpusim::{ClusterSpec, CtxId, GroupId, LinkId};
-use kvcache::{KvPool, MatchOutcome};
 use modelspec::{ModelSpec, Parallelism, SeqState};
-use serving::{kv_pool_capacity_tokens, ReqId, Scheduler, ServeCtx, SloSpec};
+use serving::lease::{KvLease, LeaseTable};
+use serving::lifecycle::{EngineCounters, Lifecycle};
+use serving::{
+    kv_pool_capacity_tokens, DecodeBatch, DecodeSlot, ReqId, Scheduler, ServeCtx, SloSpec,
+};
 use simcore::SimDuration;
 
 #[derive(Debug)]
 struct PrefillReq {
     id: ReqId,
     seq: SeqState,
-    lock: MatchOutcome,
-    private: u64,
+    lease: KvLease,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -34,14 +36,6 @@ struct Admit {
     /// The context is already resident on the decode instance (local
     /// multiplexed prefill — no migration needed).
     local: bool,
-}
-
-#[derive(Debug)]
-struct Slot {
-    id: ReqId,
-    context: u64,
-    remaining_out: u64,
-    private: u64,
 }
 
 /// Tag name space.
@@ -69,8 +63,9 @@ pub struct HybridPd {
     d_prefill_ctx: Option<CtxId>,
     decode_sms: u32,
     link: Option<LinkId>,
-    p_pool: Option<KvPool>,
-    d_pool: Option<KvPool>,
+    p_table: Option<LeaseTable>,
+    d_table: Option<LeaseTable>,
+    lifecycle: Lifecycle,
 
     waiting: VecDeque<ReqId>,
     p_inflight: Option<Vec<PrefillReq>>,
@@ -80,11 +75,10 @@ pub struct HybridPd {
     mux_tags: HashMap<u64, ()>,
     transferring: HashMap<u64, Admit>,
     pending_admit: VecDeque<Admit>,
-    decode: Vec<Slot>,
+    decode: DecodeBatch,
     decode_inflight: bool,
     next_transfer_tag: u64,
     overflow_count: u64,
-    dropped: u64,
 }
 
 impl HybridPd {
@@ -123,8 +117,9 @@ impl HybridPd {
             d_prefill_ctx: None,
             decode_sms: 0,
             link: None,
-            p_pool: None,
-            d_pool: None,
+            p_table: None,
+            d_table: None,
+            lifecycle: Lifecycle::default(),
             waiting: VecDeque::new(),
             p_inflight: None,
             mux_inflight: None,
@@ -132,11 +127,10 @@ impl HybridPd {
             mux_tags: HashMap::new(),
             transferring: HashMap::new(),
             pending_admit: VecDeque::new(),
-            decode: Vec::new(),
+            decode: DecodeBatch::new(),
             decode_inflight: false,
             next_transfer_tag: 1_000_000,
             overflow_count: 0,
-            dropped: 0,
         }
     }
 
@@ -146,13 +140,13 @@ impl HybridPd {
     }
 
     fn queued_uncached_tokens(&self, ctx: &ServeCtx) -> u64 {
-        let pool = self.p_pool.as_ref().expect("pool");
+        let table = self.p_table.as_ref().expect("table");
         self.waiting
             .iter()
             .map(|&id| {
                 let spec = ctx.request(id);
-                let blocks = spec.content.blocks(pool.block_size());
-                spec.input_tokens() - pool.peek_prefix(&blocks)
+                let blocks = spec.content.blocks(table.block_size());
+                spec.input_tokens() - table.peek_prefix(&blocks)
             })
             .sum()
     }
@@ -179,32 +173,29 @@ impl HybridPd {
                 break;
             }
             let spec = ctx.request(id).clone();
-            let pool = self.p_pool.as_mut().expect("pool");
-            let blocks = spec.content.blocks(pool.block_size());
-            let reused = pool.peek_prefix(&blocks);
+            let table = self.p_table.as_mut().expect("table");
+            let blocks = spec.content.blocks(table.block_size());
+            let reused = table.peek_prefix(&blocks);
             let new_tokens = spec.input_tokens() - reused;
-            if !pool.try_alloc_private(new_tokens, ctx.now()) {
+            if !table.try_alloc_private(new_tokens, ctx.now()) {
                 if reqs.is_empty() && self.decode.is_empty() && self.mux_inflight.is_none() {
                     self.waiting.pop_front();
                     ctx.finish_request(id);
-                    self.dropped += 1;
+                    self.lifecycle.drop_request(id);
                     continue;
                 }
                 break;
             }
-            let lock = pool.match_prefix(&blocks, ctx.now());
+            let mut lease = table.lease_prefix(&blocks, ctx.now());
             let seq = SeqState::new(
-                spec.input_tokens() - lock.matched_tokens,
-                lock.matched_tokens,
+                spec.input_tokens() - lease.matched_tokens(),
+                lease.matched_tokens(),
             );
+            lease.absorb_private(seq.new_tokens);
             new_total += seq.new_tokens;
             self.waiting.pop_front();
-            reqs.push(PrefillReq {
-                id,
-                private: seq.new_tokens,
-                seq,
-                lock,
-            });
+            self.lifecycle.admit(id);
+            reqs.push(PrefillReq { id, seq, lease });
         }
         if reqs.is_empty() {
             return;
@@ -227,14 +218,15 @@ impl HybridPd {
             return;
         };
         let spec = ctx.request(id).clone();
-        let pool = self.d_pool.as_mut().expect("pool");
+        let table = self.d_table.as_mut().expect("table");
         // The multiplexed prefill computes into the decode pool directly
         // (no migration needed afterwards); +1 covers the first generated
         // token's KV entry.
-        if !pool.try_alloc_private(spec.input_tokens() + 1, ctx.now()) {
+        let Some(lease) = table.try_lease_private(spec.input_tokens() + 1, ctx.now()) else {
             return;
-        }
+        };
         self.waiting.pop_front();
+        self.lifecycle.admit(id);
         // No cross-instance cache: the decode side recomputes the full
         // input.
         let seq = SeqState::new(spec.input_tokens(), 0);
@@ -251,15 +243,7 @@ impl HybridPd {
         self.next_mux_tag += 1;
         self.mux_tags.insert(tag, ());
         ctx.gpu.submit(g, c, work, ready, tag);
-        self.mux_inflight = Some(PrefillReq {
-            id,
-            private: spec.input_tokens() + 1,
-            seq,
-            lock: MatchOutcome {
-                matched_tokens: 0,
-                path: Vec::new(),
-            },
-        });
+        self.mux_inflight = Some(PrefillReq { id, seq, lease });
         self.overflow_count += 1;
     }
 
@@ -270,10 +254,9 @@ impl HybridPd {
             if ctx.tokens_emitted(r.id) == 0 {
                 ctx.emit_tokens(r.id, 1);
             }
-            let pool = self.p_pool.as_mut().expect("pool");
-            pool.unlock(&r.lock);
-            pool.free_private(r.private);
-            pool.insert(&spec.content.blocks(pool.block_size()), ctx.now());
+            let table = self.p_table.as_mut().expect("table");
+            let blocks = spec.content.blocks(table.block_size());
+            table.release_and_commit(r.lease, &blocks, ctx.now());
             let context = spec.input_tokens() + 1;
             let bytes = context as f64 * self.model.kv_bytes_per_token() / self.par.tp as f64;
             let tag = self.next_transfer_tag;
@@ -298,7 +281,10 @@ impl HybridPd {
             ctx.emit_tokens(r.id, 1);
         }
         let spec = ctx.request(r.id).clone();
-        // Already resident in the decode pool; admit directly.
+        // Already resident in the decode pool; admit directly. The KV
+        // stays raw in the table across the `Copy` admit record and is
+        // re-wrapped into a lease when the decode slot forms.
+        self.d_table.as_mut().expect("table").detach(r.lease);
         self.pending_admit.push_back(Admit {
             id: r.id,
             context: spec.input_tokens() + 1,
@@ -310,29 +296,27 @@ impl HybridPd {
 
     fn try_admit_decode(&mut self, ctx: &mut ServeCtx) {
         while let Some(&admit) = self.pending_admit.front() {
-            if !admit.local {
-                let pool = self.d_pool.as_mut().expect("pool");
-                if !pool.try_alloc_private(admit.context, ctx.now()) {
-                    break;
-                }
+            let table = self.d_table.as_mut().expect("table");
+            if !admit.local && !table.try_alloc_private(admit.context, ctx.now()) {
+                break;
             }
             self.pending_admit.pop_front();
             let spec = ctx.request(admit.id).clone();
             let emitted = ctx.tokens_emitted(admit.id);
             let remaining = spec.output_tokens.saturating_sub(emitted);
+            let table = self.d_table.as_mut().expect("table");
             if remaining == 0 {
-                self.d_pool
-                    .as_mut()
-                    .expect("pool")
-                    .free_private(admit.context);
+                table.free_private(admit.context);
                 ctx.finish_request(admit.id);
+                self.lifecycle.finish(admit.id);
                 continue;
             }
-            self.decode.push(Slot {
+            self.lifecycle.begin_decode(admit.id);
+            self.decode.push(DecodeSlot {
                 id: admit.id,
                 context: admit.context,
                 remaining_out: remaining,
-                private: admit.context,
+                lease: table.lease_private(admit.context),
             });
         }
         self.launch_decode(ctx);
@@ -345,7 +329,7 @@ impl HybridPd {
         if self.decode.is_empty() {
             return configs[0];
         }
-        let ctxs: Vec<u64> = self.decode.iter().map(|s| s.context).collect();
+        let ctxs: Vec<u64> = self.decode.contexts().collect();
         let budget = self.slo.tbt.as_secs() * 0.9 - ctx.gpu.spec().graph_launch.as_secs();
         for &sms in &configs {
             let solo = self.predictor.decode_latency(sms, &ctxs);
@@ -372,28 +356,13 @@ impl HybridPd {
             return;
         }
         let now = ctx.now();
-        loop {
-            let need = self.decode.len() as u64;
-            if need == 0 {
-                return;
-            }
-            if self
-                .d_pool
-                .as_mut()
-                .expect("pool")
-                .try_alloc_private(need, now)
-            {
-                for s in &mut self.decode {
-                    s.private += 1;
-                }
-                break;
-            }
-            let victim = self.decode.pop().expect("non-empty");
-            self.d_pool
-                .as_mut()
-                .expect("pool")
-                .free_private(victim.private);
-            self.waiting.push_front(victim.id);
+        let table = self.d_table.as_mut().expect("table");
+        for id in self.decode.grow_for_iteration(table, now) {
+            self.waiting.push_front(id);
+            self.lifecycle.requeue(id);
+        }
+        if self.decode.is_empty() {
+            return;
         }
         // Re-partition the decode instance when possible.
         let desired = self.desired_decode_sms(ctx);
@@ -413,7 +382,7 @@ impl HybridPd {
             }
             self.decode_sms = desired;
         }
-        let ctxs: Vec<u64> = self.decode.iter().map(|s| s.context).collect();
+        let ctxs: Vec<u64> = self.decode.contexts().collect();
         let work = self.model.decode_iter_work(&ctxs, &self.par);
         let ready = now + ctx.gpu.spec().graph_launch;
         ctx.gpu.submit(g, dc, work, ready, TAG_DECODE);
@@ -422,23 +391,10 @@ impl HybridPd {
 
     fn on_decode_done(&mut self, ctx: &mut ServeCtx) {
         self.decode_inflight = false;
-        for s in &mut self.decode {
-            ctx.emit_tokens(s.id, 1);
-            s.context += 1;
-            s.remaining_out -= 1;
-        }
-        let mut i = 0;
-        while i < self.decode.len() {
-            if self.decode[i].remaining_out == 0 {
-                let slot = self.decode.remove(i);
-                self.d_pool
-                    .as_mut()
-                    .expect("pool")
-                    .free_private(slot.private);
-                ctx.finish_request(slot.id);
-            } else {
-                i += 1;
-            }
+        for slot in self.decode.advance_iteration(ctx) {
+            self.d_table.as_mut().expect("table").release(slot.lease);
+            ctx.finish_request(slot.id);
+            self.lifecycle.finish(slot.id);
         }
         self.try_admit_decode(ctx);
         self.launch_decode(ctx);
@@ -460,8 +416,8 @@ impl Scheduler for HybridPd {
         self.p_group = Some(pg);
         self.d_group = Some(dg);
         self.link = Some(ctx.gpu.create_link(0.0, SimDuration::from_micros(5.0)));
-        self.p_pool = Some(KvPool::new(self.p_pool_capacity, 64));
-        self.d_pool = Some(KvPool::new(self.d_pool_capacity, 64));
+        self.p_table = Some(LeaseTable::new(self.p_pool_capacity, 64));
+        self.d_table = Some(LeaseTable::new(self.d_pool_capacity, 64));
     }
 
     fn on_arrival(&mut self, id: ReqId, ctx: &mut ServeCtx) {
@@ -499,6 +455,14 @@ impl Scheduler for HybridPd {
             v.push((g, c));
         }
         v
+    }
+
+    fn counters(&self) -> EngineCounters {
+        self.lifecycle.counters()
+    }
+
+    fn lease_tables(&self) -> Vec<&LeaseTable> {
+        self.p_table.iter().chain(self.d_table.iter()).collect()
     }
 }
 

@@ -27,6 +27,25 @@
 //! * [`related::TemporalMux`] — §6: the temporal-only variant (layer-wise
 //!   prefill squeezed between decode iterations, never concurrent).
 //!
+//! # Adding a new engine
+//!
+//! An engine is a [`serving::Scheduler`] that owns *policy only*; the
+//! request-lifecycle mechanics live in the `serving` substrate. Hold KV
+//! through a [`serving::LeaseTable`] (created in `on_start`, reported via
+//! `Scheduler::lease_tables` so the driver's end-of-run leak detector
+//! covers you): admit with `lease_prefix`/`try_lease_private`, grow with
+//! `absorb_private`, and finish through `release` or `release_and_commit`
+//! — never touch the raw pool lock API. Track stages with a
+//! [`serving::Lifecycle`] (`admit`/`begin_decode`/`requeue`/`finish`/
+//! `drop_request`; illegal orders panic) and return its counters from
+//! `Scheduler::counters` so requeue/drop pressure lands in every
+//! [`serving::Report`]. Keep decoding requests in a
+//! [`serving::DecodeBatch`]: `grow_for_iteration` handles the
+//! one-token-per-slot KV growth with tail-victim eviction and
+//! `advance_iteration` handles emission and retirement, so a new
+//! scheduler is ~the admission policy, the kernel-submission logic, and
+//! nothing else. [`SglangPd`] is the smallest complete template.
+//!
 //! # Examples
 //!
 //! ```no_run

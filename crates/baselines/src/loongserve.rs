@@ -11,9 +11,12 @@
 use std::collections::{HashMap, VecDeque};
 
 use gpusim::{ClusterSpec, CtxId, GroupId, LinkId};
-use kvcache::KvPool;
 use modelspec::{ModelSpec, Parallelism, SeqState};
-use serving::{kv_pool_capacity_tokens, ReqId, Scheduler, ServeCtx, SloSpec};
+use serving::lease::LeaseTable;
+use serving::lifecycle::{EngineCounters, Lifecycle};
+use serving::{
+    kv_pool_capacity_tokens, DecodeBatch, DecodeSlot, ReqId, Scheduler, ServeCtx, SloSpec,
+};
 use simcore::SimDuration;
 
 /// A prefill job running on an elastic group.
@@ -32,15 +35,6 @@ struct Admit {
     context: u64,
 }
 
-/// One decode-batch entry.
-#[derive(Debug)]
-struct Slot {
-    id: ReqId,
-    context: u64,
-    remaining_out: u64,
-    private: u64,
-}
-
 /// The LoongServe scheduler. See the [module docs](self).
 #[derive(Debug)]
 pub struct LoongServe {
@@ -54,16 +48,16 @@ pub struct LoongServe {
     d_group: Option<GroupId>,
     d_ctx: Option<CtxId>,
     link: Option<LinkId>,
-    d_pool: Option<KvPool>,
+    d_table: Option<LeaseTable>,
+    lifecycle: Lifecycle,
     free_gpus: Vec<u32>,
     waiting: VecDeque<ReqId>,
     jobs: HashMap<u64, Job>,
     transferring: HashMap<u64, Admit>,
     pending_admit: VecDeque<Admit>,
-    decode: Vec<Slot>,
+    decode: DecodeBatch,
     decode_inflight: bool,
     next_tag: u64,
-    dropped: u64,
     /// Total tokens recomputed because no cross-request reuse exists.
     recomputed_tokens: u64,
 }
@@ -90,16 +84,16 @@ impl LoongServe {
             d_group: None,
             d_ctx: None,
             link: None,
-            d_pool: None,
+            d_table: None,
+            lifecycle: Lifecycle::new(),
             free_gpus: Vec::new(),
             waiting: VecDeque::new(),
             jobs: HashMap::new(),
             transferring: HashMap::new(),
             pending_admit: VecDeque::new(),
-            decode: Vec::new(),
+            decode: DecodeBatch::new(),
             decode_inflight: false,
             next_tag: 1,
-            dropped: 0,
             recomputed_tokens: 0,
         }
     }
@@ -112,7 +106,7 @@ impl LoongServe {
 
     /// Requests dropped because they could never fit the pool.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.lifecycle.counters().drops
     }
 
     fn try_start_prefills(&mut self, ctx: &mut ServeCtx) {
@@ -138,6 +132,7 @@ impl LoongServe {
             // its ids overlap — enforced by `decode_can_run`).
             self.free_gpus.retain(|g| !gpus.contains(g));
             self.waiting.pop_front();
+            self.lifecycle.admit(id);
 
             let sp = (gpus.len() as u32) / self.tp;
             let par = Parallelism::tp_sp(self.tp, sp, self.nvlink_gbs);
@@ -204,27 +199,26 @@ impl LoongServe {
 
     fn try_admit_decode(&mut self, ctx: &mut ServeCtx) {
         while let Some(&admit) = self.pending_admit.front() {
-            let pool = self.d_pool.as_mut().expect("pool");
-            if !pool.try_alloc_private(admit.context, ctx.now()) {
+            let table = self.d_table.as_mut().expect("table");
+            let Some(lease) = table.try_lease_private(admit.context, ctx.now()) else {
                 break;
-            }
+            };
             self.pending_admit.pop_front();
             let spec = ctx.request(admit.id).clone();
             let emitted = ctx.tokens_emitted(admit.id);
             let remaining = spec.output_tokens.saturating_sub(emitted);
             if remaining == 0 {
-                self.d_pool
-                    .as_mut()
-                    .expect("pool")
-                    .free_private(admit.context);
+                self.d_table.as_mut().expect("table").release(lease);
                 ctx.finish_request(admit.id);
+                self.lifecycle.finish(admit.id);
                 continue;
             }
-            self.decode.push(Slot {
+            self.lifecycle.begin_decode(admit.id);
+            self.decode.push(DecodeSlot {
                 id: admit.id,
                 context: admit.context,
                 remaining_out: remaining,
-                private: admit.context,
+                lease,
             });
         }
         self.launch_decode(ctx);
@@ -235,30 +229,15 @@ impl LoongServe {
             return;
         }
         let now = ctx.now();
-        loop {
-            let need = self.decode.len() as u64;
-            if need == 0 {
-                return;
-            }
-            if self
-                .d_pool
-                .as_mut()
-                .expect("pool")
-                .try_alloc_private(need, now)
-            {
-                for s in &mut self.decode {
-                    s.private += 1;
-                }
-                break;
-            }
-            let victim = self.decode.pop().expect("non-empty");
-            self.d_pool
-                .as_mut()
-                .expect("pool")
-                .free_private(victim.private);
-            self.waiting.push_front(victim.id);
+        let table = self.d_table.as_mut().expect("table");
+        for id in self.decode.grow_for_iteration(table, now) {
+            self.waiting.push_front(id);
+            self.lifecycle.requeue(id);
         }
-        let ctxs: Vec<u64> = self.decode.iter().map(|s| s.context).collect();
+        if self.decode.is_empty() {
+            return;
+        }
+        let ctxs: Vec<u64> = self.decode.contexts().collect();
         let par = Parallelism::tp(self.tp, self.nvlink_gbs);
         let work = self.model.decode_iter_work(&ctxs, &par);
         let ready = now + ctx.gpu.spec().graph_launch;
@@ -269,25 +248,12 @@ impl LoongServe {
 
     fn on_decode_done(&mut self, ctx: &mut ServeCtx) {
         self.decode_inflight = false;
-        for s in &mut self.decode {
-            ctx.emit_tokens(s.id, 1);
-            s.context += 1;
-            s.remaining_out -= 1;
-        }
-        let mut i = 0;
-        while i < self.decode.len() {
-            if self.decode[i].remaining_out == 0 {
-                let slot = self.decode.remove(i);
-                // Everything is released — nothing is cached for the
-                // session's next turn.
-                self.d_pool
-                    .as_mut()
-                    .expect("pool")
-                    .free_private(slot.private);
-                ctx.finish_request(slot.id);
-            } else {
-                i += 1;
-            }
+        for slot in self.decode.advance_iteration(ctx) {
+            // Everything is released — nothing is cached for the
+            // session's next turn.
+            self.d_table.as_mut().expect("table").release(slot.lease);
+            ctx.finish_request(slot.id);
+            self.lifecycle.finish(slot.id);
         }
         self.try_admit_decode(ctx);
         self.launch_decode(ctx);
@@ -303,7 +269,7 @@ impl Scheduler for LoongServe {
         self.d_group = Some(dg);
         self.free_gpus = (self.tp..self.num_gpus).collect();
         self.link = Some(ctx.gpu.create_link(0.0, SimDuration::from_micros(5.0)));
-        self.d_pool = Some(KvPool::new(self.d_pool_capacity, 64));
+        self.d_table = Some(LeaseTable::new(self.d_pool_capacity, 64));
     }
 
     fn on_arrival(&mut self, id: ReqId, ctx: &mut ServeCtx) {
@@ -335,6 +301,14 @@ impl Scheduler for LoongServe {
             (Some(g), Some(c)) => vec![(g, c)],
             _ => Vec::new(),
         }
+    }
+
+    fn counters(&self) -> EngineCounters {
+        self.lifecycle.counters()
+    }
+
+    fn lease_tables(&self) -> Vec<&LeaseTable> {
+        self.d_table.iter().collect()
     }
 }
 

@@ -11,9 +11,12 @@
 use std::collections::{HashMap, VecDeque};
 
 use gpusim::{ClusterSpec, CtxId, GroupId, LinkId};
-use kvcache::{KvPool, MatchOutcome};
 use modelspec::{ModelSpec, Parallelism, SeqState};
-use serving::{kv_pool_capacity_tokens, ReqId, Scheduler, ServeCtx, SloSpec};
+use serving::lease::{KvLease, LeaseTable};
+use serving::lifecycle::{EngineCounters, Lifecycle};
+use serving::{
+    kv_pool_capacity_tokens, DecodeBatch, DecodeSlot, ReqId, Scheduler, ServeCtx, SloSpec,
+};
 use simcore::SimDuration;
 
 /// One request in the prefill instance.
@@ -21,11 +24,11 @@ use simcore::SimDuration;
 struct PrefillReq {
     id: ReqId,
     seq: SeqState,
-    lock: MatchOutcome,
-    private: u64,
+    lease: KvLease,
     /// Decode-pool tokens reserved up front (§4.3: "the system must
     /// still reserve slots for KV caches during prefill and decode";
     /// prefill stalls when the decode pool cannot host the context).
+    /// Held raw in the decode table until the transfer lands.
     reserved: u64,
 }
 
@@ -34,15 +37,6 @@ struct PrefillReq {
 struct Admit {
     id: ReqId,
     context: u64,
-}
-
-/// One request in the decode batch (decode-instance pool space only).
-#[derive(Debug)]
-struct Slot {
-    id: ReqId,
-    context: u64,
-    remaining_out: u64,
-    private: u64,
 }
 
 /// The static-disaggregation scheduler. See the [module docs](self).
@@ -57,16 +51,16 @@ pub struct SglangPd {
     d_group: Option<GroupId>,
     d_ctx: Option<CtxId>,
     link: Option<LinkId>,
-    p_pool: Option<KvPool>,
-    d_pool: Option<KvPool>,
+    p_table: Option<LeaseTable>,
+    d_table: Option<LeaseTable>,
+    lifecycle: Lifecycle,
     waiting: VecDeque<ReqId>,
     prefill: Option<Vec<PrefillReq>>,
     transferring: HashMap<u64, Admit>,
     pending_admit: VecDeque<Admit>,
-    decode: Vec<Slot>,
+    decode: DecodeBatch,
     decode_inflight: bool,
     next_tag: u64,
-    dropped: u64,
     max_prefill_batch_tokens: u64,
 }
 
@@ -96,16 +90,16 @@ impl SglangPd {
             d_group: None,
             d_ctx: None,
             link: None,
-            p_pool: None,
-            d_pool: None,
+            p_table: None,
+            d_table: None,
+            lifecycle: Lifecycle::new(),
             waiting: VecDeque::new(),
             prefill: None,
             transferring: HashMap::new(),
             pending_admit: VecDeque::new(),
-            decode: Vec::new(),
+            decode: DecodeBatch::new(),
             decode_inflight: false,
             next_tag: 1,
-            dropped: 0,
             max_prefill_batch_tokens: 16_384,
         }
     }
@@ -113,12 +107,12 @@ impl SglangPd {
     /// Prefill-instance pool statistics (cache hit rate under the halved
     /// capacity — Fig. 5's effect).
     pub fn prefill_pool_stats(&self) -> Option<kvcache::PoolStats> {
-        self.p_pool.as_ref().map(|p| p.stats())
+        self.p_table.as_ref().map(|t| t.stats())
     }
 
     /// Requests dropped because they could never fit the pool.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.lifecycle.counters().drops
     }
 
     fn try_start_prefill(&mut self, ctx: &mut ServeCtx) {
@@ -132,18 +126,18 @@ impl SglangPd {
                 break;
             }
             let spec = ctx.request(id).clone();
-            let pool = self.p_pool.as_mut().expect("pool");
-            let blocks = spec.content.blocks(pool.block_size());
-            let reused = pool.peek_prefix(&blocks);
+            let table = self.p_table.as_mut().expect("table");
+            let blocks = spec.content.blocks(table.block_size());
+            let reused = table.peek_prefix(&blocks);
             let new_tokens = spec.input_tokens() - reused;
             if !reqs.is_empty() && new_total + new_tokens > self.max_prefill_batch_tokens {
                 break;
             }
-            if !pool.try_alloc_private(new_tokens, ctx.now()) {
+            if !table.try_alloc_private(new_tokens, ctx.now()) {
                 if reqs.is_empty() && self.prefill.is_none() && self.idle_everywhere() {
                     self.waiting.pop_front();
                     ctx.finish_request(id);
-                    self.dropped += 1;
+                    self.lifecycle.drop_request(id);
                     continue;
                 }
                 break;
@@ -153,33 +147,37 @@ impl SglangPd {
             // OpenThoughts pathology of §4.3).
             let reserved = spec.input_tokens() + 1;
             if !self
-                .d_pool
+                .d_table
                 .as_mut()
-                .expect("pool")
+                .expect("table")
                 .try_alloc_private(reserved, ctx.now())
             {
-                self.p_pool.as_mut().expect("pool").free_private(new_tokens);
+                self.p_table
+                    .as_mut()
+                    .expect("table")
+                    .free_private(new_tokens);
                 if reqs.is_empty() && self.prefill.is_none() && self.idle_everywhere() {
                     self.waiting.pop_front();
                     ctx.finish_request(id);
-                    self.dropped += 1;
+                    self.lifecycle.drop_request(id);
                     continue;
                 }
                 break;
             }
-            let pool = self.p_pool.as_mut().expect("pool");
-            let lock = pool.match_prefix(&blocks, ctx.now());
+            let table = self.p_table.as_mut().expect("table");
+            let mut lease = table.lease_prefix(&blocks, ctx.now());
             let seq = SeqState::new(
-                spec.input_tokens() - lock.matched_tokens,
-                lock.matched_tokens,
+                spec.input_tokens() - lease.matched_tokens(),
+                lease.matched_tokens(),
             );
+            lease.absorb_private(seq.new_tokens);
             new_total += seq.new_tokens;
             self.waiting.pop_front();
+            self.lifecycle.admit(id);
             reqs.push(PrefillReq {
                 id,
-                private: seq.new_tokens,
                 seq,
-                lock,
+                lease,
                 reserved,
             });
         }
@@ -214,10 +212,9 @@ impl SglangPd {
             }
             // Cache the computed prompt in the prefill pool for future
             // turns, then release the working allocation.
-            let pool = self.p_pool.as_mut().expect("pool");
-            pool.unlock(&r.lock);
-            pool.free_private(r.private);
-            pool.insert(&spec.content.blocks(pool.block_size()), ctx.now());
+            let table = self.p_table.as_mut().expect("table");
+            let blocks = spec.content.blocks(table.block_size());
+            table.release_and_commit(r.lease, &blocks, ctx.now());
             // Migrate the KV cache to the decode instance (sharded over
             // the instance's NVLink pairs).
             let context = spec.input_tokens() + 1;
@@ -240,16 +237,25 @@ impl SglangPd {
             let emitted = ctx.tokens_emitted(admit.id);
             let remaining = spec.output_tokens.saturating_sub(emitted);
             if remaining == 0 {
-                let pool = self.d_pool.as_mut().expect("pool");
-                pool.free_private(admit.context);
+                self.d_table
+                    .as_mut()
+                    .expect("table")
+                    .free_private(admit.context);
                 ctx.finish_request(admit.id);
+                self.lifecycle.finish(admit.id);
                 continue;
             }
-            self.decode.push(Slot {
+            self.lifecycle.begin_decode(admit.id);
+            let lease = self
+                .d_table
+                .as_mut()
+                .expect("table")
+                .lease_private(admit.context);
+            self.decode.push(DecodeSlot {
                 id: admit.id,
                 context: admit.context,
                 remaining_out: remaining,
-                private: admit.context,
+                lease,
             });
         }
         self.launch_decode(ctx);
@@ -260,32 +266,17 @@ impl SglangPd {
             return;
         }
         let now = ctx.now();
-        loop {
-            let need = self.decode.len() as u64;
-            if need == 0 {
-                return;
-            }
-            if self
-                .d_pool
-                .as_mut()
-                .expect("pool")
-                .try_alloc_private(need, now)
-            {
-                for s in &mut self.decode {
-                    s.private += 1;
-                }
-                break;
-            }
-            // Decode pool exhausted: requeue the newest context to the
-            // prefill instance (full recompute there).
-            let victim = self.decode.pop().expect("non-empty");
-            self.d_pool
-                .as_mut()
-                .expect("pool")
-                .free_private(victim.private);
-            self.waiting.push_front(victim.id);
+        // Decode pool exhausted: requeue the newest contexts to the
+        // prefill instance (full recompute there).
+        let table = self.d_table.as_mut().expect("table");
+        for id in self.decode.grow_for_iteration(table, now) {
+            self.waiting.push_front(id);
+            self.lifecycle.requeue(id);
         }
-        let ctxs: Vec<u64> = self.decode.iter().map(|s| s.context).collect();
+        if self.decode.is_empty() {
+            return;
+        }
+        let ctxs: Vec<u64> = self.decode.contexts().collect();
         let work = self.model.decode_iter_work(&ctxs, &self.par);
         let ready = now + ctx.gpu.spec().graph_launch;
         let (g, c) = (self.d_group.expect("started"), self.d_ctx.expect("started"));
@@ -295,23 +286,10 @@ impl SglangPd {
 
     fn on_decode_done(&mut self, ctx: &mut ServeCtx) {
         self.decode_inflight = false;
-        for s in &mut self.decode {
-            ctx.emit_tokens(s.id, 1);
-            s.context += 1;
-            s.remaining_out -= 1;
-        }
-        let mut i = 0;
-        while i < self.decode.len() {
-            if self.decode[i].remaining_out == 0 {
-                let slot = self.decode.remove(i);
-                self.d_pool
-                    .as_mut()
-                    .expect("pool")
-                    .free_private(slot.private);
-                ctx.finish_request(slot.id);
-            } else {
-                i += 1;
-            }
+        for slot in self.decode.advance_iteration(ctx) {
+            self.d_table.as_mut().expect("table").release(slot.lease);
+            ctx.finish_request(slot.id);
+            self.lifecycle.finish(slot.id);
         }
         self.try_admit_decode(ctx);
         self.launch_decode(ctx);
@@ -331,8 +309,8 @@ impl Scheduler for SglangPd {
         self.p_group = Some(pg);
         self.d_group = Some(dg);
         self.link = Some(ctx.gpu.create_link(0.0, SimDuration::from_micros(5.0)));
-        self.p_pool = Some(KvPool::new(self.p_pool_capacity, 64));
-        self.d_pool = Some(KvPool::new(self.d_pool_capacity, 64));
+        self.p_table = Some(LeaseTable::new(self.p_pool_capacity, 64));
+        self.d_table = Some(LeaseTable::new(self.d_pool_capacity, 64));
     }
 
     fn on_arrival(&mut self, id: ReqId, ctx: &mut ServeCtx) {
@@ -368,6 +346,14 @@ impl Scheduler for SglangPd {
             v.push((g, c));
         }
         v
+    }
+
+    fn counters(&self) -> EngineCounters {
+        self.lifecycle.counters()
+    }
+
+    fn lease_tables(&self) -> Vec<&LeaseTable> {
+        self.p_table.iter().chain(self.d_table.iter()).collect()
     }
 }
 

@@ -16,26 +16,19 @@ use std::collections::VecDeque;
 
 use estimator::SoloPredictor;
 use gpusim::{ClusterSpec, CtxId, GroupId, KernelKind};
-use kvcache::{KvPool, MatchOutcome};
 use modelspec::{ModelSpec, Parallelism, SeqState};
-use serving::{kv_pool_capacity_tokens, ReqId, Scheduler, ServeCtx, SloSpec};
+use serving::lease::{KvLease, LeaseTable};
+use serving::lifecycle::{EngineCounters, Lifecycle};
+use serving::{
+    kv_pool_capacity_tokens, DecodeBatch, DecodeSlot, ReqId, Scheduler, ServeCtx, SloSpec,
+};
 use simcore::SimDuration;
 
 #[derive(Debug)]
 struct PrefillReq {
     id: ReqId,
     seq: SeqState,
-    lock: MatchOutcome,
-    private: u64,
-}
-
-#[derive(Debug)]
-struct Slot {
-    id: ReqId,
-    context: u64,
-    remaining_out: u64,
-    lock: MatchOutcome,
-    private: u64,
+    lease: KvLease,
 }
 
 /// Shared plumbing of the two variants (single pool, simple decode
@@ -45,9 +38,10 @@ struct Common {
     model: ModelSpec,
     par: Parallelism,
     pool_capacity: u64,
-    pool: Option<KvPool>,
+    table: Option<LeaseTable>,
+    lifecycle: Lifecycle,
     waiting: VecDeque<ReqId>,
-    decode: Vec<Slot>,
+    decode: DecodeBatch,
     decode_inflight: bool,
 }
 
@@ -59,9 +53,10 @@ impl Common {
             model: model.clone(),
             par: Parallelism::tp(tp, cluster.nvlink_gbs),
             pool_capacity,
-            pool: None,
+            table: None,
+            lifecycle: Lifecycle::new(),
             waiting: VecDeque::new(),
-            decode: Vec::new(),
+            decode: DecodeBatch::new(),
             decode_inflight: false,
         }
     }
@@ -69,111 +64,78 @@ impl Common {
     fn admit_one(&mut self, ctx: &mut ServeCtx) -> Option<PrefillReq> {
         let &id = self.waiting.front()?;
         let spec = ctx.request(id).clone();
-        let pool = self.pool.as_mut().expect("pool");
-        let blocks = spec.content.blocks(pool.block_size());
-        let reused = pool.peek_prefix(&blocks);
+        let table = self.table.as_mut().expect("table");
+        let blocks = spec.content.blocks(table.block_size());
+        let reused = table.peek_prefix(&blocks);
         let new_tokens = spec.input_tokens() - reused;
-        if !pool.try_alloc_private(new_tokens, ctx.now()) {
+        if !table.try_alloc_private(new_tokens, ctx.now()) {
             if self.decode.is_empty() && !self.decode_inflight {
                 self.waiting.pop_front();
                 ctx.finish_request(id);
+                self.lifecycle.drop_request(id);
             }
             return None;
         }
-        let lock = pool.match_prefix(&blocks, ctx.now());
+        let mut lease = table.lease_prefix(&blocks, ctx.now());
         self.waiting.pop_front();
+        self.lifecycle.admit(id);
         let seq = SeqState::new(
-            spec.input_tokens() - lock.matched_tokens,
-            lock.matched_tokens,
+            spec.input_tokens() - lease.matched_tokens(),
+            lease.matched_tokens(),
         );
-        Some(PrefillReq {
-            id,
-            private: seq.new_tokens,
-            seq,
-            lock,
-        })
+        lease.absorb_private(seq.new_tokens);
+        Some(PrefillReq { id, seq, lease })
     }
 
-    fn finish_prefill(&mut self, r: PrefillReq, ctx: &mut ServeCtx) {
+    fn finish_prefill(&mut self, mut r: PrefillReq, ctx: &mut ServeCtx) {
         let spec = ctx.request(r.id).clone();
         if ctx.tokens_emitted(r.id) == 0 {
             ctx.emit_tokens(r.id, 1);
         }
         let emitted = ctx.tokens_emitted(r.id);
         let remaining = spec.output_tokens.saturating_sub(emitted);
-        let (lock, private) = crate::chunked::migrate_prefill_kv(
-            self.pool.as_mut().expect("pool"),
-            &spec.content,
-            r.lock,
-            r.private,
-            ctx.now(),
-        );
-        let slot = Slot {
+        let table = self.table.as_mut().expect("table");
+        let blocks = spec.content.blocks(table.block_size());
+        table.migrate(&mut r.lease, &blocks, ctx.now());
+        let slot = DecodeSlot {
             id: r.id,
             context: spec.input_tokens() + emitted,
             remaining_out: remaining,
-            lock,
-            private,
+            lease: r.lease,
         };
         if remaining == 0 {
             self.retire(slot, ctx);
         } else {
+            self.lifecycle.begin_decode(slot.id);
             self.decode.push(slot);
         }
     }
 
-    fn retire(&mut self, slot: Slot, ctx: &mut ServeCtx) {
+    fn retire(&mut self, slot: DecodeSlot, ctx: &mut ServeCtx) {
         let spec = ctx.request(slot.id).clone();
-        let pool = self.pool.as_mut().expect("pool");
+        let table = self.table.as_mut().expect("table");
         let mut committed = spec.content.clone();
         committed.push(spec.session, ctx.tokens_emitted(slot.id));
-        pool.unlock(&slot.lock);
-        pool.free_private(slot.private);
-        pool.insert(&committed.blocks(pool.block_size()), ctx.now());
+        table.release_and_commit(slot.lease, &committed.blocks(table.block_size()), ctx.now());
         ctx.finish_request(slot.id);
+        self.lifecycle.finish(slot.id);
     }
 
     /// Allocates the per-iteration decode KV growth, requeueing victims
     /// when the pool runs dry. Returns `false` when the batch emptied.
     fn grow_decode_kv(&mut self, ctx: &mut ServeCtx) -> bool {
-        loop {
-            let need = self.decode.len() as u64;
-            if need == 0 {
-                return false;
-            }
-            if self
-                .pool
-                .as_mut()
-                .expect("pool")
-                .try_alloc_private(need, ctx.now())
-            {
-                for s in &mut self.decode {
-                    s.private += 1;
-                }
-                return true;
-            }
-            let victim = self.decode.pop().expect("non-empty");
-            let pool = self.pool.as_mut().expect("pool");
-            pool.unlock(&victim.lock);
-            pool.free_private(victim.private);
-            self.waiting.push_front(victim.id);
+        let now = ctx.now();
+        let table = self.table.as_mut().expect("table");
+        for id in self.decode.grow_for_iteration(table, now) {
+            self.waiting.push_front(id);
+            self.lifecycle.requeue(id);
         }
+        !self.decode.is_empty()
     }
 
     fn advance_decode(&mut self, ctx: &mut ServeCtx) {
-        for s in &mut self.decode {
-            ctx.emit_tokens(s.id, 1);
-            s.context += 1;
-            s.remaining_out -= 1;
-        }
-        let mut i = 0;
-        while i < self.decode.len() {
-            if self.decode[i].remaining_out == 0 {
-                let slot = self.decode.remove(i);
-                self.retire(slot, ctx);
-            } else {
-                i += 1;
-            }
+        for slot in self.decode.advance_iteration(ctx) {
+            self.retire(slot, ctx);
         }
     }
 }
@@ -236,7 +198,7 @@ impl WindServe {
         if !self.common.grow_decode_kv(ctx) {
             return;
         }
-        let ctxs: Vec<u64> = self.common.decode.iter().map(|s| s.context).collect();
+        let ctxs: Vec<u64> = self.common.decode.contexts().collect();
         let work = self.common.model.decode_iter_work(&ctxs, &self.common.par);
         let ready = ctx.now() + ctx.gpu.spec().graph_launch;
         ctx.gpu.submit(
@@ -258,7 +220,7 @@ impl Scheduler for WindServe {
         self.d_ctx = Some(ctx.gpu.set_context(group, sms / 2));
         self.p_ctx = Some(ctx.gpu.set_context(group, sms - sms / 2));
         self.group = Some(group);
-        self.common.pool = Some(KvPool::new(self.common.pool_capacity, 64));
+        self.common.table = Some(LeaseTable::new(self.common.pool_capacity, 64));
     }
 
     fn on_arrival(&mut self, id: ReqId, ctx: &mut ServeCtx) {
@@ -287,6 +249,14 @@ impl Scheduler for WindServe {
             (Some(g), Some(d), Some(p)) => vec![(g, d), (g, p)],
             _ => Vec::new(),
         }
+    }
+
+    fn counters(&self) -> EngineCounters {
+        self.common.lifecycle.counters()
+    }
+
+    fn lease_tables(&self) -> Vec<&LeaseTable> {
+        self.common.table.iter().collect()
     }
 }
 
@@ -347,7 +317,7 @@ impl TemporalMux {
             }
         }
         let (group, c) = (self.group.expect("started"), self.ctx_id.expect("started"));
-        let ctxs: Vec<u64> = self.common.decode.iter().map(|s| s.context).collect();
+        let ctxs: Vec<u64> = self.common.decode.contexts().collect();
         let have_decode = !ctxs.is_empty();
         let t_decode = if have_decode {
             self.predictor.decode_latency(self.sm_count, &ctxs)
@@ -389,7 +359,7 @@ impl TemporalMux {
             if !self.common.grow_decode_kv(ctx) {
                 return;
             }
-            let ctxs: Vec<u64> = self.common.decode.iter().map(|s| s.context).collect();
+            let ctxs: Vec<u64> = self.common.decode.contexts().collect();
             let work = self.common.model.decode_iter_work(&ctxs, &self.common.par);
             let ready = ctx.now() + ctx.gpu.spec().graph_launch;
             ctx.gpu.submit(group, c, work, ready, TAG_DECODE);
@@ -405,7 +375,7 @@ impl Scheduler for TemporalMux {
         let sms = ctx.gpu.spec().sm_count;
         self.ctx_id = Some(ctx.gpu.set_context(group, sms));
         self.group = Some(group);
-        self.common.pool = Some(KvPool::new(self.common.pool_capacity, 64));
+        self.common.table = Some(LeaseTable::new(self.common.pool_capacity, 64));
     }
 
     fn on_arrival(&mut self, id: ReqId, ctx: &mut ServeCtx) {
@@ -441,6 +411,14 @@ impl Scheduler for TemporalMux {
             (Some(g), Some(c)) => vec![(g, c)],
             _ => Vec::new(),
         }
+    }
+
+    fn counters(&self) -> EngineCounters {
+        self.common.lifecycle.counters()
+    }
+
+    fn lease_tables(&self) -> Vec<&LeaseTable> {
+        self.common.table.iter().collect()
     }
 }
 

@@ -6,24 +6,24 @@
 //! 4.2 % in their production example).
 
 use bench::{banner, save_record};
-use kvcache::KvPool;
 use modelspec::ModelSpec;
+use serving::LeaseTable;
 use simcore::SimRng;
 use workload::{generate_sessions, RequestSpec, WorkloadKind};
 
 /// Replays a trace against a pool: every turn looks up its context, then
 /// commits context + output (what an aggregated serving system caches).
 fn replay(reqs: &[RequestSpec], capacity_tokens: u64) -> f64 {
-    let mut pool = KvPool::new(capacity_tokens, 64);
+    let mut table = LeaseTable::new(capacity_tokens, 64);
     for r in reqs {
         let blocks = r.content.blocks(64);
-        let m = pool.match_prefix(&blocks, r.arrival);
-        pool.unlock(&m);
+        let lease = table.lease_prefix(&blocks, r.arrival);
+        table.release(lease);
         let mut full = r.content.clone();
         full.push(r.session, r.output_tokens);
-        pool.insert(&full.blocks(64), r.arrival);
+        table.insert(&full.blocks(64), r.arrival);
     }
-    pool.stats().hit_rate()
+    table.stats().hit_rate()
 }
 
 fn main() {

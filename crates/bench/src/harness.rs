@@ -151,6 +151,10 @@ pub struct LatencyRow {
     pub finished: usize,
     /// Total requests.
     pub total: usize,
+    /// Decode slots forcibly requeued under pool pressure.
+    pub requeues: u64,
+    /// Requests dropped because they could never fit the pool.
+    pub drops: u64,
 }
 
 impl LatencyRow {
@@ -171,6 +175,8 @@ impl LatencyRow {
             stable: r.is_stable(),
             finished: r.finished,
             total: r.total,
+            requeues: r.counters.requeues,
+            drops: r.counters.drops,
         }
     }
 

@@ -5,9 +5,13 @@ use std::collections::{HashMap, VecDeque};
 
 use estimator::GuardQuery;
 use gpusim::{CtxId, GroupId};
-use kvcache::{KvPool, MatchOutcome};
+use kvcache::KvPool;
 use modelspec::{ModelSpec, Parallelism, SeqState};
-use serving::{kv_pool_capacity_tokens, ReqId, Scheduler, ServeCtx, SloSpec};
+use serving::lease::{KvLease, LeaseTable};
+use serving::lifecycle::{EngineCounters, Lifecycle};
+use serving::{
+    kv_pool_capacity_tokens, DecodeBatch, DecodeSlot, ReqId, Scheduler, ServeCtx, SloSpec,
+};
 use simcore::{SimDuration, SimTime};
 
 use crate::config::{Estimators, MuxWiseConfig};
@@ -26,8 +30,7 @@ enum Tag {
 struct PrefillReq {
     id: ReqId,
     seq: SeqState,
-    lock: MatchOutcome,
-    private: u64,
+    lease: KvLease,
 }
 
 /// A batched prefill phase in flight.
@@ -44,17 +47,6 @@ struct PrefillJob {
     /// This job preempted another; it may not itself be preempted
     /// (non-recursive preemption, §3.4.2).
     is_preemptor: bool,
-}
-
-/// One request in the decode batch.
-#[derive(Debug)]
-struct DecodeSlot {
-    id: ReqId,
-    /// Context length so far (grows by one per iteration).
-    context: u64,
-    remaining_out: u64,
-    lock: MatchOutcome,
-    private: u64,
 }
 
 /// Information about the decode iteration in flight (for guard
@@ -84,11 +76,12 @@ pub struct MuxWise {
     prefill_ctx: Option<CtxId>,
     decode_sms: u32,
 
-    pool: Option<KvPool>,
+    table: Option<LeaseTable>,
+    lifecycle: Lifecycle,
     waiting: VecDeque<ReqId>,
     prefill: Option<PrefillJob>,
     preempted: Option<PrefillJob>,
-    decode: Vec<DecodeSlot>,
+    decode: DecodeBatch,
     pending_join: Vec<DecodeSlot>,
     decode_inflight: Option<DecodeInflight>,
     /// Set when query-sync is disabled and decode must wait for the
@@ -102,9 +95,6 @@ pub struct MuxWise {
 
     /// `(time, decode SMs)` at every partition change (Fig. 18).
     partition_log: Vec<(SimTime, u32)>,
-    preemption_count: u64,
-    requeue_count: u64,
-    dropped: u64,
     peak_decode_batch: usize,
 }
 
@@ -144,11 +134,12 @@ impl MuxWise {
             decode_ctx: None,
             prefill_ctx: None,
             decode_sms: 0,
-            pool: None,
+            table: None,
+            lifecycle: Lifecycle::default(),
             waiting: VecDeque::new(),
             prefill: None,
             preempted: None,
-            decode: Vec::new(),
+            decode: DecodeBatch::new(),
             pending_join: Vec::new(),
             decode_inflight: None,
             decode_blocked: false,
@@ -157,9 +148,6 @@ impl MuxWise {
             next_gen: 1,
             tags: HashMap::new(),
             partition_log: Vec::new(),
-            preemption_count: 0,
-            requeue_count: 0,
-            dropped: 0,
             peak_decode_batch: 0,
         }
     }
@@ -172,22 +160,22 @@ impl MuxWise {
 
     /// Number of prefill preemptions performed.
     pub fn preemptions(&self) -> u64 {
-        self.preemption_count
+        self.lifecycle.counters().preemptions
     }
 
     /// KV-cache hit statistics of the shared pool.
     pub fn pool_stats(&self) -> Option<kvcache::PoolStats> {
-        self.pool.as_ref().map(|p| p.stats())
+        self.table.as_ref().map(|t| t.stats())
     }
 
     /// Read access to the shared pool (for invariant checks in tests).
     pub fn pool(&self) -> Option<&KvPool> {
-        self.pool.as_ref()
+        self.table.as_ref().map(|t| t.pool())
     }
 
     /// Requests forcibly requeued because the pool ran dry mid-decode.
     pub fn requeues(&self) -> u64 {
-        self.requeue_count
+        self.lifecycle.counters().requeues
     }
 
     /// Largest decode batch observed (telemetry for partition studies).
@@ -197,7 +185,7 @@ impl MuxWise {
 
     /// Requests dropped because they could never fit the pool.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.lifecycle.counters().drops
     }
 
     /// Populated contention-guard cells (grows with §3.3.2's online
@@ -235,9 +223,8 @@ impl MuxWise {
         }
         let ctxs: Vec<u64> = self
             .decode
-            .iter()
-            .chain(self.pending_join.iter())
-            .map(|s| s.context)
+            .contexts()
+            .chain(self.pending_join.iter().map(|s| s.context))
             .collect();
         let mut budget =
             self.slo.tbt.as_secs() * self.cfg.tbt_margin - ctx.gpu.spec().graph_launch.as_secs();
@@ -355,14 +342,14 @@ impl MuxWise {
             let spec = ctx.request(id).clone();
             let blocks = spec
                 .content
-                .blocks(self.pool.as_ref().expect("pool").block_size());
-            let reused = self.pool.as_ref().expect("pool").peek_prefix(&blocks);
+                .blocks(self.table.as_ref().expect("table").block_size());
+            let reused = self.table.as_ref().expect("table").peek_prefix(&blocks);
             let new_tokens = spec.input_tokens() - reused;
             if !reqs.is_empty() && new_total + new_tokens > self.cfg.max_prefill_batch_tokens {
                 break;
             }
-            let pool = self.pool.as_mut().expect("pool");
-            if !pool.try_alloc_private(new_tokens, ctx.now()) {
+            let table = self.table.as_mut().expect("table");
+            if !table.try_alloc_private(new_tokens, ctx.now()) {
                 // Pool pressure: wait for running requests to release
                 // space — unless nothing is running, in which case the
                 // request can never fit and must be dropped to stay live.
@@ -374,24 +361,21 @@ impl MuxWise {
                 {
                     self.waiting.pop_front();
                     ctx.finish_request(id);
-                    self.dropped += 1;
+                    self.lifecycle.drop_request(id);
                     continue;
                 }
                 break;
             }
-            let lock = pool.match_prefix(&blocks, ctx.now());
+            let mut lease = table.lease_prefix(&blocks, ctx.now());
             // The lock is taken after the peek; eviction in between can
             // only shrink the match, which is safe (more recompute).
-            let reused = lock.matched_tokens;
+            let reused = lease.matched_tokens();
             let seq = SeqState::new(spec.input_tokens() - reused, reused);
+            lease.absorb_private(seq.new_tokens);
             new_total += seq.new_tokens;
             self.waiting.pop_front();
-            reqs.push(PrefillReq {
-                id,
-                private: seq.new_tokens,
-                seq,
-                lock,
-            });
+            self.lifecycle.admit(id);
+            reqs.push(PrefillReq { id, seq, lease });
         }
         if reqs.is_empty() {
             return;
@@ -488,7 +472,7 @@ impl MuxWise {
             .predictor
             .prefill_latency(self.prefill_sms(), batch)
             .max(1e-6);
-        let ctxs: Vec<u64> = self.decode.iter().map(|s| s.context).collect();
+        let ctxs: Vec<u64> = self.decode.contexts().collect();
         if ctxs.is_empty() {
             return remaining;
         }
@@ -541,7 +525,7 @@ impl MuxWise {
     /// batch (query-based synchronization: they join at the next decode
     /// launch without stalling it).
     fn complete_prefill_job(&mut self, job: PrefillJob, ctx: &mut ServeCtx) {
-        for r in job.reqs {
+        for mut r in job.reqs {
             let spec = ctx.request(r.id).clone();
             let already = ctx.tokens_emitted(r.id);
             if already == 0 {
@@ -552,23 +536,19 @@ impl MuxWise {
             // The freshly computed prompt KV enters the shared radix
             // immediately (as SGLang's tree does), so concurrent and
             // later turns can reuse it before this request finishes.
-            let (lock, private) = migrate_prefill_kv(
-                self.pool.as_mut().expect("pool"),
-                &spec.content,
-                r.lock,
-                r.private,
-                ctx.now(),
-            );
+            let table = self.table.as_mut().expect("table");
+            let blocks = spec.content.blocks(table.block_size());
+            table.migrate(&mut r.lease, &blocks, ctx.now());
             let slot = DecodeSlot {
                 id: r.id,
                 context: spec.input_tokens() + emitted,
                 remaining_out: remaining,
-                lock,
-                private,
+                lease: r.lease,
             };
             if remaining == 0 {
                 self.retire_slot(slot, ctx);
             } else {
+                self.lifecycle.begin_decode(slot.id);
                 self.pending_join.push(slot);
             }
         }
@@ -579,13 +559,13 @@ impl MuxWise {
     /// the shared pool for future-turn reuse, and releases its resources.
     fn retire_slot(&mut self, slot: DecodeSlot, ctx: &mut ServeCtx) {
         let spec = ctx.request(slot.id).clone();
-        let pool = self.pool.as_mut().expect("pool");
+        let table = self.table.as_mut().expect("table");
         let mut committed = spec.content.clone();
         committed.push(spec.session, ctx.tokens_emitted(slot.id));
-        pool.unlock(&slot.lock);
-        pool.free_private(slot.private);
-        pool.insert(&committed.blocks(pool.block_size()), ctx.now());
+        let blocks = committed.blocks(table.block_size());
+        table.release_and_commit(slot.lease, &blocks, ctx.now());
         ctx.finish_request(slot.id);
+        self.lifecycle.finish(slot.id);
     }
 
     // ---- decode side ----------------------------------------------------------
@@ -609,28 +589,13 @@ impl MuxWise {
         // Grow each sequence's KV allocation by one token; requeue
         // victims if the pool is truly exhausted.
         let now = ctx.now();
-        loop {
-            let need = self.decode.len() as u64;
-            if need == 0 {
-                return;
-            }
-            if self
-                .pool
-                .as_mut()
-                .expect("pool")
-                .try_alloc_private(need, now)
-            {
-                for s in &mut self.decode {
-                    s.private += 1;
-                }
-                break;
-            }
-            let victim = self.decode.pop().expect("non-empty");
-            let pool = self.pool.as_mut().expect("pool");
-            pool.unlock(&victim.lock);
-            pool.free_private(victim.private);
-            self.waiting.push_front(victim.id);
-            self.requeue_count += 1;
+        let table = self.table.as_mut().expect("table");
+        for id in self.decode.grow_for_iteration(table, now) {
+            self.waiting.push_front(id);
+            self.lifecycle.requeue(id);
+        }
+        if self.decode.is_empty() {
+            return;
         }
 
         self.try_apply_partition(ctx);
@@ -639,7 +604,7 @@ impl MuxWise {
             self.launch_prefill_layers(ctx);
         }
         self.peak_decode_batch = self.peak_decode_batch.max(self.decode.len());
-        let ctxs: Vec<u64> = self.decode.iter().map(|s| s.context).collect();
+        let ctxs: Vec<u64> = self.decode.contexts().collect();
         let work = self.model.decode_iter_work(&ctxs, &self.par);
         let spec_launch = ctx.gpu.spec().graph_launch;
         let ready = self.host_submit(now, spec_launch);
@@ -669,21 +634,7 @@ impl MuxWise {
                 }
             }
         }
-        let mut retired = Vec::new();
-        for s in &mut self.decode {
-            ctx.emit_tokens(s.id, 1);
-            s.context += 1;
-            s.remaining_out -= 1;
-        }
-        let mut i = 0;
-        while i < self.decode.len() {
-            if self.decode[i].remaining_out == 0 {
-                retired.push(self.decode.remove(i));
-            } else {
-                i += 1;
-            }
-        }
-        for slot in retired {
+        for slot in self.decode.advance_iteration(ctx) {
             self.retire_slot(slot, ctx);
         }
         if !self.cfg.query_sync && self.prefill.is_some() {
@@ -712,8 +663,8 @@ impl MuxWise {
             return;
         }
         let spec = ctx.request(id).clone();
-        let pool = self.pool.as_ref().expect("pool");
-        let reused = pool.peek_prefix(&spec.content.blocks(pool.block_size()));
+        let table = self.table.as_ref().expect("table");
+        let reused = table.peek_prefix(&spec.content.blocks(table.block_size()));
         let new_seq = [SeqState::new(spec.input_tokens() - reused, reused)];
         let psms = self.prefill_sms();
         let t_new = self.est.predictor.prefill_latency(psms, &new_seq);
@@ -747,12 +698,12 @@ impl MuxWise {
         let mut job = self.prefill.take().expect("checked");
         job.layers_inflight -= cancelled.len() as u32;
         self.preempted = Some(job);
-        self.preemption_count += 1;
+        self.lifecycle.record_preemption();
 
         // Start the preemptor immediately with just this request.
-        let pool = self.pool.as_mut().expect("pool");
-        let blocks = spec.content.blocks(pool.block_size());
-        if !pool.try_alloc_private(spec.input_tokens() - reused, ctx.now()) {
+        let table = self.table.as_mut().expect("table");
+        let blocks = spec.content.blocks(table.block_size());
+        if !table.try_alloc_private(spec.input_tokens() - reused, ctx.now()) {
             // No space: cancel the preemption attempt.
             let job = self.preempted.take().expect("just set");
             self.prefill = Some(job);
@@ -760,23 +711,20 @@ impl MuxWise {
             self.launch_prefill_layers(ctx);
             return;
         }
-        let lock = pool.match_prefix(&blocks, ctx.now());
+        let mut lease = table.lease_prefix(&blocks, ctx.now());
         let seq = SeqState::new(
-            spec.input_tokens() - lock.matched_tokens,
-            lock.matched_tokens,
+            spec.input_tokens() - lease.matched_tokens(),
+            lease.matched_tokens(),
         );
+        lease.absorb_private(seq.new_tokens);
         self.waiting.retain(|&w| w != id);
+        self.lifecycle.admit(id);
         let gen = self.next_gen;
         self.next_gen += 1;
         let est_full = self.est.predictor.prefill_latency(psms, &[seq]);
         self.prefill = Some(PrefillJob {
             gen,
-            reqs: vec![PrefillReq {
-                id,
-                private: seq.new_tokens,
-                seq,
-                lock,
-            }],
+            reqs: vec![PrefillReq { id, seq, lease }],
             layers_done: 0,
             layers_inflight: 0,
             earliest_arrival: spec.arrival,
@@ -787,28 +735,6 @@ impl MuxWise {
         if ctx.gpu.is_idle(group, p_ctx) {
             self.launch_prefill_layers(ctx);
         }
-    }
-}
-
-/// Moves a finished prefill's working KV (held as private pool space)
-/// into the shared radix tree, swapping the request's eviction lock onto
-/// the full committed path. Falls back to keeping the private allocation
-/// when the pool cannot admit the insert.
-pub(crate) fn migrate_prefill_kv(
-    pool: &mut KvPool,
-    content: &workload::ContentSpec,
-    old_lock: MatchOutcome,
-    private: u64,
-    now: simcore::SimTime,
-) -> (MatchOutcome, u64) {
-    let blocks = content.blocks(pool.block_size());
-    if pool.insert(&blocks, now) {
-        let new_lock = pool.lock_prefix(&blocks, now);
-        pool.unlock(&old_lock);
-        pool.free_private(private);
-        (new_lock, 0)
-    } else {
-        (old_lock, private)
     }
 }
 
@@ -831,7 +757,7 @@ impl Scheduler for MuxWise {
         self.group = Some(group);
         self.decode_ctx = Some(d);
         self.prefill_ctx = Some(p);
-        self.pool = Some(KvPool::new(self.pool_capacity, 64));
+        self.table = Some(LeaseTable::new(self.pool_capacity, 64));
         self.partition_log.push((ctx.now(), self.decode_sms));
     }
 
@@ -868,6 +794,14 @@ impl Scheduler for MuxWise {
             (Some(g), Some(d), Some(p)) => vec![(g, d), (g, p)],
             _ => Vec::new(),
         }
+    }
+
+    fn counters(&self) -> EngineCounters {
+        self.lifecycle.counters()
+    }
+
+    fn lease_tables(&self) -> Vec<&LeaseTable> {
+        self.table.iter().collect()
     }
 }
 

@@ -11,6 +11,8 @@ use simcore::{EventQueue, SimDuration, SimTime};
 use gpusim::{CtxId, GpuSim, GroupId};
 use workload::RequestSpec;
 
+use crate::lease::LeaseTable;
+use crate::lifecycle::EngineCounters;
 use crate::metrics::{MetricsRecorder, Report};
 use crate::request::{ReqId, SloSpec};
 
@@ -113,6 +115,18 @@ pub trait Scheduler: Send {
     }
     /// Compute streams for bubble-ratio accounting.
     fn streams(&self) -> Vec<(GroupId, CtxId)> {
+        Vec::new()
+    }
+    /// Lifecycle counters accumulated over the run, folded into the
+    /// [`Report`] by the driver (defaults to all-zero for schedulers that
+    /// do not track a [`crate::Lifecycle`]).
+    fn counters(&self) -> EngineCounters {
+        EngineCounters::default()
+    }
+    /// The scheduler's KV lease tables, checked by the driver's
+    /// end-of-run leak detector (defaults to none for pool-less
+    /// schedulers).
+    fn lease_tables(&self) -> Vec<&LeaseTable> {
         Vec::new()
     }
 }
@@ -229,6 +243,22 @@ impl Driver {
                 .sum::<f64>()
                 / streams.len() as f64;
         }
+        let mut counters = scheduler.counters();
+        // Leak detector: a cleanly drained run has no in-flight work, so
+        // every KV lease must have been returned. (A stalled run ends
+        // mid-flight and legitimately holds leases — count, don't panic.)
+        let held: usize = scheduler
+            .lease_tables()
+            .iter()
+            .map(|t| t.outstanding())
+            .sum();
+        if held > 0 {
+            if cfg!(debug_assertions) && !self.stalled {
+                panic!("KV lease leak: {held} lease(s) still held after the run drained");
+            }
+            counters.leaked_leases += held as u64;
+        }
+        report.counters = counters;
         report
     }
 }

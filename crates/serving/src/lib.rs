@@ -2,12 +2,19 @@
 //! The serving framework: request lifecycle, event-driven driver, SLO
 //! metrics, goodput search.
 //!
-//! Every serving system in the reproduction — MuxWise and the four
+//! Every serving system in the reproduction — MuxWise and the six
 //! baselines — is a [`Scheduler`]: a policy object that reacts to request
 //! arrivals, kernel completions, KV transfers and timers by submitting
 //! work to the shared [`gpusim::GpuSim`]. The [`Driver`] owns the
 //! simulator, the event queue and the metrics recorder, and runs the
 //! simulation to completion.
+//!
+//! Engines share a lifecycle substrate rather than re-implementing it:
+//! [`lease`] makes KV lock/allocation pairs structurally un-leakable
+//! (the driver checks every [`LeaseTable`] when a run drains), [`lifecycle`]
+//! is the canonical request state machine whose [`EngineCounters`] land
+//! in every [`Report`], and [`batch`] is the common decode-batch
+//! container with the per-iteration grow/advance loops.
 //!
 //! Metrics follow the paper (§4.1):
 //!
@@ -33,14 +40,20 @@
 //! assert_eq!(slo.tbt.as_millis(), 100.0);
 //! ```
 
+pub mod batch;
 pub mod capacity;
 pub mod driver;
 pub mod goodput;
+pub mod lease;
+pub mod lifecycle;
 pub mod metrics;
 pub mod request;
 
+pub use batch::{DecodeBatch, DecodeSlot};
 pub use capacity::kv_pool_capacity_tokens;
 pub use driver::{Driver, Scheduler, ServeCtx};
 pub use goodput::{assemble_goodput, find_goodput, GoodputPoint, GoodputResult};
+pub use lease::{KvLease, LeaseTable};
+pub use lifecycle::{EngineCounters, IllegalTransition, Lifecycle, Stage};
 pub use metrics::{MetricsRecorder, Report};
 pub use request::{ReqId, SloSpec};

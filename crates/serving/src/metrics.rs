@@ -3,6 +3,7 @@
 use simcore::stats::Summary;
 use simcore::{SimDuration, SimTime};
 
+use crate::lifecycle::EngineCounters;
 use crate::request::{ReqId, ReqRuntime, SloSpec};
 
 /// Records token-emission timestamps per request during a run.
@@ -113,6 +114,7 @@ impl MetricsRecorder {
             utilization: 0.0,
             bubble_ratio: 0.0,
             diverged: false,
+            counters: EngineCounters::default(),
         }
     }
 
@@ -173,6 +175,9 @@ pub struct Report {
     /// comparable to the whole trace span): the offered load exceeded
     /// capacity even if every request eventually completed.
     pub diverged: bool,
+    /// Lifecycle counters (admissions, requeues, drops, preemptions)
+    /// folded in by the driver from the scheduler.
+    pub counters: EngineCounters,
 }
 
 impl Report {
@@ -216,7 +221,7 @@ impl Report {
     /// One-line human-readable summary.
     pub fn oneline(&self) -> String {
         format!(
-            "p99TTFT={:.3}s p99TBT={:.1}ms attain={:.1}% tok/s={:.0} done={}/{} util={:.1}%",
+            "p99TTFT={:.3}s p99TBT={:.1}ms attain={:.1}% tok/s={:.0} done={}/{} util={:.1}% requeues={} drops={}",
             self.ttft.p99(),
             self.tbt.p99() * 1e3,
             self.tbt_attainment() * 100.0,
@@ -224,6 +229,8 @@ impl Report {
             self.finished,
             self.total,
             self.utilization * 100.0,
+            self.counters.requeues,
+            self.counters.drops,
         )
     }
 }

@@ -1,0 +1,104 @@
+//! Property-based tests: the request lifecycle state machine preserves
+//! its counter invariants under arbitrary transition sequences, and
+//! rejects every illegal transition without mutating any state.
+
+use proptest::prelude::*;
+use serving::{EngineCounters, Lifecycle, Stage};
+
+const STAGES: [Stage; 5] = [
+    Stage::Queued,
+    Stage::Prefilling,
+    Stage::Decoding,
+    Stage::Finished,
+    Stage::Dropped,
+];
+
+/// The transition relation the engines rely on, restated independently
+/// of the implementation's `legal()`.
+fn expect_legal(from: Stage, to: Stage) -> bool {
+    use Stage::*;
+    matches!(
+        (from, to),
+        (Queued, Prefilling)
+            | (Prefilling, Decoding)
+            | (Prefilling, Queued)
+            | (Decoding, Queued)
+            | (Prefilling, Finished)
+            | (Decoding, Finished)
+            | (Queued, Dropped)
+            | (Prefilling, Dropped)
+    )
+}
+
+fn step_strategy() -> impl Strategy<Value = (usize, usize)> {
+    // (request id, target stage index)
+    (0usize..8, 0usize..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any sequence of attempted transitions: legal ones land and bump
+    /// exactly the matching counter; illegal ones are rejected and leave
+    /// both the stage and all counters untouched.
+    #[test]
+    fn transitions_match_shadow_model(
+        steps in prop::collection::vec(step_strategy(), 1..200),
+    ) {
+        let mut lc = Lifecycle::new();
+        let mut shadow_stage = [Stage::Queued; 8];
+        let mut shadow = EngineCounters::default();
+        for (id, to_idx) in steps {
+            let to = STAGES[to_idx];
+            let from = shadow_stage[id];
+            let result = lc.try_transition(id, to);
+            if expect_legal(from, to) {
+                prop_assert!(result.is_ok(), "legal {from:?} -> {to:?} rejected");
+                shadow_stage[id] = to;
+                match to {
+                    Stage::Prefilling => shadow.admissions += 1,
+                    Stage::Queued => shadow.requeues += 1,
+                    Stage::Dropped => shadow.drops += 1,
+                    Stage::Decoding | Stage::Finished => {}
+                }
+            } else {
+                let err = result.expect_err("illegal transition accepted");
+                prop_assert_eq!(err.id, id);
+                prop_assert_eq!(err.from, from);
+                prop_assert_eq!(err.to, to);
+            }
+            prop_assert_eq!(lc.stage(id), shadow_stage[id]);
+            prop_assert_eq!(lc.counters(), shadow);
+        }
+        // Terminal stages absorb: once Finished/Dropped, nothing moves.
+        for (id, stage) in shadow_stage.iter().enumerate() {
+            if matches!(stage, Stage::Finished | Stage::Dropped) {
+                for &to in &STAGES {
+                    prop_assert!(lc.try_transition(id, to).is_err());
+                }
+            }
+        }
+    }
+
+    /// Counter arithmetic over any legal-only walk: every request that
+    /// reaches Prefilling was admitted, so admissions bounds the number
+    /// of requests beyond Queued, and requeues never exceeds admissions
+    /// (a request must be running to become a victim).
+    #[test]
+    fn legal_walks_keep_counter_bounds(
+        steps in prop::collection::vec(step_strategy(), 1..300),
+    ) {
+        let mut lc = Lifecycle::new();
+        for (id, to_idx) in steps {
+            let _ = lc.try_transition(id, STAGES[to_idx]);
+        }
+        let c = lc.counters();
+        prop_assert!(c.requeues <= c.admissions);
+        let active = (0..8)
+            .filter(|&id| lc.stage(id) != Stage::Queued)
+            .count() as u64;
+        // Dropped-from-Queued requests never consumed an admission; all
+        // other non-Queued requests did.
+        prop_assert!(active <= c.admissions + c.drops);
+    }
+}

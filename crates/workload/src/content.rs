@@ -117,7 +117,6 @@ mod tests {
         // 1000 tokens = 15 full blocks + 40-token tail; the tail block is
         // not shareable with the continuation, so 15×64 = 960 reused.
         assert_eq!(m.matched_tokens, 960);
-        pool.unlock(&m);
     }
 
     #[test]
@@ -130,6 +129,5 @@ mod tests {
         pool.insert(&r1.blocks(64), SimTime::ZERO);
         let m = pool.match_prefix(&r2.blocks(64), SimTime::from_secs(1.0));
         assert_eq!(m.matched_tokens, 256);
-        pool.unlock(&m);
     }
 }

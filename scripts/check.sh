@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
-# Repo gate: formatting, lints (warnings are errors), full test suite.
-# Run before every commit: ./scripts/check.sh
+# Repo gate: formatting, lints (warnings are errors), docs (warnings are
+# errors), full test suite. Run before every commit: ./scripts/check.sh
+#
+# Fast path while iterating on the engine substrate:
+#   ./scripts/check.sh serving     # just the serving crate's tests
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+if [[ "${1:-}" == "serving" ]]; then
+    cargo test -q -p serving
+    exit 0
+fi
+
 cargo fmt --check
 cargo clippy --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 cargo test -q

@@ -7,6 +7,8 @@ use gpusim::{ClusterSpec, GpuSim};
 use modelspec::{ModelSpec, Parallelism};
 use muxwise::{Estimators, MuxWise, MuxWiseConfig};
 use serving::{Driver, Report, Scheduler, SloSpec};
+#[cfg(debug_assertions)]
+use serving::{KvLease, LeaseTable, ReqId, ServeCtx};
 use simcore::SimRng;
 use workload::{generate, WorkloadKind};
 
@@ -201,6 +203,83 @@ fn chunked_pool_is_fully_released_after_run() {
     let pool = engine.pool().expect("pool initialized");
     assert_eq!(pool.private_tokens(), 0);
     pool.check_invariants();
+}
+
+#[test]
+fn every_engine_drains_all_kv_leases() {
+    let (model, cluster, slo, est) = testbed();
+    for (name, mut engine) in engines(&model, &cluster, slo, &est) {
+        let rep = run(
+            engine.as_mut(),
+            &cluster,
+            slo,
+            WorkloadKind::Conversation,
+            50,
+            2.0,
+            41,
+        );
+        assert_eq!(rep.finished, rep.total, "{name} left requests unfinished");
+        // The driver's leak detector panics in debug builds while a lease
+        // is still held, so reaching this point already proves the drain;
+        // the counter must agree.
+        assert_eq!(rep.counters.leaked_leases, 0, "{name} leaked KV leases");
+        assert!(rep.counters.admissions > 0, "{name} admitted nothing");
+        for table in engine.lease_tables() {
+            assert_eq!(table.outstanding(), 0, "{name} holds leases after run");
+            table.pool().check_invariants();
+        }
+    }
+}
+
+/// A scheduler that takes one KV lease and never releases it: the
+/// driver's end-of-run leak detector must fire (debug builds panic).
+#[cfg(debug_assertions)]
+struct LeakyScheduler {
+    table: Option<LeaseTable>,
+    leaked: Option<KvLease>,
+}
+
+#[cfg(debug_assertions)]
+impl Scheduler for LeakyScheduler {
+    fn on_start(&mut self, _ctx: &mut ServeCtx) {
+        self.table = Some(LeaseTable::new(1 << 20, 64));
+    }
+
+    fn on_arrival(&mut self, id: ReqId, ctx: &mut ServeCtx) {
+        if self.leaked.is_none() {
+            let table = self.table.as_mut().expect("started");
+            self.leaked = table.try_lease_private(64, ctx.now());
+        }
+        let out = ctx.request(id).output_tokens;
+        ctx.emit_tokens(id, out);
+        ctx.finish_request(id);
+    }
+
+    fn on_kernel_done(&mut self, _tag: u64, _ctx: &mut ServeCtx) {}
+
+    fn lease_tables(&self) -> Vec<&LeaseTable> {
+        self.table.iter().collect()
+    }
+}
+
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "KV lease leak")]
+fn injected_lease_leak_trips_the_detector() {
+    let (_, cluster, slo, _) = testbed();
+    let mut engine = LeakyScheduler {
+        table: None,
+        leaked: None,
+    };
+    run(
+        &mut engine,
+        &cluster,
+        slo,
+        WorkloadKind::ShareGpt,
+        10,
+        1.0,
+        17,
+    );
 }
 
 #[test]
