@@ -346,6 +346,19 @@ impl Scheduler for ChunkedPrefill {
     fn lease_tables(&self) -> Vec<&LeaseTable> {
         self.table.iter().collect()
     }
+
+    fn lease_tables_mut(&mut self) -> Vec<&mut LeaseTable> {
+        self.table.iter_mut().collect()
+    }
+
+    fn on_shed(&mut self, id: ReqId, _ctx: &mut ServeCtx) -> bool {
+        if let Some(pos) = self.waiting.iter().position(|&w| w == id) {
+            self.waiting.remove(pos);
+            self.lifecycle.drop_request(id);
+            return true;
+        }
+        false
+    }
 }
 
 /// The offline budget-tuning probe: largest budget whose fused iteration

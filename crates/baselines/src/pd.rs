@@ -355,6 +355,22 @@ impl Scheduler for SglangPd {
     fn lease_tables(&self) -> Vec<&LeaseTable> {
         self.p_table.iter().chain(self.d_table.iter()).collect()
     }
+
+    fn lease_tables_mut(&mut self) -> Vec<&mut LeaseTable> {
+        self.p_table
+            .iter_mut()
+            .chain(self.d_table.iter_mut())
+            .collect()
+    }
+
+    fn on_shed(&mut self, id: ReqId, _ctx: &mut ServeCtx) -> bool {
+        if let Some(pos) = self.waiting.iter().position(|&w| w == id) {
+            self.waiting.remove(pos);
+            self.lifecycle.drop_request(id);
+            return true;
+        }
+        false
+    }
 }
 
 #[cfg(test)]

@@ -61,6 +61,17 @@ impl Common {
         }
     }
 
+    /// Sheds a still-queued request (watchdog deadline path); `false` if
+    /// the request already left the waiting queue.
+    fn shed(&mut self, id: ReqId) -> bool {
+        if let Some(pos) = self.waiting.iter().position(|&w| w == id) {
+            self.waiting.remove(pos);
+            self.lifecycle.drop_request(id);
+            return true;
+        }
+        false
+    }
+
     fn admit_one(&mut self, ctx: &mut ServeCtx) -> Option<PrefillReq> {
         let &id = self.waiting.front()?;
         let spec = ctx.request(id).clone();
@@ -258,6 +269,14 @@ impl Scheduler for WindServe {
     fn lease_tables(&self) -> Vec<&LeaseTable> {
         self.common.table.iter().collect()
     }
+
+    fn lease_tables_mut(&mut self) -> Vec<&mut LeaseTable> {
+        self.common.table.iter_mut().collect()
+    }
+
+    fn on_shed(&mut self, id: ReqId, _ctx: &mut ServeCtx) -> bool {
+        self.common.shed(id)
+    }
 }
 
 // --------------------------------------------------------------------------
@@ -419,6 +438,14 @@ impl Scheduler for TemporalMux {
 
     fn lease_tables(&self) -> Vec<&LeaseTable> {
         self.common.table.iter().collect()
+    }
+
+    fn lease_tables_mut(&mut self) -> Vec<&mut LeaseTable> {
+        self.common.table.iter_mut().collect()
+    }
+
+    fn on_shed(&mut self, id: ReqId, _ctx: &mut ServeCtx) -> bool {
+        self.common.shed(id)
     }
 }
 

@@ -1,0 +1,269 @@
+//! Chaos experiment: systems × fault intensity under the deterministic
+//! fault injector ([`serving::faults::FaultPlan`]).
+//!
+//! Each grid point runs one system over a Poisson trace with a seeded
+//! fault schedule and the driver's overload watchdog enabled, then
+//! reports goodput-side metrics (throughput, SLO attainment) next to the
+//! degradation-side ones (shed, retries, recovery time, leaked leases).
+//! Points are independent pure functions of their inputs, so they fan
+//! out over [`crate::sweep::parallel_map`] bit-identically at any thread
+//! count.
+
+use gpusim::GpuSim;
+use serving::{Driver, FaultPlan, Report, WatchdogConfig};
+use simcore::{SimDuration, SimRng, SimTime};
+use workload::{generate, WorkloadKind};
+
+use crate::sweep::parallel_map;
+use crate::systems::{SystemKind, Testbed};
+
+/// One grid point of the chaos sweep.
+#[derive(Clone, Copy)]
+pub struct ChaosJob<'a> {
+    /// Model/cluster/SLO bundle (shared, read-only).
+    pub tb: &'a Testbed,
+    /// Serving system to instantiate.
+    pub kind: SystemKind,
+    /// Workload generator.
+    pub workload: WorkloadKind,
+    /// Number of requests.
+    pub n: usize,
+    /// Poisson arrival rate (requests/second).
+    pub rate: f64,
+    /// RNG seed for both the trace and the fault schedule.
+    pub seed: u64,
+    /// Fault intensity in `[0, 1]`; `0.0` is the healthy control run.
+    pub intensity: f64,
+}
+
+impl ChaosJob<'_> {
+    /// Runs the job; `None` when the system cannot host the model.
+    pub fn run(&self) -> Option<Report> {
+        chaos_run(
+            self.tb,
+            self.kind,
+            self.workload,
+            self.n,
+            self.rate,
+            self.seed,
+            self.intensity,
+        )
+    }
+}
+
+/// Runs one system over a faulty trace: the [`crate::harness::stability_run`]
+/// recipe (horizon, divergence check) plus a generated [`FaultPlan`] and
+/// the driver watchdog.
+pub fn chaos_run(
+    tb: &Testbed,
+    kind: SystemKind,
+    workload: WorkloadKind,
+    n: usize,
+    rate: f64,
+    seed: u64,
+    intensity: f64,
+) -> Option<Report> {
+    let mut rng = SimRng::seed_from(seed);
+    let reqs = generate(workload, n, rate, &mut rng);
+    let span = n as f64 / rate;
+    let plan = FaultPlan::generate(seed, intensity, span, tb.cluster.num_gpus);
+    let max_out = reqs.iter().map(|r| r.output_tokens).max().unwrap_or(0) as f64;
+    let grace = (60.0 + max_out * tb.slo.tbt.as_secs() * 0.35).min(1_800.0);
+    let horizon = reqs
+        .last()
+        .map(|r| r.arrival + SimDuration::from_secs(grace))
+        .unwrap_or(SimTime::from_secs(grace));
+    let mut engine = tb.build(kind)?;
+    let gpu = GpuSim::from_cluster(&tb.cluster);
+    let mut report = Driver::new(gpu, reqs, tb.slo)
+        .with_max_sim_time(horizon)
+        .with_faults(plan)
+        .with_watchdog(WatchdogConfig::default())
+        .run(engine.as_mut());
+    if report.ttft.p99() > 0.5 * span {
+        report.diverged = true;
+    }
+    Some(report)
+}
+
+/// Runs a batch of chaos jobs on the worker pool; results come back in
+/// job order, identical to `jobs.iter().map(ChaosJob::run)`.
+pub fn run_chaos(jobs: &[ChaosJob<'_>]) -> Vec<Option<Report>> {
+    parallel_map(jobs, ChaosJob::run)
+}
+
+/// One row of the chaos table (also the `results/chaos.jsonl` record).
+#[derive(Debug, serde::Serialize)]
+pub struct ChaosRow {
+    /// System name.
+    pub system: String,
+    /// Fault intensity of this run.
+    pub intensity: f64,
+    /// Output-token throughput (tokens/s) — the goodput proxy.
+    pub throughput: f64,
+    /// Fraction of TBT samples within the SLO target.
+    pub attainment: f64,
+    /// P99 TBT (ms).
+    pub tbt_p99_ms: f64,
+    /// Whether the system kept up with the (served) load.
+    pub stable: bool,
+    /// Requests finished.
+    pub finished: usize,
+    /// Requests intentionally shed by the watchdog.
+    pub shed: usize,
+    /// Arrivals deferred during severe fault windows.
+    pub fault_retries: u64,
+    /// Running requests requeued under pressure.
+    pub requeues: u64,
+    /// Requests dropped (includes shed).
+    pub drops: u64,
+    /// KV leases still held after a drained run (must be 0).
+    pub leaked_leases: u64,
+    /// Seconds past the last fault window until P99 TBT re-entered the
+    /// SLO (0 = immediate; absent on healthy runs).
+    pub recovery_secs: Option<f64>,
+}
+
+impl ChaosRow {
+    /// Extracts the row from a run report.
+    pub fn from_report(system: &str, intensity: f64, r: &Report) -> ChaosRow {
+        ChaosRow {
+            system: system.to_string(),
+            intensity,
+            throughput: r.token_throughput(),
+            attainment: r.tbt_attainment(),
+            tbt_p99_ms: r.tbt.p99() * 1e3,
+            stable: r.is_stable(),
+            finished: r.finished,
+            shed: r.shed,
+            fault_retries: r.counters.fault_retries,
+            requeues: r.counters.requeues,
+            drops: r.counters.drops,
+            leaked_leases: r.counters.leaked_leases,
+            recovery_secs: r.recovery_secs,
+        }
+    }
+
+    /// Prints the table header.
+    pub fn print_header() {
+        println!(
+            "{:<11} {:>5} {:>10} {:>7} {:>9} {:>6} {:>5} {:>7} {:>7} {:>6} {:>8}  state",
+            "system",
+            "fault",
+            "tok/s",
+            "attain",
+            "tbtP99",
+            "fin",
+            "shed",
+            "retries",
+            "requeue",
+            "drops",
+            "recovery"
+        );
+    }
+
+    /// Prints one formatted row.
+    pub fn print(&self) {
+        println!(
+            "{:<11} {:>5.2} {:>10.1} {:>6.1}% {:>7.1}ms {:>6} {:>5} {:>7} {:>7} {:>6} {:>8}  {}",
+            self.system,
+            self.intensity,
+            self.throughput,
+            self.attainment * 1e2,
+            self.tbt_p99_ms,
+            self.finished,
+            self.shed,
+            self.fault_retries,
+            self.requeues,
+            self.drops,
+            self.recovery_secs
+                .map(|s| format!("{s:.2}s"))
+                .unwrap_or_else(|| "-".to_string()),
+            if self.stable { "stable" } else { "DEGRADED" }
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_run_is_deterministic_and_leak_free() {
+        let tb = Testbed::llama8b_a100();
+        let a = chaos_run(
+            &tb,
+            SystemKind::Chunked,
+            WorkloadKind::ShareGpt,
+            30,
+            2.0,
+            7,
+            0.5,
+        )
+        .expect("buildable");
+        let b = chaos_run(
+            &tb,
+            SystemKind::Chunked,
+            WorkloadKind::ShareGpt,
+            30,
+            2.0,
+            7,
+            0.5,
+        )
+        .expect("buildable");
+        assert_eq!(a, b);
+        assert_eq!(a.counters.leaked_leases, 0);
+        assert!(a.recovery_secs.is_some(), "faulty run reports recovery");
+    }
+
+    #[test]
+    fn chaos_sweep_is_thread_count_invariant() {
+        // The watchdog + fault machinery must stay a pure function of the
+        // job inputs: a 4-thread pool run equals the sequential map
+        // bit-for-bit (raw latency samples included).
+        let tb = Testbed::llama8b_a100();
+        let jobs: Vec<ChaosJob<'_>> = [
+            (SystemKind::MuxWise, 0.5),
+            (SystemKind::Chunked, 1.0),
+            (SystemKind::MuxWise, 0.0),
+            (SystemKind::SglangPd, 0.75),
+        ]
+        .into_iter()
+        .map(|(kind, intensity)| ChaosJob {
+            tb: &tb,
+            kind,
+            workload: WorkloadKind::ShareGpt,
+            n: 30,
+            rate: 2.5,
+            seed: 0xFA17,
+            intensity,
+        })
+        .collect();
+        std::env::set_var("MUXWISE_BENCH_THREADS", "4");
+        let parallel = run_chaos(&jobs);
+        std::env::remove_var("MUXWISE_BENCH_THREADS");
+        let sequential: Vec<Option<Report>> = jobs.iter().map(ChaosJob::run).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn zero_intensity_matches_watchdogless_healthy_run() {
+        // intensity 0 → empty plan → no recovery metric; the watchdog
+        // stays quiet on an unloaded trace.
+        let tb = Testbed::llama8b_a100();
+        let r = chaos_run(
+            &tb,
+            SystemKind::MuxWise,
+            WorkloadKind::ShareGpt,
+            20,
+            2.0,
+            9,
+            0.0,
+        )
+        .expect("buildable");
+        assert!(r.recovery_secs.is_none());
+        assert_eq!(r.shed, 0);
+        assert_eq!(r.counters.fault_retries, 0);
+        assert!(r.is_stable());
+    }
+}

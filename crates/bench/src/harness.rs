@@ -155,6 +155,9 @@ pub struct LatencyRow {
     pub requeues: u64,
     /// Requests dropped because they could never fit the pool.
     pub drops: u64,
+    /// Requests intentionally shed by the driver's watchdog (a subset of
+    /// `drops`; zero when no watchdog is installed).
+    pub shed: usize,
 }
 
 impl LatencyRow {
@@ -177,13 +180,14 @@ impl LatencyRow {
             total: r.total,
             requeues: r.counters.requeues,
             drops: r.counters.drops,
+            shed: r.shed,
         }
     }
 
     /// Prints the table header.
     pub fn print_header() {
         println!(
-            "{:<11} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8} {:>9} {:>9}  state",
+            "{:<11} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8} {:>9} {:>9} {:>7} {:>5} {:>4}  state",
             "system",
             "ttftAvg",
             "ttftP50",
@@ -194,14 +198,17 @@ impl LatencyRow {
             "e2eAvg",
             "e2eP50",
             "tpotAvg",
-            "tpotP50"
+            "tpotP50",
+            "requeue",
+            "drops",
+            "shed"
         );
     }
 
     /// Prints one formatted row.
     pub fn print(&self) {
         println!(
-            "{:<11} {:>8.2}s {:>8.2}s {:>8.2}s {:>7.1}ms {:>7.1}ms {:>7.1}ms {:>7.1}s {:>7.1}s {:>7.1}ms {:>7.1}ms  {}",
+            "{:<11} {:>8.2}s {:>8.2}s {:>8.2}s {:>7.1}ms {:>7.1}ms {:>7.1}ms {:>7.1}s {:>7.1}s {:>7.1}ms {:>7.1}ms {:>7} {:>5} {:>4}  {}",
             self.system,
             self.ttft_avg,
             self.ttft_p50,
@@ -213,6 +220,9 @@ impl LatencyRow {
             self.e2e_p50,
             self.tpot_avg_ms,
             self.tpot_p50_ms,
+            self.requeues,
+            self.drops,
+            self.shed,
             if self.stable {
                 "stable".to_string()
             } else {

@@ -8,6 +8,7 @@
 //! The [`systems`] module is the registry of all serving systems;
 //! [`harness`] runs traces and rate sweeps against them.
 
+pub mod chaos;
 pub mod harness;
 pub mod sweep;
 pub mod systems;

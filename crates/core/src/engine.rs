@@ -10,7 +10,8 @@ use modelspec::{ModelSpec, Parallelism, SeqState};
 use serving::lease::{KvLease, LeaseTable};
 use serving::lifecycle::{EngineCounters, Lifecycle};
 use serving::{
-    kv_pool_capacity_tokens, DecodeBatch, DecodeSlot, ReqId, Scheduler, ServeCtx, SloSpec,
+    kv_pool_capacity_tokens, DecodeBatch, DecodeSlot, FaultKind, ReqId, Scheduler, ServeCtx,
+    SloSpec,
 };
 use simcore::{SimDuration, SimTime};
 
@@ -87,6 +88,10 @@ pub struct MuxWise {
     /// Set when query-sync is disabled and decode must wait for the
     /// active prefill phase to finish.
     decode_blocked: bool,
+    /// A fault window is open: the offline profile is stale, so the
+    /// dispatcher pins the most conservative decode partition until the
+    /// hardware recovers.
+    fault_mode: bool,
 
     host_busy_until: SimTime,
     next_tag: u64,
@@ -143,6 +148,7 @@ impl MuxWise {
             pending_join: Vec::new(),
             decode_inflight: None,
             decode_blocked: false,
+            fault_mode: false,
             host_busy_until: SimTime::ZERO,
             next_tag: 1,
             next_gen: 1,
@@ -220,6 +226,12 @@ impl MuxWise {
     fn desired_decode_sms(&self, ctx: &ServeCtx) -> u32 {
         if self.decode.is_empty() && self.pending_join.is_empty() {
             return self.partition_configs[0];
+        }
+        if self.fault_mode {
+            // Degraded hardware: the predictor's profiled latencies no
+            // longer hold, so reserve the largest decode partition and
+            // let online refinement re-learn the guard.
+            return *self.partition_configs.last().expect("non-empty configs");
         }
         let ctxs: Vec<u64> = self
             .decode
@@ -802,6 +814,30 @@ impl Scheduler for MuxWise {
 
     fn lease_tables(&self) -> Vec<&LeaseTable> {
         self.table.iter().collect()
+    }
+
+    fn lease_tables_mut(&mut self) -> Vec<&mut LeaseTable> {
+        self.table.iter_mut().collect()
+    }
+
+    fn on_fault(&mut self, active: &[FaultKind], _ctx: &mut ServeCtx) {
+        let degraded = !active.is_empty();
+        if degraded && !self.fault_mode {
+            // The hardware changed under the offline profile: discard
+            // the per-cell grid (queries fall back to the conservative
+            // global max) and re-learn online as co-runs are observed.
+            self.est.guard.invalidate();
+        }
+        self.fault_mode = degraded;
+    }
+
+    fn on_shed(&mut self, id: ReqId, _ctx: &mut ServeCtx) -> bool {
+        if let Some(pos) = self.waiting.iter().position(|&w| w == id) {
+            self.waiting.remove(pos);
+            self.lifecycle.drop_request(id);
+            return true;
+        }
+        false
     }
 }
 

@@ -140,6 +140,15 @@ impl ContentionGuard {
         self.global_max = self.global_max.max(s);
     }
 
+    /// Discards every profiled cell, keeping the global max so queries
+    /// stay conservative until online refinement repopulates the grid.
+    /// Used when the hardware changed underneath the offline profile
+    /// (degradation/fault windows): the per-cell numbers are stale, but
+    /// the worst case ever seen remains a safe upper bound.
+    pub fn invalidate(&mut self) {
+        self.cells.clear();
+    }
+
     /// The largest slowdown ever observed.
     pub fn max_slowdown(&self) -> f64 {
         self.global_max

@@ -97,6 +97,69 @@ struct Kernel {
     remaining: f64,
 }
 
+/// A hardware degradation applied to the simulator for a fault window
+/// (see [`GpuSim::apply_degradation`]).
+///
+/// Fractions follow the same convention as `serving::faults`: `fraction`
+/// is the share of the resource *lost*, `bw_fraction` the share
+/// *remaining*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HwDegradation {
+    /// A slice of one GPU's SMs goes offline.
+    SmOffline {
+        /// The affected GPU index.
+        gpu: u32,
+        /// Fraction of SMs lost, in `[0, 1)`.
+        fraction: f64,
+    },
+    /// One GPU's HBM runs at a fraction of nominal bandwidth.
+    HbmBandwidth {
+        /// The affected GPU index.
+        gpu: u32,
+        /// Remaining bandwidth fraction, in `(0, 1]`.
+        bw_fraction: f64,
+    },
+    /// One NVLink link runs at a fraction of nominal bandwidth.
+    NvlinkBandwidth {
+        /// The affected link index (taken modulo the created links; a
+        /// no-op on servers without links).
+        link: usize,
+        /// Remaining bandwidth fraction, in `(0, 1]`.
+        bw_fraction: f64,
+    },
+    /// Every kernel runs `mult`× slower (driver stutter, thermal
+    /// throttle).
+    KernelSlowdown {
+        /// Slowdown multiplier, `>= 1`.
+        mult: f64,
+    },
+}
+
+/// Active degradation multipliers, all `1.0` when healthy. Kept out of
+/// the hot path entirely while `active` is false so fault-free runs are
+/// bit-identical to a build without fault support.
+#[derive(Debug)]
+struct DegradeState {
+    /// Per-GPU remaining SM fraction.
+    sm: Vec<f64>,
+    /// Per-GPU remaining HBM bandwidth fraction.
+    hbm: Vec<f64>,
+    /// Global kernel slowdown multiplier.
+    mult: f64,
+    active: bool,
+}
+
+impl DegradeState {
+    fn healthy(num_gpus: u32) -> DegradeState {
+        DegradeState {
+            sm: vec![1.0; num_gpus as usize],
+            hbm: vec![1.0; num_gpus as usize],
+            mult: 1.0,
+            active: false,
+        }
+    }
+}
+
 /// The GPU server simulator. See the [module docs](self) for the model.
 #[derive(Debug)]
 pub struct GpuSim {
@@ -107,6 +170,7 @@ pub struct GpuSim {
     kernels: Vec<Kernel>,
     completed: Vec<(KernelId, u64)>,
     links: Links,
+    degrade: DegradeState,
 }
 
 /// Minimum meaningful solo duration; protects against zero-work kernels.
@@ -130,6 +194,7 @@ impl GpuSim {
             kernels: Vec::new(),
             completed: Vec::new(),
             links: Links::new(nvlink_gbs),
+            degrade: DegradeState::healthy(num_gpus),
         }
     }
 
@@ -543,7 +608,19 @@ impl GpuSim {
         if running.is_empty() {
             return Vec::new();
         }
-        let capacity = self.spec.hbm_bw_gbs * 1e9 * self.spec.mem_efficiency;
+        // Fault injection: a degraded group loses HBM bandwidth (shrinks
+        // the water-filling capacity) and compute speed (scales every
+        // kernel's final rate). The healthy path is untouched so
+        // fault-free runs stay bit-identical.
+        let (speed_factor, mem_factor) = if self.degrade.active {
+            self.group_degradation(gi)
+        } else {
+            (1.0, 1.0)
+        };
+        let mut capacity = self.spec.hbm_bw_gbs * 1e9 * self.spec.mem_efficiency;
+        if self.degrade.active {
+            capacity *= mem_factor;
+        }
         let demands: Vec<f64> = running
             .iter()
             .map(|k| self.kernels[k.0].bw_demand)
@@ -568,7 +645,11 @@ impl GpuSim {
                     (grant / k.bw_demand).min(1.0)
                 };
                 let residual = self.interference_residual(gi, kid, &running);
-                (kid, (mem_speed / (1.0 + residual)).clamp(1e-12, 1.0))
+                let mut speed = mem_speed / (1.0 + residual);
+                if self.degrade.active {
+                    speed *= speed_factor;
+                }
+                (kid, speed.clamp(1e-12, 1.0))
             })
             .collect()
     }
@@ -612,6 +693,71 @@ impl GpuSim {
         // Hash → factor in [0.25, 1.0].
         let factor = 0.25 + 0.75 * ((hash >> 11) as f64 / (1u64 << 53) as f64);
         self.spec.contention_residual_max * pressure.min(1.0) * factor
+    }
+
+    // ----- fault injection --------------------------------------------------
+
+    /// Applies one hardware degradation, merging with whatever is
+    /// already active (the most severe value per resource wins). Takes
+    /// effect at the next event boundary: in-flight kernel finish times
+    /// are recomputed lazily through [`GpuSim::next_event_time`] exactly
+    /// the way processor-sharing reshares already propagate.
+    ///
+    /// Remaining fractions are floored at 5 % so progress is guaranteed
+    /// even at full fault intensity. Degradations are visible to
+    /// schedulers only as slowdown — cached solo profiles (what the
+    /// estimator sees) are untouched.
+    pub fn apply_degradation(&mut self, d: &HwDegradation) {
+        match *d {
+            HwDegradation::SmOffline { gpu, fraction } => {
+                if let Some(f) = self.degrade.sm.get_mut(gpu as usize) {
+                    *f = f.min((1.0 - fraction).max(0.05));
+                }
+            }
+            HwDegradation::HbmBandwidth { gpu, bw_fraction } => {
+                if let Some(f) = self.degrade.hbm.get_mut(gpu as usize) {
+                    *f = f.min(bw_fraction.clamp(0.05, 1.0));
+                }
+            }
+            HwDegradation::NvlinkBandwidth { link, bw_fraction } => {
+                if !self.links.is_empty() {
+                    let id = LinkId(link % self.links.len());
+                    self.links.set_bw_factor(id, bw_fraction.clamp(0.05, 1.0));
+                }
+            }
+            HwDegradation::KernelSlowdown { mult } => {
+                self.degrade.mult = self.degrade.mult.max(mult.max(1.0));
+            }
+        }
+        self.degrade.active = self.degrade.mult > 1.0
+            || self.degrade.sm.iter().any(|&f| f < 1.0)
+            || self.degrade.hbm.iter().any(|&f| f < 1.0);
+    }
+
+    /// Restores healthy hardware: all SM/HBM/NVLink factors return to
+    /// nominal and the kernel slowdown clears. In-flight kernels resume
+    /// full speed from the next event boundary.
+    pub fn clear_degradation(&mut self) {
+        self.degrade = DegradeState::healthy(self.num_gpus);
+        self.links.clear_bw_factors();
+    }
+
+    /// The slowdown factors a group currently suffers, as
+    /// `(speed_factor, mem_factor)`: a lockstep group runs at the pace
+    /// of its slowest member, so both are minima over the group's GPUs.
+    fn group_degradation(&self, gi: usize) -> (f64, f64) {
+        let g = &self.groups[gi];
+        let mut sm = 1.0f64;
+        let mut hbm = 1.0f64;
+        for &gpu in &g.gpus {
+            if let Some(&f) = self.degrade.sm.get(gpu as usize) {
+                sm = sm.min(f);
+            }
+            if let Some(&f) = self.degrade.hbm.get(gpu as usize) {
+                hbm = hbm.min(f);
+            }
+        }
+        (sm / self.degrade.mult, hbm)
     }
 
     // ----- links ------------------------------------------------------------
@@ -945,6 +1091,86 @@ mod tests {
         for t in times {
             assert!((t - 10e-6 - solo).abs() / solo < 0.01, "{t} vs {solo}");
         }
+    }
+
+    fn run_until_done(s: &mut GpuSim) -> SimTime {
+        loop {
+            let t = s.next_event_time().unwrap();
+            s.advance_to(t);
+            if !s.drain_completed().is_empty() {
+                return t;
+            }
+        }
+    }
+
+    #[test]
+    fn sm_brownout_slows_compute_bound_kernel() {
+        let mut s = sim();
+        let g = s.create_group(vec![0]);
+        let c = s.set_context(g, 108);
+        let w = WorkItem::new(KernelKind::Prefill, s.spec().compute_rate(108), 0.0, 0.0);
+        s.apply_degradation(&HwDegradation::SmOffline {
+            gpu: 0,
+            fraction: 0.5,
+        });
+        s.submit(g, c, w, SimTime::ZERO, 1);
+        let t = run_until_done(&mut s);
+        // Half the SMs → the 1 s kernel takes ~2 s.
+        assert!((t.as_secs() - 2.0).abs() < 1e-2, "took {t}");
+    }
+
+    #[test]
+    fn hbm_degradation_slows_memory_bound_kernel() {
+        let mut s = sim();
+        let g = s.create_group(vec![0]);
+        let c = s.set_context(g, 108);
+        let w = WorkItem::new(KernelKind::Decode, 0.0, 200.0e9, 0.0);
+        let solo = s.solo_duration(108, &w);
+        s.apply_degradation(&HwDegradation::HbmBandwidth {
+            gpu: 0,
+            bw_fraction: 0.5,
+        });
+        s.submit(g, c, w, SimTime::ZERO, 1);
+        let t = run_until_done(&mut s);
+        let slowdown = (t.as_secs() - 10e-6) / solo;
+        assert!(
+            (1.4..=2.1).contains(&slowdown),
+            "halved HBM should ~double a memory-bound kernel, got {slowdown}×"
+        );
+    }
+
+    #[test]
+    fn mid_flight_degradation_reshapes_and_clear_restores() {
+        let mut s = sim();
+        let g = s.create_group(vec![0]);
+        let c = s.set_context(g, 108);
+        // 1 s of compute at full speed.
+        let w = WorkItem::new(KernelKind::Prefill, s.spec().compute_rate(108), 0.0, 0.0);
+        s.submit(g, c, w, SimTime::ZERO, 1);
+        s.advance_to(SimTime::from_secs(0.5));
+        s.apply_degradation(&HwDegradation::KernelSlowdown { mult: 2.0 });
+        s.advance_to(SimTime::from_secs(1.0));
+        // Half the work remained at the spike: it now takes ~1 s more.
+        assert!(s.drain_completed().is_empty(), "must still be running");
+        s.clear_degradation();
+        let t = run_until_done(&mut s);
+        // 0.5 s slowed (×2 → 0.25 progress) then full speed again.
+        assert!((t.as_secs() - 1.25).abs() < 1e-2, "took {t}");
+    }
+
+    #[test]
+    fn degradation_on_other_gpu_is_invisible() {
+        let mut s = sim();
+        let g = s.create_group(vec![0]);
+        let c = s.set_context(g, 108);
+        let w = WorkItem::new(KernelKind::Prefill, s.spec().compute_rate(108), 0.0, 0.0);
+        s.apply_degradation(&HwDegradation::SmOffline {
+            gpu: 7,
+            fraction: 0.9,
+        });
+        s.submit(g, c, w, SimTime::ZERO, 1);
+        let t = run_until_done(&mut s);
+        assert!((t.as_secs() - 1.0).abs() < 1e-3, "took {t}");
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod link;
 pub mod spec;
 pub mod work;
 
-pub use engine::{CtxId, GpuSim, GroupId, KernelId};
+pub use engine::{CtxId, GpuSim, GroupId, HwDegradation, KernelId};
 pub use link::{LinkId, TransferId};
 pub use spec::{ClusterSpec, GpuSpec};
 pub use work::{KernelKind, WorkItem};

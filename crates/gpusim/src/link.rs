@@ -18,6 +18,9 @@ pub struct TransferId(pub(crate) usize);
 #[derive(Debug)]
 struct Link {
     bw_gbs: f64,
+    /// Degradation multiplier on the nominal bandwidth (fault
+    /// injection); `1.0` = healthy.
+    bw_factor: f64,
     latency: SimDuration,
     busy_until: SimTime,
     in_flight: Vec<(SimTime, TransferId, u64)>,
@@ -52,11 +55,39 @@ impl Links {
         };
         self.links.push(Link {
             bw_gbs: bw,
+            bw_factor: 1.0,
             latency,
             busy_until: SimTime::ZERO,
             in_flight: Vec::new(),
         });
         LinkId(self.links.len() - 1)
+    }
+
+    /// Number of links created so far.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// True when no links exist.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Sets a link's degradation multiplier (fraction of nominal
+    /// bandwidth remaining). Applies to transfers submitted from now on;
+    /// in-flight transfers keep their committed finish times (FIFO links
+    /// compute finish at submit). Clamped to `[0.01, 1.0]`.
+    pub fn set_bw_factor(&mut self, link: LinkId, factor: f64) {
+        if let Some(l) = self.links.get_mut(link.0) {
+            l.bw_factor = factor.clamp(0.01, 1.0);
+        }
+    }
+
+    /// Restores every link to nominal bandwidth.
+    pub fn clear_bw_factors(&mut self) {
+        for l in &mut self.links {
+            l.bw_factor = 1.0;
+        }
     }
 
     /// Enqueues a transfer at time `now`; FIFO per link.
@@ -68,7 +99,10 @@ impl Links {
         assert!(bytes.is_finite() && bytes >= 0.0, "invalid bytes {bytes}");
         let l = &mut self.links[link.0];
         let start = now.max(l.busy_until);
-        let dur = SimDuration::from_secs(bytes / (l.bw_gbs * 1e9)) + l.latency;
+        // `bw_factor == 1.0` is the healthy case and an exact identity
+        // (IEEE-754 multiplication by one), so fault-free runs stay
+        // bit-identical.
+        let dur = SimDuration::from_secs(bytes / (l.bw_gbs * l.bw_factor * 1e9)) + l.latency;
         let finish = start + dur;
         l.busy_until = finish;
         let id = TransferId(self.next_transfer);
@@ -137,6 +171,24 @@ mod tests {
     fn idle_link_has_no_completion() {
         let links = Links::new(100.0);
         assert!(links.next_completion().is_none());
+    }
+
+    #[test]
+    fn degraded_link_slows_new_transfers_only() {
+        let mut links = Links::new(100.0);
+        let l = links.create(100.0, SimDuration::ZERO);
+        links.submit(SimTime::ZERO, l, 100.0e9, 1); // 1s at nominal
+        links.set_bw_factor(l, 0.5);
+        links.submit(SimTime::ZERO, l, 100.0e9, 2); // 2s at half speed
+        links.advance_to(SimTime::from_secs(1.0));
+        assert_eq!(links.drain_completed(), vec![(TransferId(0), 1)]);
+        let t = links.next_completion().unwrap();
+        assert!((t.as_secs() - 3.0).abs() < 1e-9, "got {t}");
+        links.clear_bw_factors();
+        let l2 = links.create(100.0, SimDuration::ZERO);
+        links.submit(SimTime::ZERO, l2, 100.0e9, 3);
+        links.advance_to(SimTime::from_secs(1.0));
+        assert_eq!(links.drain_completed(), vec![(TransferId(2), 3)]);
     }
 
     #[test]

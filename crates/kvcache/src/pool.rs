@@ -212,6 +212,26 @@ impl KvPool {
         true
     }
 
+    /// Shrinks (or restores) the pool's capacity to `cap` tokens,
+    /// evicting unlocked LRU shared entries toward the new limit. Private
+    /// workspace and locked prefixes cannot be evicted, so the pool may
+    /// remain overcommitted after a shrink; subsequent allocations fail
+    /// until usage drains below the new capacity. Models losing (and
+    /// regaining) HBM headroom mid-run, e.g. a co-tenant claiming memory.
+    pub fn set_capacity_tokens(&mut self, cap: u64, _now: SimTime) {
+        self.capacity_tokens = cap;
+        while self.used_tokens() > cap {
+            match self.tree.lru_evictable() {
+                Some(id) => {
+                    let freed = self.tree.remove_leaf(id) as u64;
+                    self.shared_tokens -= freed;
+                    self.stats.evicted_tokens += freed;
+                }
+                None => break,
+            }
+        }
+    }
+
     /// Number of shared tokens resident (for capacity telemetry).
     pub fn shared_tokens(&self) -> u64 {
         self.shared_tokens
@@ -350,6 +370,31 @@ mod tests {
         let small = run(2 * 1024);
         assert!(big > 0.5, "big pool hit rate {big}");
         assert!(small < big - 0.2, "small {small} vs big {big}");
+    }
+
+    #[test]
+    fn capacity_shrink_evicts_lru_but_tolerates_locked_overcommit() {
+        let mut p = KvPool::new(256, 64);
+        p.insert(&Block::sequence(1, 64, 64), t(0.0));
+        p.insert(&Block::sequence(2, 64, 64), t(1.0));
+        let lock = p.match_prefix(&Block::sequence(1, 64, 64), t(2.0));
+        assert!(p.try_alloc_private(64, t(2.0)));
+        // Shrink to 64: stream 2 (unlocked LRU) is evicted; the locked
+        // stream 1 prefix and the private workspace stay, leaving the
+        // pool overcommitted (128 used > 64 cap) but consistent.
+        p.set_capacity_tokens(64, t(3.0));
+        assert_eq!(p.capacity_tokens(), 64);
+        assert_eq!(p.peek_prefix(&Block::sequence(2, 64, 64)), 0);
+        assert_eq!(p.peek_prefix(&Block::sequence(1, 64, 64)), 64);
+        assert_eq!(p.used_tokens(), 128);
+        assert_eq!(p.free_tokens(), 0);
+        assert!(!p.try_alloc_private(1, t(3.0)));
+        p.check_invariants();
+        // Restore: allocations work again.
+        p.set_capacity_tokens(256, t(4.0));
+        assert!(p.try_alloc_private(64, t(4.0)));
+        p.unlock(&lock);
+        p.check_invariants();
     }
 
     #[test]

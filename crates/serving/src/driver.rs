@@ -8,19 +8,22 @@
 
 use simcore::{EventQueue, SimDuration, SimTime};
 
-use gpusim::{CtxId, GpuSim, GroupId};
+use gpusim::{CtxId, GpuSim, GroupId, HwDegradation};
 use workload::RequestSpec;
 
+use crate::faults::{FaultKind, FaultPlan};
 use crate::lease::LeaseTable;
 use crate::lifecycle::EngineCounters;
 use crate::metrics::{MetricsRecorder, Report};
 use crate::request::{ReqId, SloSpec};
 
-/// Events delivered to the scheduler.
+/// Events delivered to the scheduler (`FaultBoundary` is internal: the
+/// driver re-evaluates active fault windows there and never forwards it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     Arrival(ReqId),
     Timer(u64),
+    FaultBoundary,
 }
 
 // The parallel sweep runner moves drivers into worker threads and sends
@@ -129,6 +132,59 @@ pub trait Scheduler: Send {
     fn lease_tables(&self) -> Vec<&LeaseTable> {
         Vec::new()
     }
+    /// Mutable access to the same tables, used by the driver to shrink /
+    /// restore pool capacity during `KvShrink` fault windows. Must
+    /// return the tables in the same order as
+    /// [`Scheduler::lease_tables`].
+    fn lease_tables_mut(&mut self) -> Vec<&mut LeaseTable> {
+        Vec::new()
+    }
+    /// The set of active faults changed (a window opened or closed).
+    /// `active` lists every fault in effect from this instant on —
+    /// empty means the hardware just recovered. Engines may switch to a
+    /// conservative configuration here; they must NOT read ground-truth
+    /// slowdowns (those arrive only as observed latency).
+    fn on_fault(&mut self, _active: &[FaultKind], _ctx: &mut ServeCtx) {}
+    /// The driver's watchdog asks the scheduler to shed a request whose
+    /// TTFT deadline is unmeetable. Return `true` after removing it from
+    /// the waiting queue and dropping it through
+    /// [`crate::Lifecycle::drop_request`] (without emitting tokens);
+    /// return `false` (the default) if the request is already running
+    /// and cannot be shed.
+    fn on_shed(&mut self, _id: ReqId, _ctx: &mut ServeCtx) -> bool {
+        false
+    }
+}
+
+/// Overload-protection knobs for the driver's per-tick watchdog.
+///
+/// Inactive unless installed with [`Driver::with_watchdog`]; all
+/// thresholds are deterministic (no wall clock, no randomness), so
+/// watchdog decisions replay identically across thread counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogConfig {
+    /// Admission-control cap: arrivals beyond this many in-flight
+    /// (delivered, unfinished) requests are shed outright.
+    pub queue_depth_cap: usize,
+    /// A queued request that has produced no token this long after
+    /// arrival is offered to [`Scheduler::on_shed`] (once).
+    pub ttft_deadline: SimDuration,
+    /// How many times an arrival is deferred (not delivered) while a
+    /// severe fault window is active, before being delivered anyway.
+    pub retry_budget: u32,
+    /// Base deferral delay; attempt `k` waits `k × retry_backoff`.
+    pub retry_backoff: SimDuration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> WatchdogConfig {
+        WatchdogConfig {
+            queue_depth_cap: 512,
+            ttft_deadline: SimDuration::from_secs(30.0),
+            retry_budget: 3,
+            retry_backoff: SimDuration::from_millis(250.0),
+        }
+    }
 }
 
 /// Runs one serving experiment: a scheduler against a request trace on a
@@ -153,6 +209,10 @@ pub struct Driver {
     /// Hard cap on simulated time (safety net against livelock).
     max_sim_time: SimTime,
     stalled: bool,
+    /// Scripted fault schedule (empty = healthy hardware, strict no-op).
+    faults: FaultPlan,
+    /// Overload protection; `None` disables the watchdog entirely.
+    watchdog: Option<WatchdogConfig>,
 }
 
 impl Driver {
@@ -170,6 +230,8 @@ impl Driver {
             slo,
             max_sim_time: SimTime::from_secs(3.0 * 3600.0),
             stalled: false,
+            faults: FaultPlan::none(),
+            watchdog: None,
         }
     }
 
@@ -179,14 +241,52 @@ impl Driver {
         self
     }
 
+    /// Installs a fault schedule. [`FaultPlan::none`] leaves the run
+    /// bit-identical to a driver without this call.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Driver {
+        self.faults = plan;
+        self
+    }
+
+    /// Enables the overload watchdog (admission cap, deadline shedding,
+    /// fault-window arrival backoff).
+    pub fn with_watchdog(mut self, cfg: WatchdogConfig) -> Driver {
+        self.watchdog = Some(cfg);
+        self
+    }
+
     /// Runs the simulation until all requests finish, the scheduler goes
     /// idle with work left (a stall — reported, not fatal), or the time
     /// cap is hit. Returns the metrics report.
     pub fn run(mut self, scheduler: &mut dyn Scheduler) -> Report {
+        // Fault boundaries are pushed before arrivals: the event queue is
+        // FIFO at equal timestamps, so a window opening at the same
+        // instant as an arrival reconfigures the hardware first.
+        for t in self.faults.boundaries() {
+            self.ctx.queue.push(t, Event::FaultBoundary);
+        }
+        if !self.faults.is_empty() {
+            self.ctx.metrics.track_tbt_threshold(self.slo.tbt.as_secs());
+        }
         for (i, r) in self.ctx.requests.iter().enumerate() {
             self.ctx.queue.push(r.arrival, Event::Arrival(i));
         }
         scheduler.on_start(&mut self.ctx);
+
+        // Watchdog bookkeeping (allocated even when disabled — the vecs
+        // are cheap and keep the loop branch-light).
+        let n = self.ctx.requests.len();
+        let mut delivered = vec![false; n];
+        let mut shed_attempted = vec![false; n];
+        let mut defer_count = vec![0u32; n];
+        // Delivered-but-tokenless requests watched for deadline shedding,
+        // in delivery order (kept in order so shed attempts replay
+        // identically at any thread count).
+        let mut watchlist: Vec<ReqId> = Vec::new();
+        let mut fault_retries: u64 = 0;
+        let mut severe_fault = false;
+        let mut orig_capacities: Option<Vec<u64>> = None;
+
         loop {
             let t_queue = self.ctx.queue.peek_time();
             let t_gpu = self.ctx.gpu.next_event_time();
@@ -214,8 +314,70 @@ impl Driver {
             while self.ctx.queue.peek_time() == Some(next) {
                 let (_, ev, _) = self.ctx.queue.pop().expect("peeked");
                 match ev {
-                    Event::Arrival(id) => scheduler.on_arrival(id, &mut self.ctx),
+                    Event::Arrival(id) => {
+                        if let Some(cfg) = self.watchdog {
+                            // Bounded deferral: while a severe window is
+                            // open, hold arrivals back with linear
+                            // backoff rather than admitting into a
+                            // brownout, up to the retry budget.
+                            if severe_fault && defer_count[id] < cfg.retry_budget {
+                                defer_count[id] += 1;
+                                fault_retries += 1;
+                                let at =
+                                    self.ctx.now + cfg.retry_backoff * f64::from(defer_count[id]);
+                                self.ctx.queue.push(at, Event::Arrival(id));
+                                continue;
+                            }
+                            // Admission control: shed outright past the
+                            // in-flight cap (the scheduler never sees
+                            // the request).
+                            let in_flight = (0..n)
+                                .filter(|&i| {
+                                    delivered[i]
+                                        && !self.ctx.metrics.is_finished(i)
+                                        && !self.ctx.metrics.is_shed(i)
+                                })
+                                .count();
+                            if in_flight >= cfg.queue_depth_cap {
+                                self.ctx.metrics.mark_shed(id);
+                                continue;
+                            }
+                            watchlist.push(id);
+                        }
+                        delivered[id] = true;
+                        scheduler.on_arrival(id, &mut self.ctx);
+                    }
                     Event::Timer(tag) => scheduler.on_timer(tag, &mut self.ctx),
+                    Event::FaultBoundary => {
+                        self.apply_active_faults(scheduler, &mut orig_capacities, &mut severe_fault)
+                    }
+                }
+            }
+
+            // Deadline shedding: a watched request that still has no
+            // tokens past its TTFT deadline is offered to the scheduler
+            // once; requests that produced output leave the watchlist.
+            if let Some(cfg) = self.watchdog {
+                let mut i = 0;
+                while i < watchlist.len() {
+                    let id = watchlist[i];
+                    if self.ctx.metrics.is_finished(id)
+                        || self.ctx.metrics.is_shed(id)
+                        || self.ctx.metrics.tokens_emitted(id) > 0
+                    {
+                        watchlist.remove(i);
+                        continue;
+                    }
+                    let deadline = self.ctx.requests[id].arrival + cfg.ttft_deadline;
+                    if self.ctx.now >= deadline && !shed_attempted[id] {
+                        shed_attempted[id] = true;
+                        watchlist.remove(i);
+                        if scheduler.on_shed(id, &mut self.ctx) {
+                            self.ctx.metrics.mark_shed(id);
+                        }
+                        continue;
+                    }
+                    i += 1;
                 }
             }
         }
@@ -245,21 +407,97 @@ impl Driver {
         }
         let mut counters = scheduler.counters();
         // Leak detector: a cleanly drained run has no in-flight work, so
-        // every KV lease must have been returned. (A stalled run ends
-        // mid-flight and legitimately holds leases — count, don't panic.)
+        // every KV lease must have been returned. A run truncated by the
+        // time cap ends mid-flight and legitimately holds leases — those
+        // are not leaks and are neither counted nor fatal.
         let held: usize = scheduler
             .lease_tables()
             .iter()
             .map(|t| t.outstanding())
             .sum();
-        if held > 0 {
-            if cfg!(debug_assertions) && !self.stalled {
+        if held > 0 && !self.stalled {
+            if cfg!(debug_assertions) {
                 panic!("KV lease leak: {held} lease(s) still held after the run drained");
             }
             counters.leaked_leases += held as u64;
         }
+        counters.shed += report.shed as u64;
+        counters.fault_retries += fault_retries;
+        // Recovery time: how long after the last fault window closed the
+        // system kept violating the TBT SLO (0 = immediate recovery).
+        if let Some(fault_end) = self.faults.last_end() {
+            let rec = match self.ctx.metrics.last_tbt_violation() {
+                Some(v) if v > fault_end => (v - fault_end).as_secs(),
+                _ => 0.0,
+            };
+            report.recovery_secs = Some(rec);
+        }
         report.counters = counters;
         report
+    }
+
+    /// Re-evaluates the fault schedule at a window boundary: rebuilds the
+    /// GPU degradation state from every active window, shrinks/restores
+    /// the scheduler's KV pools, and notifies the scheduler.
+    fn apply_active_faults(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        orig_capacities: &mut Option<Vec<u64>>,
+        severe_fault: &mut bool,
+    ) {
+        let active = self.faults.active_at(self.ctx.now);
+        // Degradation is recomputed from scratch at every boundary:
+        // clear, then min-merge each active fault.
+        self.ctx.gpu.clear_degradation();
+        let mut shrink: f64 = 0.0;
+        *severe_fault = false;
+        for k in &active {
+            match *k {
+                FaultKind::SmBrownout { gpu, fraction } => {
+                    self.ctx
+                        .gpu
+                        .apply_degradation(&HwDegradation::SmOffline { gpu, fraction });
+                    if fraction >= 0.5 {
+                        *severe_fault = true;
+                    }
+                }
+                FaultKind::HbmDegrade { gpu, bw_fraction } => {
+                    self.ctx
+                        .gpu
+                        .apply_degradation(&HwDegradation::HbmBandwidth { gpu, bw_fraction });
+                }
+                FaultKind::NvlinkDegrade { link, bw_fraction } => {
+                    self.ctx
+                        .gpu
+                        .apply_degradation(&HwDegradation::NvlinkBandwidth { link, bw_fraction });
+                }
+                FaultKind::KvShrink { fraction } => {
+                    shrink = shrink.max(fraction);
+                    if fraction >= 0.25 {
+                        *severe_fault = true;
+                    }
+                }
+                FaultKind::KernelLatencySpike { mult, .. } => {
+                    self.ctx
+                        .gpu
+                        .apply_degradation(&HwDegradation::KernelSlowdown { mult });
+                }
+            }
+        }
+        let now = self.ctx.now;
+        if shrink > 0.0 {
+            let mut tables = scheduler.lease_tables_mut();
+            let caps = orig_capacities
+                .get_or_insert_with(|| tables.iter().map(|t| t.capacity_tokens()).collect());
+            for (t, &orig) in tables.iter_mut().zip(caps.iter()) {
+                t.set_capacity((orig as f64 * (1.0 - shrink)) as u64, now);
+            }
+        } else if let Some(caps) = orig_capacities.take() {
+            for (t, orig) in scheduler.lease_tables_mut().into_iter().zip(caps) {
+                t.set_capacity(orig, now);
+            }
+        }
+        scheduler.on_fault(&active, &mut self.ctx);
     }
 }
 

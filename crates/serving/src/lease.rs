@@ -94,6 +94,18 @@ impl LeaseTable {
         self.outstanding
     }
 
+    /// Current pool capacity in tokens.
+    pub fn capacity_tokens(&self) -> u64 {
+        self.pool.capacity_tokens()
+    }
+
+    /// Shrinks or restores the pool's capacity (fault injection: losing
+    /// HBM headroom mid-run). Unlocked LRU entries are evicted toward the
+    /// new limit; leased/private space survives as tolerated overcommit.
+    pub fn set_capacity(&mut self, cap: u64, now: SimTime) {
+        self.pool.set_capacity_tokens(cap, now);
+    }
+
     /// Peeks at the longest cached prefix without locking or recording
     /// statistics.
     pub fn peek_prefix(&self, blocks: &[Block]) -> u64 {

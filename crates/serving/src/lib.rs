@@ -43,6 +43,7 @@
 pub mod batch;
 pub mod capacity;
 pub mod driver;
+pub mod faults;
 pub mod goodput;
 pub mod lease;
 pub mod lifecycle;
@@ -51,7 +52,8 @@ pub mod request;
 
 pub use batch::{DecodeBatch, DecodeSlot};
 pub use capacity::kv_pool_capacity_tokens;
-pub use driver::{Driver, Scheduler, ServeCtx};
+pub use driver::{Driver, Scheduler, ServeCtx, WatchdogConfig};
+pub use faults::{FaultKind, FaultPlan, FaultWindow};
 pub use goodput::{assemble_goodput, find_goodput, GoodputPoint, GoodputResult};
 pub use lease::{KvLease, LeaseTable};
 pub use lifecycle::{EngineCounters, IllegalTransition, Lifecycle, Stage};

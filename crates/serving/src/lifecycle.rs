@@ -43,6 +43,14 @@ pub struct EngineCounters {
     /// KV leases still outstanding when the run ended (release builds
     /// only — debug builds panic in the driver's leak detector instead).
     pub leaked_leases: u64,
+    /// Requests intentionally shed by the driver's overload watchdog
+    /// (queue-depth cap or unmeetable TTFT deadline). A subset of
+    /// `drops`, counted separately so shedding runs aren't conflated
+    /// with unstable ones.
+    pub shed: u64,
+    /// Arrival deliveries deferred with backoff because a severe fault
+    /// window was active (the watchdog's bounded retry path).
+    pub fault_retries: u64,
 }
 
 /// A transition that the state machine does not permit.

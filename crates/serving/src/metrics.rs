@@ -11,6 +11,13 @@ use crate::request::{ReqId, ReqRuntime, SloSpec};
 pub struct MetricsRecorder {
     pub(crate) runtimes: Vec<ReqRuntime>,
     total_tokens: u64,
+    /// Requests intentionally shed by the driver's overload watchdog.
+    shed: Vec<bool>,
+    /// TBT target tracked live for the recovery-time metric; `None`
+    /// (the default) skips the tracking entirely.
+    tbt_threshold: Option<f64>,
+    /// Last instant a TBT sample exceeded the tracked threshold.
+    last_tbt_violation_at: Option<SimTime>,
 }
 
 impl MetricsRecorder {
@@ -19,7 +26,33 @@ impl MetricsRecorder {
         MetricsRecorder {
             runtimes: (0..n).map(|_| ReqRuntime::new()).collect(),
             total_tokens: 0,
+            shed: vec![false; n],
+            tbt_threshold: None,
+            last_tbt_violation_at: None,
         }
+    }
+
+    /// Marks a request as shed by the overload watchdog. Shed requests
+    /// count as `shed` in the report and are excluded from the stability
+    /// criterion's denominator.
+    pub fn mark_shed(&mut self, req: ReqId) {
+        self.shed[req] = true;
+    }
+
+    /// Whether a request was shed.
+    pub fn is_shed(&self, req: ReqId) -> bool {
+        self.shed.get(req).copied().unwrap_or(false)
+    }
+
+    /// Enables live tracking of TBT-threshold violations (used by the
+    /// driver's recovery-time metric when fault injection is active).
+    pub(crate) fn track_tbt_threshold(&mut self, secs: f64) {
+        self.tbt_threshold = Some(secs);
+    }
+
+    /// The last instant a tracked TBT sample violated the threshold.
+    pub(crate) fn last_tbt_violation(&self) -> Option<SimTime> {
+        self.last_tbt_violation_at
     }
 
     /// Records the emission of `count` output tokens for `req` at `now`
@@ -38,6 +71,11 @@ impl MetricsRecorder {
                     // Multiple tokens at one instant (e.g. a final flush)
                     // contribute zero-gap TBT samples only for the first.
                     let gap = (now - prev).as_secs();
+                    if let Some(th) = self.tbt_threshold {
+                        if gap > th {
+                            self.last_tbt_violation_at = Some(now);
+                        }
+                    }
                     r.tbt_samples.push(gap);
                 }
             }
@@ -109,11 +147,13 @@ impl MetricsRecorder {
             finished,
             total: self.runtimes.len(),
             total_tokens: self.total_tokens,
+            shed: self.shed.iter().filter(|&&s| s).count(),
             makespan,
             slo: *slo,
             utilization: 0.0,
             bubble_ratio: 0.0,
             diverged: false,
+            recovery_secs: None,
             counters: EngineCounters::default(),
         }
     }
@@ -162,6 +202,10 @@ pub struct Report {
     pub total: usize,
     /// Output tokens generated.
     pub total_tokens: u64,
+    /// Requests intentionally shed by the overload watchdog; excluded
+    /// from the stability denominator (shedding is graceful degradation,
+    /// not instability).
+    pub shed: usize,
     /// Simulated wall-clock span.
     pub makespan: SimDuration,
     /// The SLO the run was evaluated against.
@@ -175,6 +219,11 @@ pub struct Report {
     /// comparable to the whole trace span): the offered load exceeded
     /// capacity even if every request eventually completed.
     pub diverged: bool,
+    /// Time from the last fault window's end until the last TBT-SLO
+    /// violation (the paper-style recovery time). `Some(0.0)` means TBT
+    /// was back in SLO the moment the fault cleared; `None` when no
+    /// fault plan was configured.
+    pub recovery_secs: Option<f64>,
     /// Lifecycle counters (admissions, requeues, drops, preemptions)
     /// folded in by the driver from the scheduler.
     pub counters: EngineCounters,
@@ -190,11 +239,25 @@ impl Report {
         }
     }
 
-    /// A run is *stable* when it kept up with the offered load
-    /// (≥ 99 % completion and no queue divergence). Unstable baselines
-    /// are reported but excluded from speedup averages, as in §4.2.1.
+    /// Fraction of *served* requests that finished: shed requests are
+    /// removed from the denominator, so intentional load shedding under
+    /// a fault does not read as the engine falling behind.
+    pub fn served_completion_rate(&self) -> f64 {
+        let served = self.total.saturating_sub(self.shed);
+        if served == 0 {
+            1.0
+        } else {
+            self.finished as f64 / served as f64
+        }
+    }
+
+    /// A run is *stable* when it kept up with the load it chose to serve
+    /// (≥ 99 % completion among non-shed requests and no queue
+    /// divergence). Unstable baselines are reported but excluded from
+    /// speedup averages, as in §4.2.1; a shedding run is degraded, not
+    /// unstable.
     pub fn is_stable(&self) -> bool {
-        self.completion_rate() >= 0.99 && !self.diverged
+        self.served_completion_rate() >= 0.99 && !self.diverged
     }
 
     /// Fraction of TBT samples within the SLO target.
@@ -220,8 +283,8 @@ impl Report {
 
     /// One-line human-readable summary.
     pub fn oneline(&self) -> String {
-        format!(
-            "p99TTFT={:.3}s p99TBT={:.1}ms attain={:.1}% tok/s={:.0} done={}/{} util={:.1}% requeues={} drops={}",
+        let mut line = format!(
+            "p99TTFT={:.3}s p99TBT={:.1}ms attain={:.1}% tok/s={:.0} done={}/{} util={:.1}% requeues={} drops={} shed={}",
             self.ttft.p99(),
             self.tbt.p99() * 1e3,
             self.tbt_attainment() * 100.0,
@@ -231,7 +294,12 @@ impl Report {
             self.utilization * 100.0,
             self.counters.requeues,
             self.counters.drops,
-        )
+            self.shed,
+        );
+        if let Some(rec) = self.recovery_secs {
+            line.push_str(&format!(" recovery={rec:.2}s"));
+        }
+        line
     }
 }
 
@@ -303,6 +371,37 @@ mod tests {
         );
         let per = rep.ttft_per_token.clone();
         assert!((per.p50() - 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shed_requests_do_not_break_stability() {
+        let mut m = MetricsRecorder::new(2);
+        m.emit_tokens(0, SimTime::from_secs(0.5), 1);
+        m.finish(0, SimTime::from_secs(0.5));
+        m.mark_shed(1);
+        assert!(m.is_shed(1) && !m.is_shed(0));
+        let rep = m.report(
+            &[SimTime::ZERO, SimTime::ZERO],
+            SimDuration::from_secs(1.0),
+            &slo(),
+        );
+        assert_eq!(rep.shed, 1);
+        // Raw completion is 50 %, but every *served* request finished.
+        assert!(rep.completion_rate() < 0.99);
+        assert_eq!(rep.served_completion_rate(), 1.0);
+        assert!(rep.is_stable(), "intentional shedding is not instability");
+        assert!(rep.oneline().contains("shed=1"));
+    }
+
+    #[test]
+    fn tbt_violations_are_tracked_when_enabled() {
+        let mut m = MetricsRecorder::new(1);
+        m.track_tbt_threshold(0.1);
+        m.emit_tokens(0, SimTime::from_secs(1.0), 1);
+        m.emit_tokens(0, SimTime::from_secs(1.05), 1); // within SLO
+        assert_eq!(m.last_tbt_violation(), None);
+        m.emit_tokens(0, SimTime::from_secs(1.5), 1); // 450 ms gap
+        assert_eq!(m.last_tbt_violation(), Some(SimTime::from_secs(1.5)));
     }
 
     #[test]

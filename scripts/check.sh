@@ -2,8 +2,9 @@
 # Repo gate: formatting, lints (warnings are errors), docs (warnings are
 # errors), full test suite. Run before every commit: ./scripts/check.sh
 #
-# Fast path while iterating on the engine substrate:
-#   ./scripts/check.sh serving     # just the serving crate's tests
+# Fast paths while iterating:
+#   ./scripts/check.sh serving      # just the serving crate's tests
+#   ./scripts/check.sh chaos-smoke  # fault-injection smoke grid only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,7 +13,13 @@ if [[ "${1:-}" == "serving" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "chaos-smoke" ]]; then
+    cargo run --release -q -p bench --bin chaos -- --smoke
+    exit 0
+fi
+
 cargo fmt --check
 cargo clippy --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 cargo test -q
+cargo run --release -q -p bench --bin chaos -- --smoke

@@ -8,18 +8,26 @@ use estimator::SoloPredictor;
 use gpusim::{ClusterSpec, GpuSim};
 use modelspec::{ModelSpec, Parallelism};
 use muxwise::{Estimators, MuxWise, MuxWiseConfig};
-use serving::{Driver, Scheduler, SloSpec};
+use serving::{Driver, FaultPlan, Scheduler, SloSpec, WatchdogConfig};
 use simcore::SimRng;
 use workload::{generate, WorkloadKind};
 
 /// Runs one engine on the fixed golden workload and renders the report
-/// fields that any scheduling change would perturb.
-fn golden_line(name: &str, engine: &mut dyn Scheduler) -> String {
+/// fields that any scheduling change would perturb. When `hardened` is
+/// set, the empty fault plan and the (never-triggering) watchdog are
+/// installed — both must be strict no-ops.
+fn golden_line(name: &str, engine: &mut dyn Scheduler, hardened: bool) -> String {
     let cluster = ClusterSpec::dgx_a100();
     let slo = SloSpec::llama8b();
     let mut rng = SimRng::seed_from(0xC0FFEE);
     let reqs = generate(WorkloadKind::Conversation, 60, 2.5, &mut rng);
-    let rep = Driver::new(GpuSim::from_cluster(&cluster), reqs, slo).run(engine);
+    let mut driver = Driver::new(GpuSim::from_cluster(&cluster), reqs, slo);
+    if hardened {
+        driver = driver
+            .with_faults(FaultPlan::none())
+            .with_watchdog(WatchdogConfig::default());
+    }
+    let rep = driver.run(engine);
     format!(
         "{name}: ttft_p99={:?} tbt_p99={:?} tokens={} makespan={:?} util={:?}",
         rep.ttft.p99(),
@@ -93,7 +101,18 @@ const GOLDEN: &[&str] = &[
 #[test]
 fn every_engine_matches_pre_refactor_golden_values() {
     for ((name, mut engine), want) in engines().into_iter().zip(GOLDEN) {
-        let got = golden_line(name, engine.as_mut());
+        let got = golden_line(name, engine.as_mut(), false);
         assert_eq!(&got, want, "{name} diverged from the pre-refactor run");
+    }
+}
+
+#[test]
+fn empty_fault_plan_and_idle_watchdog_are_strict_noops() {
+    // Installing `FaultPlan::none()` and the default watchdog (whose
+    // thresholds this light workload never reaches) must not perturb a
+    // single scheduling decision: the same goldens hold bit-for-bit.
+    for ((name, mut engine), want) in engines().into_iter().zip(GOLDEN) {
+        let got = golden_line(name, engine.as_mut(), true);
+        assert_eq!(&got, want, "{name} diverged under FaultPlan::none()");
     }
 }

@@ -36,6 +36,13 @@ fn horizon_cutoff_leaves_unfinished_requests() {
     assert!(rep.finished < rep.total, "horizon should truncate the run");
     assert!(!rep.is_stable());
     assert!(rep.makespan.as_secs() <= 5.0 + 1e-6);
+    // Regression: the in-flight requests cut off by the horizon still
+    // hold their KV leases by design — the leak detector must not count
+    // (or panic on) a truncated run.
+    assert_eq!(
+        rep.counters.leaked_leases, 0,
+        "horizon-held leases are not leaks"
+    );
 }
 
 #[test]
