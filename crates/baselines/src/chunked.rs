@@ -1,6 +1,6 @@
 //! Chunked-prefill (SGLang + SARATHI-Serve) and its NanoFlow variant.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 
 use gpusim::{ClusterSpec, CtxId, GpuSim, GroupId, KernelKind, WorkItem};
 use kvcache::KvPool;
@@ -8,7 +8,8 @@ use modelspec::{ModelSpec, Parallelism, SeqState};
 use serving::lease::{KvLease, LeaseTable};
 use serving::lifecycle::{EngineCounters, Lifecycle};
 use serving::{
-    kv_pool_capacity_tokens, DecodeBatch, DecodeSlot, ReqId, Scheduler, ServeCtx, SloSpec,
+    kv_pool_capacity_tokens, CrashVictim, DecodeBatch, DecodeSlot, RecoveryClass, ReqId, Scheduler,
+    ServeCtx, SloSpec,
 };
 use simcore::SimDuration;
 
@@ -46,6 +47,11 @@ pub struct ChunkedPrefill {
     decode: DecodeBatch,
     /// Pieces of the in-flight iteration: `(request id, tokens)`.
     inflight: Option<Vec<(ReqId, u64)>>,
+    /// The single all-GPU group lost a device; launches halt until the
+    /// driver signals recovery.
+    down: bool,
+    /// Crash victims whose prefix was eviction-protected at revocation.
+    crash_protected: HashSet<ReqId>,
 }
 
 /// The candidate token budgets tried by offline tuning (descending).
@@ -85,6 +91,8 @@ impl ChunkedPrefill {
             prefilling: VecDeque::new(),
             decode: DecodeBatch::new(),
             inflight: None,
+            down: false,
+            crash_protected: HashSet::new(),
         }
     }
 
@@ -135,13 +143,22 @@ impl ChunkedPrefill {
     }
 
     fn admit_waiting(&mut self, ctx: &mut ServeCtx) {
+        if self.down {
+            return;
+        }
         while let Some(&id) = self.waiting.front() {
             if self.prefilling.len() >= 64 {
                 break;
             }
             let spec = ctx.request(id).clone();
             let table = self.table.as_mut().expect("table");
-            let lease = table.lease_prefix(&spec.content.blocks(table.block_size()), ctx.now());
+            let blocks = spec.content.blocks(table.block_size());
+            let lease = table.lease_prefix(&blocks, ctx.now());
+            if self.crash_protected.remove(&id) {
+                // Re-admitted crash victim: the lease's lock now pins the
+                // prefix, so the advisory protection comes off.
+                table.unprotect_prefix(&blocks);
+            }
             let cached = lease.matched_tokens();
             self.waiting.pop_front();
             self.lifecycle.admit(id);
@@ -156,7 +173,7 @@ impl ChunkedPrefill {
     }
 
     fn launch_iteration(&mut self, ctx: &mut ServeCtx) {
-        if self.inflight.is_some() {
+        if self.inflight.is_some() || self.down {
             return;
         }
         let (group, c) = match (self.group, self.ctx_id) {
@@ -187,10 +204,16 @@ impl ChunkedPrefill {
             if chunk_left == 0 {
                 break;
             }
-            let take = chunk_left.min(p.total_new - p.done_new);
-            if take == 0 {
+            let need = p.total_new - p.done_new;
+            if need == 0 {
+                // Fully-cached prompt (e.g. a requeued crash victim whose
+                // committed prefix covers every block): nothing to
+                // compute, but it must ride this iteration as a
+                // zero-token piece so the completion path retires it.
+                pieces.push((p.id, 0));
                 continue;
             }
+            let take = chunk_left.min(need);
             let table = self.table.as_mut().expect("table");
             if !table.try_alloc_private(take, now) {
                 break;
@@ -358,6 +381,61 @@ impl Scheduler for ChunkedPrefill {
             return true;
         }
         false
+    }
+
+    fn on_gpu_lost(
+        &mut self,
+        _gpu: u32,
+        _cancelled: &[u64],
+        ctx: &mut ServeCtx,
+    ) -> Vec<CrashVictim> {
+        // One lockstep group spans every GPU: a single device death
+        // halts the whole engine and loses all device-resident KV.
+        self.down = true;
+        self.inflight = None;
+        let mut victims = Vec::new();
+        // Chunked prefill has no layer checkpoints — chunk progress dies
+        // with the device, so every victim re-prefills in full.
+        for p in std::mem::take(&mut self.prefilling) {
+            let spec = ctx.request(p.id).clone();
+            let table = self.table.as_mut().expect("table");
+            let blocks = spec.content.blocks(table.block_size());
+            table.release(p.lease);
+            table.protect_prefix(&blocks);
+            self.crash_protected.insert(p.id);
+            self.lifecycle.requeue(p.id);
+            victims.push(CrashVictim {
+                id: p.id,
+                class: RecoveryClass::ReprefillFull,
+                lost_tokens: p.done_new,
+            });
+        }
+        for slot in self.decode.drain() {
+            let spec = ctx.request(slot.id).clone();
+            let table = self.table.as_mut().expect("table");
+            let blocks = spec.content.blocks(table.block_size());
+            table.release(slot.lease);
+            table.protect_prefix(&blocks);
+            self.crash_protected.insert(slot.id);
+            self.lifecycle.requeue(slot.id);
+            victims.push(CrashVictim {
+                id: slot.id,
+                class: RecoveryClass::ReprefillFull,
+                lost_tokens: slot.context,
+            });
+        }
+        victims
+    }
+
+    fn on_gpu_recovered(&mut self, _gpu: u32, ctx: &mut ServeCtx) {
+        if let Some(group) = self.group {
+            if ctx.gpu.group_has_dead_gpu(group) {
+                return;
+            }
+        }
+        self.down = false;
+        self.admit_waiting(ctx);
+        self.launch_iteration(ctx);
     }
 }
 

@@ -10,7 +10,7 @@
 //! spare partition (the decode SLO still guarded by a worst-case
 //! estimate).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use estimator::{ContentionGuard, GuardQuery, SoloPredictor};
 use gpusim::{ClusterSpec, CtxId, GroupId, LinkId};
@@ -18,7 +18,8 @@ use modelspec::{ModelSpec, Parallelism, SeqState};
 use serving::lease::{KvLease, LeaseTable};
 use serving::lifecycle::{EngineCounters, Lifecycle};
 use serving::{
-    kv_pool_capacity_tokens, DecodeBatch, DecodeSlot, ReqId, Scheduler, ServeCtx, SloSpec,
+    kv_pool_capacity_tokens, CrashVictim, DecodeBatch, DecodeSlot, RecoveryClass, ReqId, Scheduler,
+    ServeCtx, SloSpec,
 };
 use simcore::SimDuration;
 
@@ -79,6 +80,13 @@ pub struct HybridPd {
     decode_inflight: bool,
     next_transfer_tag: u64,
     overflow_count: u64,
+    /// The prefill instance lost a device; instance prefills halt.
+    p_down: bool,
+    /// The decode instance lost a device; decode and overflow prefill
+    /// launches halt.
+    d_down: bool,
+    /// Crash victims whose prefill-pool prefix was eviction-protected.
+    crash_protected: HashSet<ReqId>,
 }
 
 impl HybridPd {
@@ -131,6 +139,9 @@ impl HybridPd {
             decode_inflight: false,
             next_transfer_tag: 1_000_000,
             overflow_count: 0,
+            p_down: false,
+            d_down: false,
+            crash_protected: HashSet::new(),
         }
     }
 
@@ -163,7 +174,7 @@ impl HybridPd {
     }
 
     fn try_start_instance_prefill(&mut self, ctx: &mut ServeCtx) {
-        if self.p_inflight.is_some() || self.waiting.is_empty() {
+        if self.p_inflight.is_some() || self.waiting.is_empty() || self.p_down {
             return;
         }
         let mut reqs = Vec::new();
@@ -187,6 +198,11 @@ impl HybridPd {
                 break;
             }
             let mut lease = table.lease_prefix(&blocks, ctx.now());
+            if self.crash_protected.remove(&id) {
+                // Re-admitted crash victim: the lease's lock now pins the
+                // prefix, so the advisory protection comes off.
+                table.unprotect_prefix(&blocks);
+            }
             let seq = SeqState::new(
                 spec.input_tokens() - lease.matched_tokens(),
                 lease.matched_tokens(),
@@ -214,6 +230,9 @@ impl HybridPd {
     /// Runs one overflow prefill on the decode instance's prefill
     /// partition (spatially multiplexed with decode).
     fn try_start_mux_prefill(&mut self, ctx: &mut ServeCtx) {
+        if self.d_down {
+            return;
+        }
         let Some(&id) = self.waiting.front() else {
             return;
         };
@@ -295,6 +314,11 @@ impl HybridPd {
     }
 
     fn try_admit_decode(&mut self, ctx: &mut ServeCtx) {
+        if self.d_down {
+            // Migrated contexts buffer without allocations while the
+            // decode instance is down; a permanent crash leaks nothing.
+            return;
+        }
         while let Some(&admit) = self.pending_admit.front() {
             let table = self.d_table.as_mut().expect("table");
             if !admit.local && !table.try_alloc_private(admit.context, ctx.now()) {
@@ -352,7 +376,7 @@ impl HybridPd {
     }
 
     fn launch_decode(&mut self, ctx: &mut ServeCtx) {
-        if self.decode_inflight || self.decode.is_empty() {
+        if self.decode_inflight || self.decode.is_empty() || self.d_down {
             return;
         }
         let now = ctx.now();
@@ -399,6 +423,21 @@ impl HybridPd {
         self.try_admit_decode(ctx);
         self.launch_decode(ctx);
         self.try_dispatch_prefills(ctx);
+    }
+
+    /// Books one decode-instance crash victim: protects whatever prompt
+    /// prefix the prefill pool has cached and requeues for re-prefill.
+    fn revoke_decode_victim(&mut self, id: ReqId, context: u64, ctx: &mut ServeCtx) -> CrashVictim {
+        let spec = ctx.request(id).clone();
+        let p_table = self.p_table.as_mut().expect("table");
+        p_table.protect_prefix(&spec.content.blocks(p_table.block_size()));
+        self.crash_protected.insert(id);
+        self.lifecycle.requeue(id);
+        CrashVictim {
+            id,
+            class: RecoveryClass::ReprefillFull,
+            lost_tokens: context,
+        }
     }
 }
 
@@ -479,6 +518,98 @@ impl Scheduler for HybridPd {
             return true;
         }
         false
+    }
+
+    fn on_gpu_lost(
+        &mut self,
+        gpu: u32,
+        _cancelled: &[u64],
+        ctx: &mut ServeCtx,
+    ) -> Vec<CrashVictim> {
+        let half = ctx.gpu.num_gpus() / 2;
+        let mut victims = Vec::new();
+        if gpu < half {
+            // Prefill instance died: only the in-flight instance batch is
+            // lost; the decode instance (and any overflow prefill it is
+            // multiplexing) carries on.
+            self.p_down = true;
+            for r in self.p_inflight.take().into_iter().flatten() {
+                let spec = ctx.request(r.id).clone();
+                let table = self.p_table.as_mut().expect("table");
+                let blocks = spec.content.blocks(table.block_size());
+                table.release(r.lease);
+                table.protect_prefix(&blocks);
+                self.crash_protected.insert(r.id);
+                self.lifecycle.requeue(r.id);
+                victims.push(CrashVictim {
+                    id: r.id,
+                    class: RecoveryClass::ReprefillFull,
+                    lost_tokens: r.seq.new_tokens,
+                });
+            }
+        } else {
+            // Decode instance died: the decode batch, the multiplexed
+            // overflow prefill and every context parked for admission
+            // lose their device-resident KV.
+            self.d_down = true;
+            self.decode_inflight = false;
+            self.mux_tags.clear();
+            if let Some(r) = self.mux_inflight.take() {
+                self.d_table.as_mut().expect("table").release(r.lease);
+                let v = self.revoke_decode_victim(r.id, r.seq.new_tokens, ctx);
+                victims.push(v);
+            }
+            for slot in self.decode.drain() {
+                self.d_table.as_mut().expect("table").release(slot.lease);
+                let v = self.revoke_decode_victim(slot.id, slot.context, ctx);
+                victims.push(v);
+            }
+            for admit in std::mem::take(&mut self.pending_admit) {
+                if admit.local {
+                    // Locally-prefilled contexts sit raw in the decode
+                    // pool between detach and admission.
+                    self.d_table
+                        .as_mut()
+                        .expect("table")
+                        .free_private(admit.context);
+                }
+                let v = self.revoke_decode_victim(admit.id, admit.context, ctx);
+                victims.push(v);
+            }
+            // In-flight transfers hold no decode-side allocation yet; the
+            // orphaned tags complete into no-ops. Drain in tag order —
+            // the map iterates nondeterministically and victim order
+            // decides the requeue event order.
+            let mut inflight: Vec<_> = std::mem::take(&mut self.transferring).into_iter().collect();
+            inflight.sort_by_key(|&(tag, _)| tag);
+            for (_, admit) in inflight {
+                let v = self.revoke_decode_victim(admit.id, admit.context, ctx);
+                victims.push(v);
+            }
+        }
+        victims
+    }
+
+    fn on_gpu_recovered(&mut self, gpu: u32, ctx: &mut ServeCtx) {
+        let half = ctx.gpu.num_gpus() / 2;
+        if gpu < half {
+            if let Some(g) = self.p_group {
+                if ctx.gpu.group_has_dead_gpu(g) {
+                    return;
+                }
+            }
+            self.p_down = false;
+        } else {
+            if let Some(g) = self.d_group {
+                if ctx.gpu.group_has_dead_gpu(g) {
+                    return;
+                }
+            }
+            self.d_down = false;
+            self.try_admit_decode(ctx);
+            self.launch_decode(ctx);
+        }
+        self.try_dispatch_prefills(ctx);
     }
 }
 

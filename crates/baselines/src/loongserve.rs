@@ -15,7 +15,8 @@ use modelspec::{ModelSpec, Parallelism, SeqState};
 use serving::lease::LeaseTable;
 use serving::lifecycle::{EngineCounters, Lifecycle};
 use serving::{
-    kv_pool_capacity_tokens, DecodeBatch, DecodeSlot, ReqId, Scheduler, ServeCtx, SloSpec,
+    kv_pool_capacity_tokens, CrashVictim, DecodeBatch, DecodeSlot, RecoveryClass, ReqId, Scheduler,
+    ServeCtx, SloSpec,
 };
 use simcore::SimDuration;
 
@@ -60,6 +61,9 @@ pub struct LoongServe {
     next_tag: u64,
     /// Total tokens recomputed because no cross-request reuse exists.
     recomputed_tokens: u64,
+    /// The fixed decode group lost a device; decode admission and
+    /// launches halt until it recovers.
+    d_down: bool,
 }
 
 impl LoongServe {
@@ -95,6 +99,7 @@ impl LoongServe {
             decode_inflight: false,
             next_tag: 1,
             recomputed_tokens: 0,
+            d_down: false,
         }
     }
 
@@ -198,6 +203,11 @@ impl LoongServe {
     }
 
     fn try_admit_decode(&mut self, ctx: &mut ServeCtx) {
+        if self.d_down {
+            // Migrated contexts buffer without leases while the decode
+            // group is down; a permanent crash then leaks nothing.
+            return;
+        }
         while let Some(&admit) = self.pending_admit.front() {
             let table = self.d_table.as_mut().expect("table");
             let Some(lease) = table.try_lease_private(admit.context, ctx.now()) else {
@@ -225,7 +235,7 @@ impl LoongServe {
     }
 
     fn launch_decode(&mut self, ctx: &mut ServeCtx) {
-        if self.decode_inflight || self.decode.is_empty() || !self.decode_can_run() {
+        if self.decode_inflight || self.decode.is_empty() || self.d_down || !self.decode_can_run() {
             return;
         }
         let now = ctx.now();
@@ -322,6 +332,99 @@ impl Scheduler for LoongServe {
             return true;
         }
         false
+    }
+
+    fn on_gpu_lost(
+        &mut self,
+        gpu: u32,
+        _cancelled: &[u64],
+        ctx: &mut ServeCtx,
+    ) -> Vec<CrashVictim> {
+        let mut victims = Vec::new();
+        if gpu < self.tp {
+            // Decode group died: batched, pending and in-transit contexts
+            // all lose their KV. LoongServe keeps no spare copy anywhere,
+            // so every victim recomputes its full context.
+            self.d_down = true;
+            self.decode_inflight = false;
+            for slot in self.decode.drain() {
+                self.d_table.as_mut().expect("table").release(slot.lease);
+                self.lifecycle.requeue(slot.id);
+                victims.push(CrashVictim {
+                    id: slot.id,
+                    class: RecoveryClass::ReprefillFull,
+                    lost_tokens: slot.context,
+                });
+            }
+            // Drain in-transit contexts in tag order — the map iterates
+            // nondeterministically and victim order decides the requeue
+            // event order.
+            let mut inflight: Vec<_> = std::mem::take(&mut self.transferring).into_iter().collect();
+            inflight.sort_by_key(|&(tag, _)| tag);
+            for admit in std::mem::take(&mut self.pending_admit)
+                .into_iter()
+                .chain(inflight.into_iter().map(|(_, a)| a))
+            {
+                // Neither holds a lease yet (admission leases on join).
+                self.lifecycle.requeue(admit.id);
+                victims.push(CrashVictim {
+                    id: admit.id,
+                    class: RecoveryClass::ReprefillFull,
+                    lost_tokens: admit.context,
+                });
+            }
+        } else {
+            // An elastic prefill GPU died. At most one job spans it (a
+            // GPU serves a single elastic group at a time); tear the job
+            // down, return its surviving GPUs and hold the dead one out
+            // of the free pool until recovery.
+            self.free_gpus.retain(|&g| g != gpu);
+            let mut hit: Vec<u64> = self
+                .jobs
+                .iter()
+                .filter(|(_, j)| j.gpus.contains(&gpu))
+                .map(|(&tag, _)| tag)
+                .collect();
+            hit.sort_unstable();
+            for tag in hit {
+                let job = self.jobs.remove(&tag).expect("known job");
+                ctx.gpu.remove_context(job.group, job.ctx_id);
+                ctx.gpu.destroy_group(job.group);
+                for g in job.gpus {
+                    if g >= self.tp && g != gpu {
+                        self.free_gpus.push(g);
+                    }
+                }
+                self.free_gpus.sort_unstable();
+                let spec = ctx.request(job.id).clone();
+                self.lifecycle.requeue(job.id);
+                victims.push(CrashVictim {
+                    id: job.id,
+                    class: RecoveryClass::ReprefillFull,
+                    lost_tokens: spec.input_tokens(),
+                });
+            }
+        }
+        victims
+    }
+
+    fn on_gpu_recovered(&mut self, gpu: u32, ctx: &mut ServeCtx) {
+        if gpu < self.tp {
+            if let Some(g) = self.d_group {
+                if ctx.gpu.group_has_dead_gpu(g) {
+                    return;
+                }
+            }
+            self.d_down = false;
+            self.try_admit_decode(ctx);
+            self.launch_decode(ctx);
+        } else {
+            if !self.free_gpus.contains(&gpu) {
+                self.free_gpus.push(gpu);
+                self.free_gpus.sort_unstable();
+            }
+            self.try_start_prefills(ctx);
+        }
     }
 }
 

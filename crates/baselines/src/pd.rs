@@ -8,14 +8,15 @@
 //! below an aggregated deployment — the §2.3.1 drawback that shows up as
 //! stalls on cache-hungry workloads.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use gpusim::{ClusterSpec, CtxId, GroupId, LinkId};
 use modelspec::{ModelSpec, Parallelism, SeqState};
 use serving::lease::{KvLease, LeaseTable};
 use serving::lifecycle::{EngineCounters, Lifecycle};
 use serving::{
-    kv_pool_capacity_tokens, DecodeBatch, DecodeSlot, ReqId, Scheduler, ServeCtx, SloSpec,
+    kv_pool_capacity_tokens, CrashVictim, DecodeBatch, DecodeSlot, RecoveryClass, ReqId, Scheduler,
+    ServeCtx, SloSpec,
 };
 use simcore::SimDuration;
 
@@ -62,6 +63,12 @@ pub struct SglangPd {
     decode_inflight: bool,
     next_tag: u64,
     max_prefill_batch_tokens: u64,
+    /// The prefill instance lost a device; prefill launches halt.
+    p_down: bool,
+    /// The decode instance lost a device; decode launches halt.
+    d_down: bool,
+    /// Crash victims whose prefill-pool prefix was eviction-protected.
+    crash_protected: HashSet<ReqId>,
 }
 
 impl SglangPd {
@@ -101,6 +108,9 @@ impl SglangPd {
             decode_inflight: false,
             next_tag: 1,
             max_prefill_batch_tokens: 16_384,
+            p_down: false,
+            d_down: false,
+            crash_protected: HashSet::new(),
         }
     }
 
@@ -116,7 +126,9 @@ impl SglangPd {
     }
 
     fn try_start_prefill(&mut self, ctx: &mut ServeCtx) {
-        if self.prefill.is_some() || self.waiting.is_empty() {
+        // A dead decode instance also stalls prefill: the up-front
+        // decode-slot reservation has nowhere to land.
+        if self.prefill.is_some() || self.waiting.is_empty() || self.p_down || self.d_down {
             return;
         }
         let mut reqs = Vec::new();
@@ -166,6 +178,11 @@ impl SglangPd {
             }
             let table = self.p_table.as_mut().expect("table");
             let mut lease = table.lease_prefix(&blocks, ctx.now());
+            if self.crash_protected.remove(&id) {
+                // Re-admitted crash victim: the lease's lock now pins the
+                // prefix, so the advisory protection comes off.
+                table.unprotect_prefix(&blocks);
+            }
             let seq = SeqState::new(
                 spec.input_tokens() - lease.matched_tokens(),
                 lease.matched_tokens(),
@@ -262,7 +279,7 @@ impl SglangPd {
     }
 
     fn launch_decode(&mut self, ctx: &mut ServeCtx) {
-        if self.decode_inflight || self.decode.is_empty() {
+        if self.decode_inflight || self.decode.is_empty() || self.d_down {
             return;
         }
         let now = ctx.now();
@@ -282,6 +299,21 @@ impl SglangPd {
         let (g, c) = (self.d_group.expect("started"), self.d_ctx.expect("started"));
         ctx.gpu.submit(g, c, work, ready, u64::MAX);
         self.decode_inflight = true;
+    }
+
+    /// Books one decode-side crash victim: protects its cached prompt in
+    /// the prefill pool and requeues it for a full re-prefill.
+    fn revoke_decode_victim(&mut self, id: ReqId, context: u64, ctx: &mut ServeCtx) -> CrashVictim {
+        let spec = ctx.request(id).clone();
+        let p_table = self.p_table.as_mut().expect("table");
+        p_table.protect_prefix(&spec.content.blocks(p_table.block_size()));
+        self.crash_protected.insert(id);
+        self.lifecycle.requeue(id);
+        CrashVictim {
+            id,
+            class: RecoveryClass::ReprefillFull,
+            lost_tokens: context,
+        }
     }
 
     fn on_decode_done(&mut self, ctx: &mut ServeCtx) {
@@ -370,6 +402,93 @@ impl Scheduler for SglangPd {
             return true;
         }
         false
+    }
+
+    fn on_gpu_lost(
+        &mut self,
+        gpu: u32,
+        _cancelled: &[u64],
+        ctx: &mut ServeCtx,
+    ) -> Vec<CrashVictim> {
+        let half = ctx.gpu.num_gpus() / 2;
+        let mut victims = Vec::new();
+        if gpu < half {
+            // Prefill instance died: only the in-flight prefill batch is
+            // lost; migrated contexts and the decode instance carry on.
+            self.p_down = true;
+            for r in self.prefill.take().into_iter().flatten() {
+                let spec = ctx.request(r.id).clone();
+                let table = self.p_table.as_mut().expect("table");
+                let blocks = spec.content.blocks(table.block_size());
+                table.release(r.lease);
+                table.protect_prefix(&blocks);
+                self.crash_protected.insert(r.id);
+                self.d_table
+                    .as_mut()
+                    .expect("table")
+                    .free_private(r.reserved);
+                self.lifecycle.requeue(r.id);
+                victims.push(CrashVictim {
+                    id: r.id,
+                    class: RecoveryClass::ReprefillFull,
+                    lost_tokens: r.seq.new_tokens,
+                });
+            }
+        } else {
+            // Decode instance died: every active context — batched,
+            // awaiting admission, or mid-transfer — loses its KV and must
+            // re-prefill from the prefill instance's cached prompt.
+            self.d_down = true;
+            self.decode_inflight = false;
+            for slot in self.decode.drain() {
+                self.d_table.as_mut().expect("table").release(slot.lease);
+                victims.push(self.revoke_decode_victim(slot.id, slot.context, ctx));
+            }
+            for admit in std::mem::take(&mut self.pending_admit) {
+                self.d_table
+                    .as_mut()
+                    .expect("table")
+                    .free_private(admit.context);
+                victims.push(self.revoke_decode_victim(admit.id, admit.context, ctx));
+            }
+            // In-flight transfers have no destination any more: drop the
+            // reservation and let the orphaned tag complete into a no-op.
+            // Drain in tag order — the map iterates nondeterministically
+            // and victim order decides the requeue event order.
+            let mut inflight: Vec<_> = std::mem::take(&mut self.transferring).into_iter().collect();
+            inflight.sort_by_key(|&(tag, _)| tag);
+            for (_, admit) in inflight {
+                self.d_table
+                    .as_mut()
+                    .expect("table")
+                    .free_private(admit.context);
+                victims.push(self.revoke_decode_victim(admit.id, admit.context, ctx));
+            }
+        }
+        victims
+    }
+
+    fn on_gpu_recovered(&mut self, gpu: u32, ctx: &mut ServeCtx) {
+        let half = ctx.gpu.num_gpus() / 2;
+        if gpu < half {
+            if let Some(g) = self.p_group {
+                if ctx.gpu.group_has_dead_gpu(g) {
+                    return;
+                }
+            }
+            self.p_down = false;
+            self.try_start_prefill(ctx);
+        } else {
+            if let Some(g) = self.d_group {
+                if ctx.gpu.group_has_dead_gpu(g) {
+                    return;
+                }
+            }
+            self.d_down = false;
+            self.try_admit_decode(ctx);
+            self.launch_decode(ctx);
+            self.try_start_prefill(ctx);
+        }
     }
 }
 

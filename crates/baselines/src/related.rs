@@ -12,7 +12,7 @@
 //!   never overlap spatially, so decode's memory-bound iterations leave
 //!   the compute idle (≥ 20 % worse than MuxWise in the paper's trials).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use estimator::SoloPredictor;
 use gpusim::{ClusterSpec, CtxId, GroupId, KernelKind};
@@ -20,7 +20,8 @@ use modelspec::{ModelSpec, Parallelism, SeqState};
 use serving::lease::{KvLease, LeaseTable};
 use serving::lifecycle::{EngineCounters, Lifecycle};
 use serving::{
-    kv_pool_capacity_tokens, DecodeBatch, DecodeSlot, ReqId, Scheduler, ServeCtx, SloSpec,
+    kv_pool_capacity_tokens, CrashVictim, DecodeBatch, DecodeSlot, RecoveryClass, ReqId, Scheduler,
+    ServeCtx, SloSpec,
 };
 use simcore::SimDuration;
 
@@ -43,6 +44,10 @@ struct Common {
     waiting: VecDeque<ReqId>,
     decode: DecodeBatch,
     decode_inflight: bool,
+    /// The all-GPU group lost a device; launches halt until recovery.
+    down: bool,
+    /// Crash victims whose prefix was eviction-protected at revocation.
+    crash_protected: HashSet<ReqId>,
 }
 
 impl Common {
@@ -58,6 +63,8 @@ impl Common {
             waiting: VecDeque::new(),
             decode: DecodeBatch::new(),
             decode_inflight: false,
+            down: false,
+            crash_protected: HashSet::new(),
         }
     }
 
@@ -73,6 +80,9 @@ impl Common {
     }
 
     fn admit_one(&mut self, ctx: &mut ServeCtx) -> Option<PrefillReq> {
+        if self.down {
+            return None;
+        }
         let &id = self.waiting.front()?;
         let spec = ctx.request(id).clone();
         let table = self.table.as_mut().expect("table");
@@ -88,6 +98,11 @@ impl Common {
             return None;
         }
         let mut lease = table.lease_prefix(&blocks, ctx.now());
+        if self.crash_protected.remove(&id) {
+            // Re-admitted crash victim: the lease's lock now pins the
+            // prefix, so the advisory protection comes off.
+            table.unprotect_prefix(&blocks);
+        }
         self.waiting.pop_front();
         self.lifecycle.admit(id);
         let seq = SeqState::new(
@@ -149,6 +164,33 @@ impl Common {
             self.retire(slot, ctx);
         }
     }
+
+    /// Releases one victim's lease, eviction-protects its prefix for the
+    /// retry, and requeues it in the lifecycle.
+    fn revoke(&mut self, id: ReqId, lease: KvLease, ctx: &mut ServeCtx) {
+        let spec = ctx.request(id).clone();
+        let table = self.table.as_mut().expect("table");
+        let blocks = spec.content.blocks(table.block_size());
+        table.release(lease);
+        table.protect_prefix(&blocks);
+        self.crash_protected.insert(id);
+        self.lifecycle.requeue(id);
+    }
+
+    /// Drains the decode batch after a fail-stop: every slot loses its
+    /// device-resident KV and must re-prefill its accumulated context.
+    fn revoke_decode(&mut self, ctx: &mut ServeCtx) -> Vec<CrashVictim> {
+        let mut victims = Vec::new();
+        for slot in self.decode.drain() {
+            self.revoke(slot.id, slot.lease, ctx);
+            victims.push(CrashVictim {
+                id: slot.id,
+                class: RecoveryClass::ReprefillFull,
+                lost_tokens: slot.context,
+            });
+        }
+        victims
+    }
 }
 
 // --------------------------------------------------------------------------
@@ -203,7 +245,7 @@ impl WindServe {
     }
 
     fn launch_decode(&mut self, ctx: &mut ServeCtx) {
-        if self.common.decode_inflight || self.common.decode.is_empty() {
+        if self.common.decode_inflight || self.common.decode.is_empty() || self.common.down {
             return;
         }
         if !self.common.grow_decode_kv(ctx) {
@@ -277,6 +319,42 @@ impl Scheduler for WindServe {
     fn on_shed(&mut self, id: ReqId, _ctx: &mut ServeCtx) -> bool {
         self.common.shed(id)
     }
+
+    fn on_gpu_lost(
+        &mut self,
+        _gpu: u32,
+        _cancelled: &[u64],
+        ctx: &mut ServeCtx,
+    ) -> Vec<CrashVictim> {
+        // The 50/50 split runs both streams on one all-GPU group, so a
+        // single device death takes the whole engine down.
+        self.common.down = true;
+        self.common.decode_inflight = false;
+        let mut victims = Vec::new();
+        if let Some(r) = self.prefill.take() {
+            // Whole-phase prefill launches: no checkpoint to resume from.
+            let lost = r.seq.new_tokens;
+            self.common.revoke(r.id, r.lease, ctx);
+            victims.push(CrashVictim {
+                id: r.id,
+                class: RecoveryClass::ReprefillFull,
+                lost_tokens: lost,
+            });
+        }
+        victims.extend(self.common.revoke_decode(ctx));
+        victims
+    }
+
+    fn on_gpu_recovered(&mut self, _gpu: u32, ctx: &mut ServeCtx) {
+        if let Some(group) = self.group {
+            if ctx.gpu.group_has_dead_gpu(group) {
+                return;
+            }
+        }
+        self.common.down = false;
+        self.try_start_prefill(ctx);
+        self.launch_decode(ctx);
+    }
 }
 
 // --------------------------------------------------------------------------
@@ -295,6 +373,9 @@ pub struct TemporalMux {
     layers_done: u32,
     layers_inflight: u32,
     sm_count: u32,
+    /// Layer checkpoints of crash victims: re-admission resumes here
+    /// instead of replaying the already-completed prefill layers.
+    resume_layers: HashMap<ReqId, u32>,
 }
 
 /// Tags distinguishing the phases.
@@ -320,19 +401,20 @@ impl TemporalMux {
             layers_done: 0,
             layers_inflight: 0,
             sm_count: cluster.gpu.sm_count,
+            resume_layers: HashMap::new(),
         }
     }
 
     fn schedule(&mut self, ctx: &mut ServeCtx) {
         // One shared stream: alternate a decode iteration with a burst of
         // prefill layers that fits the remaining TBT slack.
-        if self.common.decode_inflight || self.layers_inflight > 0 {
+        if self.common.decode_inflight || self.layers_inflight > 0 || self.common.down {
             return;
         }
         if self.prefill.is_none() {
             if let Some(r) = self.common.admit_one(ctx) {
+                self.layers_done = self.resume_layers.remove(&r.id).unwrap_or(0);
                 self.prefill = Some(r);
-                self.layers_done = 0;
             }
         }
         let (group, c) = (self.group.expect("started"), self.ctx_id.expect("started"));
@@ -446,6 +528,45 @@ impl Scheduler for TemporalMux {
 
     fn on_shed(&mut self, id: ReqId, _ctx: &mut ServeCtx) -> bool {
         self.common.shed(id)
+    }
+
+    fn on_gpu_lost(
+        &mut self,
+        _gpu: u32,
+        _cancelled: &[u64],
+        ctx: &mut ServeCtx,
+    ) -> Vec<CrashVictim> {
+        self.common.down = true;
+        self.common.decode_inflight = false;
+        self.layers_inflight = 0;
+        let mut victims = Vec::new();
+        if let Some(r) = self.prefill.take() {
+            // Layer-wise launches double as checkpoints: the retry skips
+            // the layers that had already completed before the crash.
+            let checkpoint = self.layers_done;
+            if checkpoint > 0 {
+                self.resume_layers.insert(r.id, checkpoint);
+            }
+            self.layers_done = 0;
+            self.common.revoke(r.id, r.lease, ctx);
+            victims.push(CrashVictim {
+                id: r.id,
+                class: RecoveryClass::ResumeFromLayer(checkpoint),
+                lost_tokens: 0,
+            });
+        }
+        victims.extend(self.common.revoke_decode(ctx));
+        victims
+    }
+
+    fn on_gpu_recovered(&mut self, _gpu: u32, ctx: &mut ServeCtx) {
+        if let Some(group) = self.group {
+            if ctx.gpu.group_has_dead_gpu(group) {
+                return;
+            }
+        }
+        self.common.down = false;
+        self.schedule(ctx);
     }
 }
 

@@ -9,7 +9,9 @@
 //!
 //! `--smoke` runs a tiny grid (used by `scripts/check.sh chaos-smoke`)
 //! and asserts the robustness invariants instead of printing the full
-//! table.
+//! table. `--recovery-smoke` runs a crash-then-recover grid (two systems
+//! × a GPU fail-stop on each cluster half) asserting fail-stop failover
+//! works end to end (used by `scripts/check.sh recovery-smoke`).
 
 use bench::chaos::{run_chaos, ChaosJob, ChaosRow};
 use bench::systems::{SystemKind, Testbed};
@@ -63,6 +65,9 @@ fn sweep(tb: &Testbed, label: &str, n: usize, rate: f64) -> Vec<ChaosRow> {
                 "fault_retries": row.fault_retries, "requeues": row.requeues,
                 "drops": row.drops, "leaked_leases": row.leaked_leases,
                 "recovery_secs": row.recovery_secs,
+                "crash_victims": row.crash_victims, "recovered": row.recovered,
+                "shed_on_crash": row.shed_on_crash,
+                "reprefill_tokens": row.reprefill_tokens,
             }),
         );
         rows.push(row);
@@ -111,7 +116,64 @@ fn smoke() {
     println!("chaos smoke passed");
 }
 
+/// Crash-then-recover grid for CI: two systems × a fail-stop on each
+/// cluster half. Asserts leak-freedom, full request accounting and
+/// balanced victim bookkeeping.
+fn recovery_smoke() {
+    banner("Recovery smoke");
+    let tb = Testbed::llama8b_a100();
+    for kind in [SystemKind::MuxWise, SystemKind::SglangPd] {
+        for gpu in [0u32, 7] {
+            let report = bench::chaos::recovery_run(
+                &tb,
+                kind,
+                WorkloadKind::ShareGpt,
+                40,
+                3.0,
+                SEED,
+                bench::chaos::CrashSpec {
+                    gpu,
+                    at_secs: 2.0,
+                    down_secs: 5.0,
+                },
+            )
+            .expect("buildable");
+            assert_eq!(
+                report.counters.leaked_leases,
+                0,
+                "{} leaked leases after a crash on GPU {gpu}",
+                kind.name()
+            );
+            assert_eq!(
+                report.finished + report.shed,
+                report.total,
+                "{} lost requests after a crash on GPU {gpu}",
+                kind.name()
+            );
+            assert_eq!(
+                report.recovery.crash_victims,
+                report.recovery.recovered + report.recovery.shed_on_crash,
+                "{} victim accounting does not balance on GPU {gpu}",
+                kind.name()
+            );
+            println!(
+                "{:<11} crash gpu {gpu}: victims {} recovered {} shed {} reprefill {} tok — ok",
+                kind.name(),
+                report.recovery.crash_victims,
+                report.recovery.recovered,
+                report.recovery.shed_on_crash,
+                report.recovery.reprefill_tokens,
+            );
+        }
+    }
+    println!("recovery smoke passed");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--recovery-smoke") {
+        recovery_smoke();
+        return;
+    }
     if std::env::args().any(|a| a == "--smoke") {
         smoke();
         return;

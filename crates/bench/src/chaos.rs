@@ -66,7 +66,9 @@ pub fn chaos_run(
     let mut rng = SimRng::seed_from(seed);
     let reqs = generate(workload, n, rate, &mut rng);
     let span = n as f64 / rate;
-    let plan = FaultPlan::generate(seed, intensity, span, tb.cluster.num_gpus);
+    // Crashes layer on top of the byte-identical degradation schedule,
+    // so healthy-intensity rows keep their exact pre-crash behavior.
+    let plan = FaultPlan::generate_with_crashes(seed, intensity, span, tb.cluster.num_gpus);
     let max_out = reqs.iter().map(|r| r.output_tokens).max().unwrap_or(0) as f64;
     let grace = (60.0 + max_out * tb.slo.tbt.as_secs() * 0.35).min(1_800.0);
     let horizon = reqs
@@ -90,6 +92,54 @@ pub fn chaos_run(
 /// job order, identical to `jobs.iter().map(ChaosJob::run)`.
 pub fn run_chaos(jobs: &[ChaosJob<'_>]) -> Vec<Option<Report>> {
     parallel_map(jobs, ChaosJob::run)
+}
+
+/// One crash-then-recover window for [`recovery_run`]: `gpu` dies at
+/// `at_secs` for `down_secs`.
+#[derive(Clone, Copy)]
+pub struct CrashSpec {
+    /// Device that fail-stops.
+    pub gpu: u32,
+    /// Crash instant (seconds into the run).
+    pub at_secs: f64,
+    /// Outage length (seconds).
+    pub down_secs: f64,
+}
+
+/// Runs one system through a single crash-then-recover window: the
+/// `chaos_run` recipe with an explicit [`FaultPlan::crash`] instead of a
+/// generated schedule.
+pub fn recovery_run(
+    tb: &Testbed,
+    kind: SystemKind,
+    workload: WorkloadKind,
+    n: usize,
+    rate: f64,
+    seed: u64,
+    crash: CrashSpec,
+) -> Option<Report> {
+    let mut rng = SimRng::seed_from(seed);
+    let reqs = generate(workload, n, rate, &mut rng);
+    let plan = FaultPlan::crash(
+        crash.gpu,
+        SimTime::from_secs(crash.at_secs),
+        SimDuration::from_secs(crash.down_secs),
+    );
+    let max_out = reqs.iter().map(|r| r.output_tokens).max().unwrap_or(0) as f64;
+    let grace = (60.0 + crash.down_secs + max_out * tb.slo.tbt.as_secs() * 0.35).min(1_800.0);
+    let horizon = reqs
+        .last()
+        .map(|r| r.arrival + SimDuration::from_secs(grace))
+        .unwrap_or(SimTime::from_secs(grace));
+    let mut engine = tb.build(kind)?;
+    let gpu_sim = GpuSim::from_cluster(&tb.cluster);
+    Some(
+        Driver::new(gpu_sim, reqs, tb.slo)
+            .with_max_sim_time(horizon)
+            .with_faults(plan)
+            .with_watchdog(WatchdogConfig::default())
+            .run(engine.as_mut()),
+    )
 }
 
 /// One row of the chaos table (also the `results/chaos.jsonl` record).
@@ -122,6 +172,14 @@ pub struct ChaosRow {
     /// Seconds past the last fault window until P99 TBT re-entered the
     /// SLO (0 = immediate; absent on healthy runs).
     pub recovery_secs: Option<f64>,
+    /// Requests whose leases were revoked by a GPU fail-stop.
+    pub crash_victims: u64,
+    /// Crash victims that finished after failover.
+    pub recovered: u64,
+    /// Crash victims given up on (retry budget / TTFT deadline).
+    pub shed_on_crash: u64,
+    /// Prompt tokens recomputed to re-materialize lost KV.
+    pub reprefill_tokens: u64,
 }
 
 impl ChaosRow {
@@ -141,13 +199,17 @@ impl ChaosRow {
             drops: r.counters.drops,
             leaked_leases: r.counters.leaked_leases,
             recovery_secs: r.recovery_secs,
+            crash_victims: r.recovery.crash_victims,
+            recovered: r.recovery.recovered,
+            shed_on_crash: r.recovery.shed_on_crash,
+            reprefill_tokens: r.recovery.reprefill_tokens,
         }
     }
 
     /// Prints the table header.
     pub fn print_header() {
         println!(
-            "{:<11} {:>5} {:>10} {:>7} {:>9} {:>6} {:>5} {:>7} {:>7} {:>6} {:>8}  state",
+            "{:<11} {:>5} {:>10} {:>7} {:>9} {:>6} {:>5} {:>7} {:>7} {:>6} {:>5} {:>5} {:>8}  state",
             "system",
             "fault",
             "tok/s",
@@ -158,6 +220,8 @@ impl ChaosRow {
             "retries",
             "requeue",
             "drops",
+            "crash",
+            "recov",
             "recovery"
         );
     }
@@ -165,7 +229,7 @@ impl ChaosRow {
     /// Prints one formatted row.
     pub fn print(&self) {
         println!(
-            "{:<11} {:>5.2} {:>10.1} {:>6.1}% {:>7.1}ms {:>6} {:>5} {:>7} {:>7} {:>6} {:>8}  {}",
+            "{:<11} {:>5.2} {:>10.1} {:>6.1}% {:>7.1}ms {:>6} {:>5} {:>7} {:>7} {:>6} {:>5} {:>5} {:>8}  {}",
             self.system,
             self.intensity,
             self.throughput,
@@ -176,6 +240,8 @@ impl ChaosRow {
             self.fault_retries,
             self.requeues,
             self.drops,
+            self.crash_victims,
+            self.recovered,
             self.recovery_secs
                 .map(|s| format!("{s:.2}s"))
                 .unwrap_or_else(|| "-".to_string()),
@@ -244,6 +310,31 @@ mod tests {
         std::env::remove_var("MUXWISE_BENCH_THREADS");
         let sequential: Vec<Option<Report>> = jobs.iter().map(ChaosJob::run).collect();
         assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn recovery_run_survives_and_accounts_for_victims() {
+        let tb = Testbed::llama8b_a100();
+        let r = recovery_run(
+            &tb,
+            SystemKind::MuxWise,
+            WorkloadKind::ShareGpt,
+            30,
+            3.0,
+            11,
+            CrashSpec {
+                gpu: 0,
+                at_secs: 2.0,
+                down_secs: 4.0,
+            },
+        )
+        .expect("buildable");
+        assert_eq!(r.counters.leaked_leases, 0);
+        assert_eq!(r.finished + r.shed, r.total);
+        assert_eq!(
+            r.recovery.crash_victims,
+            r.recovery.recovered + r.recovery.shed_on_crash
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The MuxWise scheduler: bubble-less multiplex engine + SLO-aware
 //! dispatcher.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use estimator::GuardQuery;
 use gpusim::{CtxId, GroupId};
@@ -10,8 +10,8 @@ use modelspec::{ModelSpec, Parallelism, SeqState};
 use serving::lease::{KvLease, LeaseTable};
 use serving::lifecycle::{EngineCounters, Lifecycle};
 use serving::{
-    kv_pool_capacity_tokens, DecodeBatch, DecodeSlot, FaultKind, ReqId, Scheduler, ServeCtx,
-    SloSpec,
+    kv_pool_capacity_tokens, CrashVictim, DecodeBatch, DecodeSlot, FaultKind, RecoveryClass, ReqId,
+    Scheduler, ServeCtx, SloSpec,
 };
 use simcore::{SimDuration, SimTime};
 
@@ -92,6 +92,16 @@ pub struct MuxWise {
     /// dispatcher pins the most conservative decode partition until the
     /// hardware recovers.
     fault_mode: bool,
+    /// A GPU of the (single, all-spanning) group fail-stopped; all
+    /// launches halt until the driver signals recovery.
+    down: bool,
+    /// Layer checkpoints of crash-revoked prefill victims: MuxWise's
+    /// layer-wise prefill lets a victim restart from its last completed
+    /// layer instead of layer zero.
+    resume_layers: HashMap<ReqId, u32>,
+    /// Victims whose cached prefix was eviction-protected at revocation;
+    /// protection is lifted at re-admission.
+    crash_protected: HashSet<ReqId>,
 
     host_busy_until: SimTime,
     next_tag: u64,
@@ -149,6 +159,9 @@ impl MuxWise {
             decode_inflight: None,
             decode_blocked: false,
             fault_mode: false,
+            down: false,
+            resume_layers: HashMap::new(),
+            crash_protected: HashSet::new(),
             host_busy_until: SimTime::ZERO,
             next_tag: 1,
             next_gen: 1,
@@ -326,7 +339,7 @@ impl MuxWise {
     /// Admits a batch of waiting requests into a new prefill job (or
     /// resumes a preempted one).
     fn try_start_prefill(&mut self, ctx: &mut ServeCtx) {
-        if self.prefill.is_some() {
+        if self.prefill.is_some() || self.down {
             return;
         }
         if let Some(job) = self.preempted.take() {
@@ -382,6 +395,11 @@ impl MuxWise {
             // The lock is taken after the peek; eviction in between can
             // only shrink the match, which is safe (more recompute).
             let reused = lease.matched_tokens();
+            if self.crash_protected.remove(&id) {
+                // Crash victim re-admitted: its prefix is locked by the
+                // lease now, so the advisory protection can come off.
+                table.unprotect_prefix(&blocks);
+            }
             let seq = SeqState::new(spec.input_tokens() - reused, reused);
             lease.absorb_private(seq.new_tokens);
             new_total += seq.new_tokens;
@@ -392,6 +410,20 @@ impl MuxWise {
         if reqs.is_empty() {
             return;
         }
+        // Layer-checkpoint resume: a batch made of crash victims restarts
+        // from the shallowest checkpoint its members share; one fresh
+        // request forces a full restart.
+        let resume = if self.cfg.layer_wise {
+            reqs.iter()
+                .map(|r| self.resume_layers.remove(&r.id).unwrap_or(0))
+                .min()
+                .unwrap_or(0)
+        } else {
+            for r in &reqs {
+                self.resume_layers.remove(&r.id);
+            }
+            0
+        };
         let batch: Vec<SeqState> = reqs.iter().map(|r| r.seq).collect();
         let est_full = self
             .est
@@ -407,7 +439,7 @@ impl MuxWise {
         self.prefill = Some(PrefillJob {
             gen,
             reqs,
-            layers_done: 0,
+            layers_done: resume,
             layers_inflight: 0,
             earliest_arrival: earliest,
             est_full,
@@ -420,6 +452,9 @@ impl MuxWise {
     /// `N_PL = ceil(T_d · N_T / T_P)` so prefill work covers the
     /// concurrent decode iteration (§3.4.2).
     fn launch_prefill_layers(&mut self, ctx: &mut ServeCtx) {
+        if self.down {
+            return;
+        }
         let (group, p_ctx) = match (self.group, self.prefill_ctx) {
             (Some(g), Some(p)) => (g, p),
             _ => return,
@@ -583,7 +618,7 @@ impl MuxWise {
     // ---- decode side ----------------------------------------------------------
 
     fn launch_decode(&mut self, ctx: &mut ServeCtx) {
-        if self.decode_inflight.is_some() || self.decode_blocked {
+        if self.decode_inflight.is_some() || self.decode_blocked || self.down {
             return;
         }
         // Query-based sync: merge finished prefills at the launch
@@ -667,7 +702,7 @@ impl MuxWise {
     /// can still make its (length-scaled) TTFT deadline — and preemption
     /// never nests.
     fn maybe_preempt(&mut self, id: ReqId, ctx: &mut ServeCtx) {
-        if !self.cfg.preemption || self.preempted.is_some() {
+        if !self.cfg.preemption || self.preempted.is_some() || self.down {
             return;
         }
         let Some(job) = &self.prefill else { return };
@@ -838,6 +873,84 @@ impl Scheduler for MuxWise {
             return true;
         }
         false
+    }
+
+    fn on_gpu_lost(
+        &mut self,
+        _gpu: u32,
+        _cancelled: &[u64],
+        ctx: &mut ServeCtx,
+    ) -> Vec<CrashVictim> {
+        // MuxWise runs one lockstep group over every GPU, so any device
+        // death takes the whole engine down: all in-flight kernels were
+        // cancelled by the driver and every running request loses its
+        // device-resident KV.
+        self.down = true;
+        self.tags.clear();
+        self.decode_inflight = None;
+        self.decode_blocked = false;
+        let mut victims = Vec::new();
+        // Prefill victims resume from their last completed layer (the
+        // layer-wise launch IS the checkpoint); their freshly computed
+        // private KV below that layer is lost with the device, so the
+        // lease is released and the prefix protected for re-admission.
+        for job in self.prefill.take().into_iter().chain(self.preempted.take()) {
+            for r in job.reqs {
+                let spec = ctx.request(r.id).clone();
+                let table = self.table.as_mut().expect("table");
+                let blocks = spec.content.blocks(table.block_size());
+                table.release(r.lease);
+                table.protect_prefix(&blocks);
+                self.crash_protected.insert(r.id);
+                if self.cfg.layer_wise && job.layers_done > 0 {
+                    self.resume_layers.insert(r.id, job.layers_done);
+                }
+                self.lifecycle.requeue(r.id);
+                victims.push(CrashVictim {
+                    id: r.id,
+                    class: if self.cfg.layer_wise {
+                        RecoveryClass::ResumeFromLayer(job.layers_done)
+                    } else {
+                        RecoveryClass::ReprefillFull
+                    },
+                    lost_tokens: if self.cfg.layer_wise {
+                        0
+                    } else {
+                        r.seq.new_tokens
+                    },
+                });
+            }
+        }
+        // Decode victims (joined or pending join) must re-prefill their
+        // full accumulated context on re-admission.
+        let mut slots = std::mem::take(&mut self.pending_join);
+        slots.extend(self.decode.drain());
+        for slot in slots {
+            let spec = ctx.request(slot.id).clone();
+            let table = self.table.as_mut().expect("table");
+            let blocks = spec.content.blocks(table.block_size());
+            table.release(slot.lease);
+            table.protect_prefix(&blocks);
+            self.crash_protected.insert(slot.id);
+            self.lifecycle.requeue(slot.id);
+            victims.push(CrashVictim {
+                id: slot.id,
+                class: RecoveryClass::ReprefillFull,
+                lost_tokens: slot.context,
+            });
+        }
+        victims
+    }
+
+    fn on_gpu_recovered(&mut self, _gpu: u32, ctx: &mut ServeCtx) {
+        if let Some(group) = self.group {
+            if ctx.gpu.group_has_dead_gpu(group) {
+                return; // another device of the group is still down
+            }
+        }
+        self.down = false;
+        self.try_start_prefill(ctx);
+        self.launch_decode(ctx);
     }
 }
 

@@ -171,6 +171,12 @@ pub struct GpuSim {
     completed: Vec<(KernelId, u64)>,
     links: Links,
     degrade: DegradeState,
+    /// Fail-stop state per GPU. Deliberately *not* part of
+    /// [`DegradeState`]: degradation is recomputed from scratch at every
+    /// fault boundary ([`GpuSim::clear_degradation`]), while a dead GPU
+    /// stays dead until [`GpuSim::recover_gpu`]. All-false on healthy
+    /// runs, keeping the hot path untouched.
+    dead: Vec<bool>,
 }
 
 /// Minimum meaningful solo duration; protects against zero-work kernels.
@@ -195,6 +201,7 @@ impl GpuSim {
             completed: Vec::new(),
             links: Links::new(nvlink_gbs),
             degrade: DegradeState::healthy(num_gpus),
+            dead: vec![false; num_gpus as usize],
         }
     }
 
@@ -357,6 +364,12 @@ impl GpuSim {
     ) -> KernelId {
         let g = &self.groups[group.0];
         assert!(g.alive, "group destroyed");
+        if self.dead.iter().any(|&d| d) {
+            assert!(
+                g.gpus.iter().all(|&gpu| !self.dead[gpu as usize]),
+                "submitting to a group with a failed GPU"
+            );
+        }
         let c = &g.ctxs[ctx.0];
         assert!(c.alive, "context removed");
         let (solo_secs, bw_demand, comp_frac) = self.solo_profile(c.sms, &work);
@@ -740,6 +753,57 @@ impl GpuSim {
     pub fn clear_degradation(&mut self) {
         self.degrade = DegradeState::healthy(self.num_gpus);
         self.links.clear_bw_factors();
+    }
+
+    /// Kills a GPU outright (fail-stop). Every kernel on every live
+    /// group containing the GPU — queued *and* running; a crash does not
+    /// wait for the non-preemptive head — is cancelled and its `(id,
+    /// tag)` returned in deterministic (group, context, queue) order.
+    /// Queues are left empty, so the affected groups and contexts remain
+    /// legal to resize, remove, or destroy. Further submissions to those
+    /// groups panic until [`GpuSim::recover_gpu`].
+    ///
+    /// In-flight link transfers are *not* cancelled (DMA engines drain
+    /// independently); callers must discard orphaned transfer tags.
+    pub fn fail_gpu(&mut self, gpu: u32) -> Vec<(KernelId, u64)> {
+        assert!(gpu < self.num_gpus, "GPU index out of range");
+        self.dead[gpu as usize] = true;
+        let mut cancelled = Vec::new();
+        for g in &mut self.groups {
+            if !g.alive || !g.gpus.contains(&gpu) {
+                continue;
+            }
+            for c in g.ctxs.iter_mut().filter(|c| c.alive) {
+                while let Some(kid) = c.queue.pop_front() {
+                    let k = &mut self.kernels[kid.0];
+                    k.state = KernelState::Cancelled;
+                    cancelled.push((kid, k.tag));
+                }
+            }
+        }
+        cancelled
+    }
+
+    /// Brings a failed GPU back online. Groups containing it accept
+    /// submissions again; the caller decides what work to relaunch.
+    pub fn recover_gpu(&mut self, gpu: u32) {
+        assert!(gpu < self.num_gpus, "GPU index out of range");
+        self.dead[gpu as usize] = false;
+    }
+
+    /// Whether a GPU is currently failed.
+    pub fn gpu_is_dead(&self, gpu: u32) -> bool {
+        self.dead.get(gpu as usize).copied().unwrap_or(false)
+    }
+
+    /// Whether any GPU of a group is currently failed (the lockstep
+    /// group cannot run).
+    pub fn group_has_dead_gpu(&self, group: GroupId) -> bool {
+        self.dead.iter().any(|&d| d)
+            && self.groups[group.0]
+                .gpus
+                .iter()
+                .any(|&g| self.dead[g as usize])
     }
 
     /// The slowdown factors a group currently suffers, as
@@ -1186,6 +1250,77 @@ mod tests {
         // Small demander is fully satisfied; big ones split the rest.
         assert!((g[2] - 1.0).abs() < 1e-9);
         assert!((g[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fail_gpu_cancels_running_and_queued_work() {
+        let mut s = sim();
+        let g = s.create_group(vec![0, 1]);
+        let c = s.set_context(g, 108);
+        let w = WorkItem::new(KernelKind::Prefill, 31.2e12, 0.0, 0.0);
+        s.submit(g, c, w, SimTime::ZERO, 1);
+        s.submit(g, c, w, SimTime::ZERO, 2);
+        // Let the head start running — a crash must kill it anyway.
+        s.advance_to(SimTime::from_secs(0.05));
+        let cancelled = s.fail_gpu(1);
+        assert_eq!(
+            cancelled.iter().map(|&(_, t)| t).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert!(s.is_idle(g, c));
+        assert!(s.gpu_is_dead(1));
+        assert!(s.group_has_dead_gpu(g));
+        // Nothing completes afterwards; the sim goes idle.
+        assert!(s.next_event_time().is_none());
+        assert!(s.drain_completed().is_empty());
+        // The emptied group is legal to destroy.
+        s.remove_context(g, c);
+        s.destroy_group(g);
+    }
+
+    #[test]
+    fn fail_gpu_spares_disjoint_groups() {
+        let mut s = sim();
+        let g1 = s.create_group(vec![0, 1, 2, 3]);
+        let g2 = s.create_group(vec![4, 5, 6, 7]);
+        let c1 = s.set_context(g1, 108);
+        let c2 = s.set_context(g2, 108);
+        let w = WorkItem::new(KernelKind::Prefill, 31.2e12, 0.0, 0.0);
+        s.submit(g1, c1, w, SimTime::ZERO, 1);
+        s.submit(g2, c2, w, SimTime::ZERO, 2);
+        let cancelled = s.fail_gpu(0);
+        assert_eq!(cancelled.len(), 1);
+        assert!(!s.group_has_dead_gpu(g2));
+        // The survivor still completes its kernel.
+        let t = run_until_done(&mut s);
+        assert!(t.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn submit_to_failed_group_panics_until_recovery() {
+        let mut s = sim();
+        let g = s.create_group(vec![0]);
+        let c = s.set_context(g, 108);
+        s.fail_gpu(0);
+        let w = WorkItem::new(KernelKind::Decode, 0.0, 0.0, 0.010);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.submit(g, c, w, SimTime::ZERO, 1);
+        }));
+        assert!(r.is_err());
+        s.recover_gpu(0);
+        assert!(!s.gpu_is_dead(0));
+        s.submit(g, c, w, SimTime::ZERO, 2);
+        let t = run_until_done(&mut s);
+        assert!(t.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn clear_degradation_does_not_resurrect_dead_gpus() {
+        let mut s = sim();
+        s.fail_gpu(3);
+        s.apply_degradation(&HwDegradation::KernelSlowdown { mult: 2.0 });
+        s.clear_degradation();
+        assert!(s.gpu_is_dead(3), "fail-stop must survive boundary resets");
     }
 
     #[test]

@@ -232,6 +232,31 @@ impl KvPool {
         }
     }
 
+    /// Marks the cached prefix of `blocks` eviction-protected: protected
+    /// entries are evicted only when no unprotected victim exists, so
+    /// LRU pressure (including [`KvPool::set_capacity_tokens`] shrinks)
+    /// prefers an alternative victim. Advisory — protection never makes
+    /// an allocation fail that would otherwise succeed. Used by crash
+    /// failover to keep a revoked request's prefix warm until it is
+    /// re-admitted on a survivor; with no protected entries, eviction
+    /// order is bit-identical to plain LRU.
+    pub fn protect_prefix(&mut self, blocks: &[Block]) {
+        let (path, _) = self.tree.walk(blocks);
+        for id in path {
+            self.tree.set_protected(id, true);
+        }
+    }
+
+    /// Clears the protection set by [`KvPool::protect_prefix`] on the
+    /// cached prefix of `blocks` (idempotent; already-evicted entries
+    /// are simply absent).
+    pub fn unprotect_prefix(&mut self, blocks: &[Block]) {
+        let (path, _) = self.tree.walk(blocks);
+        for id in path {
+            self.tree.set_protected(id, false);
+        }
+    }
+
     /// Number of shared tokens resident (for capacity telemetry).
     pub fn shared_tokens(&self) -> u64 {
         self.shared_tokens
@@ -394,6 +419,30 @@ mod tests {
         p.set_capacity_tokens(256, t(4.0));
         assert!(p.try_alloc_private(64, t(4.0)));
         p.unlock(&lock);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn capacity_shrink_spares_protected_prefix_when_alternative_exists() {
+        // Regression: a decode victim's (released, unlocked) prefix used
+        // to be the LRU entry after bulk revocation, so a capacity
+        // shrink would evict exactly the state its re-admission needs.
+        // Protection must redirect the eviction to the newer,
+        // unprotected stream 2 — and plain LRU would have picked
+        // stream 1, so the test fails without the protected tier.
+        let mut p = KvPool::new(128, 64);
+        let victim = Block::sequence(1, 64, 64);
+        p.insert(&victim, t(0.0));
+        p.insert(&Block::sequence(2, 64, 64), t(1.0));
+        p.protect_prefix(&victim);
+        p.set_capacity_tokens(64, t(2.0));
+        assert_eq!(p.peek_prefix(&victim), 64, "protected prefix evicted");
+        assert_eq!(p.peek_prefix(&Block::sequence(2, 64, 64)), 0);
+        // With no unprotected alternative left, protection yields: the
+        // next shrink may evict the protected entry rather than stall.
+        p.set_capacity_tokens(0, t(3.0));
+        assert_eq!(p.peek_prefix(&victim), 0);
+        p.unprotect_prefix(&victim); // no-op on evicted entries
         p.check_invariants();
     }
 

@@ -93,16 +93,24 @@ pub(crate) struct Node {
     pub refs: u32,
     pub last_access: SimTime,
     pub alive: bool,
+    /// Advisory eviction protection: a protected node is evicted only
+    /// when no unprotected victim exists. Used by crash failover to keep
+    /// revoked requests' prefixes warm until re-admission.
+    pub protected: bool,
 }
 
 /// The tree: a slab of nodes with node 0 as the sentinel root, plus an
 /// LRU-ordered index of evictable leaves (alive, unreferenced, childless)
-/// so eviction is O(log n) instead of a full scan.
+/// so eviction is O(log n) instead of a full scan. The index key leads
+/// with the protection flag (`false < true`), so protected leaves sort
+/// after every unprotected one and are only chosen when nothing else is
+/// left — with no protected nodes the order is plain LRU, bit-identical
+/// to the unprotected-only tree.
 #[derive(Debug)]
 pub(crate) struct RadixTree {
     nodes: Vec<Node>,
     free: Vec<NodeId>,
-    evictable: std::collections::BTreeSet<(SimTime, NodeId)>,
+    evictable: std::collections::BTreeSet<(bool, SimTime, NodeId)>,
 }
 
 pub(crate) const ROOT: NodeId = 0;
@@ -118,6 +126,7 @@ impl RadixTree {
                 refs: 1, // the root is never evictable
                 last_access: SimTime::ZERO,
                 alive: true,
+                protected: false,
             }],
             free: Vec::new(),
             evictable: std::collections::BTreeSet::new(),
@@ -138,11 +147,26 @@ impl RadixTree {
 
     /// Re-derives the node's membership in the evictable index after a
     /// state change; `old_access` is its access time before the change.
+    /// Both access times are removed under both protection flags, so the
+    /// caller may have flipped `protected` as part of the change.
     fn reindex(&mut self, id: NodeId, old_access: SimTime) {
-        self.evictable.remove(&(old_access, id));
-        self.evictable.remove(&(self.nodes[id].last_access, id));
+        let new_access = self.nodes[id].last_access;
+        for p in [false, true] {
+            self.evictable.remove(&(p, old_access, id));
+            self.evictable.remove(&(p, new_access, id));
+        }
         if self.is_evictable(id) {
-            self.evictable.insert((self.nodes[id].last_access, id));
+            self.evictable
+                .insert((self.nodes[id].protected, new_access, id));
+        }
+    }
+
+    /// Sets a node's advisory eviction protection.
+    pub fn set_protected(&mut self, id: NodeId, protected: bool) {
+        if self.nodes[id].protected != protected {
+            self.nodes[id].protected = protected;
+            let access = self.nodes[id].last_access;
+            self.reindex(id, access);
         }
     }
 
@@ -204,6 +228,7 @@ impl RadixTree {
                         refs: 0,
                         last_access: now,
                         alive: true,
+                        protected: false,
                     });
                     self.nodes[cur].children.insert(b.key, id);
                     // `cur` just gained a child: it is no longer a leaf.
@@ -244,9 +269,13 @@ impl RadixTree {
         debug_assert!(self.nodes[id].children.is_empty(), "evicting an inner node");
         let parent = self.nodes[id].parent;
         let key = self.nodes[id].key;
-        self.evictable.remove(&(self.nodes[id].last_access, id));
+        let access = self.nodes[id].last_access;
+        for p in [false, true] {
+            self.evictable.remove(&(p, access, id));
+        }
         self.nodes[parent].children.remove(&key);
         self.nodes[id].alive = false;
+        self.nodes[id].protected = false;
         self.free.push(id);
         if parent != ROOT {
             // The parent may have just become an evictable leaf.
@@ -256,15 +285,18 @@ impl RadixTree {
         self.nodes[id].tokens
     }
 
-    /// The least-recently-used evictable leaf, if any (O(log n)).
+    /// The preferred eviction victim, if any (O(log n)): the LRU
+    /// unprotected leaf, falling back to the LRU protected leaf only
+    /// when every evictable leaf is protected.
     pub fn lru_evictable(&self) -> Option<NodeId> {
-        self.evictable.iter().next().map(|&(_, id)| id)
+        self.evictable.iter().next().map(|&(_, _, id)| id)
     }
 
-    /// All evictable leaves (alive, zero refs, no children), LRU-first.
+    /// All evictable leaves (alive, zero refs, no children),
+    /// unprotected-LRU-first.
     #[cfg(test)]
     pub fn evictable_leaves(&self) -> Vec<NodeId> {
-        self.evictable.iter().map(|&(_, id)| id).collect()
+        self.evictable.iter().map(|&(_, _, id)| id).collect()
     }
 
     /// Total tokens stored in live non-root nodes.
@@ -339,6 +371,26 @@ mod tests {
         assert_eq!(t.total_tokens(), 64);
         // Parent becomes a leaf.
         assert_eq!(t.evictable_leaves(), vec![path[0]]);
+    }
+
+    #[test]
+    fn protected_leaves_are_evicted_last() {
+        let mut t = RadixTree::new();
+        // Two independent single-block chains: `a` is older (would be
+        // the LRU victim), `b` newer.
+        let (pa, _) = t.insert_path(&Block::sequence(1, 64, 64), SimTime::ZERO);
+        let (pb, _) = t.insert_path(&Block::sequence(2, 64, 64), SimTime::from_secs(1.0));
+        t.set_protected(pa[0], true);
+        // With an unprotected alternative, protection redirects eviction.
+        assert_eq!(t.lru_evictable(), Some(pb[0]));
+        assert_eq!(t.evictable_leaves(), vec![pb[0], pa[0]]);
+        // Once the alternative is gone, the protected leaf is still
+        // evictable (protection is advisory, not a pin).
+        t.remove_leaf(pb[0]);
+        assert_eq!(t.lru_evictable(), Some(pa[0]));
+        // Unprotecting restores plain LRU order.
+        t.set_protected(pa[0], false);
+        assert_eq!(t.lru_evictable(), Some(pa[0]));
     }
 
     #[test]

@@ -96,6 +96,13 @@ impl DecodeBatch {
         victims
     }
 
+    /// Removes and returns every slot (oldest first), leaving the batch
+    /// empty. Used by crash failover: the engine releases each victim's
+    /// lease and hands the ids to the recovery manager.
+    pub fn drain(&mut self) -> Vec<DecodeSlot> {
+        std::mem::take(&mut self.slots)
+    }
+
     /// Advances the batch after one decode iteration: every slot emits
     /// one token and its context grows by one. Slots that have emitted
     /// their last token are removed and returned (oldest first) for the

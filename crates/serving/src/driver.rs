@@ -15,15 +15,19 @@ use crate::faults::{FaultKind, FaultPlan};
 use crate::lease::LeaseTable;
 use crate::lifecycle::EngineCounters;
 use crate::metrics::{MetricsRecorder, Report};
+use crate::recovery::{CrashVictim, RecoveryManager};
 use crate::request::{ReqId, SloSpec};
 
 /// Events delivered to the scheduler (`FaultBoundary` is internal: the
-/// driver re-evaluates active fault windows there and never forwards it).
+/// driver re-evaluates active fault windows there and never forwards it;
+/// `Requeue` is the recovery manager's scheduled re-injection of a crash
+/// victim).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     Arrival(ReqId),
     Timer(u64),
     FaultBoundary,
+    Requeue(ReqId),
 }
 
 // The parallel sweep runner moves drivers into worker threads and sends
@@ -154,6 +158,28 @@ pub trait Scheduler: Send {
     fn on_shed(&mut self, _id: ReqId, _ctx: &mut ServeCtx) -> bool {
         false
     }
+    /// A GPU fail-stopped. The driver has already killed the device in
+    /// the simulator ([`GpuSim::fail_gpu`](gpusim::GpuSim::fail_gpu));
+    /// `cancelled` holds the tags of every kernel (running or queued)
+    /// that died with it. The scheduler must revoke all state homed on
+    /// the device — release the victims' KV leases, move them back to
+    /// `Queued`, clear tag maps — and report each revoked request as a
+    /// [`CrashVictim`]. The driver re-injects victims via
+    /// [`Scheduler::on_arrival`] after a backoff; do NOT re-enqueue them
+    /// locally. The default (for crash-unaware schedulers) reports no
+    /// victims.
+    fn on_gpu_lost(
+        &mut self,
+        _gpu: u32,
+        _cancelled: &[u64],
+        _ctx: &mut ServeCtx,
+    ) -> Vec<CrashVictim> {
+        Vec::new()
+    }
+    /// A previously failed GPU came back (finite `down_for` elapsed).
+    /// The simulator accepts work for it again; the scheduler should
+    /// resume launching.
+    fn on_gpu_recovered(&mut self, _gpu: u32, _ctx: &mut ServeCtx) {}
 }
 
 /// Overload-protection knobs for the driver's per-tick watchdog.
@@ -286,6 +312,11 @@ impl Driver {
         let mut fault_retries: u64 = 0;
         let mut severe_fault = false;
         let mut orig_capacities: Option<Vec<u64>> = None;
+        // Crash failover state, engaged only when the plan schedules a
+        // fail-stop (strict no-op on crash-free runs).
+        let has_crashes = self.faults.has_fail_stop();
+        let mut prev_dead = vec![false; self.ctx.gpu.num_gpus() as usize];
+        let mut recovery = RecoveryManager::new();
 
         loop {
             let t_queue = self.ctx.queue.peek_time();
@@ -348,8 +379,38 @@ impl Driver {
                         scheduler.on_arrival(id, &mut self.ctx);
                     }
                     Event::Timer(tag) => scheduler.on_timer(tag, &mut self.ctx),
-                    Event::FaultBoundary => {
-                        self.apply_active_faults(scheduler, &mut orig_capacities, &mut severe_fault)
+                    Event::FaultBoundary => self.apply_active_faults(
+                        scheduler,
+                        &mut orig_capacities,
+                        &mut severe_fault,
+                        &mut prev_dead,
+                        &mut recovery,
+                    ),
+                    Event::Requeue(id) => {
+                        // A crash victim's scheduled re-injection. Skip
+                        // if the victim resolved some other way in the
+                        // meantime (finished, watchdog-shed, superseded
+                        // by a later crash's retry).
+                        if !recovery.is_pending(id)
+                            || self.ctx.metrics.is_finished(id)
+                            || self.ctx.metrics.is_shed(id)
+                        {
+                            continue;
+                        }
+                        let cfg = self.watchdog.unwrap_or_default();
+                        // TTFT-deadline-aware give-up: a victim that has
+                        // produced nothing and can no longer meet its
+                        // deadline is shed, not silently retried forever.
+                        let deadline = self.ctx.requests[id].arrival + cfg.ttft_deadline;
+                        let deadline_lost =
+                            self.ctx.metrics.tokens_emitted(id) == 0 && self.ctx.now >= deadline;
+                        if deadline_lost || recovery.attempts(id) > cfg.retry_budget {
+                            recovery.on_gave_up(id);
+                            self.ctx.metrics.mark_shed(id);
+                            continue;
+                        }
+                        recovery.on_reinjected(id, self.ctx.now);
+                        scheduler.on_arrival(id, &mut self.ctx);
                     }
                 }
             }
@@ -423,6 +484,11 @@ impl Driver {
         }
         counters.shed += report.shed as u64;
         counters.fault_retries += fault_retries;
+        if has_crashes {
+            let metrics = &self.ctx.metrics;
+            recovery.finalize(|id| metrics.is_finished(id));
+            report.recovery = recovery.stats;
+        }
         // Recovery time: how long after the last fault window closed the
         // system kept violating the TBT SLO (0 = immediate recovery).
         if let Some(fault_end) = self.faults.last_end() {
@@ -437,13 +503,16 @@ impl Driver {
     }
 
     /// Re-evaluates the fault schedule at a window boundary: rebuilds the
-    /// GPU degradation state from every active window, shrinks/restores
-    /// the scheduler's KV pools, and notifies the scheduler.
+    /// GPU degradation state from every active window, kills / revives
+    /// fail-stopped devices, shrinks/restores the scheduler's KV pools,
+    /// and notifies the scheduler.
     fn apply_active_faults(
         &mut self,
         scheduler: &mut dyn Scheduler,
         orig_capacities: &mut Option<Vec<u64>>,
         severe_fault: &mut bool,
+        prev_dead: &mut [bool],
+        recovery: &mut RecoveryManager,
     ) {
         let active = self.faults.active_at(self.ctx.now);
         // Degradation is recomputed from scratch at every boundary:
@@ -482,6 +551,44 @@ impl Driver {
                         .gpu
                         .apply_degradation(&HwDegradation::KernelSlowdown { mult });
                 }
+                // Fail-stop is not a degradation: the device is killed /
+                // revived on the window edge below, outside the
+                // clear-and-rebuild cycle.
+                FaultKind::GpuFailStop { .. } | FaultKind::GpuFailStopPermanent { .. } => {
+                    *severe_fault = true;
+                }
+            }
+        }
+        // Fail-stop edges: compare the plan's dead set at this instant
+        // against the previous boundary's. A 0→1 edge kills the device
+        // and revokes everything the scheduler homed on it; a 1→0 edge
+        // revives it.
+        if self.faults.has_fail_stop() {
+            let cfg = self.watchdog.unwrap_or_default();
+            let dead = self
+                .faults
+                .dead_gpus_at(self.ctx.now, self.ctx.gpu.num_gpus());
+            for g in 0..prev_dead.len() {
+                let gpu = g as u32;
+                if dead[g] && !prev_dead[g] {
+                    let cancelled: Vec<u64> = self
+                        .ctx
+                        .gpu
+                        .fail_gpu(gpu)
+                        .into_iter()
+                        .map(|(_, tag)| tag)
+                        .collect();
+                    let victims = scheduler.on_gpu_lost(gpu, &cancelled, &mut self.ctx);
+                    let now = self.ctx.now;
+                    for v in victims {
+                        let at = recovery.on_victim(&v, now, cfg.retry_backoff);
+                        self.ctx.queue.push(at, Event::Requeue(v.id));
+                    }
+                } else if !dead[g] && prev_dead[g] {
+                    self.ctx.gpu.recover_gpu(gpu);
+                    scheduler.on_gpu_recovered(gpu, &mut self.ctx);
+                }
+                prev_dead[g] = dead[g];
             }
         }
         let now = self.ctx.now;

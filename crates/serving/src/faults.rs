@@ -68,6 +68,36 @@ pub enum FaultKind {
         /// How long the spike lasts (also the window length).
         duration: SimDuration,
     },
+    /// A GPU dies outright (fail-stop): all its queued and running work
+    /// is cancelled, its KV state is lost, and the device comes back
+    /// only when the window closes. Unlike the degradations above this
+    /// is not recoverable-in-place — victims must be re-materialized on
+    /// a survivor (see `serving::recovery`).
+    GpuFailStop {
+        /// The GPU that dies.
+        gpu: u32,
+        /// How long the device stays down (also the window length).
+        down_for: SimDuration,
+    },
+    /// A GPU dies and never comes back (XID-79-style fell-off-the-bus).
+    /// The window end is a formality — schedule it past the horizon.
+    GpuFailStopPermanent {
+        /// The GPU that dies.
+        gpu: u32,
+    },
+}
+
+impl FaultKind {
+    /// Whether this fault kills a device outright (either fail-stop
+    /// variant), returning the victim GPU.
+    pub fn fail_stop_gpu(&self) -> Option<u32> {
+        match *self {
+            FaultKind::GpuFailStop { gpu, .. } | FaultKind::GpuFailStopPermanent { gpu } => {
+                Some(gpu)
+            }
+            _ => None,
+        }
+    }
 }
 
 /// A fault active over `[start, end)`.
@@ -91,6 +121,11 @@ pub struct FaultPlan {
 /// Domain-separation constant mixed into the seed so fault draws never
 /// correlate with workload generation from the same seed.
 const FAULT_SEED_SALT: u64 = 0xFA17_AB1E_0BAD_CAFE;
+
+/// Separate salt for the fail-stop crash draws: [`FaultPlan::generate`]'s
+/// degradation sequence must stay byte-identical whether or not crashes
+/// are layered on top, so crashes come from an independent stream.
+const CRASH_SEED_SALT: u64 = 0xDEAD_0FA1_7C4A_5555;
 
 impl FaultPlan {
     /// The empty plan: no faults, strict no-op in the driver.
@@ -159,6 +194,78 @@ impl FaultPlan {
         }
         windows.sort_by(|a, b| a.start.cmp(&b.start).then(a.end.cmp(&b.end)));
         FaultPlan { windows }
+    }
+
+    /// A single fail-stop crash window: `gpu` dies at `start` and
+    /// recovers at `start + down_for` (handy for tests and smoke grids).
+    pub fn crash(gpu: u32, start: SimTime, down_for: SimDuration) -> FaultPlan {
+        FaultPlan::single(
+            FaultKind::GpuFailStop { gpu, down_for },
+            start,
+            start + down_for,
+        )
+    }
+
+    /// Like [`FaultPlan::generate`] but layers seeded fail-stop crash
+    /// windows on top of the degradation schedule. The degradation
+    /// windows are **byte-identical** to `generate`'s (the crash draws
+    /// come from an independently salted stream), so existing sweeps
+    /// keep their schedules and only gain crashes.
+    ///
+    /// The crash count scales with `intensity` (0 below ~0.25, up to two
+    /// crashes at 1.0); each crash takes a uniformly drawn GPU down for
+    /// 5–15 % of the span.
+    pub fn generate_with_crashes(
+        seed: u64,
+        intensity: f64,
+        span_secs: f64,
+        num_gpus: u32,
+    ) -> FaultPlan {
+        let mut plan = FaultPlan::generate(seed, intensity, span_secs, num_gpus);
+        let intensity = intensity.clamp(0.0, 1.0);
+        if intensity == 0.0 || span_secs <= 0.0 {
+            return plan;
+        }
+        let mut rng = SimRng::seed_from(seed ^ CRASH_SEED_SALT);
+        let crashes = (intensity * 2.0 + 0.5).floor() as usize;
+        for _ in 0..crashes {
+            let gpu = rng.next_range(u64::from(num_gpus.max(1))) as u32;
+            let start_s = rng.uniform(0.10, 0.55) * span_secs;
+            let down_s = rng.uniform(0.05, 0.15) * span_secs;
+            let down_for = SimDuration::from_secs(down_s);
+            let start = SimTime::from_secs(start_s);
+            plan.windows.push(FaultWindow {
+                start,
+                end: start + down_for,
+                kind: FaultKind::GpuFailStop { gpu, down_for },
+            });
+        }
+        plan.windows
+            .sort_by(|a, b| a.start.cmp(&b.start).then(a.end.cmp(&b.end)));
+        plan
+    }
+
+    /// Whether the plan schedules any fail-stop crash.
+    pub fn has_fail_stop(&self) -> bool {
+        self.windows
+            .iter()
+            .any(|w| w.kind.fail_stop_gpu().is_some())
+    }
+
+    /// The GPUs dead at instant `t` (fail-stop windows covering `t`;
+    /// permanent crashes never end within their window by construction).
+    pub fn dead_gpus_at(&self, t: SimTime, num_gpus: u32) -> Vec<bool> {
+        let mut dead = vec![false; num_gpus as usize];
+        for w in &self.windows {
+            if w.start <= t && t < w.end {
+                if let Some(g) = w.kind.fail_stop_gpu() {
+                    if let Some(d) = dead.get_mut(g as usize) {
+                        *d = true;
+                    }
+                }
+            }
+        }
+        dead
     }
 
     /// All window boundary instants (starts and ends), sorted and
@@ -244,5 +351,53 @@ mod tests {
         let a = FaultPlan::generate(1, 0.8, 100.0, 8);
         let b = FaultPlan::generate(2, 0.8, 100.0, 8);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn crash_generation_leaves_degradation_schedule_untouched() {
+        // The crash draws come from a separate salt: stripping the
+        // fail-stop windows must recover `generate`'s plan exactly.
+        let base = FaultPlan::generate(42, 0.9, 120.0, 8);
+        let with = FaultPlan::generate_with_crashes(42, 0.9, 120.0, 8);
+        assert!(with.has_fail_stop());
+        assert!(!base.has_fail_stop());
+        let stripped: Vec<FaultWindow> = with
+            .windows
+            .iter()
+            .filter(|w| w.kind.fail_stop_gpu().is_none())
+            .copied()
+            .collect();
+        let mut want = base.windows.clone();
+        want.sort_by(|a, b| a.start.cmp(&b.start).then(a.end.cmp(&b.end)));
+        assert_eq!(stripped, want);
+        // And the whole thing is deterministic.
+        assert_eq!(with, FaultPlan::generate_with_crashes(42, 0.9, 120.0, 8));
+    }
+
+    #[test]
+    fn zero_intensity_schedules_no_crashes() {
+        assert!(FaultPlan::generate_with_crashes(7, 0.0, 100.0, 8).is_empty());
+    }
+
+    #[test]
+    fn crash_plan_and_dead_gpu_query() {
+        let plan = FaultPlan::crash(3, SimTime::from_secs(2.0), SimDuration::from_secs(4.0));
+        assert!(plan.has_fail_stop());
+        assert_eq!(plan.last_end(), Some(SimTime::from_secs(6.0)));
+        let dead = plan.dead_gpus_at(SimTime::from_secs(3.0), 8);
+        assert_eq!(dead.iter().filter(|&&d| d).count(), 1);
+        assert!(dead[3]);
+        assert!(!plan.dead_gpus_at(SimTime::from_secs(6.0), 8)[3]);
+        assert_eq!(
+            plan.windows[0].kind.fail_stop_gpu(),
+            Some(3),
+            "fail_stop_gpu extracts the victim"
+        );
+        let perm = FaultPlan::single(
+            FaultKind::GpuFailStopPermanent { gpu: 1 },
+            SimTime::from_secs(1.0),
+            SimTime::from_secs(1e6),
+        );
+        assert!(perm.dead_gpus_at(SimTime::from_secs(500.0), 8)[1]);
     }
 }

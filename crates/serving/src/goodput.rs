@@ -104,6 +104,50 @@ pub fn assemble_goodput(points: Vec<GoodputPoint>, tbt_slo_secs: f64) -> Goodput
     finalize(kept, tbt_slo_secs)
 }
 
+/// A goodput knee measured twice: on healthy hardware and at a fixed
+/// fault intensity (ROADMAP "fault-aware goodput search").
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultyGoodput {
+    /// The sweep with no faults injected.
+    pub healthy: GoodputResult,
+    /// The sweep with every run under `intensity` faults.
+    pub faulty: GoodputResult,
+    /// Fault intensity in `[0, 1]` the faulty sweep ran at.
+    pub intensity: f64,
+}
+
+impl FaultyGoodput {
+    /// Absolute goodput lost to the faults (requests/second; ≥ 0 when
+    /// the fault model only removes capacity).
+    pub fn rate_lost(&self) -> f64 {
+        self.healthy.goodput_rate - self.faulty.goodput_rate
+    }
+}
+
+/// Runs [`find_goodput`] twice — once healthy, once at `intensity` —
+/// over the same rate grid. `run_at(rate, intensity)` must run the
+/// system at `rate` under a fault plan of the given intensity
+/// (`0.0` = [`crate::FaultPlan::none`]-equivalent). The faulty knee is
+/// expected at or below the healthy one whenever faults remove capacity.
+///
+/// # Panics
+///
+/// Panics if `rates` is empty or not strictly increasing.
+pub fn find_goodput_faulty(
+    rates: &[f64],
+    tbt_slo_secs: f64,
+    intensity: f64,
+    mut run_at: impl FnMut(f64, f64) -> Report,
+) -> FaultyGoodput {
+    let healthy = find_goodput(rates, tbt_slo_secs, |r| run_at(r, 0.0));
+    let faulty = find_goodput(rates, tbt_slo_secs, |r| run_at(r, intensity));
+    FaultyGoodput {
+        healthy,
+        faulty,
+        intensity,
+    }
+}
+
 fn assert_ascending(rates: &[f64]) {
     assert!(!rates.is_empty(), "empty rate sweep");
     assert!(
@@ -171,6 +215,22 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn rejects_unsorted_rates() {
         find_goodput(&[2.0, 1.0], 0.1, fake_report);
+    }
+
+    #[test]
+    fn faulty_knee_at_or_below_healthy() {
+        // Faults raise TBT: model intensity as an extra per-token delay,
+        // so the faulty sweep's knee lands strictly below the healthy
+        // one.
+        let rates = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0];
+        let res = find_goodput_faulty(&rates, 0.100, 0.5, |rate, intensity| {
+            fake_report(rate + 4.0 * intensity)
+        });
+        assert_eq!(res.healthy.goodput_rate, 8.0);
+        assert_eq!(res.faulty.goodput_rate, 6.0);
+        assert!(res.faulty.goodput_rate <= res.healthy.goodput_rate);
+        assert!((res.rate_lost() - 2.0).abs() < 1e-12);
+        assert_eq!(res.intensity, 0.5);
     }
 
     #[test]

@@ -132,6 +132,22 @@ impl LeaseTable {
         self.pool.insert(blocks, now)
     }
 
+    /// Marks the cached prefix of `blocks` eviction-protected (see
+    /// [`KvPool::protect_prefix`]): LRU pressure — including capacity
+    /// shrinks — takes an unprotected victim first. Crash failover uses
+    /// this on revoked requests' prefixes so a [`LeaseTable::set_capacity`]
+    /// shrink between revocation and re-admission does not evict exactly
+    /// the state the re-prefill needs.
+    pub fn protect_prefix(&mut self, blocks: &[Block]) {
+        self.pool.protect_prefix(blocks);
+    }
+
+    /// Clears protection set by [`LeaseTable::protect_prefix`]
+    /// (idempotent; evicted entries are simply absent).
+    pub fn unprotect_prefix(&mut self, blocks: &[Block]) {
+        self.pool.unprotect_prefix(blocks);
+    }
+
     /// Locks the longest cached prefix of `blocks` and opens a lease for
     /// it (hit statistics recorded). The lease starts with zero private
     /// tokens; attribute the request's working allocation with
@@ -301,6 +317,29 @@ mod tests {
         let lease = table.lease_private(raw);
         table.release(lease);
         assert_eq!(table.pool().private_tokens(), 0);
+    }
+
+    #[test]
+    fn shrink_prefers_unprotected_victim_over_decode_victims_prefix() {
+        // Regression (ISSUE 4 satellite): after a crash bulk-revokes a
+        // decode batch, the victims' prefixes are unlocked and LRU-cold;
+        // a concurrent KvShrink used to evict them first, forcing a full
+        // re-prefill on re-admission. Protection must redirect the
+        // shrink to the unprotected alternative.
+        let mut table = LeaseTable::new(128, 64);
+        let victim = Block::sequence(1, 64, 64);
+        table.insert(&victim, t(0.0));
+        table.insert(&Block::sequence(2, 64, 64), t(1.0));
+        table.protect_prefix(&victim);
+        table.set_capacity(64, t(2.0));
+        assert_eq!(table.peek_prefix(&victim), 64);
+        assert_eq!(table.peek_prefix(&Block::sequence(2, 64, 64)), 0);
+        // Re-admission: lease the protected prefix, then unprotect.
+        let lease = table.lease_prefix(&victim, t(3.0));
+        table.unprotect_prefix(&victim);
+        assert_eq!(lease.matched_tokens(), 64);
+        table.release(lease);
+        table.pool().check_invariants();
     }
 
     #[test]

@@ -48,14 +48,18 @@ pub mod goodput;
 pub mod lease;
 pub mod lifecycle;
 pub mod metrics;
+pub mod recovery;
 pub mod request;
 
 pub use batch::{DecodeBatch, DecodeSlot};
 pub use capacity::kv_pool_capacity_tokens;
 pub use driver::{Driver, Scheduler, ServeCtx, WatchdogConfig};
 pub use faults::{FaultKind, FaultPlan, FaultWindow};
-pub use goodput::{assemble_goodput, find_goodput, GoodputPoint, GoodputResult};
+pub use goodput::{
+    assemble_goodput, find_goodput, find_goodput_faulty, FaultyGoodput, GoodputPoint, GoodputResult,
+};
 pub use lease::{KvLease, LeaseTable};
 pub use lifecycle::{EngineCounters, IllegalTransition, Lifecycle, Stage};
-pub use metrics::{MetricsRecorder, Report};
+pub use metrics::{MetricsRecorder, RecoveryStats, Report};
+pub use recovery::{CrashVictim, RecoveryClass, RecoveryManager};
 pub use request::{ReqId, SloSpec};

@@ -154,6 +154,7 @@ impl MetricsRecorder {
             bubble_ratio: 0.0,
             diverged: false,
             recovery_secs: None,
+            recovery: RecoveryStats::default(),
             counters: EngineCounters::default(),
         }
     }
@@ -177,6 +178,28 @@ impl MetricsRecorder {
         rep.ttft_per_token = per_token;
         rep
     }
+}
+
+/// Crash-failover outcomes of one run, filled by the driver's recovery
+/// manager (`serving::recovery`). All-zero — and `PartialEq`-identical
+/// to a pre-crash-support report — when no GPU fail-stop occurred.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Crash victims whose work was revoked by a GPU fail-stop.
+    pub crash_victims: u64,
+    /// Victims re-dispatched to a survivor that went on to finish.
+    pub recovered: u64,
+    /// Victims given up on (retry budget exhausted or TTFT deadline
+    /// unmeetable) and shed — never silently dropped.
+    pub shed_on_crash: u64,
+    /// Tokens of already-computed context burned and re-prefilled on a
+    /// survivor (zero for layer-checkpoint resumes; charged against
+    /// goodput because the re-computation occupies SMs that would
+    /// otherwise serve fresh work).
+    pub reprefill_tokens: u64,
+    /// Failover latency samples: crash instant → the victim's successful
+    /// re-dispatch, seconds.
+    pub failover: Summary,
 }
 
 /// Aggregated latency/throughput results of one serving run.
@@ -224,6 +247,8 @@ pub struct Report {
     /// was back in SLO the moment the fault cleared; `None` when no
     /// fault plan was configured.
     pub recovery_secs: Option<f64>,
+    /// Crash-failover outcomes (all-zero unless a GPU fail-stop fired).
+    pub recovery: RecoveryStats,
     /// Lifecycle counters (admissions, requeues, drops, preemptions)
     /// folded in by the driver from the scheduler.
     pub counters: EngineCounters,

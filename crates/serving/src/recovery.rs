@@ -1,0 +1,224 @@
+//! Crash failover orchestration.
+//!
+//! When a [`FaultKind::GpuFailStop`](crate::faults::FaultKind) window
+//! opens, the driver kills the device in the [`gpusim`] model and asks
+//! the scheduler (via [`Scheduler::on_gpu_lost`](crate::driver::Scheduler))
+//! to revoke everything homed on it. The scheduler releases the victims'
+//! KV leases, moves them back to `Queued`, and reports each one as a
+//! [`CrashVictim`]. The [`RecoveryManager`] then owns the rest of the
+//! story: it schedules re-injection with exponential backoff, enforces a
+//! retry budget, gives up (sheds) when a victim's TTFT deadline has
+//! already passed, and accounts the outcome into [`RecoveryStats`].
+//!
+//! Two recovery classes exist (DistServe-style re-materialization vs.
+//! LoongServe-style elastic migration):
+//!
+//! - [`RecoveryClass::ReprefillFull`] — the victim's accumulated context
+//!   (prompt + generated tokens) must be re-prefilled from scratch on a
+//!   survivor. Decode victims always fall in this class; the burned
+//!   tokens are charged to [`RecoveryStats::reprefill_tokens`].
+//! - [`RecoveryClass::ResumeFromLayer`] — engines with layer-granular
+//!   prefill checkpoints (MuxWise) restart a prefill victim from its
+//!   last completed layer, so no token work is re-burned.
+//!
+//! The manager is a strict no-op on crash-free plans: the driver only
+//! instantiates it when [`crate::faults::FaultPlan::has_fail_stop`] is
+//! true, so healthy runs stay byte-identical to their pre-recovery
+//! golden reports.
+
+use crate::metrics::RecoveryStats;
+use crate::request::ReqId;
+use simcore::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// How a crash victim's lost state is re-materialized on a survivor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryClass {
+    /// Re-prefill the full accumulated context (prompt + generated
+    /// tokens so far) on a surviving device.
+    ReprefillFull,
+    /// Restart prefill from the last completed layer checkpoint; only
+    /// engines with layer-granular prefill (MuxWise, TemporalMux)
+    /// produce this class.
+    ResumeFromLayer(u32),
+}
+
+/// One request revoked by a GPU fail-stop, as reported by
+/// [`Scheduler::on_gpu_lost`](crate::driver::Scheduler::on_gpu_lost).
+#[derive(Debug, Clone, Copy)]
+pub struct CrashVictim {
+    /// The revoked request.
+    pub id: ReqId,
+    /// How its lost KV state will be rebuilt.
+    pub class: RecoveryClass,
+    /// Tokens of KV state lost with the device (re-prefill cost for
+    /// [`RecoveryClass::ReprefillFull`]; zero burned for resumable
+    /// victims).
+    pub lost_tokens: u64,
+}
+
+/// Per-victim retry bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct VictimState {
+    /// Wall-clock instant of the crash that first revoked the request.
+    crash_time: SimTime,
+    /// Re-injection attempts made so far (0 = none yet).
+    attempts: u32,
+}
+
+/// Driver-side failover orchestrator. Tracks crash victims from
+/// revocation to re-admission (or give-up), applying exponential
+/// backoff and a retry budget, and accumulates [`RecoveryStats`].
+#[derive(Debug, Default)]
+pub struct RecoveryManager {
+    victims: HashMap<ReqId, VictimState>,
+    /// Ids re-injected at least once; a victim in here that finishes
+    /// counts as recovered.
+    reinjected: HashMap<ReqId, SimTime>,
+    /// Aggregate outcomes, folded into the report at end of run.
+    pub stats: RecoveryStats,
+}
+
+impl RecoveryManager {
+    /// Creates an empty manager.
+    pub fn new() -> RecoveryManager {
+        RecoveryManager::default()
+    }
+
+    /// Registers a freshly revoked victim and returns the absolute time
+    /// of its first re-injection attempt (`now + backoff`). A request
+    /// revoked by a second crash while already tracked keeps its
+    /// original crash time (failover latency spans the whole ordeal)
+    /// but its attempt counter continues counting against the budget.
+    pub fn on_victim(&mut self, v: &CrashVictim, now: SimTime, backoff: SimDuration) -> SimTime {
+        let st = self.victims.entry(v.id).or_insert(VictimState {
+            crash_time: now,
+            attempts: 0,
+        });
+        if st.attempts == 0 && !self.reinjected.contains_key(&v.id) {
+            self.stats.crash_victims += 1;
+        }
+        if let RecoveryClass::ReprefillFull = v.class {
+            self.stats.reprefill_tokens += v.lost_tokens;
+        }
+        st.attempts += 1;
+        let shift = st.attempts.saturating_sub(1).min(16);
+        let delay = backoff.as_nanos().saturating_mul(1u64 << shift);
+        now.saturating_add(SimDuration::from_nanos(delay))
+    }
+
+    /// Whether `id` is a tracked crash victim awaiting re-injection.
+    pub fn is_pending(&self, id: ReqId) -> bool {
+        self.victims.contains_key(&id)
+    }
+
+    /// Number of re-injection attempts already charged against `id`.
+    pub fn attempts(&self, id: ReqId) -> u32 {
+        self.victims.get(&id).map_or(0, |s| s.attempts)
+    }
+
+    /// Marks a successful re-injection: records the failover latency
+    /// sample (revocation → re-admission) and stops tracking the
+    /// victim as pending.
+    pub fn on_reinjected(&mut self, id: ReqId, now: SimTime) {
+        if let Some(st) = self.victims.remove(&id) {
+            self.stats
+                .failover
+                .record(now.since(st.crash_time).as_secs());
+            self.reinjected.insert(id, st.crash_time);
+        }
+    }
+
+    /// Gives up on a victim (budget exhausted or deadline passed); it
+    /// is accounted as shed-on-crash rather than recovered.
+    pub fn on_gave_up(&mut self, id: ReqId) {
+        self.victims.remove(&id);
+        self.reinjected.remove(&id);
+        self.stats.shed_on_crash += 1;
+    }
+
+    /// Folds terminal outcomes into the stats: every re-injected victim
+    /// for which `finished(id)` holds counts as recovered; re-injected
+    /// victims that never finished (run ended, later shed by the
+    /// watchdog, …) count as shed-on-crash, as do victims still pending
+    /// when the run drains.
+    pub fn finalize(&mut self, mut finished: impl FnMut(ReqId) -> bool) {
+        for (&id, _) in self.reinjected.iter() {
+            if finished(id) {
+                self.stats.recovered += 1;
+            } else {
+                self.stats.shed_on_crash += 1;
+            }
+        }
+        for (&id, _) in self.victims.iter() {
+            if !self.reinjected.contains_key(&id) && finished(id) {
+                // Revoked after its last token was already delivered —
+                // nothing was lost; count it recovered.
+                self.stats.recovered += 1;
+            } else if !self.reinjected.contains_key(&id) {
+                self.stats.shed_on_crash += 1;
+            }
+        }
+        self.victims.clear();
+        self.reinjected.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn victim(id: ReqId) -> CrashVictim {
+        CrashVictim {
+            id,
+            class: RecoveryClass::ReprefillFull,
+            lost_tokens: 100,
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_per_attempt() {
+        let mut m = RecoveryManager::new();
+        let b = SimDuration::from_secs(0.25);
+        assert_eq!(m.on_victim(&victim(1), t(10.0), b), t(10.25));
+        // Second crash of the same request: next attempt backs off 2x.
+        assert_eq!(m.on_victim(&victim(1), t(11.0), b), t(11.5));
+        assert_eq!(m.attempts(1), 2);
+        assert_eq!(m.stats.crash_victims, 1, "counted once per request");
+        assert_eq!(m.stats.reprefill_tokens, 200);
+    }
+
+    #[test]
+    fn resume_from_layer_burns_no_tokens() {
+        let mut m = RecoveryManager::new();
+        let v = CrashVictim {
+            id: 2,
+            class: RecoveryClass::ResumeFromLayer(17),
+            lost_tokens: 512,
+        };
+        m.on_victim(&v, t(1.0), SimDuration::from_secs(0.25));
+        assert_eq!(m.stats.reprefill_tokens, 0);
+    }
+
+    #[test]
+    fn finalize_splits_recovered_and_shed() {
+        let mut m = RecoveryManager::new();
+        let b = SimDuration::from_secs(0.25);
+        m.on_victim(&victim(1), t(1.0), b);
+        m.on_victim(&victim(2), t(1.0), b);
+        m.on_victim(&victim(3), t(1.0), b);
+        m.on_reinjected(1, t(2.0));
+        m.on_reinjected(2, t(3.0));
+        m.on_gave_up(3);
+        m.finalize(|id| id == 1);
+        assert_eq!(m.stats.crash_victims, 3);
+        assert_eq!(m.stats.recovered, 1);
+        assert_eq!(m.stats.shed_on_crash, 2);
+        assert_eq!(m.stats.failover.len(), 2);
+        assert!((m.stats.failover.max() - 2.0).abs() < 1e-9);
+    }
+}

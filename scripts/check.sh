@@ -3,8 +3,9 @@
 # errors), full test suite. Run before every commit: ./scripts/check.sh
 #
 # Fast paths while iterating:
-#   ./scripts/check.sh serving      # just the serving crate's tests
-#   ./scripts/check.sh chaos-smoke  # fault-injection smoke grid only
+#   ./scripts/check.sh serving         # just the serving crate's tests
+#   ./scripts/check.sh chaos-smoke     # fault-injection smoke grid only
+#   ./scripts/check.sh recovery-smoke  # GPU fail-stop crash/recover grid only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,8 +19,14 @@ if [[ "${1:-}" == "chaos-smoke" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "recovery-smoke" ]]; then
+    cargo run --release -q -p bench --bin chaos -- --recovery-smoke
+    exit 0
+fi
+
 cargo fmt --check
 cargo clippy --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 cargo test -q
 cargo run --release -q -p bench --bin chaos -- --smoke
+cargo run --release -q -p bench --bin chaos -- --recovery-smoke
