@@ -578,11 +578,8 @@ impl Scheduler for HybridPd {
             }
             // In-flight transfers hold no decode-side allocation yet; the
             // orphaned tags complete into no-ops. Drain in tag order —
-            // the map iterates nondeterministically and victim order
-            // decides the requeue event order.
-            let mut inflight: Vec<_> = std::mem::take(&mut self.transferring).into_iter().collect();
-            inflight.sort_by_key(|&(tag, _)| tag);
-            for (_, admit) in inflight {
+            // victim order decides the requeue event order.
+            for (_, admit) in serving::order::drain_sorted(&mut self.transferring) {
                 let v = self.revoke_decode_victim(admit.id, admit.context, ctx);
                 victims.push(v);
             }

@@ -356,11 +356,9 @@ impl Scheduler for LoongServe {
                     lost_tokens: slot.context,
                 });
             }
-            // Drain in-transit contexts in tag order — the map iterates
-            // nondeterministically and victim order decides the requeue
-            // event order.
-            let mut inflight: Vec<_> = std::mem::take(&mut self.transferring).into_iter().collect();
-            inflight.sort_by_key(|&(tag, _)| tag);
+            // Drain in-transit contexts in tag order — victim order
+            // decides the requeue event order.
+            let inflight = serving::order::drain_sorted(&mut self.transferring);
             for admit in std::mem::take(&mut self.pending_admit)
                 .into_iter()
                 .chain(inflight.into_iter().map(|(_, a)| a))

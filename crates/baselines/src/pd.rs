@@ -453,11 +453,9 @@ impl Scheduler for SglangPd {
             }
             // In-flight transfers have no destination any more: drop the
             // reservation and let the orphaned tag complete into a no-op.
-            // Drain in tag order — the map iterates nondeterministically
-            // and victim order decides the requeue event order.
-            let mut inflight: Vec<_> = std::mem::take(&mut self.transferring).into_iter().collect();
-            inflight.sort_by_key(|&(tag, _)| tag);
-            for (_, admit) in inflight {
+            // Drain in tag order — victim order decides the requeue
+            // event order.
+            for (_, admit) in serving::order::drain_sorted(&mut self.transferring) {
                 self.d_table
                     .as_mut()
                     .expect("table")

@@ -343,7 +343,12 @@ impl Driver {
                 scheduler.on_transfer_done(tag, &mut self.ctx);
             }
             while self.ctx.queue.peek_time() == Some(next) {
-                let (_, ev, _) = self.ctx.queue.pop().expect("peeked");
+                // The loop condition peeked Some, so pop() returns it;
+                // break rather than panic if that ever stops holding.
+                let Some((_, ev, _)) = self.ctx.queue.pop() else {
+                    debug_assert!(false, "queue popped None after peeking Some");
+                    break;
+                };
                 match ev {
                     Event::Arrival(id) => {
                         if let Some(cfg) = self.watchdog {

@@ -48,6 +48,7 @@ pub mod goodput;
 pub mod lease;
 pub mod lifecycle;
 pub mod metrics;
+pub mod order;
 pub mod recovery;
 pub mod request;
 
@@ -61,5 +62,6 @@ pub use goodput::{
 pub use lease::{KvLease, LeaseTable};
 pub use lifecycle::{EngineCounters, IllegalTransition, Lifecycle, Stage};
 pub use metrics::{MetricsRecorder, RecoveryStats, Report};
+pub use order::drain_sorted;
 pub use recovery::{CrashVictim, RecoveryClass, RecoveryManager};
 pub use request::{ReqId, SloSpec};

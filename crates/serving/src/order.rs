@@ -1,0 +1,65 @@
+//! Deterministic drains of unordered containers.
+//!
+//! `HashMap` iteration order depends on hasher seed and insertion
+//! history, so any code that turns a map into a sequence of
+//! replay-visible actions (requeue events, victim lists, lease
+//! revocations) must impose an order first. Before this module each
+//! engine hand-rolled the same three lines in its crash path — collect,
+//! sort by tag, iterate — and simlint's R1 now rejects any new copy
+//! that forgets the sort. [`drain_sorted`] is the shared, audited
+//! implementation.
+
+use std::collections::HashMap;
+
+/// Empties `map` and returns its entries sorted by key.
+///
+/// This is the only place in the workspace allowed to iterate a
+/// `HashMap` it does not immediately order: the drain below is sorted
+/// before it returns, which is the entire point of the helper.
+///
+/// The map keeps its capacity (like [`HashMap::drain`]); use
+/// `std::mem::take` at the call site first if the allocation should be
+/// dropped too.
+pub fn drain_sorted<K: Ord + std::hash::Hash, V>(map: &mut HashMap<K, V>) -> Vec<(K, V)> {
+    // simlint: allow(R1) reason="sorted by key on the next line; this helper is the shared implementation every engine's crash-time drain routes through"
+    let mut entries: Vec<(K, V)> = map.drain().collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_everything_in_key_order() {
+        let mut m: HashMap<u64, &str> = HashMap::new();
+        for (k, v) in [(9, "i"), (2, "b"), (7, "g"), (1, "a")] {
+            m.insert(k, v);
+        }
+        let drained = drain_sorted(&mut m);
+        assert_eq!(drained, vec![(1, "a"), (2, "b"), (7, "g"), (9, "i")]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn empty_map_drains_to_empty_vec() {
+        let mut m: HashMap<u64, u64> = HashMap::new();
+        assert!(drain_sorted(&mut m).is_empty());
+    }
+
+    #[test]
+    fn order_is_insertion_independent() {
+        // The property the engines rely on: however the map was built,
+        // the drained sequence is identical.
+        let mut a: HashMap<u64, u64> = HashMap::new();
+        let mut b: HashMap<u64, u64> = HashMap::new();
+        for k in 0..64 {
+            a.insert(k * 17 % 64, k);
+        }
+        for k in (0..64).rev() {
+            b.insert((63 - k) * 17 % 64, 63 - k);
+        }
+        assert_eq!(drain_sorted(&mut a), drain_sorted(&mut b));
+    }
+}

@@ -1,0 +1,18 @@
+//! Annotation-grammar fixture: every way an `allow` can be written
+//! wrong is itself a finding, so a typo can never silently disable a
+//! rule. This file is lint input only; it is never compiled.
+
+// simlint: allow(R1)
+fn missing_reason() {}
+
+// simlint: allow(R1) reason="   "
+fn blank_reason() {}
+
+// simlint: allow(R9) reason="no such rule"
+fn unknown_rule() {}
+
+// simlint: allow(R1) reason="trailing junk" and then some
+fn trailing_garbage() {}
+
+// simlint: allow(annot) reason="the annotation rule itself is not suppressible"
+fn not_allowable() {}

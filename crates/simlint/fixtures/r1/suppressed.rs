@@ -1,0 +1,31 @@
+//! R1 fixture, compliant: either the statement restores an order, or
+//! the exception is annotated with a reviewable reason.
+
+use std::collections::{BTreeMap, HashMap};
+
+struct Engine {
+    transferring: HashMap<u64, u32>,
+    total: u64,
+}
+
+impl Engine {
+    /// Collecting into an ordered container in the same statement
+    /// chain satisfies the rule without any annotation.
+    fn ordered_drain(&mut self) -> BTreeMap<u64, u32> {
+        self.transferring.drain().collect::<BTreeMap<u64, u32>>()
+    }
+
+    /// Order-insensitive consumers (`count`, `len`, `any`, …) are
+    /// recognized too.
+    fn inflight(&self) -> usize {
+        self.transferring.keys().count()
+    }
+
+    /// A genuine exception carries an audited reason.
+    fn fold_counters(&mut self) {
+        // simlint: allow(R1) reason="integer += fold; visit order is unobservable in the result"
+        for (_, admit) in self.transferring.drain() {
+            self.total += u64::from(admit);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! R1 fixture: hash-order iteration leaking into replay-visible state.
+//! This file is lint input only; it is never compiled.
+
+use std::collections::{HashMap, HashSet};
+
+struct Engine {
+    transferring: HashMap<u64, u32>,
+    crash_protected: HashSet<u64>,
+}
+
+impl Engine {
+    /// The exact bug class PR 4 fixed by hand: drain order becomes
+    /// requeue-event order, so a hash-order drain diverges across runs.
+    fn crash_drain(&mut self) -> Vec<u32> {
+        let mut victims = Vec::new();
+        for (_, admit) in self.transferring.drain() {
+            victims.push(admit);
+        }
+        victims
+    }
+
+    /// Borrowed loop form of the same hazard.
+    fn requeue_all(&mut self, out: &mut Vec<u64>) {
+        for id in &self.crash_protected {
+            out.push(*id);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! R2 fixture, compliant: reporting-only wall-clock with audited
+//! reasons (the sweep_smoke pattern).
+
+// simlint: allow(R2) reason="wall-clock timing of the bench harness; reporting-only"
+use std::time::Instant;
+
+fn time_the_harness(run: impl FnOnce()) -> f64 {
+    // simlint: allow(R2) reason="wall-clock timing of the bench harness; reporting-only"
+    let t0 = Instant::now();
+    run();
+    t0.elapsed().as_secs_f64()
+}

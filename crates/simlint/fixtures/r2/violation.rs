@@ -1,0 +1,15 @@
+//! R2 fixture: wall-clock and ambient entropy inside simulation code.
+//! This file is lint input only; it is never compiled.
+
+fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+fn race_the_clock() -> f64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+fn roll() -> u64 {
+    rand::random()
+}

@@ -1,0 +1,28 @@
+//! R3 fixture, compliant: test-gated pool poking is exempt, and a
+//! non-test exception carries an audited reason.
+
+use kvcache::KvPool;
+
+struct Probe {
+    pool: KvPool,
+}
+
+impl Probe {
+    fn occupancy(&mut self) -> u64 {
+        // simlint: allow(R3) reason="fixture: telemetry probe owns a throwaway pool; nothing leases from it"
+        self.pool.try_alloc_private(1, now());
+        self.pool.used_tokens()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_tests_may_poke_pools_directly() {
+        let mut p = KvPool::new(1024, 64);
+        assert!(p.try_alloc_private(64, now()));
+        p.free_private(64);
+    }
+}

@@ -1,0 +1,24 @@
+//! R3 fixture: raw KvPool traffic outside the lease table.
+//! This file is lint input only; it is never compiled.
+
+use kvcache::KvPool;
+
+struct Engine {
+    pool: KvPool,
+}
+
+impl Engine {
+    /// Constructing a pool directly hides it from the driver's
+    /// end-of-run leak detector.
+    fn fresh() -> Engine {
+        Engine {
+            pool: KvPool::new(1 << 20, 64),
+        }
+    }
+
+    /// The PR 2 lease substrate exists so this unpaired free cannot
+    /// happen; calling the pool directly reintroduces the leak class.
+    fn sneak_free(&mut self) {
+        self.pool.free_private(64);
+    }
+}

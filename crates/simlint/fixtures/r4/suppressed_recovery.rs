@@ -1,0 +1,21 @@
+//! R4 fixture, compliant (name ends in `recovery.rs`): restructured
+//! panic-free code, an audited exception, and test-gated unwraps.
+
+fn pop_event(queue: &mut Vec<u64>) -> Option<u64> {
+    // The restructured form the rule pushes toward: no panic path.
+    queue.pop()
+}
+
+fn victim_label(label: Option<&str>) -> &str {
+    // simlint: allow(R4) reason="fixture: invariant established by the caller one line above; a None here is a bug worth stopping on"
+    label.expect("victim must be labelled")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

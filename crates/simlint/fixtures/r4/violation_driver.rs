@@ -1,0 +1,11 @@
+//! R4 fixture (name ends in `driver.rs`, so the panic-hygiene scope
+//! applies): unwrap/expect on the serving hot path.
+//! This file is lint input only; it is never compiled.
+
+fn pop_event(queue: &mut Vec<u64>) -> u64 {
+    queue.pop().unwrap()
+}
+
+fn victim_label(label: Option<&str>) -> &str {
+    label.expect("victim must be labelled")
+}

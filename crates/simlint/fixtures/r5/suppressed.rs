@@ -1,0 +1,24 @@
+//! R5 fixture, compliant: sort before reducing, or annotate both the
+//! order and float findings away with one audited comment.
+
+use std::collections::HashMap;
+
+fn mean_latency(cells: &HashMap<u64, f64>) -> f64 {
+    let mut values: Vec<f64> = Vec::new();
+    // simlint: allow(R1) reason="collected to a Vec and sorted before any float math below"
+    for (_, v) in cells.iter() {
+        values.push(*v);
+    }
+    values.sort_by(f64::total_cmp);
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+fn joint_probability(cells: &HashMap<u64, f64>) -> f64 {
+    // simlint: allow(R1, R5) reason="diagnostic estimate printed to stderr; never compared against goldens"
+    cells.values().fold(1.0, |acc, p| acc * p)
+}
+
+fn cell_count(cells: &HashMap<u64, f64>) -> usize {
+    // Integer consumers need no annotation at all.
+    cells.len()
+}

@@ -1,0 +1,14 @@
+//! R5 fixture: float reductions fed by hash-order iterators. Float
+//! addition is not associative, so these results differ run to run.
+//! (Each statement also trips R1: same root cause, two invariants.)
+//! This file is lint input only; it is never compiled.
+
+use std::collections::HashMap;
+
+fn mean_latency(cells: &HashMap<u64, f64>) -> f64 {
+    cells.values().sum::<f64>() / cells.len() as f64
+}
+
+fn joint_probability(cells: &HashMap<u64, f64>) -> f64 {
+    cells.values().fold(1.0, |acc, p| acc * p)
+}

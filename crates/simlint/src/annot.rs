@@ -1,0 +1,189 @@
+//! Suppression annotations: `// simlint: allow(<rules>) reason="…"`.
+//!
+//! Every exception to a rule must be written down where reviewers see
+//! it. The grammar is deliberately rigid — one annotation per comment,
+//! rules by id, a mandatory non-empty quoted reason:
+//!
+//! ```text
+//! // simlint: allow(R1) reason="order-insensitive counter fold"
+//! // simlint: allow(R1, R5) reason="sorted on the next line"
+//! ```
+//!
+//! Rule ids are accepted in short (`R1`) or full (`R1-unordered-iter`)
+//! form, case-insensitive. A comment that *starts* with `simlint:` but
+//! does not parse — unknown rule, missing or empty reason, stray
+//! trailing text — suppresses nothing and is itself reported as a
+//! [`Rule::Annotation`] finding, so a typo cannot silently disable a
+//! check.
+
+use crate::Rule;
+
+/// A parsed suppression annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotation {
+    /// Rules this annotation suppresses (non-empty, source order).
+    pub rules: Vec<Rule>,
+    /// The mandatory human-written justification (non-empty, trimmed).
+    pub reason: String,
+}
+
+impl Annotation {
+    /// Renders the annotation in canonical comment form (without the
+    /// leading `//`): `simlint: allow(R1, R5) reason="…"`.
+    pub fn format(&self) -> String {
+        let ids: Vec<&str> = self.rules.iter().map(|r| r.short_id()).collect();
+        format!(
+            "simlint: allow({}) reason=\"{}\"",
+            ids.join(", "),
+            self.reason
+        )
+    }
+}
+
+/// Why a `simlint:`-prefixed comment failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnnotError {
+    /// The text after `simlint:` did not match `allow(<rules>) reason="…"`.
+    Malformed,
+    /// A rule id inside `allow(…)` is not a known rule.
+    UnknownRule(String),
+    /// The reason string is missing, unterminated, or empty/whitespace.
+    EmptyReason,
+}
+
+impl AnnotError {
+    /// Human-readable description used in the emitted finding.
+    pub fn message(&self) -> String {
+        match self {
+            AnnotError::Malformed => {
+                "malformed annotation; expected `simlint: allow(<rules>) reason=\"…\"`".into()
+            }
+            AnnotError::UnknownRule(r) => format!("unknown rule `{r}` in allow(…)"),
+            AnnotError::EmptyReason => {
+                "suppression must carry a non-empty reason=\"…\" justification".into()
+            }
+        }
+    }
+}
+
+/// Parses the text of one line comment (everything after `//`).
+///
+/// Returns `None` when the comment is not simlint-directed at all,
+/// `Some(Ok(_))` for a valid annotation, and `Some(Err(_))` for a
+/// comment that claims to be one but is broken.
+pub fn parse_comment(text: &str) -> Option<Result<Annotation, AnnotError>> {
+    let t = text.trim();
+    let rest = t.strip_prefix("simlint:")?;
+    Some(parse_body(rest))
+}
+
+fn parse_body(rest: &str) -> Result<Annotation, AnnotError> {
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("allow").ok_or(AnnotError::Malformed)?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('(').ok_or(AnnotError::Malformed)?;
+    let close = rest.find(')').ok_or(AnnotError::Malformed)?;
+    let rule_list = &rest[..close];
+    let rest = rest[close + 1..].trim_start();
+
+    let mut rules = Vec::new();
+    for raw in rule_list.split(',') {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            return Err(AnnotError::Malformed);
+        }
+        match Rule::parse(raw) {
+            Some(r) => rules.push(r),
+            None => return Err(AnnotError::UnknownRule(raw.to_string())),
+        }
+    }
+    if rules.is_empty() {
+        return Err(AnnotError::Malformed);
+    }
+
+    let rest = rest.strip_prefix("reason").ok_or(AnnotError::EmptyReason)?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('=').ok_or(AnnotError::EmptyReason)?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('"').ok_or(AnnotError::EmptyReason)?;
+    let close = rest.find('"').ok_or(AnnotError::EmptyReason)?;
+    let reason = rest[..close].trim();
+    if reason.is_empty() {
+        return Err(AnnotError::EmptyReason);
+    }
+    let trailing = rest[close + 1..].trim();
+    if !trailing.is_empty() {
+        return Err(AnnotError::Malformed);
+    }
+    Ok(Annotation {
+        rules,
+        reason: reason.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_comments_are_not_annotations() {
+        assert_eq!(parse_comment(" just a comment about simlint"), None);
+        assert_eq!(parse_comment(""), None);
+    }
+
+    #[test]
+    fn valid_single_and_multi_rule() {
+        let a = parse_comment(" simlint: allow(R1) reason=\"sorted below\"")
+            .unwrap()
+            .unwrap();
+        assert_eq!(a.rules, vec![Rule::UnorderedIter]);
+        assert_eq!(a.reason, "sorted below");
+
+        let a = parse_comment("simlint: allow(R1, r5-float-order) reason=\"x\"")
+            .unwrap()
+            .unwrap();
+        assert_eq!(a.rules, vec![Rule::UnorderedIter, Rule::FloatOrder]);
+    }
+
+    #[test]
+    fn reasonless_or_empty_reason_is_rejected() {
+        assert_eq!(
+            parse_comment("simlint: allow(R1)").unwrap(),
+            Err(AnnotError::EmptyReason)
+        );
+        assert_eq!(
+            parse_comment("simlint: allow(R1) reason=\"  \"").unwrap(),
+            Err(AnnotError::EmptyReason)
+        );
+        assert_eq!(
+            parse_comment("simlint: allow(R1) reason=\"unterminated").unwrap(),
+            Err(AnnotError::EmptyReason)
+        );
+    }
+
+    #[test]
+    fn unknown_rule_and_trailing_garbage_are_rejected() {
+        assert_eq!(
+            parse_comment("simlint: allow(R9) reason=\"x\"").unwrap(),
+            Err(AnnotError::UnknownRule("R9".into()))
+        );
+        assert_eq!(
+            parse_comment("simlint: allow(R1) reason=\"x\" plus junk").unwrap(),
+            Err(AnnotError::Malformed)
+        );
+        assert_eq!(
+            parse_comment("simlint: disallow(R1) reason=\"x\"").unwrap(),
+            Err(AnnotError::Malformed)
+        );
+    }
+
+    #[test]
+    fn format_parse_roundtrip() {
+        let a = Annotation {
+            rules: vec![Rule::Entropy, Rule::Panic],
+            reason: "wall-clock timing of the smoke bench only".into(),
+        };
+        let parsed = parse_comment(&a.format()).unwrap().unwrap();
+        assert_eq!(parsed, a);
+    }
+}

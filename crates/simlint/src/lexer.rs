@@ -1,0 +1,427 @@
+//! A lightweight, panic-free Rust lexer.
+//!
+//! simlint's rules are token-pattern checks, not type checks, so all the
+//! lexer has to get right is the part rustc's grammar makes subtle:
+//! telling code apart from the places identifiers may appear but mean
+//! nothing — string/char literals, comments, raw strings — and keeping
+//! an accurate line number for every token. It deliberately does *not*
+//! build a syntax tree; the rule engine works on the flat token stream
+//! plus a side list of line comments (where suppression annotations
+//! live).
+//!
+//! The lexer is total: any byte sequence produces *some* token stream
+//! without panicking, so a malformed source file degrades into noisy
+//! tokens rather than a crashed lint run.
+
+/// One lexed token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// What was lexed.
+    pub kind: TokKind,
+}
+
+/// Token categories — only as fine-grained as the rules need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `for`, `self`, …).
+    Ident(String),
+    /// A single punctuation byte (`.`, `:`, `(`, `&`, …). Multi-byte
+    /// operators appear as consecutive tokens (`::` is `:`, `:`).
+    Punct(char),
+    /// Any string literal (`"…"`, `r#"…"#`, `b"…"`); contents dropped.
+    Str,
+    /// A char or byte literal (`'x'`, `b'\n'`); contents dropped.
+    CharLit,
+    /// A lifetime (`'a`); name dropped.
+    Lifetime,
+    /// A numeric literal (`42`, `1.5e3`, `0xff_u64`); value dropped.
+    Num,
+}
+
+/// A `//` line comment: its 1-based line and the text after the `//`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineComment {
+    /// 1-based source line the comment sits on.
+    pub line: u32,
+    /// Everything after the leading `//`, untrimmed.
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// `//` comments in source order (block comments are discarded —
+    /// suppression annotations are line comments by grammar).
+    pub comments: Vec<LineComment>,
+}
+
+/// Lexes `src` into tokens and line comments.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                out.comments.push(LineComment {
+                    line,
+                    text: String::from_utf8_lossy(&b[start..j]).into_owned(),
+                });
+                i = j;
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Nested block comment; contents (and any `//` inside)
+                // are discarded.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == b'/' && b.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && b.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            b'"' => {
+                let tok_line = line;
+                i = skip_string(b, i, &mut line);
+                out.tokens.push(Token {
+                    line: tok_line,
+                    kind: TokKind::Str,
+                });
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(b, i) => {
+                let tok_line = line;
+                let (next, kind) = skip_prefixed_literal(b, i, &mut line);
+                i = next;
+                out.tokens.push(Token {
+                    line: tok_line,
+                    kind,
+                });
+            }
+            b'\'' => {
+                // Lifetime vs char literal: a lifetime is `'` + ident
+                // NOT followed by a closing `'` (which would make it a
+                // char literal like `'a'`).
+                let is_lifetime = match b.get(i + 1) {
+                    Some(&n) if n.is_ascii_alphabetic() || n == b'_' => {
+                        let mut j = i + 2;
+                        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                            j += 1;
+                        }
+                        b.get(j) != Some(&b'\'')
+                    }
+                    _ => false,
+                };
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        line,
+                        kind: TokKind::Lifetime,
+                    });
+                    i = j;
+                } else {
+                    let tok_line = line;
+                    i = skip_char_literal(b, i, &mut line);
+                    out.tokens.push(Token {
+                        line: tok_line,
+                        kind: TokKind::CharLit,
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    line,
+                    kind: TokKind::Ident(String::from_utf8_lossy(&b[start..j]).into_owned()),
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                i = skip_number(b, i);
+                out.tokens.push(Token {
+                    line,
+                    kind: TokKind::Num,
+                });
+            }
+            _ => {
+                // Punctuation (or a stray non-ASCII byte, which only
+                // occurs inside already-skipped literals/comments in
+                // valid Rust; degrade it to punctuation).
+                out.tokens.push(Token {
+                    line,
+                    kind: TokKind::Punct(c as char),
+                });
+                i += 1;
+                // Skip UTF-8 continuation bytes so we never split a
+                // code point into several phantom puncts.
+                while i < b.len() && (b[i] & 0b1100_0000) == 0b1000_0000 {
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// True when position `i` begins `r"`, `r#"`, `b"`, `br"`, `b'`, … —
+/// i.e. the `r`/`b` is a literal prefix, not an identifier.
+fn starts_raw_or_byte_literal(b: &[u8], i: usize) -> bool {
+    // Not a prefix when part of a longer identifier (`radius`, `bytes`)
+    // — only when immediately followed by quote machinery.
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if b.get(j) == Some(&b'\'') || b.get(j) == Some(&b'"') {
+            return !prev_is_ident(b, i);
+        }
+    }
+    if b.get(j) == Some(&b'r') {
+        j += 1;
+        while b.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        if b.get(j) == Some(&b'"') {
+            return !prev_is_ident(b, i);
+        }
+    }
+    false
+}
+
+fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
+}
+
+/// Skips a literal introduced by `r`/`b`/`br` at `i`; returns the index
+/// past it and the token kind.
+fn skip_prefixed_literal(b: &[u8], mut i: usize, line: &mut u32) -> (usize, TokKind) {
+    if b[i] == b'b' {
+        i += 1;
+        if b.get(i) == Some(&b'\'') {
+            return (skip_char_literal(b, i, line), TokKind::CharLit);
+        }
+        if b.get(i) == Some(&b'"') {
+            return (skip_string(b, i, line), TokKind::Str);
+        }
+    }
+    // Raw string: r##"…"## with any number of hashes.
+    debug_assert_eq!(b[i], b'r');
+    i += 1;
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && b.get(i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return (i + 1 + hashes, TokKind::Str);
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    (i, TokKind::Str)
+}
+
+/// Skips a `"…"` string starting at the opening quote; handles `\"` and
+/// counts embedded newlines.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a `'…'` char literal starting at the opening quote.
+fn skip_char_literal(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                // Malformed; stop at the newline so the rest of the
+                // file still lexes.
+                *line += 1;
+                return i + 1;
+            }
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a numeric literal: digits, `_` separators, hex/oct/bin bodies,
+/// a fraction only when `.` is followed by a digit (so ranges `0..n`
+/// and method calls stay separate tokens), exponents, type suffixes.
+fn skip_number(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+        i += 1;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+        // `1.5e-3`: pull in a sign right after an exponent marker.
+        if i < b.len() && (b[i] == b'+' || b[i] == b'-') && (b[i - 1] == b'e' || b[i - 1] == b'E') {
+            i += 1;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            let x = "Instant::now() in a string";
+            // Instant::now() in a comment
+            /* Instant in /* nested */ block */
+            let r = r#"Instant raw "quoted" body"#;
+            let c = 'I';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()), "{ids:?}");
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn line_comments_are_captured_with_lines() {
+        let src = "let a = 1;\n// simlint: allow(R1) reason=\"x\"\nlet b = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("simlint"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::CharLit)
+            .count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let src = "for i in 0..10 { let y = 1.5e-3; let z = 0xff_u64; }";
+        let lexed = lex(src);
+        let nums = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .count();
+        assert_eq!(nums, 4, "{:?}", lexed.tokens);
+        // The range dots survive as punctuation.
+        let dots = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct('.'))
+            .count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers() {
+        let src = "let s = \"a\nb\nc\";\nlet t = 1;";
+        let lexed = lex(src);
+        let t_line = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("t".into()))
+            .map(|t| t.line);
+        assert_eq!(t_line, Some(4));
+    }
+
+    #[test]
+    fn byte_literals_lex_as_literals() {
+        let ids = idents("let x = b\"bytes\"; let y = b'\\n'; let radius = 1;");
+        assert_eq!(ids, vec!["let", "x", "let", "y", "let", "radius"]);
+    }
+
+    #[test]
+    fn lexer_is_total_on_garbage() {
+        // Unterminated everything — must not panic.
+        let _ = lex("let s = \"unterminated");
+        let _ = lex("r#\"unterminated raw");
+        let _ = lex("'\\");
+        let _ = lex("/* unterminated block");
+        let _ = lex("é 漢字 \u{1F600}");
+    }
+}

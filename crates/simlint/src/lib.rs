@@ -1,0 +1,225 @@
+#![warn(missing_docs)]
+//! simlint: the workspace's static-analysis pass for simulation
+//! invariants.
+//!
+//! The simulator's headline guarantee — bit-identical replays across
+//! runs, thread counts, and refactors — rests on invariants that rustc
+//! cannot see: no iteration order may leak out of a `HashMap`, no
+//! wall-clock or ambient entropy may enter the event loop, every KV
+//! allocation must flow through the lease table, and the driver's
+//! failure paths must not panic. Each of these was historically enforced
+//! by review and rediscovered by proptest failures; simlint checks them
+//! at `check.sh` time instead.
+//!
+//! The tool is self-contained: a lightweight lexer ([`lexer`]) feeds a
+//! per-file token-pattern rule engine ([`rules`]) — no external parser,
+//! no type information. That makes the checks heuristic by design: they
+//! track `HashMap`/`HashSet`/`KvPool`-typed *bindings* declared in the
+//! same file (fields, lets, params, struct-literal inits) and flag
+//! suspicious operations on them. False positives are expected to be
+//! rare and are silenced with an audited inline annotation
+//! ([`annot`]):
+//!
+//! ```text
+//! // simlint: allow(R1) reason="order-insensitive counter fold"
+//! ```
+//!
+//! # Rules
+//!
+//! | id | name | scope | checks |
+//! |----|------|-------|--------|
+//! | R1 | unordered-iter | `gpusim`, `serving`, `baselines`, `core` (non-test) | `.iter()/.keys()/.values()/.drain()/…` or `for … in &m` on a `HashMap`/`HashSet` binding, unless the same statement chain sorts or collects into an ordered container |
+//! | R2 | entropy | everywhere except `simcore/src/rng.rs`, `bench/src/sweep.rs` | `Instant`, `SystemTime`, `thread_rng`, `rand::` |
+//! | R3 | lease-hygiene | everywhere except `crates/kvcache/`, `serving/src/lease.rs` (non-test) | `KvPool::new` or alloc/free/lock calls on a `KvPool` binding |
+//! | R4 | panic | `driver.rs`, `recovery.rs`, `faults.rs` (non-test) | `.unwrap()` / `.expect(…)` |
+//! | R5 | float-order | everywhere (non-test) | `.sum::<f64>()` / `.fold(…)` fed by an unordered iterator |
+//!
+//! Files whose path does not identify a workspace crate (fixtures,
+//! ad-hoc runs) get the conservative treatment: every rule active.
+//!
+//! # Exit status
+//!
+//! The `simlint` binary prints `file:line: rule-id: message` per finding
+//! and exits non-zero if any finding is unsuppressed — including
+//! malformed annotations, which are findings themselves (`annot`), so a
+//! typo in an `allow(…)` can never silently disable a check.
+
+pub mod annot;
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The invariants simlint enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// R1: iteration order of a hash container leaks into replay state.
+    UnorderedIter,
+    /// R2: wall-clock or ambient entropy inside deterministic code.
+    Entropy,
+    /// R3: KV pool mutation bypassing the lease table.
+    LeaseHygiene,
+    /// R4: panic paths (`unwrap`/`expect`) in driver/recovery/faults.
+    Panic,
+    /// R5: floating-point reduction over an unordered iterator.
+    FloatOrder,
+    /// A `simlint:` comment that does not parse; not suppressible.
+    Annotation,
+}
+
+impl Rule {
+    /// All suppressible rules, in id order.
+    pub const ALL: [Rule; 5] = [
+        Rule::UnorderedIter,
+        Rule::Entropy,
+        Rule::LeaseHygiene,
+        Rule::Panic,
+        Rule::FloatOrder,
+    ];
+
+    /// Full id used in output lines, e.g. `R1-unordered-iter`.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Rule::UnorderedIter => "R1-unordered-iter",
+            Rule::Entropy => "R2-entropy",
+            Rule::LeaseHygiene => "R3-lease-hygiene",
+            Rule::Panic => "R4-panic",
+            Rule::FloatOrder => "R5-float-order",
+            Rule::Annotation => "annot",
+        }
+    }
+
+    /// Short id accepted (and emitted) by annotations, e.g. `R1`.
+    pub fn short_id(&self) -> &'static str {
+        match self {
+            Rule::UnorderedIter => "R1",
+            Rule::Entropy => "R2",
+            Rule::LeaseHygiene => "R3",
+            Rule::Panic => "R4",
+            Rule::FloatOrder => "R5",
+            Rule::Annotation => "annot",
+        }
+    }
+
+    /// Parses a rule id in short (`R1`) or full (`R1-unordered-iter`)
+    /// form, case-insensitive. [`Rule::Annotation`] is intentionally not
+    /// parseable: a broken annotation cannot be allowed away.
+    pub fn parse(s: &str) -> Option<Rule> {
+        let lower = s.to_ascii_lowercase();
+        Rule::ALL.iter().copied().find(|r| {
+            lower == r.short_id().to_ascii_lowercase() || lower == r.id().to_ascii_lowercase()
+        })
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path as given to the linter (workspace-relative in the binary).
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Violated rule.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// Lints one file's source text. `rel_path` should use `/` separators;
+/// it decides which crate-scoped rules apply and is echoed into the
+/// findings. Suppressed findings are dropped; malformed annotations are
+/// reported as [`Rule::Annotation`] findings.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    rules::lint_source(rel_path, src)
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted by path so the
+/// lint run (and its output order) is deterministic across filesystems.
+pub fn collect_rs_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Lints every `crates/*/src` tree under `root` (the workspace layout),
+/// returning findings with `root`-relative paths. Fixture directories
+/// (anything outside `src/`) are not walked.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(root.join("crates"))?
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.join("src").is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut findings = Vec::new();
+    for dir in crate_dirs {
+        for file in collect_rs_files(&dir.join("src")) {
+            let src = std::fs::read_to_string(&file)?;
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            findings.extend(lint_source(&rel, &src));
+        }
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_roundtrip_through_parse() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::parse(r.short_id()), Some(r));
+            assert_eq!(Rule::parse(r.id()), Some(r));
+            assert_eq!(Rule::parse(&r.id().to_uppercase()), Some(r));
+        }
+        assert_eq!(Rule::parse("annot"), None);
+        assert_eq!(Rule::parse("R9"), None);
+    }
+
+    #[test]
+    fn finding_display_matches_contract() {
+        let f = Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule: Rule::Entropy,
+            message: "no clocks".into(),
+        };
+        assert_eq!(
+            f.to_string(),
+            "crates/x/src/lib.rs:7: R2-entropy: no clocks"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! `cargo run -p simlint [paths…]` — lint the workspace (default) or
+//! the given files/directories; exit non-zero on any unsuppressed
+//! finding. See the library docs for the rule table and the annotation
+//! grammar.
+
+use simlint::{collect_rs_files, lint_source, lint_workspace, Finding};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let findings = if args.is_empty() {
+        let root = workspace_root();
+        match lint_workspace(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("simlint: cannot walk workspace at {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match lint_args(&args) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("simlint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("simlint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("simlint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest when
+/// running under cargo, the current directory otherwise.
+fn workspace_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let p = PathBuf::from(dir);
+            p.parent()
+                .and_then(Path::parent)
+                .map(Path::to_path_buf)
+                .unwrap_or(p)
+        }
+        None => PathBuf::from("."),
+    }
+}
+
+/// Lints explicit files/directories; paths are echoed as given (with
+/// `/` separators) so fixture goldens are stable.
+fn lint_args(args: &[String]) -> std::io::Result<Vec<Finding>> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for a in args {
+        let p = PathBuf::from(a);
+        if p.is_dir() {
+            files.extend(collect_rs_files(&p));
+        } else {
+            files.push(p);
+        }
+    }
+    files.sort();
+    files.dedup();
+    let mut findings = Vec::new();
+    for f in files {
+        let src = std::fs::read_to_string(&f)?;
+        let rel = f.to_string_lossy().replace('\\', "/");
+        findings.extend(lint_source(&rel, &src));
+    }
+    Ok(findings)
+}

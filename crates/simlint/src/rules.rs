@@ -1,0 +1,862 @@
+//! The per-file rule engine.
+//!
+//! Works on the flat token stream from [`crate::lexer`] plus three
+//! per-file side tables computed up front:
+//!
+//! 1. **`#[cfg(test)]` spans** — line ranges of test-gated items.
+//!    Rules R1/R3/R4/R5 skip them (test assertions legitimately poke at
+//!    raw pools and unwrap); R2 does *not* — entropy in a test makes
+//!    the test itself flaky.
+//! 2. **binding types** — names declared `HashMap`/`HashSet`-typed or
+//!    `KvPool`-typed anywhere in the file (struct fields, lets, params,
+//!    struct-literal inits). Receiver resolution is name-based: the
+//!    engine sees `self.transferring.drain()` and asks "is
+//!    `transferring` hash-typed in this file?".
+//! 3. **suppressions** — parsed `// simlint: allow(…) reason="…"`
+//!    annotations by line. An annotation suppresses matching findings
+//!    on its own line and the line directly below (put it at the end of
+//!    the offending line or on its own line right above).
+//!
+//! Everything here is heuristic, deliberately biased toward false
+//! positives: an over-flag costs one audited annotation, an under-flag
+//! costs a nondeterministic replay hunted by proptest.
+
+use crate::annot;
+use crate::lexer::{lex, LineComment, TokKind, Token};
+use crate::{Finding, Rule};
+use std::collections::{BTreeSet, HashMap as StdHashMap};
+
+/// Crates whose scheduling state feeds replay-visible decisions; R1
+/// applies only here (by `crates/<dir>` name, `None` = unknown file →
+/// treated as critical).
+const REPLAY_CRITICAL: [&str; 4] = ["gpusim", "serving", "baselines", "core"];
+
+/// Files allowed to touch wall-clock / entropy sources (R2): the seeded
+/// RNG itself and the sweep worker pool (which times real threads, not
+/// simulated ones).
+const ENTROPY_ALLOWED: [&str; 2] = ["crates/simcore/src/rng.rs", "crates/bench/src/sweep.rs"];
+
+/// Identifiers that mark ambient entropy (R2).
+const ENTROPY_IDENTS: [&str; 3] = ["Instant", "SystemTime", "thread_rng"];
+
+/// The only legal homes of raw `KvPool` traffic (R3): the pool crate
+/// and the lease table that wraps it.
+const POOL_ALLOWED_PREFIX: &str = "crates/kvcache/";
+const POOL_ALLOWED_FILE: &str = "crates/serving/src/lease.rs";
+
+/// `&mut self` methods of `KvPool` that move resources; calling one on
+/// a raw pool binding outside the allowed files bypasses lease
+/// accounting.
+const POOL_MUTATORS: [&str; 9] = [
+    "match_prefix",
+    "lock_prefix",
+    "unlock",
+    "insert",
+    "try_alloc_private",
+    "free_private",
+    "set_capacity_tokens",
+    "protect_prefix",
+    "unprotect_prefix",
+];
+
+/// Files whose panics take down a whole serving run (R4).
+const PANIC_FREE_FILES: [&str; 3] = ["driver.rs", "recovery.rs", "faults.rs"];
+
+/// Iterator-producing methods whose order reflects hash layout.
+const UNORDERED_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Idents that, appearing later in the same statement chain, restore a
+/// deterministic order (sorts, ordered collections, the shared drain
+/// helpers) or consume the iterator order-insensitively.
+const ORDER_MARKERS: [&str; 18] = [
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "drain_sorted",
+    "take_sorted",
+    "count",
+    "len",
+    "min",
+    "max",
+    "min_by_key",
+    "max_by_key",
+    "is_empty",
+];
+
+/// Order-insensitive boolean consumers (short-circuit order affects
+/// speed, never the result).
+const BOOL_MARKERS: [&str; 3] = ["all", "any", "contains"];
+
+/// Lints one file; the only entry point (re-exported as
+/// [`crate::lint_source`]).
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let lexed = lex(src);
+    let ctx = FileCtx::new(rel_path, &lexed.tokens);
+    let (suppressions, mut findings) = parse_annotations(rel_path, &lexed.comments);
+
+    run_unordered_rules(&ctx, &mut findings); // R1 + R5
+    run_entropy_rule(&ctx, &mut findings); // R2
+    run_lease_rule(&ctx, &mut findings); // R3
+    run_panic_rule(&ctx, &mut findings); // R4
+
+    findings.retain(|f| f.rule == Rule::Annotation || !suppressions.allows(f.line, f.rule));
+    // One finding per (line, rule): a single statement can trip the same
+    // pattern twice and a single annotation answers for the line.
+    let mut seen = BTreeSet::new();
+    findings.retain(|f| seen.insert((f.line, f.rule, f.message.clone())));
+    findings.sort_by_key(|a| (a.line, a.rule));
+    findings
+}
+
+/// Per-line suppression table.
+struct Suppressions {
+    by_line: StdHashMap<u32, Vec<Rule>>,
+}
+
+impl Suppressions {
+    fn allows(&self, line: u32, rule: Rule) -> bool {
+        // Same line (trailing comment) or the line directly above.
+        [line, line.saturating_sub(1)]
+            .iter()
+            .any(|l| self.by_line.get(l).is_some_and(|rs| rs.contains(&rule)))
+    }
+}
+
+fn parse_annotations(rel_path: &str, comments: &[LineComment]) -> (Suppressions, Vec<Finding>) {
+    let mut by_line: StdHashMap<u32, Vec<Rule>> = StdHashMap::new();
+    let mut findings = Vec::new();
+    for c in comments {
+        match annot::parse_comment(&c.text) {
+            None => {}
+            Some(Ok(a)) => by_line.entry(c.line).or_default().extend(a.rules),
+            Some(Err(e)) => findings.push(Finding {
+                file: rel_path.to_string(),
+                line: c.line,
+                rule: Rule::Annotation,
+                message: e.message(),
+            }),
+        }
+    }
+    (Suppressions { by_line }, findings)
+}
+
+/// Everything the rules need to know about one file.
+struct FileCtx<'a> {
+    rel_path: &'a str,
+    tokens: &'a [Token],
+    /// `crates/<name>` component of the path, if any.
+    crate_name: Option<String>,
+    file_name: String,
+    /// Line ranges (inclusive) of `#[cfg(test)]`-gated items.
+    test_spans: Vec<(u32, u32)>,
+    /// Binding names with `HashMap`/`HashSet` type evidence.
+    unordered: BTreeSet<String>,
+    /// Binding names with `KvPool` type evidence.
+    pools: BTreeSet<String>,
+}
+
+impl<'a> FileCtx<'a> {
+    fn new(rel_path: &'a str, tokens: &'a [Token]) -> FileCtx<'a> {
+        let components: Vec<&str> = rel_path.split('/').collect();
+        let crate_name = components
+            .iter()
+            .position(|&c| c == "crates")
+            .and_then(|i| components.get(i + 1))
+            .map(|s| s.to_string());
+        let file_name = components.last().copied().unwrap_or(rel_path).to_string();
+        let mut ctx = FileCtx {
+            rel_path,
+            tokens,
+            crate_name,
+            file_name,
+            test_spans: Vec::new(),
+            unordered: BTreeSet::new(),
+            pools: BTreeSet::new(),
+        };
+        ctx.test_spans = find_cfg_test_spans(tokens);
+        collect_bindings(tokens, &mut ctx.unordered, &mut ctx.pools);
+        ctx
+    }
+
+    fn replay_critical(&self) -> bool {
+        match &self.crate_name {
+            Some(c) => REPLAY_CRITICAL.contains(&c.as_str()),
+            None => true, // unknown file: conservative
+        }
+    }
+
+    fn in_test_span(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    fn entropy_allowed(&self) -> bool {
+        ENTROPY_ALLOWED.iter().any(|f| self.rel_path.ends_with(f))
+    }
+
+    fn pool_allowed(&self) -> bool {
+        self.rel_path.contains(POOL_ALLOWED_PREFIX) || self.rel_path.ends_with(POOL_ALLOWED_FILE)
+    }
+
+    fn panic_free_file(&self) -> bool {
+        PANIC_FREE_FILES.iter().any(|f| self.file_name.ends_with(f))
+    }
+
+    fn ident(&self, i: usize) -> Option<&str> {
+        match self.tokens.get(i)?.kind {
+            TokKind::Ident(ref s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn punct(&self, i: usize, c: char) -> bool {
+        matches!(self.tokens.get(i), Some(t) if t.kind == TokKind::Punct(c))
+    }
+
+    fn finding(&self, line: u32, rule: Rule, message: String) -> Finding {
+        Finding {
+            file: self.rel_path.to_string(),
+            line,
+            rule,
+            message,
+        }
+    }
+}
+
+/// Finds line spans of items gated behind `#[cfg(test)]` (or any `cfg`
+/// attribute mentioning `test`, e.g. `cfg(all(test, feature = "x"))`).
+fn find_cfg_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind != TokKind::Punct('#') {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        let mut j = i + 1;
+        let inner = matches!(tokens.get(j), Some(t) if t.kind == TokKind::Punct('!'));
+        if inner {
+            j += 1;
+        }
+        if !matches!(tokens.get(j), Some(t) if t.kind == TokKind::Punct('[')) {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute body for `cfg` … `test` and find its `]`.
+        let mut depth = 1i32;
+        let mut k = j + 1;
+        let mut saw_cfg = false;
+        let mut saw_test = false;
+        while k < tokens.len() && depth > 0 {
+            match &tokens[k].kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => depth -= 1,
+                TokKind::Ident(s) if s == "cfg" => saw_cfg = true,
+                TokKind::Ident(s) if s == "test" => saw_test = true,
+                _ => {}
+            }
+            k += 1;
+        }
+        if !(saw_cfg && saw_test) {
+            i = k;
+            continue;
+        }
+        if inner {
+            // `#![cfg(test)]`: the whole file is test-gated.
+            let end = tokens.last().map(|t| t.line).unwrap_or(start_line);
+            spans.push((1, end));
+            return spans;
+        }
+        // Skip any further stacked attributes, then find the item's
+        // body: first `{` at paren-depth 0 (brace-match it) or a `;`.
+        while matches!(tokens.get(k), Some(t) if t.kind == TokKind::Punct('#')) {
+            let mut d = 0i32;
+            k += 1;
+            while k < tokens.len() {
+                match tokens[k].kind {
+                    TokKind::Punct('[') => d += 1,
+                    TokKind::Punct(']') => {
+                        d -= 1;
+                        if d == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        let mut paren = 0i32;
+        let mut end_line = None;
+        while k < tokens.len() {
+            match tokens[k].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') => paren += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') => paren -= 1,
+                TokKind::Punct(';') if paren == 0 => {
+                    end_line = Some(tokens[k].line);
+                    break;
+                }
+                TokKind::Punct('{') if paren == 0 => {
+                    let mut braces = 1i32;
+                    let mut m = k + 1;
+                    while m < tokens.len() && braces > 0 {
+                        match tokens[m].kind {
+                            TokKind::Punct('{') => braces += 1,
+                            TokKind::Punct('}') => braces -= 1,
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    end_line = Some(tokens.get(m - 1).map(|t| t.line).unwrap_or(start_line));
+                    k = m;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let end = end_line.unwrap_or_else(|| tokens.last().map(|t| t.line).unwrap_or(start_line));
+        spans.push((start_line, end));
+        i = k.max(i + 1);
+    }
+    spans
+}
+
+/// Records names with `HashMap`/`HashSet` or `KvPool` type evidence.
+///
+/// Two patterns:
+/// * `name :` followed (within the same field/param/ascription, i.e.
+///   before `,` `;` `=` `)` `{` or 12 tokens) by the type name — covers
+///   struct fields, fn params, let ascriptions, and struct-literal
+///   inits like `transferring: HashMap::new()`.
+/// * `let [mut] name … = … HashMap::… ;` — constructor calls.
+fn collect_bindings(
+    tokens: &[Token],
+    unordered: &mut BTreeSet<String>,
+    pools: &mut BTreeSet<String>,
+) {
+    let ident = |i: usize| match tokens.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    let punct = |i: usize, c: char| matches!(tokens.get(i), Some(t) if t.kind == TokKind::Punct(c));
+
+    for i in 0..tokens.len() {
+        // Pattern 1: `name : … Type`.
+        if let Some(name) = ident(i) {
+            // `:` but not `::` on either side.
+            if punct(i + 1, ':') && !punct(i + 2, ':') && (i == 0 || !punct(i - 1, ':')) {
+                let mut j = i + 2;
+                let limit = (i + 14).min(tokens.len());
+                while j < limit {
+                    match &tokens[j].kind {
+                        TokKind::Punct(',' | ';' | '=' | ')' | '{' | '}') => break,
+                        TokKind::Ident(t) if t == "HashMap" || t == "HashSet" => {
+                            unordered.insert(name.to_string());
+                            break;
+                        }
+                        TokKind::Ident(t) if t == "KvPool" => {
+                            pools.insert(name.to_string());
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+        }
+        // Pattern 2: `let [mut] name … = … {HashMap,HashSet,KvPool}::`.
+        if ident(i) == Some("let") {
+            let mut j = i + 1;
+            if ident(j) == Some("mut") {
+                j += 1;
+            }
+            let Some(name) = ident(j) else { continue };
+            // Scan the statement (to `;` at depth 0) for a constructor.
+            let mut depth = 0i32;
+            let mut k = j + 1;
+            let mut saw_eq = false;
+            while k < tokens.len() && k < j + 120 {
+                match &tokens[k].kind {
+                    TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+                    TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => depth -= 1,
+                    TokKind::Punct(';') if depth <= 0 => break,
+                    TokKind::Punct('=') if depth == 0 => saw_eq = true,
+                    TokKind::Ident(t)
+                        if saw_eq
+                            && (t == "HashMap" || t == "HashSet")
+                            && punct(k + 1, ':')
+                            && punct(k + 2, ':') =>
+                    {
+                        unordered.insert(name.to_string());
+                    }
+                    TokKind::Ident(t)
+                        if saw_eq && t == "KvPool" && punct(k + 1, ':') && punct(k + 2, ':') =>
+                    {
+                        pools.insert(name.to_string());
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+    }
+}
+
+/// Resolves the receiver name of a `.method(` call at token index `dot`
+/// (the `.`): `name.m(…)` or `self.name.m(…)`. Chained/expression
+/// receivers resolve to `None`.
+fn receiver_name(tokens: &[Token], dot: usize) -> Option<&str> {
+    if dot == 0 {
+        return None;
+    }
+    match &tokens[dot - 1].kind {
+        TokKind::Ident(name) if name != "self" => Some(name.as_str()),
+        _ => None,
+    }
+}
+
+/// R1 + R5: unordered iteration and float reductions fed by it.
+fn run_unordered_rules(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    let tokens = ctx.tokens;
+    for i in 0..tokens.len() {
+        // Method-call form: `recv.method(` with an unordered receiver.
+        if ctx.punct(i, '.') {
+            let Some(m) = ctx.ident(i + 1) else { continue };
+            if !UNORDERED_METHODS.contains(&m) || !ctx.punct(i + 2, '(') {
+                continue;
+            }
+            let Some(recv) = receiver_name(tokens, i) else {
+                continue;
+            };
+            if !ctx.unordered.contains(recv) {
+                continue;
+            }
+            let line = tokens[i + 1].line;
+            if ctx.in_test_span(line) {
+                continue;
+            }
+            let chain = chain_span(ctx, i + 1);
+            emit_unordered(ctx, findings, line, recv, m, &chain);
+        }
+        // Loop form: `for pat in &[mut] recv {` / `for pat in [&]self.recv {`.
+        if ctx.ident(i) == Some("for") && ctx.replay_critical() {
+            let Some((recv, line)) = for_loop_receiver(ctx, i) else {
+                continue;
+            };
+            if !ctx.unordered.contains(recv) || ctx.in_test_span(line) {
+                continue;
+            }
+            findings.push(ctx.finding(
+                line,
+                Rule::UnorderedIter,
+                format!(
+                    "`for … in &{recv}` iterates a HashMap/HashSet in hash order; \
+                     replay order must not depend on it (sort first, use \
+                     serving::order::drain_sorted, or annotate)"
+                ),
+            ));
+        }
+    }
+}
+
+/// Matches `for … in &[mut] name {` or `for … in [&]self.name {`
+/// starting at the `for` token; returns the receiver name and the line
+/// to report. Plain by-value loops (`for x in name {`) are excluded:
+/// moving a container out of a binding is the local-`Vec` shape, while
+/// the hash-order hazard comes from borrowing a long-lived field.
+fn for_loop_receiver<'t>(ctx: &'t FileCtx<'t>, for_idx: usize) -> Option<(&'t str, u32)> {
+    let tokens = ctx.tokens;
+    // Find `in` at pattern depth 0 within a short window.
+    let mut depth = 0i32;
+    let mut j = for_idx + 1;
+    let limit = (for_idx + 40).min(tokens.len());
+    loop {
+        if j >= limit {
+            return None;
+        }
+        match &tokens[j].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+            TokKind::Ident(s) if s == "in" && depth == 0 => break,
+            TokKind::Punct('{') | TokKind::Punct(';') => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    let mut k = j + 1;
+    let mut borrowed = false;
+    if ctx.punct(k, '&') {
+        borrowed = true;
+        k += 1;
+    }
+    if ctx.ident(k) == Some("mut") {
+        k += 1;
+    }
+    if ctx.ident(k) == Some("self") && ctx.punct(k + 1, '.') {
+        borrowed = true;
+        k += 2;
+    }
+    if !borrowed {
+        return None;
+    }
+    let name = ctx.ident(k)?;
+    // Only the bare-binding form: `recv.iter()`-style is the method
+    // path, and `recv.field` sub-expressions are unknown.
+    if !ctx.punct(k + 1, '{') {
+        return None;
+    }
+    Some((name, tokens[k].line))
+}
+
+/// What the rest of the statement chain after an unordered call says.
+struct ChainInfo {
+    /// An order-restoring / order-insensitive marker appears.
+    ordered: bool,
+    /// A float reduction (`sum::<f64>` or `fold`) appears before any
+    /// ordering marker.
+    float_reduction: Option<&'static str>,
+}
+
+/// Scans the statement chain starting at the flagged method ident.
+fn chain_span(ctx: &FileCtx<'_>, start: usize) -> ChainInfo {
+    let tokens = ctx.tokens;
+    let mut info = ChainInfo {
+        ordered: false,
+        float_reduction: None,
+    };
+    let mut depth = 0i32;
+    let mut brace_depth = 0i32;
+    let mut k = start;
+    let limit = (start + 300).min(tokens.len());
+    while k < limit {
+        match &tokens[k].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+            TokKind::Punct('{') => {
+                if depth <= 0 {
+                    break; // block starts (for-loop/if body): chain over
+                }
+                brace_depth += 1;
+            }
+            TokKind::Punct('}') => {
+                brace_depth -= 1;
+                if brace_depth < 0 {
+                    break;
+                }
+            }
+            TokKind::Punct(';') if depth <= 0 => break,
+            TokKind::Ident(s) => {
+                if ORDER_MARKERS.contains(&s.as_str()) || BOOL_MARKERS.contains(&s.as_str()) {
+                    if info.float_reduction.is_none() {
+                        info.ordered = true;
+                    }
+                    // A sort after the reduction does not unorder it,
+                    // but a reduction after a sort is fine — handled by
+                    // checking float_reduction first above.
+                } else if s == "fold" && info.float_reduction.is_none() && !info.ordered {
+                    info.float_reduction = Some("fold");
+                } else if s == "sum" && info.float_reduction.is_none() && !info.ordered {
+                    // `sum::<f64>()` is order-sensitive; integer sums
+                    // (`sum::<u64>()`) are commutative and count as
+                    // order-insensitive. Untyped `sum()` stays flagged
+                    // as plain R1 (conservative).
+                    if ctx.punct(k + 1, ':') && ctx.punct(k + 2, ':') && ctx.punct(k + 3, '<') {
+                        match ctx.ident(k + 4) {
+                            Some("f64") | Some("f32") => info.float_reduction = Some("sum"),
+                            Some(_) => info.ordered = true,
+                            None => {}
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    info
+}
+
+fn emit_unordered(
+    ctx: &FileCtx<'_>,
+    findings: &mut Vec<Finding>,
+    line: u32,
+    recv: &str,
+    method: &str,
+    chain: &ChainInfo,
+) {
+    if let Some(red) = chain.float_reduction {
+        findings.push(ctx.finding(
+            line,
+            Rule::FloatOrder,
+            format!(
+                "float `{red}` reduction fed by `{recv}.{method}()` iterates in hash \
+                 order; float addition is not associative, so the result is \
+                 run-dependent (collect + sort first, or annotate)"
+            ),
+        ));
+    }
+    if chain.ordered || !ctx.replay_critical() {
+        return;
+    }
+    findings.push(ctx.finding(
+        line,
+        Rule::UnorderedIter,
+        format!(
+            "`{recv}.{method}()` iterates a HashMap/HashSet in hash order inside a \
+             replay-critical crate; sort or collect into a BTreeMap in the same \
+             statement, use serving::order::drain_sorted, or annotate"
+        ),
+    ));
+}
+
+/// R2: wall-clock / ambient entropy.
+fn run_entropy_rule(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if ctx.entropy_allowed() {
+        return;
+    }
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        let TokKind::Ident(s) = &t.kind else { continue };
+        let hit = ENTROPY_IDENTS.contains(&s.as_str())
+            || (s == "rand" && ctx.punct(i + 1, ':') && ctx.punct(i + 2, ':'));
+        if hit {
+            findings.push(ctx.finding(
+                t.line,
+                Rule::Entropy,
+                format!(
+                    "`{s}` is ambient entropy/wall-clock; simulation state must come \
+                     from simcore::SimTime and the seeded simcore rng (or annotate \
+                     for reporting-only timing)"
+                ),
+            ));
+        }
+    }
+}
+
+/// R3: raw KvPool traffic outside the lease table.
+fn run_lease_rule(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if ctx.pool_allowed() {
+        return;
+    }
+    let tokens = ctx.tokens;
+    for i in 0..tokens.len() {
+        // `KvPool::<ctor>` anywhere constructs an unaudited pool.
+        if ctx.ident(i) == Some("KvPool") && ctx.punct(i + 1, ':') && ctx.punct(i + 2, ':') {
+            let line = tokens[i].line;
+            if ctx.in_test_span(line) {
+                continue;
+            }
+            findings.push(
+                ctx.finding(
+                    line,
+                    Rule::LeaseHygiene,
+                    "direct `KvPool` construction outside serving::lease / kvcache; engines \
+                 must hold pools behind a LeaseTable so the leak detector sees every \
+                 allocation"
+                        .to_string(),
+                ),
+            );
+        }
+        // `pool.mutator(` on a KvPool-typed binding.
+        if ctx.punct(i, '.') {
+            let Some(m) = ctx.ident(i + 1) else { continue };
+            if !POOL_MUTATORS.contains(&m) || !ctx.punct(i + 2, '(') {
+                continue;
+            }
+            let Some(recv) = receiver_name(tokens, i) else {
+                continue;
+            };
+            if !ctx.pools.contains(recv) {
+                continue;
+            }
+            let line = tokens[i + 1].line;
+            if ctx.in_test_span(line) {
+                continue;
+            }
+            findings.push(ctx.finding(
+                line,
+                Rule::LeaseHygiene,
+                format!(
+                    "`{recv}.{m}()` mutates a raw KvPool outside serving::lease / \
+                     kvcache; route the operation through the LeaseTable so leases \
+                     stay balanced"
+                ),
+            ));
+        }
+    }
+}
+
+/// R4: unwrap/expect in the driver's failure-handling files.
+fn run_panic_rule(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if !ctx.panic_free_file() {
+        return;
+    }
+    let tokens = ctx.tokens;
+    for i in 0..tokens.len() {
+        if !ctx.punct(i, '.') {
+            continue;
+        }
+        let Some(m) = ctx.ident(i + 1) else { continue };
+        if (m == "unwrap" || m == "expect") && ctx.punct(i + 2, '(') {
+            let line = tokens[i + 1].line;
+            if ctx.in_test_span(line) {
+                continue;
+            }
+            findings.push(ctx.finding(
+                line,
+                Rule::Panic,
+                format!(
+                    "`.{m}()` in a fail-stop-critical file; a panic here takes down \
+                     the whole serving run — restructure (let-else/match), count the \
+                     anomaly, or debug_assert + annotate"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, src: &str) -> Vec<Finding> {
+        lint_source(path, src)
+    }
+
+    const MAP_DECL: &str = "struct S { m: HashMap<u64, u32> }\n";
+
+    #[test]
+    fn r1_fires_on_unordered_iteration_in_critical_crate() {
+        let src = format!("{MAP_DECL}fn f(s: &S) {{ for (k, _) in s.m.iter() {{ use_(k); }} }}");
+        let f = lint("crates/serving/src/x.rs", &src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::UnorderedIter);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn r1_silent_when_sorted_in_same_chain() {
+        let src = format!(
+            "{MAP_DECL}fn f(s: &mut S) {{ let mut v: Vec<_> = \
+             s.m.drain().collect::<BTreeMap<_, _>>(); }}"
+        );
+        assert!(lint("crates/serving/src/x.rs", &src).is_empty());
+        let src2 = format!("{MAP_DECL}fn f(s: &S) {{ let n = s.m.keys().count(); }}");
+        assert!(lint("crates/serving/src/x.rs", &src2).is_empty());
+    }
+
+    #[test]
+    fn r1_scoped_to_critical_crates_and_skips_tests() {
+        let src = format!("{MAP_DECL}fn f(s: &S) {{ for (k, _) in s.m.iter() {{ u(k); }} }}");
+        assert!(lint("crates/workload/src/x.rs", &src).is_empty());
+        let test_src = format!(
+            "{MAP_DECL}#[cfg(test)]\nmod tests {{ fn f(s: &super::S) {{ \
+             for (k, _) in s.m.iter() {{ u(k); }} }} }}"
+        );
+        assert!(lint("crates/serving/src/x.rs", &test_src).is_empty());
+    }
+
+    #[test]
+    fn r1_for_in_ref_form() {
+        let src = "fn f() { let mut m = HashMap::new(); m.insert(1, 2); \
+                   for x in &m { u(x); } }";
+        let f = lint("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::UnorderedIter);
+    }
+
+    #[test]
+    fn r2_fires_everywhere_except_allowed_files() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }";
+        let f = lint("crates/workload/src/x.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == Rule::Entropy));
+        assert!(lint("crates/simcore/src/rng.rs", src).is_empty());
+        assert!(lint("crates/bench/src/sweep.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r3_fires_on_raw_pool_traffic_and_construction() {
+        let src = "struct E { pool: KvPool }\nfn f(e: &mut E) { e.pool.free_private(4); }\n\
+                   fn g() { let p = KvPool::new(10, 2); }";
+        let f = lint("crates/baselines/src/x.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == Rule::LeaseHygiene));
+        // The lease table itself and kvcache are exempt.
+        assert!(lint("crates/serving/src/lease.rs", src).is_empty());
+        assert!(lint("crates/kvcache/src/pool.rs", src).is_empty());
+        // Read-only accessors on a pool binding are fine.
+        let ro = "struct E { pool: KvPool }\nfn f(e: &E) -> u64 { e.pool.free_tokens() }";
+        assert!(lint("crates/baselines/src/x.rs", ro).is_empty());
+    }
+
+    #[test]
+    fn r4_fires_only_in_panic_free_files_outside_tests() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert_eq!(lint("crates/serving/src/driver.rs", src).len(), 1);
+        assert!(lint("crates/serving/src/metrics.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { fn f(x: Option<u32>) -> u32 { x.unwrap() } }";
+        assert!(lint("crates/serving/src/driver.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn r5_fires_on_float_reductions_from_hash_iterators() {
+        let src = "struct S { m: HashMap<u64, f64> }\n\
+                   fn f(s: &S) -> f64 { s.m.values().sum::<f64>() }";
+        let f = lint("crates/workload/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::FloatOrder);
+        // Integer sums are commutative: no R5 (and count as ordered for R1).
+        let int = "struct S { m: HashMap<u64, u64> }\n\
+                   fn f(s: &S) -> u64 { s.m.values().sum::<u64>() }";
+        assert!(lint("crates/workload/src/x.rs", int).is_empty());
+    }
+
+    #[test]
+    fn suppression_works_on_same_and_previous_line() {
+        let src = format!(
+            "{MAP_DECL}fn f(s: &S) {{\n\
+             // simlint: allow(R1) reason=\"order-insensitive counter\"\n\
+             for (k, _) in s.m.iter() {{ u(k); }}\n\
+             for (k, _) in s.m.iter() {{ u(k); }} // simlint: allow(R1) reason=\"same\"\n\
+             }}"
+        );
+        assert!(lint("crates/serving/src/x.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn malformed_annotation_is_a_finding_and_suppresses_nothing() {
+        let src = format!(
+            "{MAP_DECL}fn f(s: &S) {{\n\
+             // simlint: allow(R1)\n\
+             for (k, _) in s.m.iter() {{ u(k); }}\n}}"
+        );
+        let f = lint("crates/serving/src/x.rs", &src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert_eq!(f[0].rule, Rule::Annotation);
+        assert_eq!(f[1].rule, Rule::UnorderedIter);
+    }
+
+    #[test]
+    fn unknown_crate_paths_are_treated_as_critical() {
+        let src = format!("{MAP_DECL}fn f(s: &S) {{ for (k, _) in s.m.iter() {{ u(k); }} }}");
+        assert_eq!(lint("fixtures/r1/violation.rs", &src).len(), 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property test: the annotation parser round-trips every canonical
+//! `allow(<rules>) reason="…"` string, with arbitrary rule lists,
+//! reasons, and comment-level whitespace.
+
+use proptest::prelude::*;
+use simlint::annot::{parse_comment, Annotation};
+use simlint::Rule;
+
+/// Reason alphabet: everything a human writes in justifications except
+/// the `"` that would close the string early.
+const REASON_CHARS: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'k', 'l', 'm', 'n', 'o', 'p', 'r', 's', 't', 'u',
+    'w', 'y', 'A', 'B', 'K', 'R', 'V', '0', '1', '2', '9', ' ', '-', '_', '.', ',', ';', ':', '(',
+    ')', '=', '+', '/', '·', '…',
+];
+
+fn reason_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..REASON_CHARS.len(), 1..60).prop_map(|idxs| {
+        let raw: String = idxs.into_iter().map(|i| REASON_CHARS[i]).collect();
+        // The parser trims the reason; canonical form is pre-trimmed
+        // and non-empty.
+        let trimmed = raw.trim().to_string();
+        if trimmed.is_empty() {
+            "x".to_string()
+        } else {
+            trimmed
+        }
+    })
+}
+
+fn rules_strategy() -> impl Strategy<Value = Vec<Rule>> {
+    proptest::collection::vec(0usize..Rule::ALL.len(), 1..5)
+        .prop_map(|idxs| idxs.into_iter().map(|i| Rule::ALL[i]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// format → parse is the identity on canonical annotations.
+    #[test]
+    fn format_parse_roundtrip(
+        rules in rules_strategy(),
+        reason in reason_strategy(),
+    ) {
+        let a = Annotation { rules, reason };
+        let rendered = a.format();
+        let parsed = parse_comment(&rendered);
+        prop_assert_eq!(parsed, Some(Ok(a)), "rendered: {}", rendered);
+    }
+
+    /// Leading whitespace and doc-comment-style padding around the
+    /// rendered form parse to the same annotation.
+    #[test]
+    fn parse_is_whitespace_insensitive_at_the_edges(
+        rules in rules_strategy(),
+        reason in reason_strategy(),
+        pad in 0usize..4,
+    ) {
+        let a = Annotation { rules, reason };
+        let rendered = format!("{}{}", " ".repeat(pad), a.format());
+        prop_assert_eq!(parse_comment(&rendered), Some(Ok(a)));
+    }
+
+    /// Chopping the tail off a canonical annotation never yields a
+    /// *silently ignored* comment: it either still parses (a shorter
+    /// prefix that happens to be valid cannot occur here, so this arm
+    /// is vacuous) or is reported as a broken annotation.
+    #[test]
+    fn truncations_are_loud(
+        rules in rules_strategy(),
+        reason in reason_strategy(),
+        cut in 1usize..20,
+    ) {
+        let a = Annotation { rules, reason };
+        let rendered = a.format();
+        let chars: Vec<char> = rendered.chars().collect();
+        if cut < chars.len() {
+            let truncated: String = chars[..chars.len() - cut].iter().collect();
+            match parse_comment(&truncated) {
+                None => prop_assert!(
+                    !truncated.trim_start().starts_with("simlint:"),
+                    "simlint-prefixed comment vanished: {truncated:?}"
+                ),
+                Some(Err(_)) => {} // loud: becomes an `annot` finding
+                Some(Ok(parsed)) => {
+                    // Only possible if truncation landed exactly after
+                    // the closing quote… which removes nothing
+                    // semantic. Then it must equal the original.
+                    prop_assert_eq!(parsed, a.clone());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! The acceptance gate, enforced from the test suite as well as from
+//! `scripts/check.sh`: the workspace itself must lint clean — every
+//! remaining suppression carries a written reason (reasonless ones are
+//! `annot` findings and fail this test too).
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_unsuppressed_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let findings = simlint::lint_workspace(&root).expect("workspace walk");
+    assert!(
+        findings.is_empty(),
+        "simlint findings on the tree (fix or annotate with a reason):\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -6,11 +6,17 @@
 #   ./scripts/check.sh serving         # just the serving crate's tests
 #   ./scripts/check.sh chaos-smoke     # fault-injection smoke grid only
 #   ./scripts/check.sh recovery-smoke  # GPU fail-stop crash/recover grid only
+#   ./scripts/check.sh lint            # simlint invariant pass only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [[ "${1:-}" == "serving" ]]; then
     cargo test -q -p serving
+    exit 0
+fi
+
+if [[ "${1:-}" == "lint" ]]; then
+    cargo run --release -q -p simlint
     exit 0
 fi
 
@@ -26,6 +32,7 @@ fi
 
 cargo fmt --check
 cargo clippy --all-targets -- -D warnings
+cargo run --release -q -p simlint
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 cargo test -q
 cargo run --release -q -p bench --bin chaos -- --smoke
