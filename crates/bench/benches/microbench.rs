@@ -43,6 +43,12 @@ fn bench_kv_pool(c: &mut Criterion) {
     group.finish();
 }
 
+// Per-event figures: benches suffixed `_1k` process 1000 events per
+// iteration (2000 queue operations for push+pop), so ns/event is the
+// reported mean divided by the suffix count; unsuffixed benches are one
+// event per iteration. The per-tick budget the driver loop targets is
+// ~400 ns/event end-to-end, so each substrate op here must stay well
+// under that.
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("event_queue_push_pop_1k", |b| {
         let mut rng = SimRng::seed_from(1);
@@ -56,6 +62,71 @@ fn bench_event_queue(c: &mut Criterion) {
                 count += 1;
             }
             black_box(count)
+        })
+    });
+    c.bench_function("event_queue_cancel_1k", |b| {
+        // Steady-state cancellation: half the pushed events are
+        // cancelled (generation bump, no heap traversal), the rest pop
+        // through the lazy-deletion filter — the watchdog/dissociation
+        // pattern in the driver.
+        let mut rng = SimRng::seed_from(2);
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut handles = Vec::with_capacity(1000);
+            for i in 0..1000u64 {
+                handles.push(q.push(SimTime::from_nanos(rng.next_range(1_000_000)), i));
+            }
+            let mut cancelled = 0;
+            for h in handles.iter().step_by(2) {
+                cancelled += usize::from(q.cancel(*h));
+            }
+            while q.pop().is_some() {
+                cancelled += 1;
+            }
+            black_box(cancelled)
+        })
+    });
+}
+
+fn bench_drain_sorted(c: &mut Criterion) {
+    use std::collections::HashMap;
+    c.bench_function("drain_sorted_64", |b| {
+        // The crash-path drain every engine routes through: 64 in-flight
+        // entries collected and key-ordered. Map capacity is retained
+        // across iterations, matching engine reuse.
+        let mut map: HashMap<u64, u64> = HashMap::new();
+        b.iter(|| {
+            for k in 0..64u64 {
+                map.insert(k * 17 % 64, k);
+            }
+            black_box(serving::drain_sorted(&mut map))
+        })
+    });
+}
+
+fn bench_decode_step(c: &mut Criterion) {
+    // One decode iteration through the full gpusim hot path — submit,
+    // boundary scan, progress, completion drain — on a persistent sim,
+    // so slab compaction and scratch reuse are in play exactly as in the
+    // driver loop. One event per iteration: the report IS ns/event.
+    c.bench_function("decode_step", |b| {
+        let mut sim = GpuSim::from_cluster(&ClusterSpec::dgx_a100());
+        let g = sim.create_group((0..8).collect());
+        let d = sim.set_context(g, 108);
+        let mut tag = 0u64;
+        b.iter(|| {
+            tag += 1;
+            let now = sim.now();
+            sim.submit(
+                g,
+                d,
+                WorkItem::new(KernelKind::Decode, 1e11, 2e10, 0.0),
+                now,
+                tag,
+            );
+            let t = sim.next_event_time().expect("kernel scheduled");
+            sim.advance_to(t);
+            black_box(sim.drain_completed().len())
         })
     });
 }
@@ -154,6 +225,8 @@ criterion_group! {
     targets =
     bench_kv_pool,
     bench_event_queue,
+    bench_drain_sorted,
+    bench_decode_step,
     bench_predictor,
     bench_cost_model,
     bench_gpusim,

@@ -4,10 +4,17 @@
 //! `BENCH_sweep.json`.
 //!
 //! The grid is 2 systems × 4 rates of the Fig. 15-style stability sweep
-//! (small request counts so the smoke run finishes in seconds). On a
-//! ≥4-core machine the parallel pass should be ≥2× faster; on fewer
-//! cores the speedup degrades gracefully (and with 1 thread the pool
-//! falls back to the sequential path exactly).
+//! (small request counts so the smoke run finishes in seconds) — 8 jobs,
+//! which keeps the parallel leg at `jobs ≥ cores` on typical runners so
+//! the recorded speedup is meaningful. On a ≥4-core machine the parallel
+//! pass should be ≥2× faster; on fewer cores the speedup degrades
+//! gracefully (and with 1 thread the pool falls back to the sequential
+//! path exactly).
+//!
+//! Wall-clock noise: each leg runs `MUXWISE_SWEEP_REPEATS` times
+//! (default 3) and the best (minimum) wall time is recorded — simulated
+//! work is deterministic, so the minimum is the least-perturbed
+//! measurement; every repeat still asserts bit-identity.
 
 // This binary measures real wall-clock speedup of the worker pool; the
 // timings land in BENCH_sweep.json and never feed simulation state (the
@@ -19,6 +26,14 @@ use bench::banner;
 use bench::sweep::{num_threads, run_sweep, SweepJob};
 use bench::systems::{SystemKind, Testbed};
 use workload::WorkloadKind;
+
+fn repeats() -> usize {
+    std::env::var("MUXWISE_SWEEP_REPEATS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(3)
+}
 
 // Wall-clock is this benchmark's measurand; see the simlint allow above.
 #[allow(clippy::disallowed_methods)]
@@ -46,20 +61,45 @@ fn main() {
     // faults, lazy allocations).
     let _ = jobs[0].run();
 
-    // simlint: allow(R2) reason="times the sequential baseline pass; reporting-only"
-    let t0 = Instant::now();
-    let sequential: Vec<_> = jobs.iter().map(SweepJob::run).collect();
-    let wall_seq = t0.elapsed().as_secs_f64();
+    let reps = repeats();
 
-    // simlint: allow(R2) reason="times the parallel pass; reporting-only"
-    let t1 = Instant::now();
-    let parallel = run_sweep(&jobs);
-    let wall_par = t1.elapsed().as_secs_f64();
+    // Sequential leg: best-of-N, with the decode-coalescing counters and
+    // boundary-event totals taken from the first pass (they are
+    // deterministic, so every pass agrees).
+    let mut wall_seq = f64::INFINITY;
+    let mut sequential = Vec::new();
+    let mut total_events = 0u64;
+    let mut decode_iters = 0u64;
+    let mut coalesced_iters = 0u64;
+    for rep in 0..reps {
+        // simlint: allow(R2) reason="times the sequential baseline pass; reporting-only"
+        let t0 = Instant::now();
+        let full: Vec<_> = jobs.iter().map(SweepJob::run_full).collect();
+        wall_seq = wall_seq.min(t0.elapsed().as_secs_f64());
+        if rep == 0 {
+            total_events = full.iter().flatten().map(|(_, _, events)| events).sum();
+            decode_iters = full.iter().flatten().map(|(_, (it, _), _)| it).sum();
+            coalesced_iters = full.iter().flatten().map(|(_, (_, co), _)| co).sum();
+            sequential = full
+                .into_iter()
+                .map(|r| r.map(|(report, _, _)| report))
+                .collect();
+        }
+    }
 
-    assert_eq!(
-        parallel, sequential,
-        "parallel sweep must be bit-identical to the sequential path"
-    );
+    // Parallel leg: best-of-N; every pass must be bit-identical to the
+    // sequential reports.
+    let mut wall_par = f64::INFINITY;
+    for _ in 0..reps {
+        // simlint: allow(R2) reason="times the parallel pass; reporting-only"
+        let t1 = Instant::now();
+        let parallel = run_sweep(&jobs);
+        wall_par = wall_par.min(t1.elapsed().as_secs_f64());
+        assert_eq!(
+            parallel, sequential,
+            "parallel sweep must be bit-identical to the sequential path"
+        );
+    }
 
     let sim_secs: f64 = sequential
         .iter()
@@ -69,9 +109,18 @@ fn main() {
     let threads = num_threads();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let speedup = wall_seq / wall_par;
+    let coalescing_ratio = if decode_iters > 0 {
+        coalesced_iters as f64 / decode_iters as f64
+    } else {
+        0.0
+    };
+    assert!(
+        jobs.len() >= cores.min(8),
+        "parallel leg needs jobs >= cores for a meaningful speedup figure"
+    );
 
     println!("jobs: {} (2 systems x 4 rates)", jobs.len());
-    println!("threads: {threads} (cores available: {cores})");
+    println!("threads: {threads} (cores available: {cores}), best of {reps} passes");
     println!(
         "sequential: {wall_seq:.3}s wall, {:.0} sim-s/wall-s",
         sim_secs / wall_seq
@@ -81,17 +130,31 @@ fn main() {
         sim_secs / wall_par
     );
     println!("speedup: {speedup:.2}x (expect >=2x on a >=4-core runner)");
+    println!(
+        "events: {total_events} ({:.0} events/wall-s parallel)",
+        total_events as f64 / wall_par
+    );
+    println!(
+        "decode iterations: {decode_iters} ({coalesced_iters} macro-coalesced, ratio {coalescing_ratio:.3})"
+    );
 
     let record = serde_json::json!({
         "bench": "sweep_smoke",
         "jobs": jobs.len(),
         "threads": threads,
         "cores": cores,
+        "repeats": reps,
         "simulated_seconds": sim_secs,
         "wall_sequential_s": wall_seq,
         "wall_parallel_s": wall_par,
         "sim_seconds_per_wall_second_sequential": sim_secs / wall_seq,
         "sim_seconds_per_wall_second_parallel": sim_secs / wall_par,
+        "events": total_events,
+        "events_per_wall_second_sequential": total_events as f64 / wall_seq,
+        "events_per_wall_second_parallel": total_events as f64 / wall_par,
+        "decode_iterations": decode_iters,
+        "decode_iterations_coalesced": coalesced_iters,
+        "macro_coalescing_ratio": coalescing_ratio,
         "speedup": speedup,
         "identical_results": true,
     });

@@ -69,6 +69,35 @@ pub fn stability_run(
     rate: f64,
     seed: u64,
 ) -> Option<Report> {
+    stability_run_stats(tb, kind, workload, n, rate, seed).map(|(report, _)| report)
+}
+
+/// [`stability_run`] variant that also returns the engine's decode
+/// coalescing counters `(total iterations, macro-coalesced iterations)`
+/// — zero for engines without a macro-stepped fast path. The report is
+/// bit-identical to [`stability_run`]'s.
+pub fn stability_run_stats(
+    tb: &Testbed,
+    kind: SystemKind,
+    workload: WorkloadKind,
+    n: usize,
+    rate: f64,
+    seed: u64,
+) -> Option<(Report, (u64, u64))> {
+    stability_run_full(tb, kind, workload, n, rate, seed).map(|(report, iters, _)| (report, iters))
+}
+
+/// [`stability_run_stats`] variant that additionally returns the
+/// simulator's boundary-event count, for events/wall-second reporting.
+/// The report stays bit-identical to [`stability_run`]'s.
+pub fn stability_run_full(
+    tb: &Testbed,
+    kind: SystemKind,
+    workload: WorkloadKind,
+    n: usize,
+    rate: f64,
+    seed: u64,
+) -> Option<(Report, (u64, u64), u64)> {
     let mut rng = SimRng::seed_from(seed);
     let reqs = generate(workload, n, rate, &mut rng);
     let max_out = reqs.iter().map(|r| r.output_tokens).max().unwrap_or(0) as f64;
@@ -78,11 +107,19 @@ pub fn stability_run(
     // bound. Overload is still caught by the TTFT-divergence check.
     let grace = (60.0 + max_out * tb.slo.tbt.as_secs() * 0.35).min(1_800.0);
     let span = n as f64 / rate;
-    let mut report = run_poisson_horizon(tb, kind, workload, n, rate, seed, grace)?;
+    let horizon = reqs
+        .last()
+        .map(|r| r.arrival + simcore::SimDuration::from_secs(grace))
+        .unwrap_or(SimTime::from_secs(grace));
+    let mut engine = tb.build(kind)?;
+    let gpu = GpuSim::from_cluster(&tb.cluster);
+    let (mut report, events) = Driver::new(gpu, reqs, tb.slo)
+        .with_max_sim_time(horizon)
+        .run_stats(engine.as_mut());
     if report.ttft.p99() > 0.5 * span {
         report.diverged = true;
     }
-    Some(report)
+    Some((report, engine.decode_iter_stats(), events))
 }
 
 /// Goodput search for one system: sweeps the given rates (Fig. 15).

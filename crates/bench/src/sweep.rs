@@ -135,6 +135,34 @@ impl SweepJob<'_> {
             self.seed,
         )
     }
+
+    /// Like [`SweepJob::run`] but also returns the engine's decode
+    /// coalescing counters `(total, coalesced)`; the report itself is
+    /// bit-identical.
+    pub fn run_with_stats(&self) -> Option<(Report, (u64, u64))> {
+        crate::harness::stability_run_stats(
+            self.tb,
+            self.kind,
+            self.workload,
+            self.n,
+            self.rate,
+            self.seed,
+        )
+    }
+
+    /// Like [`SweepJob::run_with_stats`] but also returns the
+    /// simulator's boundary-event count for events/wall-second
+    /// reporting; the report remains bit-identical.
+    pub fn run_full(&self) -> Option<(Report, (u64, u64), u64)> {
+        crate::harness::stability_run_full(
+            self.tb,
+            self.kind,
+            self.workload,
+            self.n,
+            self.rate,
+            self.seed,
+        )
+    }
 }
 
 /// Runs a batch of sweep jobs on the worker pool; results come back in

@@ -20,11 +20,15 @@ use crate::config::{Estimators, MuxWiseConfig};
 /// What a kernel-completion tag refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Tag {
-    /// One decode iteration.
-    DecodeIter,
     /// One prefill layer (or whole-phase launch) of prefill job `gen`.
     PrefillLayer { gen: u64 },
 }
+
+/// Reserved tag for decode-iteration kernels. Exactly one decode kernel
+/// is ever in flight, so its completion is recognized by value instead
+/// of a per-iteration `tags` map insert/remove. `next_tag` counts up
+/// from 1 and can never collide.
+const DECODE_TAG: u64 = u64::MAX;
 
 /// One request being prefilled.
 #[derive(Debug)]
@@ -39,6 +43,10 @@ struct PrefillReq {
 struct PrefillJob {
     gen: u64,
     reqs: Vec<PrefillReq>,
+    /// Cached `Σ new_tokens` / `Σ reused_tokens` over `reqs` (fixed at
+    /// admission), so guard queries need no per-request fold.
+    new_sum: u64,
+    reused_sum: u64,
     layers_done: u32,
     layers_inflight: u32,
     earliest_arrival: SimTime,
@@ -57,6 +65,16 @@ struct DecodeInflight {
     ready_at: SimTime,
     predicted_solo: f64,
     corun: Option<GuardQuery>,
+}
+
+/// One candidate partition of the macro-step dispatcher's cached
+/// best-fit scan: the resolved Eq. 2 plane set plus the guard factor
+/// for the current (context-bucket, batch) grid cell.
+#[derive(Debug)]
+struct MacroCand {
+    sms: u32,
+    planes: Vec<Vec<f64>>,
+    factor: f64,
 }
 
 /// The MuxWise serving engine. See the [crate docs](crate) and
@@ -107,6 +125,34 @@ pub struct MuxWise {
     next_tag: u64,
     next_gen: u64,
     tags: HashMap<u64, Tag>,
+
+    /// Reused per-iteration scratch (hot-loop allocation freedom): the
+    /// decode context slice handed to the cost model, eviction victims,
+    /// and retired slots.
+    ctx_scratch: Vec<u64>,
+    victim_scratch: Vec<ReqId>,
+    retired_scratch: Vec<DecodeSlot>,
+
+    /// Macro-step (coalesced decode) state: armed when the previous
+    /// launch proved the engine quiescent — no prefill anywhere, nothing
+    /// waiting or joining — so the next launch may skip the full prelude
+    /// after cheap invariant re-checks. Every other entry point clears
+    /// the flag.
+    macro_armed: bool,
+    /// Cached candidate partitions for the fast best-fit scan.
+    macro_cands: Vec<MacroCand>,
+    /// `(context bucket, batch size)` the cached guard factors were
+    /// computed at; a mismatch forces a refresh.
+    macro_key: (u8, usize),
+    /// Cached TBT budget of the quiescent regime, computed with the same
+    /// float ops as `desired_decode_sms`.
+    macro_budget: f64,
+    /// The factor/budget caches are current (cleared on fault
+    /// transitions and online guard refinements).
+    macro_valid: bool,
+    /// Decode iterations launched in total / via the macro fast path.
+    decode_iters: u64,
+    coalesced_iters: u64,
 
     /// `(time, decode SMs)` at every partition change (Fig. 18).
     partition_log: Vec<(SimTime, u32)>,
@@ -166,6 +212,16 @@ impl MuxWise {
             next_tag: 1,
             next_gen: 1,
             tags: HashMap::new(),
+            ctx_scratch: Vec::new(),
+            victim_scratch: Vec::new(),
+            retired_scratch: Vec::new(),
+            macro_armed: false,
+            macro_cands: Vec::new(),
+            macro_key: (u8::MAX, 0),
+            macro_budget: 0.0,
+            macro_valid: false,
+            decode_iters: 0,
+            coalesced_iters: 0,
             partition_log: Vec::new(),
             peak_decode_batch: 0,
         }
@@ -202,6 +258,13 @@ impl MuxWise {
         self.peak_decode_batch
     }
 
+    /// `(total decode iterations, macro-coalesced iterations)`. A
+    /// coalesced iteration took the fast launch path; it is bit-identical
+    /// to a full launch, so the ratio is pure telemetry.
+    pub fn decode_iter_stats(&self) -> (u64, u64) {
+        (self.decode_iters, self.coalesced_iters)
+    }
+
     /// Requests dropped because they could never fit the pool.
     pub fn dropped(&self) -> u64 {
         self.lifecycle.counters().drops
@@ -236,6 +299,7 @@ impl MuxWise {
     /// exists at all, decode takes the largest partition instead — idle
     /// SMs would otherwise be wasted (the Fig. 18 OpenThoughts regime,
     /// where most SMs serve decode).
+    // simlint: hot
     fn desired_decode_sms(&self, ctx: &ServeCtx) -> u32 {
         if self.decode.is_empty() && self.pending_join.is_empty() {
             return self.partition_configs[0];
@@ -246,11 +310,13 @@ impl MuxWise {
             // let online refinement re-learn the guard.
             return *self.partition_configs.last().expect("non-empty configs");
         }
-        let ctxs: Vec<u64> = self
-            .decode
-            .contexts()
-            .chain(self.pending_join.iter().map(|s| s.context))
-            .collect();
+        // Eq. 2 and the guard key only read (Σ context, batch); both are
+        // exact u64 aggregates, so no per-slot slice is materialized.
+        let mut ctx_sum = self.decode.context_sum();
+        for s in &self.pending_join {
+            ctx_sum += s.context;
+        }
+        let batch = self.decode.len() + self.pending_join.len();
         let mut budget =
             self.slo.tbt.as_secs() * self.cfg.tbt_margin - ctx.gpu.spec().graph_launch.as_secs();
         if self.prefill.is_none() && self.preempted.is_none() && self.waiting.is_empty() {
@@ -259,9 +325,11 @@ impl MuxWise {
             budget *= 0.3;
         }
         for &sms in &self.partition_configs {
-            let solo = self.est.predictor.decode_latency(sms, &ctxs);
+            let solo = self.est.predictor.decode_latency_agg(sms, ctx_sum, batch);
             let factor = if self.cfg.contention_guard {
-                self.est.guard.factor(&self.guard_query(sms, &ctxs))
+                self.est
+                    .guard
+                    .factor(&self.guard_query(sms, ctx_sum, batch))
             } else {
                 1.0
             };
@@ -272,22 +340,21 @@ impl MuxWise {
         *self.partition_configs.last().expect("non-empty configs")
     }
 
-    fn guard_query(&self, sms: u32, ctxs: &[u64]) -> GuardQuery {
+    // simlint: hot
+    fn guard_query(&self, sms: u32, ctx_sum: u64, batch: usize) -> GuardQuery {
         let (p_new, p_reused) = match &self.prefill {
-            Some(job) => job.reqs.iter().fold((0, 0), |(n, r), pr| {
-                (n + pr.seq.new_tokens, r + pr.seq.reused_tokens)
-            }),
+            Some(job) => (job.new_sum, job.reused_sum),
             None => (0, 0),
         };
-        let avg_ctx = if ctxs.is_empty() {
+        let avg_ctx = if batch == 0 {
             0
         } else {
-            ctxs.iter().sum::<u64>() / ctxs.len() as u64
+            ctx_sum / batch as u64
         };
         GuardQuery {
             prefill_new: p_new,
             prefill_reused: p_reused,
-            decode_batch: ctxs.len().max(1),
+            decode_batch: batch.max(1),
             decode_context: avg_ctx,
             decode_sms: sms,
         }
@@ -328,6 +395,74 @@ impl MuxWise {
             let now = ctx.now();
             self.host_submit(now, SimDuration::from_secs(stall));
         }
+    }
+
+    /// Fast re-check that `try_apply_partition` would keep the current
+    /// partition, valid only under the macro invariants (no prefill job,
+    /// no preempted job, empty waiting queue, empty join queue). It
+    /// replays `desired_decode_sms`'s arithmetic bit-for-bit from cached
+    /// plane sets and guard factors, so "stable" here means the full
+    /// path would have been a no-op — any other answer demotes the
+    /// launch to the full path, which recomputes from scratch.
+    // simlint: hot
+    fn macro_partition_stable(&mut self, ctx: &ServeCtx) -> bool {
+        if !self.cfg.backend.can_reconfigure() && !self.partition_log.is_empty() {
+            return true; // MIG-style static slicing never resizes
+        }
+        let last = *self.partition_configs.last().expect("non-empty configs");
+        if self.fault_mode {
+            return self.decode_sms == last;
+        }
+        let ctx_sum = self.decode.context_sum();
+        let batch = self.decode.len();
+        let bucket = estimator::guard::context_bucket(ctx_sum / batch as u64);
+        if !self.macro_valid || self.macro_key != (bucket, batch) {
+            self.macro_refresh(ctx, ctx_sum, batch, bucket);
+        }
+        let f = [ctx_sum as f64, batch as f64, 1.0];
+        for cand in &self.macro_cands {
+            let solo = estimator::linreg::predict_max_affine(&cand.planes, &f).max(0.0);
+            if solo * cand.factor <= self.macro_budget {
+                return cand.sms == self.decode_sms;
+            }
+        }
+        self.decode_sms == last
+    }
+
+    /// Rebuilds the macro-step caches: resolved decode planes per
+    /// candidate partition (once — the predictor is immutable), the
+    /// quiescent-regime TBT budget, and the guard factor for the current
+    /// grid cell. All three reproduce `desired_decode_sms`'s exact
+    /// float operations under the macro invariants.
+    fn macro_refresh(&mut self, ctx: &ServeCtx, ctx_sum: u64, batch: usize, bucket: u8) {
+        if self.macro_cands.is_empty() {
+            for &sms in &self.partition_configs {
+                self.macro_cands.push(MacroCand {
+                    sms,
+                    planes: self.est.predictor.decode_planes(sms).to_vec(),
+                    factor: 1.0,
+                });
+            }
+        }
+        // Same ops in the same order as `desired_decode_sms`; the 0.3
+        // no-prefill scaling always applies in the quiescent regime.
+        let mut budget =
+            self.slo.tbt.as_secs() * self.cfg.tbt_margin - ctx.gpu.spec().graph_launch.as_secs();
+        budget *= 0.3;
+        self.macro_budget = budget;
+        for i in 0..self.macro_cands.len() {
+            let sms = self.macro_cands[i].sms;
+            let factor = if self.cfg.contention_guard {
+                self.est
+                    .guard
+                    .factor(&self.guard_query(sms, ctx_sum, batch))
+            } else {
+                1.0
+            };
+            self.macro_cands[i].factor = factor;
+        }
+        self.macro_key = (bucket, batch);
+        self.macro_valid = true;
     }
 
     fn prefill_sms(&self) -> u32 {
@@ -436,9 +571,14 @@ impl MuxWise {
             .expect("non-empty");
         let gen = self.next_gen;
         self.next_gen += 1;
+        let (new_sum, reused_sum) = reqs.iter().fold((0, 0), |(n, r), pr| {
+            (n + pr.seq.new_tokens, r + pr.seq.reused_tokens)
+        });
         self.prefill = Some(PrefillJob {
             gen,
             reqs,
+            new_sum,
+            reused_sum,
             layers_done: resume,
             layers_inflight: 0,
             earliest_arrival: earliest,
@@ -519,17 +659,21 @@ impl MuxWise {
             .predictor
             .prefill_latency(self.prefill_sms(), batch)
             .max(1e-6);
-        let ctxs: Vec<u64> = self.decode.contexts().collect();
-        if ctxs.is_empty() {
+        if self.decode.is_empty() {
             return remaining;
         }
-        let t_d = self.est.predictor.decode_latency(self.decode_sms, &ctxs);
+        let t_d = self.est.predictor.decode_latency_agg(
+            self.decode_sms,
+            self.decode.context_sum(),
+            self.decode.len(),
+        );
         let n_pl = (t_d * self.model.num_layers as f64 / t_p).ceil() as u32;
         n_pl.clamp(1, remaining)
     }
 
     /// Handles completion of one prefill layer (or whole-phase launch).
     fn on_prefill_layer_done(&mut self, gen: u64, ctx: &mut ServeCtx) {
+        self.macro_armed = false;
         let in_current = self.prefill.as_ref().map(|j| j.gen) == Some(gen);
         let job = if in_current {
             self.prefill.as_mut()
@@ -617,18 +761,33 @@ impl MuxWise {
 
     // ---- decode side ----------------------------------------------------------
 
+    // simlint: hot
     fn launch_decode(&mut self, ctx: &mut ServeCtx) {
         if self.decode_inflight.is_some() || self.decode_blocked || self.down {
             return;
         }
-        // Query-based sync: merge finished prefills at the launch
-        // boundary.
-        while self.decode.len() < self.cfg.max_decode_batch && !self.pending_join.is_empty() {
-            self.decode.push(self.pending_join.remove(0));
+        // Macro fast path: the previous launch proved the engine
+        // quiescent — no prefill anywhere, nothing waiting or joining —
+        // so the merge/partition/prefill prelude can be skipped after
+        // cheap invariant re-checks. Any deviation (pool victims, a
+        // partition the best-fit scan would now change) demotes this
+        // launch to the full path, which recomputes everything.
+        let mut fast = self.macro_armed;
+        self.macro_armed = false;
+        if !fast {
+            // Query-based sync: merge finished prefills at the launch
+            // boundary.
+            while self.decode.len() < self.cfg.max_decode_batch && !self.pending_join.is_empty() {
+                self.decode.push(self.pending_join.remove(0));
+            }
+            if self.decode.is_empty() {
+                return;
+            }
         }
-        if self.decode.is_empty() {
-            return;
-        }
+        debug_assert!(
+            !fast || (self.pending_join.is_empty() && !self.decode.is_empty()),
+            "macro arm invariants violated"
+        );
         let (group, d_ctx) = match (self.group, self.decode_ctx) {
             (Some(g), Some(d)) => (g, d),
             _ => return,
@@ -637,38 +796,74 @@ impl MuxWise {
         // victims if the pool is truly exhausted.
         let now = ctx.now();
         let table = self.table.as_mut().expect("table");
-        for id in self.decode.grow_for_iteration(table, now) {
-            self.waiting.push_front(id);
-            self.lifecycle.requeue(id);
+        self.decode
+            .grow_for_iteration_into(table, now, &mut self.victim_scratch);
+        if !self.victim_scratch.is_empty() {
+            // Requeues repopulate `waiting`, which feeds the partition
+            // budget: full prelude required.
+            fast = false;
+            for i in 0..self.victim_scratch.len() {
+                let id = self.victim_scratch[i];
+                self.waiting.push_front(id);
+                self.lifecycle.requeue(id);
+            }
+            if self.decode.is_empty() {
+                return;
+            }
         }
-        if self.decode.is_empty() {
-            return;
+        if fast && self.macro_partition_stable(ctx) {
+            // Unchanged slot set: every context advanced by exactly one
+            // token since the scratch was built.
+            for c in &mut self.ctx_scratch {
+                *c += 1;
+            }
+            self.coalesced_iters += 1;
+        } else {
+            self.try_apply_partition(ctx);
+            // A deferred prefill launch (waiting for this resize) can go
+            // now.
+            if job_idle(self.prefill.as_ref()) {
+                self.launch_prefill_layers(ctx);
+            }
+            self.peak_decode_batch = self.peak_decode_batch.max(self.decode.len());
+            self.ctx_scratch.clear();
+            self.ctx_scratch.extend(self.decode.contexts());
         }
-
-        self.try_apply_partition(ctx);
-        // A deferred prefill launch (waiting for this resize) can go now.
-        if job_idle(self.prefill.as_ref()) {
-            self.launch_prefill_layers(ctx);
-        }
-        self.peak_decode_batch = self.peak_decode_batch.max(self.decode.len());
-        let ctxs: Vec<u64> = self.decode.contexts().collect();
-        let work = self.model.decode_iter_work(&ctxs, &self.par);
+        self.decode_iters += 1;
+        let work = self.model.decode_iter_work(&self.ctx_scratch, &self.par);
         let spec_launch = ctx.gpu.spec().graph_launch;
         let ready = self.host_submit(now, spec_launch);
-        let tag = self.alloc_tag(Tag::DecodeIter);
-        ctx.gpu.submit(group, d_ctx, work, ready, tag);
-        let corun = self
-            .prefill
-            .as_ref()
-            .filter(|j| j.layers_inflight > 0)
-            .map(|_| self.guard_query(self.decode_sms, &ctxs));
+        ctx.gpu.submit(group, d_ctx, work, ready, DECODE_TAG);
+        // The guard query, its solo prediction, and the O(batch) context
+        // sum feeding them are only needed when a co-running prefill
+        // turns this iteration into a guard observation.
+        let (corun, predicted_solo) =
+            if self.prefill.as_ref().is_some_and(|j| j.layers_inflight > 0) {
+                let ctx_sum = self.decode.context_sum();
+                let batch = self.decode.len();
+                (
+                    Some(self.guard_query(self.decode_sms, ctx_sum, batch)),
+                    self.est
+                        .predictor
+                        .decode_latency_agg(self.decode_sms, ctx_sum, batch),
+                )
+            } else {
+                (None, 0.0)
+            };
         self.decode_inflight = Some(DecodeInflight {
             ready_at: ready,
-            predicted_solo: self.est.predictor.decode_latency(self.decode_sms, &ctxs),
+            predicted_solo,
             corun,
         });
+        // Re-arm for the next iteration only in the quiescent regime.
+        self.macro_armed = self.cfg.macro_steps
+            && self.prefill.is_none()
+            && self.preempted.is_none()
+            && self.waiting.is_empty()
+            && self.pending_join.is_empty();
     }
 
+    // simlint: hot
     fn on_decode_done(&mut self, ctx: &mut ServeCtx) {
         if let Some(inflight) = self.decode_inflight.take() {
             // Online refinement of the contention guard (§3.3.2).
@@ -678,12 +873,22 @@ impl MuxWise {
                     self.est
                         .guard
                         .observe(&q, measured / inflight.predicted_solo);
+                    // A refined cell may invalidate cached factors.
+                    self.macro_valid = false;
                 }
             }
         }
-        for slot in self.decode.advance_iteration(ctx) {
+        let mut retired = std::mem::take(&mut self.retired_scratch);
+        self.decode.advance_iteration_into(ctx, &mut retired);
+        if !retired.is_empty() {
+            // The slot set changed: the cached context scratch no longer
+            // describes the batch.
+            self.macro_armed = false;
+        }
+        for slot in retired.drain(..) {
             self.retire_slot(slot, ctx);
         }
+        self.retired_scratch = retired;
         if !self.cfg.query_sync && self.prefill.is_some() {
             // Ablation: block the next decode launch on the prefill
             // phase's completion (the stall of Fig. 19).
@@ -771,6 +976,8 @@ impl MuxWise {
         let est_full = self.est.predictor.prefill_latency(psms, &[seq]);
         self.prefill = Some(PrefillJob {
             gen,
+            new_sum: seq.new_tokens,
+            reused_sum: seq.reused_tokens,
             reqs: vec![PrefillReq { id, seq, lease }],
             layers_done: 0,
             layers_inflight: 0,
@@ -809,6 +1016,7 @@ impl Scheduler for MuxWise {
     }
 
     fn on_arrival(&mut self, id: ReqId, ctx: &mut ServeCtx) {
+        self.macro_armed = false;
         self.maybe_preempt(id, ctx);
         if self
             .prefill
@@ -825,8 +1033,17 @@ impl Scheduler for MuxWise {
     }
 
     fn on_kernel_done(&mut self, tag: u64, ctx: &mut ServeCtx) {
+        if tag == DECODE_TAG {
+            // The reserved decode tag never enters the `tags` map. A
+            // stale decode completion (none exist today — crashes cancel
+            // in-flight kernels — but cheap to guard) is ignored exactly
+            // as a cleared map entry used to be.
+            if self.decode_inflight.is_some() {
+                self.on_decode_done(ctx);
+            }
+            return;
+        }
         match self.tags.remove(&tag) {
-            Some(Tag::DecodeIter) => self.on_decode_done(ctx),
             Some(Tag::PrefillLayer { gen }) => self.on_prefill_layer_done(gen, ctx),
             None => {}
         }
@@ -847,6 +1064,15 @@ impl Scheduler for MuxWise {
         self.lifecycle.counters()
     }
 
+    fn decode_iter_stats(&self) -> (u64, u64) {
+        (self.decode_iters, self.coalesced_iters)
+    }
+
+    fn set_macro_steps(&mut self, on: bool) {
+        self.cfg.macro_steps = on;
+        self.macro_armed = false;
+    }
+
     fn lease_tables(&self) -> Vec<&LeaseTable> {
         self.table.iter().collect()
     }
@@ -856,6 +1082,10 @@ impl Scheduler for MuxWise {
     }
 
     fn on_fault(&mut self, active: &[FaultKind], _ctx: &mut ServeCtx) {
+        // Fault boundaries can shrink the pool or flip `fault_mode`;
+        // both break the macro invariants and the cached factors.
+        self.macro_armed = false;
+        self.macro_valid = false;
         let degraded = !active.is_empty();
         if degraded && !self.fault_mode {
             // The hardware changed under the offline profile: discard
@@ -867,6 +1097,7 @@ impl Scheduler for MuxWise {
     }
 
     fn on_shed(&mut self, id: ReqId, _ctx: &mut ServeCtx) -> bool {
+        self.macro_armed = false;
         if let Some(pos) = self.waiting.iter().position(|&w| w == id) {
             self.waiting.remove(pos);
             self.lifecycle.drop_request(id);
@@ -885,6 +1116,7 @@ impl Scheduler for MuxWise {
         // death takes the whole engine down: all in-flight kernels were
         // cancelled by the driver and every running request loses its
         // device-resident KV.
+        self.macro_armed = false;
         self.down = true;
         self.tags.clear();
         self.decode_inflight = None;
@@ -948,9 +1180,20 @@ impl Scheduler for MuxWise {
                 return; // another device of the group is still down
             }
         }
+        self.macro_armed = false;
         self.down = false;
         self.try_start_prefill(ctx);
         self.launch_decode(ctx);
+    }
+
+    fn on_transfer_done(&mut self, _tag: u64, _ctx: &mut ServeCtx) {
+        // MuxWise schedules no transfers, but any external event breaks
+        // the macro-step quiescence proof on principle.
+        self.macro_armed = false;
+    }
+
+    fn on_timer(&mut self, _tag: u64, _ctx: &mut ServeCtx) {
+        self.macro_armed = false;
     }
 }
 

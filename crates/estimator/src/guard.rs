@@ -45,6 +45,15 @@ fn batch_bucket(bs: usize) -> u8 {
     (bs.max(1) as f64).log2().round() as u8
 }
 
+/// The grid bucket of a `decode_context` value. Exposed so dispatchers
+/// caching a [`ContentionGuard::factor`] across decode iterations can
+/// tell exactly when a growing context crosses into a new cell (only
+/// then can the cached factor go stale: the other four key dimensions
+/// are fixed while the batch composition is unchanged).
+pub fn context_bucket(tokens: u64) -> u8 {
+    token_bucket(tokens)
+}
+
 /// Worst-case decode slowdown factors, indexed by the coarse grid.
 ///
 /// Cells hold the **max** slowdown observed — by offline grid profiling

@@ -145,8 +145,30 @@ impl SoloPredictor {
     /// the given per-request context lengths (Eq. 2).
     pub fn decode_latency(&self, sms: u32, context_lens: &[u64]) -> f64 {
         let sum_r: u64 = context_lens.iter().sum();
-        let f = [sum_r as f64, context_lens.len() as f64, 1.0];
+        self.decode_latency_agg(sms, sum_r, context_lens.len())
+    }
+
+    /// [`SoloPredictor::decode_latency`] from pre-aggregated inputs: the
+    /// `u64` context sum and batch size. Eq. 2 only reads these two
+    /// aggregates (the sum is integer arithmetic, so an incrementally
+    /// maintained sum is bit-identical to a fresh scan), which lets hot
+    /// paths keep running sums instead of re-walking the batch at every
+    /// iteration boundary.
+    // simlint: hot
+    pub fn decode_latency_agg(&self, sms: u32, context_sum: u64, batch: usize) -> f64 {
+        let f = [context_sum as f64, batch as f64, 1.0];
         predict_max_affine(&self.coef(sms).decode, &f).max(0.0)
+    }
+
+    /// The resolved decode plane set for `sms` — the exact coefficients
+    /// [`decode_latency_agg`](Self::decode_latency_agg) evaluates after
+    /// its nearest-partition lookup. Dispatchers that probe the same
+    /// candidate partitions every decode iteration can cache these and
+    /// call [`predict_max_affine`] directly
+    /// for bit-identical latencies without the per-call
+    /// `BTreeMap` walk.
+    pub fn decode_planes(&self, sms: u32) -> &[Vec<f64>] {
+        &self.coef(sms).decode
     }
 
     /// The number of transformer layers of the profiled model.

@@ -67,6 +67,24 @@ struct Group {
     util_accum: f64,
     accounted_from: SimTime,
     alive: bool,
+    /// Cached `(kernel, speed)` pairs for the current running set, in
+    /// context-index order. Speeds are a pure function of the running-set
+    /// configuration (membership, SM sizes, degradation), so the cache is
+    /// bit-identical to recomputing; it is rebuilt lazily whenever
+    /// `speeds_dirty` is set by a mutation that can change the set.
+    speeds: Vec<(KernelId, f64)>,
+    speeds_dirty: bool,
+}
+
+/// Reusable buffers for the speed recomputation, so the per-event hot
+/// path allocates nothing once warmed up.
+#[derive(Debug, Default)]
+struct SpeedScratch {
+    running: Vec<KernelId>,
+    demands: Vec<f64>,
+    weights: Vec<f64>,
+    grants: Vec<f64>,
+    satisfied: Vec<bool>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +113,76 @@ struct Kernel {
     comp_frac: f64,
     /// Fraction of the work remaining, 1.0 → 0.0.
     remaining: f64,
+}
+
+/// Kernel storage with a sliding base: retired kernels at the front of
+/// the slab are reclaimed in batches, so the table stays O(live) for
+/// arbitrarily long runs instead of growing — and re-copying on every
+/// capacity doubling — with each submission. `KernelId`s are stable
+/// (an id is `base + slab index`), so context queues, speed caches,
+/// and drained completion pairs are unaffected by compaction.
+#[derive(Debug)]
+struct KernelTable {
+    base: usize,
+    slab: Vec<Kernel>,
+}
+
+/// Compaction is attempted only past this slab length (keeps the
+/// prefix walk off short-lived simulators entirely).
+const COMPACT_MIN_LEN: usize = 128;
+/// Minimum retired prefix worth a memmove of the live tail.
+const COMPACT_MIN_PREFIX: usize = 64;
+
+impl KernelTable {
+    fn new() -> KernelTable {
+        KernelTable {
+            base: 0,
+            slab: Vec::new(),
+        }
+    }
+
+    /// The id the next pushed kernel will receive.
+    #[inline]
+    fn next_id(&self) -> KernelId {
+        KernelId(self.base + self.slab.len())
+    }
+
+    #[inline]
+    fn push(&mut self, k: Kernel) {
+        self.slab.push(k);
+    }
+
+    // simlint: hot
+    #[inline]
+    fn get(&self, id: KernelId) -> &Kernel {
+        &self.slab[id.0 - self.base]
+    }
+
+    // simlint: hot
+    #[inline]
+    fn get_mut(&mut self, id: KernelId) -> &mut Kernel {
+        &mut self.slab[id.0 - self.base]
+    }
+
+    /// Reclaims the retired (`Done`/`Cancelled`) prefix in batches. The
+    /// drain memmoves only the few live kernels at the tail, so total
+    /// copy traffic over a run is bounded by live-set size × number of
+    /// compactions — kilobytes where unbounded growth copied megabytes.
+    // simlint: hot
+    fn compact(&mut self) {
+        if self.slab.len() < COMPACT_MIN_LEN {
+            return;
+        }
+        let retired = self
+            .slab
+            .iter()
+            .take_while(|k| matches!(k.state, KernelState::Done | KernelState::Cancelled))
+            .count();
+        if retired >= COMPACT_MIN_PREFIX {
+            self.slab.drain(..retired);
+            self.base += retired;
+        }
+    }
 }
 
 /// A hardware degradation applied to the simulator for a fault window
@@ -167,16 +255,24 @@ pub struct GpuSim {
     num_gpus: u32,
     now: SimTime,
     groups: Vec<Group>,
-    kernels: Vec<Kernel>,
+    kernels: KernelTable,
     completed: Vec<(KernelId, u64)>,
     links: Links,
     degrade: DegradeState,
+    speed_scratch: SpeedScratch,
     /// Fail-stop state per GPU. Deliberately *not* part of
     /// [`DegradeState`]: degradation is recomputed from scratch at every
     /// fault boundary ([`GpuSim::clear_degradation`]), while a dead GPU
     /// stays dead until [`GpuSim::recover_gpu`]. All-false on healthy
     /// runs, keeping the hot path untouched.
     dead: Vec<bool>,
+    /// Cached `dead.iter().any()` so the healthy hot path never scans
+    /// the per-GPU vector (updated by fail/recover only).
+    any_dead: bool,
+    /// Boundary events processed (kernel starts/completions, link
+    /// completions) — pure telemetry for throughput reporting; never
+    /// feeds simulation state or replay-visible output.
+    events: u64,
 }
 
 /// Minimum meaningful solo duration; protects against zero-work kernels.
@@ -197,11 +293,14 @@ impl GpuSim {
             num_gpus,
             now: SimTime::ZERO,
             groups: Vec::new(),
-            kernels: Vec::new(),
+            kernels: KernelTable::new(),
             completed: Vec::new(),
             links: Links::new(nvlink_gbs),
             degrade: DegradeState::healthy(num_gpus),
+            speed_scratch: SpeedScratch::default(),
             dead: vec![false; num_gpus as usize],
+            any_dead: false,
+            events: 0,
         }
     }
 
@@ -213,6 +312,12 @@ impl GpuSim {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Total boundary events processed since construction — telemetry
+    /// for events/wall-second reporting (never replay-visible).
+    pub fn events_processed(&self) -> u64 {
+        self.events
     }
 
     /// The GPU model simulated.
@@ -243,6 +348,8 @@ impl GpuSim {
             util_accum: 0.0,
             accounted_from: self.now,
             alive: true,
+            speeds: Vec::new(),
+            speeds_dirty: true,
         });
         GroupId(self.groups.len() - 1)
     }
@@ -259,6 +366,7 @@ impl GpuSim {
             "destroying group with pending kernels"
         );
         g.alive = false;
+        g.speeds_dirty = true;
         for c in &mut g.ctxs {
             c.alive = false;
         }
@@ -288,6 +396,7 @@ impl GpuSim {
             busy: SimDuration::ZERO,
             alive: true,
         });
+        g.speeds_dirty = true;
         CtxId(g.ctxs.len() - 1)
     }
 
@@ -314,6 +423,7 @@ impl GpuSim {
         assert!(c.queue.is_empty(), "resizing a busy context");
         c.sms = sms;
         c.available_at = self.now + self.spec.reconfig_cost;
+        g.speeds_dirty = true;
     }
 
     /// Removes a context, freeing its SMs.
@@ -325,6 +435,7 @@ impl GpuSim {
         let c = &mut self.groups[group.0].ctxs[ctx.0];
         assert!(c.queue.is_empty(), "removing a busy context");
         c.alive = false;
+        self.groups[group.0].speeds_dirty = true;
     }
 
     /// The SM count of a live context.
@@ -344,7 +455,7 @@ impl GpuSim {
 
     /// The group a kernel was submitted to.
     pub fn kernel_group(&self, kernel: KernelId) -> GroupId {
-        self.kernels[kernel.0].group
+        self.kernels.get(kernel).group
     }
 
     /// Submits a kernel to a context's FIFO queue. The kernel cannot start
@@ -364,7 +475,7 @@ impl GpuSim {
     ) -> KernelId {
         let g = &self.groups[group.0];
         assert!(g.alive, "group destroyed");
-        if self.dead.iter().any(|&d| d) {
+        if self.any_dead {
             assert!(
                 g.gpus.iter().all(|&gpu| !self.dead[gpu as usize]),
                 "submitting to a group with a failed GPU"
@@ -373,7 +484,7 @@ impl GpuSim {
         let c = &g.ctxs[ctx.0];
         assert!(c.alive, "context removed");
         let (solo_secs, bw_demand, comp_frac) = self.solo_profile(c.sms, &work);
-        let id = KernelId(self.kernels.len());
+        let id = self.kernels.next_id();
         self.kernels.push(Kernel {
             group,
             ctx,
@@ -420,7 +531,7 @@ impl GpuSim {
         let mut cancelled = Vec::new();
         let mut keep = VecDeque::new();
         while let Some(kid) = queue.pop_front() {
-            let k = &mut self.kernels[kid.0];
+            let k = self.kernels.get_mut(kid);
             if k.state == KernelState::Running {
                 keep.push_back(kid);
             } else {
@@ -444,29 +555,30 @@ impl GpuSim {
 
     /// The tag a kernel was submitted with.
     pub fn kernel_tag(&self, kernel: KernelId) -> u64 {
-        self.kernels[kernel.0].tag
+        self.kernels.get(kernel).tag
     }
 
     // ----- time advancement ------------------------------------------------
 
     /// The time of the next state change (kernel start, kernel completion,
     /// or link-transfer completion), or `None` if fully idle.
-    pub fn next_event_time(&self) -> Option<SimTime> {
+    // simlint: hot
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.refresh_dirty_speeds();
         let mut next: Option<SimTime> = self.links.next_completion();
-        for (gi, g) in self.groups.iter().enumerate() {
+        for g in &self.groups {
             if !g.alive {
                 continue;
             }
-            let speeds = self.group_speeds(gi);
-            for (kid, speed) in &speeds {
-                let k = &self.kernels[kid.0];
-                let t = self.now + completion_dt(k.remaining, k.solo_secs, *speed);
+            for &(kid, speed) in &g.speeds {
+                let k = self.kernels.get(kid);
+                let t = self.now + completion_dt(k.remaining, k.solo_secs, speed);
                 next = Some(next.map_or(t, |n| n.min(t)));
             }
             // Pending starts: heads that are queued (not yet running).
             for c in g.ctxs.iter().filter(|c| c.alive) {
                 if let Some(&head) = c.queue.front() {
-                    let k = &self.kernels[head.0];
+                    let k = self.kernels.get(head);
                     if k.state == KernelState::Queued {
                         let t = k.ready_at.max(c.available_at).max(self.now);
                         next = Some(next.map_or(t, |n| n.min(t)));
@@ -484,15 +596,18 @@ impl GpuSim {
     /// # Panics
     ///
     /// Panics if `t` is before the current time.
+    // simlint: hot
     pub fn advance_to(&mut self, t: SimTime) {
         assert!(t >= self.now, "time went backwards: {t} < {}", self.now);
         loop {
             self.start_pending_heads();
+            self.refresh_dirty_speeds();
             let boundary = self.next_boundary(t);
             if boundary > self.now {
                 self.progress_all(boundary);
             }
             self.now = boundary;
+            self.events += 1;
             self.finish_done_kernels();
             if self.now >= t {
                 // Start anything that became ready exactly at `t` so
@@ -504,12 +619,82 @@ impl GpuSim {
         self.links.advance_to(self.now);
     }
 
+    /// One fused simulation step for event-loop drivers: finds the next
+    /// state change (kernel start, kernel completion, or link-transfer
+    /// completion), advances exactly to it, and processes it — a single
+    /// scan where a `next_event_time` + `advance_to` pair performs two.
+    /// Returns the event time reached, or `None` (no state change) when
+    /// the next event lies beyond `limit` or the simulator is idle.
+    ///
+    /// After `Some(t)`, check [`GpuSim::has_pending_dispatch`]: pure
+    /// kernel-start boundaries complete nothing and can be stepped
+    /// through again without a driver round-trip.
+    // simlint: hot
+    pub fn step_to_next_event(&mut self, limit: SimTime) -> Option<SimTime> {
+        self.refresh_dirty_speeds();
+        let mut next: Option<SimTime> = self.links.next_completion();
+        for g in &self.groups {
+            if !g.alive {
+                continue;
+            }
+            for &(kid, speed) in &g.speeds {
+                let k = self.kernels.get(kid);
+                let t = self.now + completion_dt(k.remaining, k.solo_secs, speed);
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+            for c in g.ctxs.iter().filter(|c| c.alive) {
+                if let Some(&head) = c.queue.front() {
+                    let k = self.kernels.get(head);
+                    if k.state == KernelState::Queued {
+                        let t = k.ready_at.max(c.available_at).max(self.now);
+                        next = Some(next.map_or(t, |n| n.min(t)));
+                    }
+                }
+            }
+        }
+        let t = next?.max(self.now);
+        if t > limit {
+            return None;
+        }
+        // `t` is the earliest event, so one boundary hop reaches it.
+        if t > self.now {
+            self.progress_all(t);
+        }
+        self.now = t;
+        self.events += 1;
+        self.finish_done_kernels();
+        self.links.advance_to(t);
+        self.start_pending_heads();
+        Some(t)
+    }
+
+    /// True when kernel or link-transfer completions await a drain.
+    // simlint: hot
+    pub fn has_pending_dispatch(&self) -> bool {
+        !self.completed.is_empty() || self.links.has_completed()
+    }
+
     /// Removes and returns kernels completed since the last drain, in
     /// completion order, as `(id, tag)` pairs.
     pub fn drain_completed(&mut self) -> Vec<(KernelId, u64)> {
         std::mem::take(&mut self.completed)
     }
 
+    /// Allocation-free variant of [`GpuSim::drain_completed`]: clears
+    /// `out` and swaps the completion buffer into it, so a caller-owned
+    /// buffer is reused across events.
+    // simlint: hot
+    pub fn drain_completed_into(&mut self, out: &mut Vec<(KernelId, u64)>) {
+        out.clear();
+        std::mem::swap(&mut self.completed, out);
+    }
+
+    /// True if any kernel completed since the last drain.
+    pub fn has_completed(&self) -> bool {
+        !self.completed.is_empty()
+    }
+
+    // simlint: hot
     fn start_pending_heads(&mut self) {
         for g in &mut self.groups {
             if !g.alive {
@@ -517,11 +702,12 @@ impl GpuSim {
             }
             for c in g.ctxs.iter_mut().filter(|c| c.alive) {
                 if let Some(&head) = c.queue.front() {
-                    let k = &mut self.kernels[head.0];
+                    let k = self.kernels.get_mut(head);
                     if k.state == KernelState::Queued && self.now >= k.ready_at.max(c.available_at)
                     {
                         k.state = KernelState::Running;
                         k.started_at = self.now;
+                        g.speeds_dirty = true;
                     }
                 }
             }
@@ -529,7 +715,9 @@ impl GpuSim {
     }
 
     /// The earliest of: next completion at current speeds, next head start,
-    /// next link completion, capped at `t`.
+    /// next link completion, capped at `t`. Requires fresh speed caches
+    /// (callers run [`GpuSim::refresh_dirty_speeds`] first).
+    // simlint: hot
     fn next_boundary(&self, t: SimTime) -> SimTime {
         let mut boundary = t;
         if let Some(lt) = self.links.next_completion() {
@@ -537,17 +725,17 @@ impl GpuSim {
                 boundary = boundary.min(lt);
             }
         }
-        for (gi, g) in self.groups.iter().enumerate() {
+        for g in &self.groups {
             if !g.alive {
                 continue;
             }
-            for (kid, speed) in self.group_speeds(gi) {
-                let k = &self.kernels[kid.0];
+            for &(kid, speed) in &g.speeds {
+                let k = self.kernels.get(kid);
                 boundary = boundary.min(self.now + completion_dt(k.remaining, k.solo_secs, speed));
             }
             for c in g.ctxs.iter().filter(|c| c.alive) {
                 if let Some(&head) = c.queue.front() {
-                    let k = &self.kernels[head.0];
+                    let k = self.kernels.get(head);
                     if k.state == KernelState::Queued {
                         let start = k.ready_at.max(c.available_at);
                         if start > self.now {
@@ -560,152 +748,98 @@ impl GpuSim {
         boundary.max(self.now)
     }
 
+    // simlint: hot
     fn progress_all(&mut self, to: SimTime) {
+        // One nanos→secs→nanos conversion per boundary, not per kernel;
+        // `from_secs(as_secs(d)) == d` exactly below ~11 days of nanos
+        // (the relative error of the two roundings stays under the 0.5 ns
+        // rounding threshold), so busy accounting is unchanged.
         let dt = (to - self.now).as_secs();
-        for gi in 0..self.groups.len() {
-            if !self.groups[gi].alive {
+        let dt_dur = SimDuration::from_secs(dt);
+        let sm_total = self.spec.sm_count as f64;
+        let GpuSim {
+            kernels, groups, ..
+        } = self;
+        for g in groups.iter_mut() {
+            if !g.alive {
                 continue;
             }
-            let speeds = self.group_speeds(gi);
-            let sm_total = self.spec.sm_count as f64;
-            for (kid, speed) in speeds {
-                let k = &mut self.kernels[kid.0];
+            let Group {
+                ctxs,
+                speeds,
+                util_accum,
+                ..
+            } = g;
+            for &(kid, speed) in speeds.iter() {
+                let k = kernels.get_mut(kid);
                 k.remaining = (k.remaining - speed * dt / k.solo_secs).max(0.0);
-                let sms = self.groups[gi].ctxs[k.ctx.0].sms;
+                let ctx = k.ctx.0;
+                let sms = ctxs[ctx].sms;
                 let quality = 0.25 + 0.75 * k.comp_frac;
-                self.groups[gi].util_accum += dt * (sms as f64 / sm_total) * quality;
-                self.groups[gi].ctxs[k.ctx.0].busy += SimDuration::from_secs(dt);
+                *util_accum += dt * (sms as f64 / sm_total) * quality;
+                ctxs[ctx].busy += dt_dur;
             }
         }
     }
 
+    // simlint: hot
     fn finish_done_kernels(&mut self) {
-        for gi in 0..self.groups.len() {
-            if !self.groups[gi].alive {
+        let GpuSim {
+            kernels,
+            groups,
+            completed,
+            ..
+        } = self;
+        for g in groups.iter_mut() {
+            if !g.alive {
                 continue;
             }
-            for ci in 0..self.groups[gi].ctxs.len() {
-                if !self.groups[gi].ctxs[ci].alive {
+            let Group {
+                ctxs, speeds_dirty, ..
+            } = g;
+            for c in ctxs.iter_mut() {
+                if !c.alive {
                     continue;
                 }
-                while let Some(&head) = self.groups[gi].ctxs[ci].queue.front() {
-                    let k = &mut self.kernels[head.0];
+                while let Some(&head) = c.queue.front() {
+                    let k = kernels.get_mut(head);
                     if k.state == KernelState::Running
                         && (k.remaining <= DONE_EPS || k.remaining * k.solo_secs <= 1e-10)
                     {
                         k.state = KernelState::Done;
                         k.remaining = 0.0;
-                        self.completed.push((head, k.tag));
-                        self.groups[gi].ctxs[ci].queue.pop_front();
+                        completed.push((head, k.tag));
+                        c.queue.pop_front();
+                        *speeds_dirty = true;
                     } else {
                         break;
                     }
                 }
             }
         }
+        kernels.compact();
     }
 
-    /// Speeds (fraction of solo rate) for every running kernel in a group,
-    /// honoring weighted bandwidth water-filling and the interference
-    /// residual. Deterministic: iterates contexts in index order.
-    fn group_speeds(&self, gi: usize) -> Vec<(KernelId, f64)> {
-        let g = &self.groups[gi];
-        let mut running: Vec<KernelId> = Vec::new();
-        for c in g.ctxs.iter().filter(|c| c.alive) {
-            if let Some(&head) = c.queue.front() {
-                if self.kernels[head.0].state == KernelState::Running {
-                    running.push(head);
-                }
+    /// Rebuilds the speed cache of every live group whose running set may
+    /// have changed since the last rebuild.
+    // simlint: hot
+    fn refresh_dirty_speeds(&mut self) {
+        // Field-level split borrows: groups are rebuilt in place while the
+        // spec/kernel tables are read, with no buffer detach/restore.
+        let GpuSim {
+            spec,
+            kernels,
+            groups,
+            degrade,
+            speed_scratch,
+            ..
+        } = self;
+        for g in groups.iter_mut() {
+            if g.speeds_dirty && g.alive {
+                compute_group_speeds_into(spec, kernels, degrade, g, speed_scratch);
+                g.speeds_dirty = false;
             }
         }
-        if running.is_empty() {
-            return Vec::new();
-        }
-        // Fault injection: a degraded group loses HBM bandwidth (shrinks
-        // the water-filling capacity) and compute speed (scales every
-        // kernel's final rate). The healthy path is untouched so
-        // fault-free runs stay bit-identical.
-        let (speed_factor, mem_factor) = if self.degrade.active {
-            self.group_degradation(gi)
-        } else {
-            (1.0, 1.0)
-        };
-        let mut capacity = self.spec.hbm_bw_gbs * 1e9 * self.spec.mem_efficiency;
-        if self.degrade.active {
-            capacity *= mem_factor;
-        }
-        let demands: Vec<f64> = running
-            .iter()
-            .map(|k| self.kernels[k.0].bw_demand)
-            .collect();
-        let weights: Vec<f64> = running
-            .iter()
-            .map(|k| {
-                let k = &self.kernels[k.0];
-                self.spec.mem_rate(g.ctxs[k.ctx.0].sms)
-            })
-            .collect();
-        let grants = waterfill(&demands, &weights, capacity);
-
-        running
-            .iter()
-            .zip(grants)
-            .map(|(&kid, grant)| {
-                let k = &self.kernels[kid.0];
-                let mem_speed = if k.bw_demand <= 0.0 {
-                    1.0
-                } else {
-                    (grant / k.bw_demand).min(1.0)
-                };
-                let residual = self.interference_residual(gi, kid, &running);
-                let mut speed = mem_speed / (1.0 + residual);
-                if self.degrade.active {
-                    speed *= speed_factor;
-                }
-                (kid, speed.clamp(1e-12, 1.0))
-            })
-            .collect()
-    }
-
-    /// Deterministic, configuration-dependent extra slowdown applied to a
-    /// kernel when it co-runs with others (cache/DRAM-row interference the
-    /// partitioning cannot control). Bounded by
-    /// `contention_residual_max × co-runner memory pressure`.
-    fn interference_residual(&self, gi: usize, kid: KernelId, running: &[KernelId]) -> f64 {
-        if running.len() < 2 {
-            return 0.0;
-        }
-        let g = &self.groups[gi];
-        let k = &self.kernels[kid.0];
-        let capacity = self.spec.hbm_bw_gbs * 1e9 * self.spec.mem_efficiency;
-        let mut pressure = 0.0;
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        let mix = |v: u64, h: &mut u64| {
-            *h ^= v;
-            *h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        };
-        // Hash inputs are quantized to power-of-4 byte buckets so the
-        // residual is piecewise-constant at the same granularity a
-        // profiling grid samples at.
-        let byte_bucket = |bytes: f64| (bytes.max(1.0).log2() / 2.0) as u64;
-        mix(g.ctxs[k.ctx.0].sms as u64, &mut hash);
-        mix(k.work.kind as u64 + 1, &mut hash);
-        mix(byte_bucket(k.work.bytes), &mut hash);
-        for &other in running.iter().filter(|&&o| o != kid) {
-            let o = &self.kernels[other.0];
-            // A co-runner perturbs both through its memory traffic and —
-            // even when compute-bound — through L2/TLB/DRAM-row pressure
-            // proportional to its SM footprint.
-            let bw_pressure = (o.bw_demand / capacity).min(1.0);
-            let sm_pressure = 0.7 * g.ctxs[o.ctx.0].sms as f64 / self.spec.sm_count as f64;
-            pressure += bw_pressure.max(sm_pressure);
-            mix(g.ctxs[o.ctx.0].sms as u64, &mut hash);
-            mix(o.work.kind as u64 + 1, &mut hash);
-            mix(byte_bucket(o.work.bytes), &mut hash);
-        }
-        // Hash → factor in [0.25, 1.0].
-        let factor = 0.25 + 0.75 * ((hash >> 11) as f64 / (1u64 << 53) as f64);
-        self.spec.contention_residual_max * pressure.min(1.0) * factor
     }
 
     // ----- fault injection --------------------------------------------------
@@ -745,14 +879,29 @@ impl GpuSim {
         self.degrade.active = self.degrade.mult > 1.0
             || self.degrade.sm.iter().any(|&f| f < 1.0)
             || self.degrade.hbm.iter().any(|&f| f < 1.0);
+        self.mark_all_speeds_dirty();
     }
 
     /// Restores healthy hardware: all SM/HBM/NVLink factors return to
     /// nominal and the kernel slowdown clears. In-flight kernels resume
     /// full speed from the next event boundary.
     pub fn clear_degradation(&mut self) {
-        self.degrade = DegradeState::healthy(self.num_gpus);
+        // In-place reset (no reallocation): fault boundaries call this at
+        // every window edge.
+        self.degrade.sm.fill(1.0);
+        self.degrade.hbm.fill(1.0);
+        self.degrade.mult = 1.0;
+        self.degrade.active = false;
         self.links.clear_bw_factors();
+        self.mark_all_speeds_dirty();
+    }
+
+    /// Invalidates every group's speed cache (degradation changes feed
+    /// into every water-filling capacity and final rate).
+    fn mark_all_speeds_dirty(&mut self) {
+        for g in &mut self.groups {
+            g.speeds_dirty = true;
+        }
     }
 
     /// Kills a GPU outright (fail-stop). Every kernel on every live
@@ -768,14 +917,16 @@ impl GpuSim {
     pub fn fail_gpu(&mut self, gpu: u32) -> Vec<(KernelId, u64)> {
         assert!(gpu < self.num_gpus, "GPU index out of range");
         self.dead[gpu as usize] = true;
+        self.any_dead = true;
         let mut cancelled = Vec::new();
         for g in &mut self.groups {
             if !g.alive || !g.gpus.contains(&gpu) {
                 continue;
             }
+            g.speeds_dirty = true;
             for c in g.ctxs.iter_mut().filter(|c| c.alive) {
                 while let Some(kid) = c.queue.pop_front() {
-                    let k = &mut self.kernels[kid.0];
+                    let k = self.kernels.get_mut(kid);
                     k.state = KernelState::Cancelled;
                     cancelled.push((kid, k.tag));
                 }
@@ -789,6 +940,7 @@ impl GpuSim {
     pub fn recover_gpu(&mut self, gpu: u32) {
         assert!(gpu < self.num_gpus, "GPU index out of range");
         self.dead[gpu as usize] = false;
+        self.any_dead = self.dead.iter().any(|&d| d);
     }
 
     /// Whether a GPU is currently failed.
@@ -799,29 +951,11 @@ impl GpuSim {
     /// Whether any GPU of a group is currently failed (the lockstep
     /// group cannot run).
     pub fn group_has_dead_gpu(&self, group: GroupId) -> bool {
-        self.dead.iter().any(|&d| d)
+        self.any_dead
             && self.groups[group.0]
                 .gpus
                 .iter()
                 .any(|&g| self.dead[g as usize])
-    }
-
-    /// The slowdown factors a group currently suffers, as
-    /// `(speed_factor, mem_factor)`: a lockstep group runs at the pace
-    /// of its slowest member, so both are minima over the group's GPUs.
-    fn group_degradation(&self, gi: usize) -> (f64, f64) {
-        let g = &self.groups[gi];
-        let mut sm = 1.0f64;
-        let mut hbm = 1.0f64;
-        for &gpu in &g.gpus {
-            if let Some(&f) = self.degrade.sm.get(gpu as usize) {
-                sm = sm.min(f);
-            }
-            if let Some(&f) = self.degrade.hbm.get(gpu as usize) {
-                hbm = hbm.min(f);
-            }
-        }
-        (sm / self.degrade.mult, hbm)
     }
 
     // ----- links ------------------------------------------------------------
@@ -839,6 +973,14 @@ impl GpuSim {
     /// Removes and returns transfers completed since the last drain.
     pub fn drain_completed_transfers(&mut self) -> Vec<(TransferId, u64)> {
         self.links.drain_completed()
+    }
+
+    /// Allocation-free variant of
+    /// [`GpuSim::drain_completed_transfers`]: clears `out` and swaps the
+    /// completion buffer into it.
+    // simlint: hot
+    pub fn drain_completed_transfers_into(&mut self, out: &mut Vec<(TransferId, u64)>) {
+        self.links.drain_completed_into(out);
     }
 
     // ----- accounting -------------------------------------------------------
@@ -890,17 +1032,207 @@ fn completion_dt(remaining: f64, solo_secs: f64, speed: f64) -> SimDuration {
     SimDuration::from_nanos(((dt * 1e9).ceil() as u64).max(1))
 }
 
+/// Speeds (fraction of solo rate) for every running kernel in a group,
+/// honoring weighted bandwidth water-filling and the interference
+/// residual, written into `g.speeds`. Deterministic: iterates contexts in
+/// index order. A free function over split-borrowed simulator fields so
+/// the per-event rebuild touches no scratch-buffer swaps.
+// simlint: hot
+fn compute_group_speeds_into(
+    spec: &GpuSpec,
+    kernels: &KernelTable,
+    degrade: &DegradeState,
+    g: &mut Group,
+    scratch: &mut SpeedScratch,
+) {
+    let SpeedScratch {
+        running,
+        demands,
+        weights,
+        grants,
+        satisfied,
+    } = scratch;
+    let Group {
+        gpus,
+        ctxs,
+        speeds: out,
+        ..
+    } = g;
+    out.clear();
+    running.clear();
+    for c in ctxs.iter().filter(|c| c.alive) {
+        if let Some(&head) = c.queue.front() {
+            if kernels.get(head).state == KernelState::Running {
+                running.push(head);
+            }
+        }
+    }
+    if running.is_empty() {
+        return;
+    }
+    // Fault injection: a degraded group loses HBM bandwidth (shrinks
+    // the water-filling capacity) and compute speed (scales every
+    // kernel's final rate). The healthy path is untouched so
+    // fault-free runs stay bit-identical.
+    let (speed_factor, mem_factor) = if degrade.active {
+        group_degradation_of(degrade, gpus)
+    } else {
+        (1.0, 1.0)
+    };
+    let mut capacity = spec.hbm_bw_gbs * 1e9 * spec.mem_efficiency;
+    if degrade.active {
+        capacity *= mem_factor;
+    }
+    if running.len() == 1 && !degrade.active {
+        // A lone healthy kernel — the decode steady state. Its grant is
+        // what water-filling over a single entry yields (the full demand
+        // when it fits, otherwise the capacity scaled by its own weight
+        // share), and a single kernel has zero interference residual, so
+        // the generic machinery below reduces to exactly these float ops.
+        let kid = running[0];
+        let k = kernels.get(kid);
+        let mem_speed = if k.bw_demand <= 0.0 {
+            1.0
+        } else {
+            let grant = if k.bw_demand <= capacity {
+                k.bw_demand
+            } else {
+                let w = spec.mem_rate(ctxs[k.ctx.0].sms);
+                let share = capacity * w / w;
+                if k.bw_demand <= share {
+                    k.bw_demand
+                } else {
+                    share
+                }
+            };
+            (grant / k.bw_demand).min(1.0)
+        };
+        let speed = mem_speed / (1.0 + 0.0);
+        out.push((kid, speed.clamp(1e-12, 1.0)));
+        return;
+    }
+    demands.clear();
+    weights.clear();
+    for &kid in running.iter() {
+        let k = kernels.get(kid);
+        demands.push(k.bw_demand);
+        weights.push(spec.mem_rate(ctxs[k.ctx.0].sms));
+    }
+    waterfill_into(demands, weights, capacity, grants, satisfied);
+
+    for (i, &kid) in running.iter().enumerate() {
+        let grant = grants[i];
+        let k = kernels.get(kid);
+        let mem_speed = if k.bw_demand <= 0.0 {
+            1.0
+        } else {
+            (grant / k.bw_demand).min(1.0)
+        };
+        let residual = interference_residual_of(spec, kernels, ctxs, kid, running);
+        let mut speed = mem_speed / (1.0 + residual);
+        if degrade.active {
+            speed *= speed_factor;
+        }
+        out.push((kid, speed.clamp(1e-12, 1.0)));
+    }
+}
+
+/// Deterministic, configuration-dependent extra slowdown applied to a
+/// kernel when it co-runs with others (cache/DRAM-row interference the
+/// partitioning cannot control). Bounded by
+/// `contention_residual_max × co-runner memory pressure`.
+// simlint: hot
+fn interference_residual_of(
+    spec: &GpuSpec,
+    kernels: &KernelTable,
+    ctxs: &[Ctx],
+    kid: KernelId,
+    running: &[KernelId],
+) -> f64 {
+    if running.len() < 2 {
+        return 0.0;
+    }
+    let k = kernels.get(kid);
+    let capacity = spec.hbm_bw_gbs * 1e9 * spec.mem_efficiency;
+    let mut pressure = 0.0;
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mix = |v: u64, h: &mut u64| {
+        *h ^= v;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    // Hash inputs are quantized to power-of-4 byte buckets so the
+    // residual is piecewise-constant at the same granularity a
+    // profiling grid samples at.
+    let byte_bucket = |bytes: f64| (bytes.max(1.0).log2() / 2.0) as u64;
+    mix(ctxs[k.ctx.0].sms as u64, &mut hash);
+    mix(k.work.kind as u64 + 1, &mut hash);
+    mix(byte_bucket(k.work.bytes), &mut hash);
+    for &other in running.iter().filter(|&&o| o != kid) {
+        let o = kernels.get(other);
+        // A co-runner perturbs both through its memory traffic and —
+        // even when compute-bound — through L2/TLB/DRAM-row pressure
+        // proportional to its SM footprint.
+        let bw_pressure = (o.bw_demand / capacity).min(1.0);
+        let sm_pressure = 0.7 * ctxs[o.ctx.0].sms as f64 / spec.sm_count as f64;
+        pressure += bw_pressure.max(sm_pressure);
+        mix(ctxs[o.ctx.0].sms as u64, &mut hash);
+        mix(o.work.kind as u64 + 1, &mut hash);
+        mix(byte_bucket(o.work.bytes), &mut hash);
+    }
+    // Hash → factor in [0.25, 1.0].
+    let factor = 0.25 + 0.75 * ((hash >> 11) as f64 / (1u64 << 53) as f64);
+    spec.contention_residual_max * pressure.min(1.0) * factor
+}
+
+/// The slowdown factors a group currently suffers, as
+/// `(speed_factor, mem_factor)`: a lockstep group runs at the pace
+/// of its slowest member, so both are minima over the group's GPUs.
+fn group_degradation_of(degrade: &DegradeState, gpus: &[u32]) -> (f64, f64) {
+    let mut sm = 1.0f64;
+    let mut hbm = 1.0f64;
+    for &gpu in gpus {
+        if let Some(&f) = degrade.sm.get(gpu as usize) {
+            sm = sm.min(f);
+        }
+        if let Some(&f) = degrade.hbm.get(gpu as usize) {
+            hbm = hbm.min(f);
+        }
+    }
+    (sm / degrade.mult, hbm)
+}
+
 /// Weighted water-filling: grant each demand its share of `capacity`
 /// proportional to weight, redistributing slack from under-demanding
 /// entries. Returns per-entry grants (≥ 0, ≤ demand where possible).
+#[cfg(test)]
 fn waterfill(demands: &[f64], weights: &[f64], capacity: f64) -> Vec<f64> {
+    let mut grants = Vec::new();
+    let mut satisfied = Vec::new();
+    waterfill_into(demands, weights, capacity, &mut grants, &mut satisfied);
+    grants
+}
+
+/// Allocation-free [`waterfill`]: writes grants into a caller-owned
+/// buffer (`satisfied` is the work set). Bit-identical to the allocating
+/// formulation — the float operations and their order are unchanged.
+// simlint: hot
+fn waterfill_into(
+    demands: &[f64],
+    weights: &[f64],
+    capacity: f64,
+    grants: &mut Vec<f64>,
+    satisfied: &mut Vec<bool>,
+) {
+    grants.clear();
     let total: f64 = demands.iter().sum();
     if total <= capacity {
-        return demands.to_vec();
+        grants.extend_from_slice(demands);
+        return;
     }
     let n = demands.len();
-    let mut grants = vec![0.0; n];
-    let mut satisfied = vec![false; n];
+    grants.resize(n, 0.0);
+    satisfied.clear();
+    satisfied.resize(n, false);
     let mut remaining_cap = capacity;
     loop {
         let active_weight: f64 = (0..n).filter(|&i| !satisfied[i]).map(|i| weights[i]).sum();
@@ -932,7 +1264,6 @@ fn waterfill(demands: &[f64], weights: &[f64], capacity: f64) -> Vec<f64> {
         }
         break;
     }
-    grants
 }
 
 #[cfg(test)]

@@ -138,6 +138,19 @@ impl Links {
     pub fn drain_completed(&mut self) -> Vec<(TransferId, u64)> {
         std::mem::take(&mut self.completed)
     }
+
+    /// Allocation-free variant of [`Links::drain_completed`]: clears `out`
+    /// and swaps the completion buffer into it, recycling its capacity.
+    // simlint: hot
+    pub fn drain_completed_into(&mut self, out: &mut Vec<(TransferId, u64)>) {
+        out.clear();
+        std::mem::swap(&mut self.completed, out);
+    }
+
+    /// True if any transfer completed since the last drain.
+    pub fn has_completed(&self) -> bool {
+        !self.completed.is_empty()
+    }
 }
 
 #[cfg(test)]

@@ -97,6 +97,10 @@ pub(crate) struct Node {
     /// when no unprotected victim exists. Used by crash failover to keep
     /// revoked requests' prefixes warm until re-admission.
     pub protected: bool,
+    /// The exact key this node occupies in the evictable index, or `None`
+    /// when absent. Lets [`RadixTree::reindex`] do one targeted removal
+    /// instead of probing every (protection, access-time) combination.
+    pub index_key: Option<(bool, SimTime)>,
 }
 
 /// The tree: a slab of nodes with node 0 as the sentinel root, plus an
@@ -127,6 +131,7 @@ impl RadixTree {
                 last_access: SimTime::ZERO,
                 alive: true,
                 protected: false,
+                index_key: None,
             }],
             free: Vec::new(),
             evictable: std::collections::BTreeSet::new(),
@@ -146,18 +151,28 @@ impl RadixTree {
     }
 
     /// Re-derives the node's membership in the evictable index after a
-    /// state change; `old_access` is its access time before the change.
-    /// Both access times are removed under both protection flags, so the
-    /// caller may have flipped `protected` as part of the change.
-    fn reindex(&mut self, id: NodeId, old_access: SimTime) {
-        let new_access = self.nodes[id].last_access;
-        for p in [false, true] {
-            self.evictable.remove(&(p, old_access, id));
-            self.evictable.remove(&(p, new_access, id));
+    /// state change. The node's stored `index_key` records exactly where
+    /// it sits in the index, so membership updates are one targeted
+    /// removal plus one insertion — and a no-op when nothing changed,
+    /// which is the common case on hot lookup paths (inner nodes and
+    /// locked prefixes are never indexed).
+    // simlint: hot
+    fn reindex(&mut self, id: NodeId) {
+        let want = if self.is_evictable(id) {
+            let n = &self.nodes[id];
+            Some((n.protected, n.last_access))
+        } else {
+            None
+        };
+        if self.nodes[id].index_key == want {
+            return;
         }
-        if self.is_evictable(id) {
-            self.evictable
-                .insert((self.nodes[id].protected, new_access, id));
+        if let Some((p, t)) = self.nodes[id].index_key.take() {
+            self.evictable.remove(&(p, t, id));
+        }
+        if let Some((p, t)) = want {
+            self.evictable.insert((p, t, id));
+            self.nodes[id].index_key = want;
         }
     }
 
@@ -165,17 +180,16 @@ impl RadixTree {
     pub fn set_protected(&mut self, id: NodeId, protected: bool) {
         if self.nodes[id].protected != protected {
             self.nodes[id].protected = protected;
-            let access = self.nodes[id].last_access;
-            self.reindex(id, access);
+            self.reindex(id);
         }
     }
 
     /// Increments a node's reference count (pins it against eviction).
+    // simlint: hot
     pub fn inc_ref(&mut self, id: NodeId, now: SimTime) {
-        let old = self.nodes[id].last_access;
         self.nodes[id].refs += 1;
         self.nodes[id].last_access = now;
-        self.reindex(id, old);
+        self.reindex(id);
     }
 
     /// Decrements a node's reference count.
@@ -183,11 +197,11 @@ impl RadixTree {
     /// # Panics
     ///
     /// Panics in debug builds when the node is not referenced.
+    // simlint: hot
     pub fn dec_ref(&mut self, id: NodeId) {
         debug_assert!(self.nodes[id].refs > 0, "unlock of unlocked node");
         self.nodes[id].refs = self.nodes[id].refs.saturating_sub(1);
-        let old = self.nodes[id].last_access;
-        self.reindex(id, old);
+        self.reindex(id);
     }
 
     /// Walks the longest existing path matching `blocks`; returns
@@ -229,18 +243,17 @@ impl RadixTree {
                         last_access: now,
                         alive: true,
                         protected: false,
+                        index_key: None,
                     });
                     self.nodes[cur].children.insert(b.key, id);
                     // `cur` just gained a child: it is no longer a leaf.
-                    let cur_access = self.nodes[cur].last_access;
-                    self.reindex(cur, cur_access);
+                    self.reindex(cur);
                     new_tokens += b.tokens as u64;
                     id
                 }
             };
-            let old = self.nodes[next].last_access;
             self.nodes[next].last_access = now;
-            self.reindex(next, old);
+            self.reindex(next);
             path.push(next);
             cur = next;
         }
@@ -269,9 +282,8 @@ impl RadixTree {
         debug_assert!(self.nodes[id].children.is_empty(), "evicting an inner node");
         let parent = self.nodes[id].parent;
         let key = self.nodes[id].key;
-        let access = self.nodes[id].last_access;
-        for p in [false, true] {
-            self.evictable.remove(&(p, access, id));
+        if let Some((p, t)) = self.nodes[id].index_key.take() {
+            self.evictable.remove(&(p, t, id));
         }
         self.nodes[parent].children.remove(&key);
         self.nodes[id].alive = false;
@@ -279,8 +291,7 @@ impl RadixTree {
         self.free.push(id);
         if parent != ROOT {
             // The parent may have just become an evictable leaf.
-            let old = self.nodes[parent].last_access;
-            self.reindex(parent, old);
+            self.reindex(parent);
         }
         self.nodes[id].tokens
     }

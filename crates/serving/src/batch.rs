@@ -29,9 +29,17 @@ pub struct DecodeSlot {
 
 /// An ordered decode batch (oldest slot first; memory victims are taken
 /// from the tail, so the youngest requests yield first).
+///
+/// The batch maintains the running sum of its slots' context lengths
+/// incrementally (exact: `u64` arithmetic), so per-iteration estimator
+/// queries need no per-slot scan.
 #[derive(Debug, Default)]
 pub struct DecodeBatch {
     slots: Vec<DecodeSlot>,
+    context_sum: u64,
+    /// Reused survivor buffer for `advance_iteration_into` (kept warm so
+    /// retirement never reallocates).
+    spare: Vec<DecodeSlot>,
 }
 
 impl DecodeBatch {
@@ -52,6 +60,7 @@ impl DecodeBatch {
 
     /// Appends a slot at the tail (the next victim position).
     pub fn push(&mut self, slot: DecodeSlot) {
+        self.context_sum += slot.context;
         self.slots.push(slot);
     }
 
@@ -60,14 +69,16 @@ impl DecodeBatch {
         &self.slots
     }
 
-    /// Mutable access to the slots.
-    pub fn slots_mut(&mut self) -> &mut [DecodeSlot] {
-        &mut self.slots
-    }
-
     /// Context lengths of all slots, oldest first.
     pub fn contexts(&self) -> impl Iterator<Item = u64> + '_ {
         self.slots.iter().map(|s| s.context)
+    }
+
+    /// Sum of all slots' context lengths, maintained incrementally.
+    /// Identical to `self.contexts().sum::<u64>()` (u64 addition is
+    /// order-independent), without the scan.
+    pub fn context_sum(&self) -> u64 {
+        self.context_sum
     }
 
     /// Grows every slot's KV by one token for the upcoming iteration,
@@ -78,6 +89,21 @@ impl DecodeBatch {
     /// loop exactly). An emptied batch means even one slot cannot grow.
     pub fn grow_for_iteration(&mut self, table: &mut LeaseTable, now: SimTime) -> Vec<ReqId> {
         let mut victims = Vec::new();
+        self.grow_for_iteration_into(table, now, &mut victims);
+        victims
+    }
+
+    /// Allocation-free variant of [`DecodeBatch::grow_for_iteration`]:
+    /// victims are appended to the caller-owned `victims` scratch (which
+    /// is cleared first), in eviction order.
+    // simlint: hot
+    pub fn grow_for_iteration_into(
+        &mut self,
+        table: &mut LeaseTable,
+        now: SimTime,
+        victims: &mut Vec<ReqId>,
+    ) {
+        victims.clear();
         loop {
             let need = self.slots.len() as u64;
             if need == 0 {
@@ -90,16 +116,17 @@ impl DecodeBatch {
                 break;
             }
             let victim = self.slots.pop().expect("len checked above");
+            self.context_sum -= victim.context;
             victims.push(victim.id);
             table.release(victim.lease);
         }
-        victims
     }
 
     /// Removes and returns every slot (oldest first), leaving the batch
     /// empty. Used by crash failover: the engine releases each victim's
     /// lease and hands the ids to the recovery manager.
     pub fn drain(&mut self) -> Vec<DecodeSlot> {
+        self.context_sum = 0;
         std::mem::take(&mut self.slots)
     }
 
@@ -108,21 +135,40 @@ impl DecodeBatch {
     /// their last token are removed and returned (oldest first) for the
     /// engine to retire.
     pub fn advance_iteration(&mut self, ctx: &mut ServeCtx) -> Vec<DecodeSlot> {
+        let mut retired = Vec::new();
+        self.advance_iteration_into(ctx, &mut retired);
+        retired
+    }
+
+    /// Allocation-free variant of [`DecodeBatch::advance_iteration`]:
+    /// retired slots are appended to the caller-owned `retired` scratch
+    /// (cleared first), oldest first; survivors keep their order.
+    // simlint: hot
+    pub fn advance_iteration_into(&mut self, ctx: &mut ServeCtx, retired: &mut Vec<DecodeSlot>) {
+        retired.clear();
         for s in &mut self.slots {
             ctx.emit_tokens(s.id, 1);
             s.context += 1;
             s.remaining_out -= 1;
         }
-        let mut retired = Vec::new();
-        let mut i = 0;
-        while i < self.slots.len() {
-            if self.slots[i].remaining_out == 0 {
-                retired.push(self.slots.remove(i));
+        self.context_sum += self.slots.len() as u64;
+        if self.slots.iter().all(|s| s.remaining_out != 0) {
+            return; // common case: nobody finished, nothing moves
+        }
+        // Stable split preserving both orders: survivors re-fill the
+        // (reused) spare buffer, finished slots move out oldest-first.
+        let mut survivors = std::mem::take(&mut self.spare);
+        survivors.clear();
+        for slot in self.slots.drain(..) {
+            if slot.remaining_out == 0 {
+                self.context_sum -= slot.context;
+                retired.push(slot);
             } else {
-                i += 1;
+                survivors.push(slot);
             }
         }
-        retired
+        std::mem::swap(&mut self.slots, &mut survivors);
+        self.spare = survivors;
     }
 }
 

@@ -180,6 +180,20 @@ pub trait Scheduler: Send {
     /// The simulator accepts work for it again; the scheduler should
     /// resume launching.
     fn on_gpu_recovered(&mut self, _gpu: u32, _ctx: &mut ServeCtx) {}
+    /// `(total decode iterations, macro-coalesced iterations)` —
+    /// telemetry for engines with a macro-stepped decode fast path.
+    /// Coalesced launches are bit-identical to full ones, so this never
+    /// affects results; the default (for engines without the
+    /// optimization) reports zero.
+    fn decode_iter_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
+    /// Toggle the macro-stepped decode fast path at runtime. Coalesced
+    /// launches are bit-identical to single-step ones by construction;
+    /// this hook exists so equivalence tests can run the same engine
+    /// both ways through `Box<dyn Scheduler>`. Engines without the
+    /// optimization ignore it.
+    fn set_macro_steps(&mut self, _on: bool) {}
 }
 
 /// Overload-protection knobs for the driver's per-tick watchdog.
@@ -284,7 +298,15 @@ impl Driver {
     /// Runs the simulation until all requests finish, the scheduler goes
     /// idle with work left (a stall — reported, not fatal), or the time
     /// cap is hit. Returns the metrics report.
-    pub fn run(mut self, scheduler: &mut dyn Scheduler) -> Report {
+    pub fn run(self, scheduler: &mut dyn Scheduler) -> Report {
+        self.run_stats(scheduler).0
+    }
+
+    /// Like [`Driver::run`] but also returns the simulator's
+    /// boundary-event count — throughput telemetry for benchmarks
+    /// (events/wall-second). The report is bit-identical to
+    /// [`Driver::run`]'s.
+    pub fn run_stats(mut self, scheduler: &mut dyn Scheduler) -> (Report, u64) {
         // Fault boundaries are pushed before arrivals: the event queue is
         // FIFO at equal timestamps, so a window opening at the same
         // instant as an arrival reconfigures the hardware first.
@@ -317,32 +339,78 @@ impl Driver {
         let has_crashes = self.faults.has_fail_stop();
         let mut prev_dead = vec![false; self.ctx.gpu.num_gpus() as usize];
         let mut recovery = RecoveryManager::new();
+        // Reused completion buffers: the hot loop drains the simulator
+        // into caller-owned scratch instead of allocating per event.
+        let mut completed_kernels: Vec<(gpusim::KernelId, u64)> = Vec::new();
+        let mut completed_transfers: Vec<(gpusim::TransferId, u64)> = Vec::new();
+        // Fault-window memo: boundaries where the active set is unchanged
+        // skip the degradation rebuild (diff, don't rebuild).
+        let mut fault_memo: Option<(Vec<FaultKind>, bool, f64)> = None;
 
         loop {
             let t_queue = self.ctx.queue.peek_time();
-            let t_gpu = self.ctx.gpu.next_event_time();
-            let next = match (t_queue, t_gpu) {
-                (Some(a), Some(b)) => a.min(b),
-                (Some(a), None) => a,
-                (None, Some(b)) => b,
-                (None, None) => break,
+            // While the watchdog cannot observe intermediate instants
+            // (disabled, or an empty watchlist makes its scan a no-op),
+            // pure kernel-start boundaries are stepped through inside
+            // the simulator without a full driver round-trip each.
+            let merge_ok = self.watchdog.is_none() || watchlist.is_empty();
+            let limit = match t_queue {
+                Some(q) => q.min(self.max_sim_time),
+                None => self.max_sim_time,
             };
-            if next > self.max_sim_time {
-                self.stalled = true;
-                break;
+            let mut stepped = false;
+            let mut dispatch = false;
+            while let Some(t) = self.ctx.gpu.step_to_next_event(limit) {
+                stepped = true;
+                self.ctx.now = t;
+                if self.ctx.gpu.has_pending_dispatch() {
+                    dispatch = true;
+                    break;
+                }
+                if !merge_ok {
+                    break;
+                }
             }
-            self.ctx.gpu.advance_to(next);
-            self.ctx.now = next;
+            if !stepped {
+                // Nothing happens on the simulator within the limit: the
+                // next event is a queued one, or the run is over.
+                match t_queue {
+                    Some(q) if q <= self.max_sim_time => {
+                        // Progress partial kernel work up to the queue
+                        // event, exactly as the unmerged loop did.
+                        self.ctx.gpu.advance_to(q);
+                        self.ctx.now = q;
+                    }
+                    Some(_) => {
+                        self.stalled = true;
+                        break;
+                    }
+                    None => {
+                        if self.ctx.gpu.next_event_time().is_some() {
+                            // Simulator events exist beyond the time cap.
+                            self.stalled = true;
+                        }
+                        break;
+                    }
+                }
+            }
 
             // GPU completions first (they may unblock queued decisions),
             // then transfers, then queued events at this instant.
-            for (_, tag) in self.ctx.gpu.drain_completed() {
-                scheduler.on_kernel_done(tag, &mut self.ctx);
+            if dispatch {
+                self.ctx.gpu.drain_completed_into(&mut completed_kernels);
+                for &(_, tag) in &completed_kernels {
+                    scheduler.on_kernel_done(tag, &mut self.ctx);
+                }
+                self.ctx
+                    .gpu
+                    .drain_completed_transfers_into(&mut completed_transfers);
+                for &(_, tag) in &completed_transfers {
+                    scheduler.on_transfer_done(tag, &mut self.ctx);
+                }
             }
-            for (_, tag) in self.ctx.gpu.drain_completed_transfers() {
-                scheduler.on_transfer_done(tag, &mut self.ctx);
-            }
-            while self.ctx.queue.peek_time() == Some(next) {
+            let now = self.ctx.now;
+            while self.ctx.queue.peek_time() == Some(now) {
                 // The loop condition peeked Some, so pop() returns it;
                 // break rather than panic if that ever stops holding.
                 let Some((_, ev, _)) = self.ctx.queue.pop() else {
@@ -390,6 +458,7 @@ impl Driver {
                         &mut severe_fault,
                         &mut prev_dead,
                         &mut recovery,
+                        &mut fault_memo,
                     ),
                     Event::Requeue(id) => {
                         // A crash victim's scheduled re-injection. Skip
@@ -504,13 +573,17 @@ impl Driver {
             report.recovery_secs = Some(rec);
         }
         report.counters = counters;
-        report
+        let events = self.ctx.gpu.events_processed();
+        (report, events)
     }
 
-    /// Re-evaluates the fault schedule at a window boundary: rebuilds the
-    /// GPU degradation state from every active window, kills / revives
-    /// fail-stopped devices, shrinks/restores the scheduler's KV pools,
-    /// and notifies the scheduler.
+    /// Re-evaluates the fault schedule at a window boundary. Boundaries
+    /// whose active-fault set matches the previous boundary's skip the
+    /// degradation rebuild and pool-capacity writes entirely (both are
+    /// pure functions of the set, so the diff is bit-identical to the
+    /// legacy clear-and-rebuild); changed sets rebuild as before: clear,
+    /// then min-merge each active fault, kill / revive fail-stopped
+    /// devices, shrink/restore KV pools, and notify the scheduler.
     fn apply_active_faults(
         &mut self,
         scheduler: &mut dyn Scheduler,
@@ -518,12 +591,21 @@ impl Driver {
         severe_fault: &mut bool,
         prev_dead: &mut [bool],
         recovery: &mut RecoveryManager,
+        memo: &mut Option<(Vec<FaultKind>, bool, f64)>,
     ) {
         let active = self.faults.active_at(self.ctx.now);
-        // Degradation is recomputed from scratch at every boundary:
-        // clear, then min-merge each active fault.
-        self.ctx.gpu.clear_degradation();
+        if let Some((prev, severe, _)) = memo.as_ref() {
+            if *prev == active {
+                // Same windows as the previous boundary: the degradation
+                // state, dead set, and pool capacities are already
+                // exactly what a rebuild would produce.
+                *severe_fault = *severe;
+                scheduler.on_fault(&active, &mut self.ctx);
+                return;
+            }
+        }
         let mut shrink: f64 = 0.0;
+        self.ctx.gpu.clear_degradation();
         *severe_fault = false;
         for k in &active {
             match *k {
@@ -564,6 +646,7 @@ impl Driver {
                 }
             }
         }
+        *memo = Some((active.clone(), *severe_fault, shrink));
         // Fail-stop edges: compare the plan's dead set at this instant
         // against the previous boundary's. A 0→1 edge kills the device
         // and revokes everything the scheduler homed on it; a 1→0 edge

@@ -16,3 +16,9 @@ fn trailing_garbage() {}
 
 // simlint: allow(annot) reason="the annotation rule itself is not suppressible"
 fn not_allowable() {}
+
+// simlint: hot path
+fn hot_with_trailing_text() {}
+
+// simlint: hot
+const NOT_A_FN: u32 = 0;

@@ -1,0 +1,29 @@
+//! R6 negative case: the same hot shape written allocation-free with
+//! caller-owned scratch, plus one audited suppression on a cold branch.
+
+pub struct Batch {
+    slots: Vec<u64>,
+    spare: Vec<u64>,
+}
+
+impl Batch {
+    // simlint: hot
+    pub fn advance_into(&mut self, retired: &mut Vec<u64>) {
+        retired.clear();
+        let mut survivors = std::mem::take(&mut self.spare);
+        survivors.clear();
+        for s in self.slots.drain(..) {
+            if s == 0 {
+                retired.push(s);
+            } else {
+                survivors.push(s);
+            }
+        }
+        std::mem::swap(&mut self.slots, &mut survivors);
+        self.spare = survivors;
+        if retired.len() > 1_000_000 {
+            // simlint: allow(R6) reason="unreachable overflow guard; keeps a debug snapshot"
+            let _debug = retired.clone();
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! R6 positive case: per-event heap traffic inside a `simlint: hot`
+//! function. Modeled on the pre-refactor decode advance path, which
+//! collected contexts and cloned slot vectors every iteration.
+
+pub struct Batch {
+    slots: Vec<u64>,
+    spare: Vec<u64>,
+}
+
+impl Batch {
+    // simlint: hot
+    pub fn advance(&mut self) -> Vec<u64> {
+        let ctxs: Vec<u64> = self.slots.iter().copied().collect();
+        let snapshot = self.slots.clone();
+        let mut out = Vec::new();
+        out.extend(snapshot.to_vec());
+        let pad = vec![0u64; ctxs.len()];
+        out.extend(pad);
+        out
+    }
+
+    pub fn cold_reset(&mut self) {
+        // Not marked hot: allocation here is fine.
+        self.spare = Vec::new();
+        self.slots = self.spare.clone();
+    }
+}

@@ -1,4 +1,5 @@
-//! Suppression annotations: `// simlint: allow(<rules>) reason="…"`.
+//! Simlint directives: `// simlint: allow(<rules>) reason="…"` and
+//! `// simlint: hot`.
 //!
 //! Every exception to a rule must be written down where reviewers see
 //! it. The grammar is deliberately rigid — one annotation per comment,
@@ -10,9 +11,16 @@
 //! ```
 //!
 //! Rule ids are accepted in short (`R1`) or full (`R1-unordered-iter`)
-//! form, case-insensitive. A comment that *starts* with `simlint:` but
-//! does not parse — unknown rule, missing or empty reason, stray
-//! trailing text — suppresses nothing and is itself reported as a
+//! form, case-insensitive.
+//!
+//! The second directive, `// simlint: hot`, marks the function declared
+//! directly below it as hot-path code: rule R6 then forbids heap
+//! allocation (`Vec::new`, `vec!`, `.to_vec()`, `.clone()`,
+//! `.collect()`) inside that function's body.
+//!
+//! A comment that *starts* with `simlint:` but does not parse as either
+//! directive — unknown rule, missing or empty reason, stray trailing
+//! text — suppresses nothing and is itself reported as a
 //! [`Rule::Annotation`] finding, so a typo cannot silently disable a
 //! check.
 
@@ -40,10 +48,20 @@ impl Annotation {
     }
 }
 
+/// A parsed `simlint:` comment directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Directive {
+    /// `allow(<rules>) reason="…"`: an audited suppression.
+    Allow(Annotation),
+    /// `hot`: the function below must not allocate (rule R6).
+    Hot,
+}
+
 /// Why a `simlint:`-prefixed comment failed to parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AnnotError {
-    /// The text after `simlint:` did not match `allow(<rules>) reason="…"`.
+    /// The text after `simlint:` did not match `allow(<rules>) reason="…"`
+    /// or the bare `hot` marker.
     Malformed,
     /// A rule id inside `allow(…)` is not a known rule.
     UnknownRule(String),
@@ -56,7 +74,9 @@ impl AnnotError {
     pub fn message(&self) -> String {
         match self {
             AnnotError::Malformed => {
-                "malformed annotation; expected `simlint: allow(<rules>) reason=\"…\"`".into()
+                "malformed annotation; expected `simlint: allow(<rules>) reason=\"…\"` \
+                 or `simlint: hot`"
+                    .into()
             }
             AnnotError::UnknownRule(r) => format!("unknown rule `{r}` in allow(…)"),
             AnnotError::EmptyReason => {
@@ -69,12 +89,25 @@ impl AnnotError {
 /// Parses the text of one line comment (everything after `//`).
 ///
 /// Returns `None` when the comment is not simlint-directed at all,
-/// `Some(Ok(_))` for a valid annotation, and `Some(Err(_))` for a
+/// `Some(Ok(_))` for a valid directive, and `Some(Err(_))` for a
 /// comment that claims to be one but is broken.
-pub fn parse_comment(text: &str) -> Option<Result<Annotation, AnnotError>> {
+pub fn parse_directive(text: &str) -> Option<Result<Directive, AnnotError>> {
     let t = text.trim();
     let rest = t.strip_prefix("simlint:")?;
-    Some(parse_body(rest))
+    if rest.trim() == "hot" {
+        return Some(Ok(Directive::Hot));
+    }
+    Some(parse_body(rest).map(Directive::Allow))
+}
+
+/// [`parse_directive`] restricted to suppression annotations; `hot`
+/// markers read as non-simlint comments (`None`).
+pub fn parse_comment(text: &str) -> Option<Result<Annotation, AnnotError>> {
+    match parse_directive(text)? {
+        Ok(Directive::Allow(a)) => Some(Ok(a)),
+        Ok(Directive::Hot) => None,
+        Err(e) => Some(Err(e)),
+    }
 }
 
 fn parse_body(rest: &str) -> Result<Annotation, AnnotError> {
@@ -175,6 +208,26 @@ mod tests {
             parse_comment("simlint: disallow(R1) reason=\"x\"").unwrap(),
             Err(AnnotError::Malformed)
         );
+    }
+
+    #[test]
+    fn hot_marker_parses_and_rejects_trailing_text() {
+        assert_eq!(parse_directive(" simlint: hot"), Some(Ok(Directive::Hot)));
+        assert_eq!(
+            parse_directive("simlint:   hot  "),
+            Some(Ok(Directive::Hot))
+        );
+        // `hot` plus anything else is loud, never silently ignored.
+        assert_eq!(
+            parse_directive("simlint: hot path"),
+            Some(Err(AnnotError::Malformed))
+        );
+        assert_eq!(
+            parse_directive("simlint: hotfix"),
+            Some(Err(AnnotError::Malformed))
+        );
+        // The allow-only view treats markers as non-annotations.
+        assert_eq!(parse_comment("simlint: hot"), None);
     }
 
     #[test]

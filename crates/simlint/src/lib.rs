@@ -33,6 +33,7 @@
 //! | R3 | lease-hygiene | everywhere except `crates/kvcache/`, `serving/src/lease.rs` (non-test) | `KvPool::new` or alloc/free/lock calls on a `KvPool` binding |
 //! | R4 | panic | `driver.rs`, `recovery.rs`, `faults.rs` (non-test) | `.unwrap()` / `.expect(…)` |
 //! | R5 | float-order | everywhere (non-test) | `.sum::<f64>()` / `.fold(…)` fed by an unordered iterator |
+//! | R6 | alloc-in-hot-loop | functions marked `// simlint: hot` | `Vec::new`, `vec!`, `.to_vec()`, `.clone()`, `.collect()` — per-event heap traffic on the simulator's hot path; reuse caller-owned scratch instead |
 //!
 //! Files whose path does not identify a workspace crate (fixtures,
 //! ad-hoc runs) get the conservative treatment: every rule active.
@@ -64,18 +65,21 @@ pub enum Rule {
     Panic,
     /// R5: floating-point reduction over an unordered iterator.
     FloatOrder,
+    /// R6: heap allocation inside a `// simlint: hot` function.
+    AllocInHot,
     /// A `simlint:` comment that does not parse; not suppressible.
     Annotation,
 }
 
 impl Rule {
     /// All suppressible rules, in id order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::UnorderedIter,
         Rule::Entropy,
         Rule::LeaseHygiene,
         Rule::Panic,
         Rule::FloatOrder,
+        Rule::AllocInHot,
     ];
 
     /// Full id used in output lines, e.g. `R1-unordered-iter`.
@@ -86,6 +90,7 @@ impl Rule {
             Rule::LeaseHygiene => "R3-lease-hygiene",
             Rule::Panic => "R4-panic",
             Rule::FloatOrder => "R5-float-order",
+            Rule::AllocInHot => "R6-alloc-in-hot-loop",
             Rule::Annotation => "annot",
         }
     }
@@ -98,6 +103,7 @@ impl Rule {
             Rule::LeaseHygiene => "R3",
             Rule::Panic => "R4",
             Rule::FloatOrder => "R5",
+            Rule::AllocInHot => "R6",
             Rule::Annotation => "annot",
         }
     }

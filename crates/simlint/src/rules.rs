@@ -21,7 +21,7 @@
 //! positives: an over-flag costs one audited annotation, an under-flag
 //! costs a nondeterministic replay hunted by proptest.
 
-use crate::annot;
+use crate::annot::{self, Directive};
 use crate::lexer::{lex, LineComment, TokKind, Token};
 use crate::{Finding, Rule};
 use std::collections::{BTreeSet, HashMap as StdHashMap};
@@ -108,12 +108,14 @@ const BOOL_MARKERS: [&str; 3] = ["all", "any", "contains"];
 pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
     let lexed = lex(src);
     let ctx = FileCtx::new(rel_path, &lexed.tokens);
-    let (suppressions, mut findings) = parse_annotations(rel_path, &lexed.comments);
+    let (suppressions, hot_lines, mut findings) = parse_annotations(rel_path, &lexed.comments);
+    let hot_spans = resolve_hot_spans(&ctx, &hot_lines, &mut findings);
 
     run_unordered_rules(&ctx, &mut findings); // R1 + R5
     run_entropy_rule(&ctx, &mut findings); // R2
     run_lease_rule(&ctx, &mut findings); // R3
     run_panic_rule(&ctx, &mut findings); // R4
+    run_alloc_rule(&ctx, &hot_spans, &mut findings); // R6
 
     findings.retain(|f| f.rule == Rule::Annotation || !suppressions.allows(f.line, f.rule));
     // One finding per (line, rule): a single statement can trip the same
@@ -138,13 +140,18 @@ impl Suppressions {
     }
 }
 
-fn parse_annotations(rel_path: &str, comments: &[LineComment]) -> (Suppressions, Vec<Finding>) {
+fn parse_annotations(
+    rel_path: &str,
+    comments: &[LineComment],
+) -> (Suppressions, Vec<u32>, Vec<Finding>) {
     let mut by_line: StdHashMap<u32, Vec<Rule>> = StdHashMap::new();
+    let mut hot_lines = Vec::new();
     let mut findings = Vec::new();
     for c in comments {
-        match annot::parse_comment(&c.text) {
+        match annot::parse_directive(&c.text) {
             None => {}
-            Some(Ok(a)) => by_line.entry(c.line).or_default().extend(a.rules),
+            Some(Ok(Directive::Allow(a))) => by_line.entry(c.line).or_default().extend(a.rules),
+            Some(Ok(Directive::Hot)) => hot_lines.push(c.line),
             Some(Err(e)) => findings.push(Finding {
                 file: rel_path.to_string(),
                 line: c.line,
@@ -153,7 +160,85 @@ fn parse_annotations(rel_path: &str, comments: &[LineComment]) -> (Suppressions,
             }),
         }
     }
-    (Suppressions { by_line }, findings)
+    (Suppressions { by_line }, hot_lines, findings)
+}
+
+/// Resolves each `// simlint: hot` marker to the body span of the
+/// function declared below it. A marker whose next `fn` is more than a
+/// few lines away (or missing) is dangling — reported loudly as an
+/// `annot` finding rather than silently scoping nothing.
+fn resolve_hot_spans(
+    ctx: &FileCtx<'_>,
+    hot_lines: &[u32],
+    findings: &mut Vec<Finding>,
+) -> Vec<(u32, u32)> {
+    let tokens = ctx.tokens;
+    let mut spans = Vec::new();
+    for &marker in hot_lines {
+        let fn_idx = tokens.iter().position(|t| {
+            t.line > marker
+                && t.line <= marker.saturating_add(8)
+                && matches!(&t.kind, TokKind::Ident(s) if s == "fn")
+        });
+        let Some(i) = fn_idx else {
+            findings.push(
+                ctx.finding(
+                    marker,
+                    Rule::Annotation,
+                    "dangling `simlint: hot` marker; it must sit directly above the \
+                 `fn` it marks"
+                        .to_string(),
+                ),
+            );
+            continue;
+        };
+        // Find the body: first `{` at bracket depth 0 after the
+        // signature. A `;` first means a bodyless declaration.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut open = None;
+        while j < tokens.len() {
+            match tokens[j].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+                TokKind::Punct(';') if depth <= 0 => break,
+                TokKind::Punct('{') if depth <= 0 => {
+                    open = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            findings.push(
+                ctx.finding(
+                    marker,
+                    Rule::Annotation,
+                    "`simlint: hot` marks a bodyless `fn`; the marker belongs on the \
+                 implementation"
+                        .to_string(),
+                ),
+            );
+            continue;
+        };
+        let mut braces = 1i32;
+        let mut k = open + 1;
+        while k < tokens.len() && braces > 0 {
+            match tokens[k].kind {
+                TokKind::Punct('{') => braces += 1,
+                TokKind::Punct('}') => braces -= 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        let end = tokens
+            .get(k.saturating_sub(1))
+            .map(|t| t.line)
+            .unwrap_or(tokens[open].line);
+        spans.push((tokens[i].line, end));
+    }
+    spans
 }
 
 /// Everything the rules need to know about one file.
@@ -732,6 +817,78 @@ fn run_panic_rule(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Allocating calls flagged inside hot functions (R6). Method-call
+/// forms; `Vec::new` / `vec!` are matched structurally.
+const ALLOC_METHODS: [&str; 3] = ["to_vec", "clone", "collect"];
+
+/// R6: heap allocation inside a `// simlint: hot` function. The hot
+/// loop processes millions of events per run; a per-event `Vec` or
+/// clone turns into allocator traffic that dominates the profile. Hot
+/// functions take caller-owned scratch buffers instead; genuinely cold
+/// sub-paths (error/rare branches) carry an audited `allow(R6)`.
+fn run_alloc_rule(ctx: &FileCtx<'_>, hot_spans: &[(u32, u32)], findings: &mut Vec<Finding>) {
+    if hot_spans.is_empty() {
+        return;
+    }
+    let in_hot = |line: u32| hot_spans.iter().any(|&(a, b)| a <= line && line <= b);
+    let tokens = ctx.tokens;
+    for i in 0..tokens.len() {
+        let line = tokens[i].line;
+        if !in_hot(line) {
+            continue;
+        }
+        // `Vec::new(` / `Vec::with_capacity(` — fresh heap buffers.
+        if ctx.ident(i) == Some("Vec") && ctx.punct(i + 1, ':') && ctx.punct(i + 2, ':') {
+            if let Some(ctor) = ctx.ident(i + 3) {
+                if ctor == "new" || ctor == "with_capacity" {
+                    findings.push(ctx.finding(
+                        line,
+                        Rule::AllocInHot,
+                        format!(
+                            "`Vec::{ctor}` allocates inside a `simlint: hot` function; \
+                             reuse a scratch buffer owned by the caller, or annotate a \
+                             cold branch with allow(R6)"
+                        ),
+                    ));
+                }
+            }
+        }
+        // `vec![…]` — allocation plus per-element init.
+        if ctx.ident(i) == Some("vec") && ctx.punct(i + 1, '!') {
+            findings.push(
+                ctx.finding(
+                    line,
+                    Rule::AllocInHot,
+                    "`vec![…]` allocates inside a `simlint: hot` function; reuse a \
+                 scratch buffer owned by the caller, or annotate a cold branch \
+                 with allow(R6)"
+                        .to_string(),
+                ),
+            );
+        }
+        // `.to_vec()` / `.clone()` / `.collect…` — hidden copies.
+        if ctx.punct(i, '.') {
+            let Some(m) = ctx.ident(i + 1) else { continue };
+            if !ALLOC_METHODS.contains(&m) {
+                continue;
+            }
+            let call = ctx.punct(i + 2, '(') || (ctx.punct(i + 2, ':') && ctx.punct(i + 3, ':'));
+            if !call {
+                continue;
+            }
+            findings.push(ctx.finding(
+                tokens[i + 1].line,
+                Rule::AllocInHot,
+                format!(
+                    "`.{m}()` allocates inside a `simlint: hot` function; reuse a \
+                     scratch buffer owned by the caller (mem::take/swap for \
+                     ownership moves), or annotate a cold branch with allow(R6)"
+                ),
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -827,6 +984,46 @@ mod tests {
         let int = "struct S { m: HashMap<u64, u64> }\n\
                    fn f(s: &S) -> u64 { s.m.values().sum::<u64>() }";
         assert!(lint("crates/workload/src/x.rs", int).is_empty());
+    }
+
+    #[test]
+    fn r6_fires_only_inside_hot_functions() {
+        let src = "// simlint: hot\n\
+                   fn step(out: &mut Vec<u32>) {\n\
+                   let v = Vec::new();\n\
+                   let w = vec![0u8; 4];\n\
+                   let c = out.clone();\n\
+                   let t = out.to_vec();\n\
+                   let g: Vec<u32> = out.iter().copied().collect();\n\
+                   }\n\
+                   fn cold() { let v = Vec::new(); let w = x.clone(); }";
+        let f = lint("crates/gpusim/src/x.rs", src);
+        assert_eq!(f.len(), 5, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == Rule::AllocInHot));
+        assert_eq!(
+            f.iter().map(|f| f.line).collect::<Vec<_>>(),
+            vec![3, 4, 5, 6, 7]
+        );
+    }
+
+    #[test]
+    fn r6_suppression_and_mem_take_are_clean() {
+        let src = "// simlint: hot\n\
+                   fn step(&mut self) {\n\
+                   let buf = std::mem::take(&mut self.spare);\n\
+                   // simlint: allow(R6) reason=\"cold fault-edge branch\"\n\
+                   let snapshot = self.plan.clone();\n\
+                   }";
+        assert!(lint("crates/serving/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn dangling_hot_marker_is_loud() {
+        let src = "// simlint: hot\nconst X: u32 = 3;\n";
+        let f = lint("crates/gpusim/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::Annotation);
+        assert_eq!(f[0].line, 1);
     }
 
     #[test]

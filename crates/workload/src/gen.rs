@@ -100,7 +100,21 @@ struct Lengths {
     system_prompt: bool,
 }
 
-fn lengths(kind: WorkloadKind) -> Lengths {
+/// Calibrated length distributions per workload, computed once per
+/// process. Calibration (bisection over the truncated mean) is pure math
+/// on constants, so sharing the result across sessions changes nothing;
+/// it just keeps the per-session path free of the 64-step solver.
+fn lengths(kind: WorkloadKind) -> &'static Lengths {
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<[Lengths; 5]> = OnceLock::new();
+    let all = CACHE.get_or_init(|| WorkloadKind::all().map(calibrate));
+    &all[WorkloadKind::all()
+        .iter()
+        .position(|&k| k == kind)
+        .expect("kind is one of the five workloads")]
+}
+
+fn calibrate(kind: WorkloadKind) -> Lengths {
     // Multi-turn turn-count distribution: chosen so the expected
     // accumulated context matches Table 1's reused-length means (see
     // tests in `stats`).

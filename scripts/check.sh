@@ -7,6 +7,7 @@
 #   ./scripts/check.sh chaos-smoke     # fault-injection smoke grid only
 #   ./scripts/check.sh recovery-smoke  # GPU fail-stop crash/recover grid only
 #   ./scripts/check.sh lint            # simlint invariant pass only
+#   ./scripts/check.sh perf-smoke      # hot-path throughput gate (>20% regression fails)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +18,11 @@ fi
 
 if [[ "${1:-}" == "lint" ]]; then
     cargo run --release -q -p simlint
+    exit 0
+fi
+
+if [[ "${1:-}" == "perf-smoke" ]]; then
+    cargo run --release -q -p bench --bin perf_smoke
     exit 0
 fi
 
