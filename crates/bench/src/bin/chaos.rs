@@ -20,13 +20,75 @@ use workload::WorkloadKind;
 
 const SEED: u64 = 0xC4A05;
 const INTENSITIES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+/// A healthy run "holds" its rate while TBT attainment stays above this.
+const KNEE_ATTAINMENT: f64 = 0.9;
+/// Rate-doubling rounds in the knee probe (base × 2^5 ceiling).
+const KNEE_ROUNDS: usize = 6;
 
-fn sweep(tb: &Testbed, label: &str, n: usize, rate: f64) -> Vec<ChaosRow> {
-    banner(&format!("Chaos sweep — {label}"));
+/// Per-system saturation probe: starting from `base`, double each
+/// system's healthy (intensity-0) arrival rate until TBT attainment
+/// falls below [`KNEE_ATTAINMENT`] or the run goes unstable, and keep
+/// the last rate that held. Running the chaos grid at the knee instead
+/// of a fixed far-below-saturation rate makes fault intensity actually
+/// move attainment — at 1/10th the knee every system trivially scores
+/// ~1.0 and the grid says nothing.
+fn knee_rates(tb: &Testbed, label: &str, n: usize, base: f64) -> Vec<(SystemKind, f64)> {
+    banner(&format!("Knee probe — {label}"));
     let kinds = SystemKind::headline();
-    let jobs: Vec<ChaosJob<'_>> = kinds
+    let mut rate = vec![base; kinds.len()];
+    let mut best = vec![None; kinds.len()];
+    let mut climbing = vec![true; kinds.len()];
+    for _ in 0..KNEE_ROUNDS {
+        let live: Vec<usize> = (0..kinds.len()).filter(|&i| climbing[i]).collect();
+        if live.is_empty() {
+            break;
+        }
+        let jobs: Vec<ChaosJob<'_>> = live
+            .iter()
+            .map(|&i| ChaosJob {
+                tb,
+                kind: kinds[i],
+                workload: WorkloadKind::ShareGpt,
+                n,
+                rate: rate[i],
+                seed: SEED,
+                intensity: 0.0,
+            })
+            .collect();
+        let reports = run_chaos(&jobs);
+        for (&i, report) in live.iter().zip(reports) {
+            match report {
+                // Unsupported on this testbed; the sweep will skip it too.
+                None => climbing[i] = false,
+                Some(rep) => {
+                    if rep.tbt_attainment() >= KNEE_ATTAINMENT && rep.is_stable() {
+                        best[i] = Some(rate[i]);
+                        rate[i] *= 2.0;
+                    } else {
+                        climbing[i] = false;
+                    }
+                }
+            }
+        }
+    }
+    kinds
         .iter()
-        .flat_map(|&kind| {
+        .zip(best)
+        .map(|(&kind, b)| {
+            // Even `base` degraded: grid runs just past the knee, which
+            // is the side where fault response is visible anyway.
+            let knee = b.unwrap_or(base);
+            println!("{:<11} knee rate {knee:>6.1} req/s", kind.name());
+            (kind, knee)
+        })
+        .collect()
+}
+
+fn sweep(tb: &Testbed, label: &str, n: usize, rates: &[(SystemKind, f64)]) -> Vec<ChaosRow> {
+    banner(&format!("Chaos sweep — {label}"));
+    let jobs: Vec<ChaosJob<'_>> = rates
+        .iter()
+        .flat_map(|&(kind, rate)| {
             INTENSITIES.iter().map(move |&intensity| ChaosJob {
                 tb,
                 kind,
@@ -59,6 +121,7 @@ fn sweep(tb: &Testbed, label: &str, n: usize, rate: f64) -> Vec<ChaosRow> {
             "chaos",
             &serde_json::json!({
                 "testbed": label, "system": row.system, "intensity": row.intensity,
+                "rate": job.rate,
                 "tokens_per_s": row.throughput, "attainment": row.attainment,
                 "tbt_p99_ms": row.tbt_p99_ms, "stable": row.stable,
                 "finished": row.finished, "shed": row.shed,
@@ -179,9 +242,11 @@ fn main() {
         return;
     }
     let tb = Testbed::llama8b_a100();
-    let rows = sweep(&tb, "Llama-8B / 8xA100 / 50ms TBT", 400, 8.0);
+    let rates = knee_rates(&tb, "Llama-8B / 8xA100", 400, 8.0);
+    let rows = sweep(&tb, "Llama-8B / 8xA100 / 50ms TBT", 400, &rates);
     let tb70 = Testbed::llama70b_a100();
-    let rows70 = sweep(&tb70, "Llama-70B / 8xA100 / 100ms TBT", 150, 0.8);
+    let rates70 = knee_rates(&tb70, "Llama-70B / 8xA100", 150, 0.8);
+    let rows70 = sweep(&tb70, "Llama-70B / 8xA100 / 100ms TBT", 150, &rates70);
 
     // Summary artifact: per-system goodput at each intensity.
     let summary: Vec<_> = rows
@@ -196,18 +261,32 @@ fn main() {
             })
         })
         .collect();
+    let knee_json = |rates: &[(SystemKind, f64)]| -> Vec<serde_json::Value> {
+        rates
+            .iter()
+            .map(|&(k, r)| serde_json::json!({"system": k.name(), "rate": r}))
+            .collect()
+    };
+    let knees_8b = knee_json(&rates);
+    let knees_70b = knee_json(&rates70);
     let _ = std::fs::write(
         "BENCH_chaos.json",
         serde_json::to_string(&serde_json::json!({
             "experiment": "chaos",
             "intensities": INTENSITIES,
+            "knee_attainment": KNEE_ATTAINMENT,
+            "knee_rates": serde_json::json!({
+                "llama8b_a100": knees_8b,
+                "llama70b_a100": knees_70b,
+            }),
             "rows": summary,
         }))
         .unwrap_or_default(),
     );
     println!(
-        "\nExpected shape: throughput and attainment degrade (roughly monotonically) \
-         with fault intensity; MuxWise recovers within seconds of the last window at \
+        "\nExpected shape: with every system driven at its own healthy knee, throughput \
+         and attainment degrade (roughly monotonically) with fault intensity instead of \
+         sitting at ~1.0; MuxWise recovers within seconds of the last window at \
          intensity <= 0.5; no system panics or leaks KV leases at any intensity."
     );
 }

@@ -1,0 +1,617 @@
+#![warn(missing_docs)]
+//! The fleet router tier: N steppable serving instances behind a
+//! pluggable admission policy.
+//!
+//! The paper multiplexes prefill and decode on one GPU group; this crate
+//! scales that out. A [`Fleet`] owns N [`serving::Instance`]s — any mix
+//! of engines, each with its own [`gpusim::GpuSim`], fault plan and
+//! watchdog — and replays a global arrival stream through a
+//! [`RoutePolicy`] that picks an instance per request, llm-d
+//! endpoint-picker style: score by radix-prefix hit probability, queue
+//! depth and crash/health signals, and prefer a single-node or split
+//! (prefill/decode-disaggregated) serving path per request.
+//!
+//! # Deterministic merge
+//!
+//! The fleet advances as a sequence of **merge barriers**: for each
+//! distinct arrival instant `t` in the trace, every instance is stepped
+//! to `t` ([`serving::Instance::step_until`]), then the arrivals at `t`
+//! are routed in trace order against signals read from the settled
+//! instances. Between barriers instances share no state, so the stepping
+//! order cannot matter; signals are computed and routed sequentially in
+//! instance-index order with strict-`>` score comparison (lowest index
+//! wins ties). Fleet runs therefore replay bit-identically at any thread
+//! count — [`Fleet::with_threads`] only chooses how many instances step
+//! concurrently between barriers, which the proptests in
+//! `tests/tests/fleet.rs` pin down.
+//!
+//! # Examples
+//!
+//! ```
+//! use fleet::{Fleet, PathClass, RoundRobin};
+//! use gpusim::{ClusterSpec, GpuSim};
+//! use serving::{Driver, SloSpec};
+//!
+//! let mut fleet = Fleet::new();
+//! for i in 0..2 {
+//!     let gpu = GpuSim::from_cluster(&ClusterSpec::single_a100());
+//!     let driver = Driver::new(gpu, Vec::new(), SloSpec::llama8b());
+//!     fleet.push(driver, Box::new(fleet::IdleSink), PathClass::SingleNode, format!("sink{i}"));
+//! }
+//! let report = fleet.run(&[], &mut RoundRobin::new());
+//! assert_eq!(report.total(), 0);
+//! ```
+
+use simcore::SimTime;
+
+use kvcache::Block;
+use serving::{Driver, Instance, Report, Scheduler};
+use workload::RequestSpec;
+
+mod router;
+
+pub use router::{Decision, InstanceSignals, PrefixAffinity, RoundRobin, RoutePolicy};
+
+/// Which serving path an instance implements, for the router's
+/// per-request single-node-vs-split decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathClass {
+    /// Prefill and decode multiplexed on one GPU group (MuxWise, chunked
+    /// prefill, temporal multiplexing…).
+    SingleNode,
+    /// Prefill/decode disaggregated across groups with a KV transfer in
+    /// between (SGLang-PD, WindServe…) — pays a migration cost but
+    /// isolates long prefills from decode latency.
+    Split,
+}
+
+/// One fleet slot: a steppable instance plus the scheduler it drives.
+struct FleetMember {
+    instance: Instance,
+    scheduler: Box<dyn Scheduler>,
+    class: PathClass,
+    label: String,
+}
+
+// Members are stepped on scoped worker threads between merge barriers;
+// `Instance` is `Send` by assertion and `Scheduler` has a `Send`
+// supertrait, so this holds by construction — keep the proof local.
+const _: () = {
+    const fn require_send<T: Send>() {}
+    require_send::<FleetMember>();
+};
+
+/// Aggregate routing-quality counters for one fleet run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoutingStats {
+    /// Requests routed.
+    pub requests: u64,
+    /// Input tokens the chosen instance already held cached (summed over
+    /// requests at decision time).
+    pub prefix_hit_tokens: u64,
+    /// Total input tokens probed (the denominator of the hit rate).
+    pub probed_input_tokens: u64,
+    /// Requests steered away from the instance the score alone would
+    /// have picked because that instance had a fail-stopped GPU.
+    pub rerouted_on_crash: u64,
+    /// Requests routed to a [`PathClass::Split`] instance.
+    pub split_routed: u64,
+    /// Requests routed to a [`PathClass::SingleNode`] instance.
+    pub single_routed: u64,
+}
+
+/// The result of a fleet run: one [`Report`] per instance (index order)
+/// plus fleet-wide routing statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Instance labels, index order.
+    pub labels: Vec<String>,
+    /// Per-instance end-of-run reports, index order.
+    pub reports: Vec<Report>,
+    /// Per-instance simulator boundary-event counts.
+    pub events: Vec<u64>,
+    /// Requests routed to each instance.
+    pub routed: Vec<u64>,
+    /// Fleet-wide routing counters.
+    pub routing: RoutingStats,
+}
+
+impl FleetReport {
+    /// Requests finished fleet-wide.
+    pub fn finished(&self) -> usize {
+        self.reports.iter().map(|r| r.finished).sum()
+    }
+
+    /// Requests shed fleet-wide (watchdog admission/deadline sheds plus
+    /// crash give-ups).
+    pub fn shed(&self) -> usize {
+        self.reports.iter().map(|r| r.shed).sum()
+    }
+
+    /// Requests admitted fleet-wide.
+    pub fn total(&self) -> usize {
+        self.reports.iter().map(|r| r.total).sum()
+    }
+
+    /// Output tokens produced fleet-wide.
+    pub fn total_tokens(&self) -> u64 {
+        self.reports.iter().map(|r| r.total_tokens).sum()
+    }
+
+    /// Simulator boundary events processed fleet-wide.
+    pub fn total_events(&self) -> u64 {
+        self.events.iter().sum()
+    }
+
+    /// Fleet makespan: the latest instance finish time (the fleet is done
+    /// when its slowest instance is).
+    pub fn makespan_secs(&self) -> f64 {
+        self.reports
+            .iter()
+            .map(|r| r.makespan.as_secs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Fleet goodput in SLO-attaining tokens/second: each instance's
+    /// tokens weighted by its TTFT and TBT attainment, over the fleet
+    /// makespan. This is the single-system goodput measure lifted to the
+    /// fleet — tokens that violated their instance's SLOs don't count
+    /// (a redundant full-context prefill that blows the TTFT target
+    /// shows up here), and the clock runs until the slowest instance
+    /// drains.
+    pub fn goodput_tokens_per_sec(&self) -> f64 {
+        let span = self.makespan_secs();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.reports
+            .iter()
+            .filter(|r| r.total_tokens > 0)
+            .map(|r| r.total_tokens as f64 * r.tbt_attainment() * r.ttft_attainment())
+            .sum::<f64>()
+            / span
+    }
+
+    /// Token-weighted TTFT attainment across the fleet (1.0 when every
+    /// instance met its TTFT target on every request).
+    pub fn ttft_attainment(&self) -> f64 {
+        self.token_weighted(Report::ttft_attainment)
+    }
+
+    /// Token-weighted TBT attainment across the fleet.
+    pub fn tbt_attainment(&self) -> f64 {
+        self.token_weighted(Report::tbt_attainment)
+    }
+
+    fn token_weighted(&self, f: impl Fn(&Report) -> f64) -> f64 {
+        let tokens = self.total_tokens();
+        if tokens == 0 {
+            return 1.0;
+        }
+        self.reports
+            .iter()
+            .filter(|r| r.total_tokens > 0)
+            .map(|r| r.total_tokens as f64 * f(r))
+            .sum::<f64>()
+            / tokens as f64
+    }
+
+    /// Fraction of probed input tokens served from the chosen instance's
+    /// radix cache at decision time (0 when nothing was probed).
+    pub fn prefix_hit_rate(&self) -> f64 {
+        if self.routing.probed_input_tokens == 0 {
+            return 0.0;
+        }
+        self.routing.prefix_hit_tokens as f64 / self.routing.probed_input_tokens as f64
+    }
+
+    /// Max-over-mean request load across instances (1.0 = perfectly
+    /// balanced; 0 when nothing was routed).
+    pub fn load_imbalance(&self) -> f64 {
+        let max = self.routed.iter().copied().max().unwrap_or(0);
+        let total: u64 = self.routed.iter().sum();
+        if total == 0 || self.routed.is_empty() {
+            return 0.0;
+        }
+        max as f64 * self.routed.len() as f64 / total as f64
+    }
+
+    /// KV leases leaked fleet-wide (release builds count instead of
+    /// panicking; must be zero).
+    pub fn leaked_leases(&self) -> u64 {
+        self.reports.iter().map(|r| r.counters.leaked_leases).sum()
+    }
+}
+
+/// A no-op scheduler for doc-tests and wiring tests: accepts arrivals
+/// and does nothing with them.
+#[derive(Debug, Default)]
+pub struct IdleSink;
+
+impl Scheduler for IdleSink {
+    fn on_start(&mut self, _ctx: &mut serving::ServeCtx) {}
+    fn on_arrival(&mut self, _id: serving::ReqId, _ctx: &mut serving::ServeCtx) {}
+    fn on_kernel_done(&mut self, _tag: u64, _ctx: &mut serving::ServeCtx) {}
+}
+
+/// N serving instances and the machinery to drive them in lockstep
+/// against one global arrival stream.
+#[derive(Default)]
+pub struct Fleet {
+    members: Vec<FleetMember>,
+    threads: usize,
+}
+
+impl Fleet {
+    /// An empty, single-threaded fleet.
+    pub fn new() -> Fleet {
+        Fleet {
+            members: Vec::new(),
+            threads: 1,
+        }
+    }
+
+    /// Steps up to `threads` instances concurrently between merge
+    /// barriers. Results are bit-identical at any value — instances
+    /// share no state between barriers — so this is purely a wall-clock
+    /// knob.
+    pub fn with_threads(mut self, threads: usize) -> Fleet {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Adds an instance built from a configured [`Driver`] (empty trace;
+    /// requests reach it only through the router) and the scheduler that
+    /// drives it. `class` tells the router which serving path the
+    /// instance implements; `label` names it in the [`FleetReport`].
+    pub fn push(
+        &mut self,
+        driver: Driver,
+        mut scheduler: Box<dyn Scheduler>,
+        class: PathClass,
+        label: String,
+    ) {
+        let instance = driver.into_instance(scheduler.as_mut());
+        self.members.push(FleetMember {
+            instance,
+            scheduler,
+            class,
+            label,
+        });
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the fleet has no instances.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Runs the fleet over a global arrival stream (sorted by arrival
+    /// time — [`workload::generate_fleet_stream`] output qualifies),
+    /// routing every request through `policy`, and drains all instances
+    /// to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet is empty while the trace is not, or (debug
+    /// builds) if the trace is not sorted by arrival time.
+    pub fn run(self, trace: &[RequestSpec], policy: &mut dyn RoutePolicy) -> FleetReport {
+        self.run_opts(trace, policy, &[])
+    }
+
+    /// [`Fleet::run`] with extra no-op merge barriers injected into the
+    /// schedule (sorted, may duplicate trace instants). Stepping an
+    /// instance at a barrier where nothing arrives is a pure no-op, so
+    /// the report is bit-identical for any `extra_barriers` — the
+    /// interleaving proptest exercises exactly this.
+    pub fn run_opts(
+        mut self,
+        trace: &[RequestSpec],
+        policy: &mut dyn RoutePolicy,
+        extra_barriers: &[SimTime],
+    ) -> FleetReport {
+        assert!(
+            trace.is_empty() || !self.members.is_empty(),
+            "cannot route a trace through an empty fleet"
+        );
+        debug_assert!(
+            trace.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "fleet trace must be sorted by arrival time"
+        );
+        debug_assert!(
+            extra_barriers.windows(2).all(|w| w[0] <= w[1]),
+            "extra barriers must be sorted"
+        );
+        let mut routed = vec![0u64; self.members.len()];
+        let mut routing = RoutingStats::default();
+        let mut signals: Vec<InstanceSignals> = Vec::with_capacity(self.members.len());
+        let mut blocks_by_size: Vec<(u32, Vec<Block>)> = Vec::new();
+
+        let mut i = 0;
+        let mut b = 0;
+        while i < trace.len() || b < extra_barriers.len() {
+            let t_arrival = trace.get(i).map(|r| r.arrival);
+            let t_extra = extra_barriers.get(b).copied();
+            let t = match (t_arrival, t_extra) {
+                (Some(a), Some(e)) => a.min(e),
+                (a, e) => a.or(e).unwrap_or(SimTime::MAX),
+            };
+            self.step_all(t);
+            // Route every arrival at exactly `t`, trace order: signals
+            // are re-read per request so back-to-back arrivals at one
+            // instant see each other's queue-depth effect.
+            while i < trace.len() && trace[i].arrival == t {
+                let spec = &trace[i];
+                self.collect_signals(spec, &mut signals, &mut blocks_by_size);
+                let decision = policy.pick(spec, &signals);
+                let m = &mut self.members[decision.instance];
+                m.instance.admit(spec.clone());
+                routed[decision.instance] += 1;
+                routing.requests += 1;
+                routing.prefix_hit_tokens += signals[decision.instance].prefix_hit_tokens;
+                routing.probed_input_tokens += spec.input_tokens();
+                routing.rerouted_on_crash += u64::from(decision.rerouted_on_crash);
+                match m.class {
+                    PathClass::SingleNode => routing.single_routed += 1,
+                    PathClass::Split => routing.split_routed += 1,
+                }
+                i += 1;
+            }
+            while b < extra_barriers.len() && extra_barriers[b] <= t {
+                b += 1;
+            }
+        }
+        // Drain: every instance runs out its admitted work unbounded.
+        self.step_all(SimTime::MAX);
+
+        let mut report = FleetReport {
+            labels: Vec::with_capacity(self.members.len()),
+            reports: Vec::with_capacity(self.members.len()),
+            events: Vec::with_capacity(self.members.len()),
+            routed,
+            routing,
+        };
+        for mut m in self.members {
+            let (rep, events) = m.instance.finish(m.scheduler.as_mut());
+            report.labels.push(m.label);
+            report.reports.push(rep);
+            report.events.push(events);
+        }
+        report
+    }
+
+    /// Advances every instance to the merge barrier at `t`, optionally
+    /// in parallel. Chunks are contiguous index ranges, so work-stealing
+    /// nondeterminism never arises; each instance touches only its own
+    /// state, so results are independent of the chunking.
+    fn step_all(&mut self, t: SimTime) {
+        let workers = self.threads.min(self.members.len());
+        if workers <= 1 {
+            step_members(&mut self.members, t);
+            return;
+        }
+        let chunk = self.members.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for slice in self.members.chunks_mut(chunk) {
+                scope.spawn(move || step_members(slice, t));
+            }
+        });
+    }
+
+    /// Reads the router signals for one request from every instance,
+    /// index order. Prefix probes use [`serving::LeaseTable::peek_prefix`]
+    /// (non-mutating, no hit-statistics recorded); the request's block
+    /// split is computed once per distinct pool block size and reused
+    /// across instances.
+    fn collect_signals(
+        &self,
+        spec: &RequestSpec,
+        signals: &mut Vec<InstanceSignals>,
+        blocks_by_size: &mut Vec<(u32, Vec<Block>)>,
+    ) {
+        signals.clear();
+        blocks_by_size.clear();
+        let input_tokens = spec.input_tokens();
+        for m in &self.members {
+            let mut hit = 0u64;
+            for table in m.scheduler.lease_tables() {
+                let bs = table.block_size();
+                let blocks = match blocks_by_size.iter().position(|&(s, _)| s == bs) {
+                    Some(k) => &blocks_by_size[k].1,
+                    None => {
+                        blocks_by_size.push((bs, spec.content.blocks(bs)));
+                        &blocks_by_size[blocks_by_size.len() - 1].1
+                    }
+                };
+                hit = hit.max(table.peek_prefix(blocks));
+            }
+            signals.push(InstanceSignals {
+                queue_depth: m.instance.in_flight(),
+                prefix_hit_tokens: hit.min(input_tokens),
+                input_tokens,
+                healthy: m.instance.dead_gpus() == 0,
+                class: m.class,
+            });
+        }
+    }
+}
+
+/// The merge-barrier stepping loop: every instance advances to `t`.
+/// Instances are independent between barriers, so slices of this loop
+/// run on worker threads with bit-identical results.
+// simlint: hot
+fn step_members(members: &mut [FleetMember], t: SimTime) {
+    for m in members.iter_mut() {
+        m.instance.step_until(m.scheduler.as_mut(), t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::{ClusterSpec, CtxId, GpuSim, GroupId, KernelKind, WorkItem};
+    use serving::{LeaseTable, ReqId, ServeCtx, SloSpec};
+    use simcore::SimRng;
+    use workload::{generate_fleet_stream, WorkloadKind};
+
+    /// A miniature engine with a real lease table: prefill kernel sized
+    /// by uncached tokens, full context committed to the radix on finish
+    /// — enough for the router's prefix probes to see genuine reuse.
+    struct MiniEngine {
+        group: Option<GroupId>,
+        ctx_id: Option<CtxId>,
+        table: LeaseTable,
+        leases: Vec<Option<serving::KvLease>>,
+    }
+
+    impl MiniEngine {
+        fn new() -> MiniEngine {
+            MiniEngine {
+                group: None,
+                ctx_id: None,
+                table: LeaseTable::new(2_000_000, 64),
+                leases: Vec::new(),
+            }
+        }
+    }
+
+    impl Scheduler for MiniEngine {
+        fn on_start(&mut self, ctx: &mut ServeCtx) {
+            let g = ctx.gpu.create_group(vec![0]);
+            self.group = Some(g);
+            self.ctx_id = Some(ctx.gpu.set_context(g, 108));
+        }
+        fn on_arrival(&mut self, id: ReqId, ctx: &mut ServeCtx) {
+            let now = ctx.now();
+            let spec = ctx.request(id);
+            let blocks = spec.content.blocks(self.table.block_size());
+            let lease = self.table.lease_prefix(&blocks, now);
+            let fresh = spec.input_tokens() - lease.matched_tokens();
+            if self.leases.len() <= id {
+                self.leases.resize_with(id + 1, || None);
+            }
+            self.leases[id] = Some(lease);
+            // 10 µs per uncached kilo-token: cached prefixes finish fast.
+            let secs = 1e-5 * (fresh as f64 / 1000.0).max(0.1);
+            let work = WorkItem::new(KernelKind::Prefill, 0.0, 0.0, secs);
+            ctx.gpu.submit(
+                self.group.unwrap(),
+                self.ctx_id.unwrap(),
+                work,
+                now,
+                id as u64,
+            );
+        }
+        fn on_kernel_done(&mut self, tag: u64, ctx: &mut ServeCtx) {
+            let id = tag as ReqId;
+            let now = ctx.now();
+            let out = ctx.request(id).output_tokens;
+            let blocks = ctx.request(id).content.blocks(self.table.block_size());
+            let lease = self.leases[id].take().expect("lease present");
+            self.table.release_and_commit(lease, &blocks, now);
+            ctx.emit_tokens(id, out);
+            ctx.finish_request(id);
+        }
+        fn groups(&self) -> Vec<GroupId> {
+            self.group.into_iter().collect()
+        }
+        fn lease_tables(&self) -> Vec<&LeaseTable> {
+            vec![&self.table]
+        }
+        fn lease_tables_mut(&mut self) -> Vec<&mut LeaseTable> {
+            vec![&mut self.table]
+        }
+    }
+
+    fn mini_fleet(n: usize, threads: usize) -> Fleet {
+        let mut fleet = Fleet::new().with_threads(threads);
+        for i in 0..n {
+            let gpu = GpuSim::from_cluster(&ClusterSpec::single_a100());
+            let driver = Driver::new(gpu, Vec::new(), SloSpec::llama8b());
+            fleet.push(
+                driver,
+                Box::new(MiniEngine::new()),
+                PathClass::SingleNode,
+                format!("mini{i}"),
+            );
+        }
+        fleet
+    }
+
+    fn trace(fleet_size: usize) -> Vec<RequestSpec> {
+        let mut rng = SimRng::seed_from(0xF1EE7);
+        generate_fleet_stream(
+            WorkloadKind::Conversation,
+            fleet_size,
+            3,
+            0.5,
+            10.0,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn round_robin_balances_and_drains() {
+        let trace = trace(4);
+        let report = mini_fleet(4, 1).run(&trace, &mut RoundRobin::new());
+        assert_eq!(report.total(), trace.len());
+        assert_eq!(report.finished() + report.shed(), report.total());
+        assert_eq!(report.leaked_leases(), 0);
+        let spread = report.routed.iter().max().unwrap() - report.routed.iter().min().unwrap();
+        assert!(
+            spread <= 1,
+            "round robin spread {spread}: {:?}",
+            report.routed
+        );
+    }
+
+    #[test]
+    fn prefix_affinity_finds_session_reuse() {
+        let trace = trace(4);
+        let rr = mini_fleet(4, 1).run(&trace, &mut RoundRobin::new());
+        let aff = mini_fleet(4, 1).run(&trace, &mut PrefixAffinity::default());
+        assert_eq!(aff.finished() + aff.shed(), aff.total());
+        assert!(
+            aff.prefix_hit_rate() > rr.prefix_hit_rate(),
+            "affinity hit rate {} should beat round robin {}",
+            aff.prefix_hit_rate(),
+            rr.prefix_hit_rate()
+        );
+        assert!(
+            aff.prefix_hit_rate() > 0.2,
+            "multi-turn sessions should reuse context"
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_report() {
+        let trace = trace(5);
+        let one = mini_fleet(5, 1).run(&trace, &mut PrefixAffinity::default());
+        let four = mini_fleet(5, 4).run(&trace, &mut PrefixAffinity::default());
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn extra_barriers_are_no_ops() {
+        let trace = trace(3);
+        let plain = mini_fleet(3, 1).run(&trace, &mut RoundRobin::new());
+        let barriers: Vec<SimTime> = (1..40)
+            .map(|k| SimTime::from_secs(k as f64 * 0.73))
+            .collect();
+        let chopped = mini_fleet(3, 1).run_opts(&trace, &mut RoundRobin::new(), &barriers);
+        assert_eq!(plain, chopped);
+    }
+
+    #[test]
+    fn empty_fleet_refuses_a_trace() {
+        let t = trace(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Fleet::new().run(&t, &mut RoundRobin::new())
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,297 @@
+//! Admission policies: who serves the next request.
+//!
+//! Modeled on the llm-d endpoint-picker (EPP): the router scores every
+//! instance from cheap, non-mutating signals — radix-prefix hit
+//! probability, queue depth, crash/health — and picks deterministically
+//! (strict-`>` comparison, lowest index wins ties). Policies never touch
+//! instance state; they only read the [`InstanceSignals`] snapshot taken
+//! at the merge barrier.
+
+use workload::RequestSpec;
+
+use crate::PathClass;
+
+/// The router's per-instance snapshot for one request, read after every
+/// instance settled at the merge barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstanceSignals {
+    /// Delivered-but-unfinished requests on the instance.
+    pub queue_depth: usize,
+    /// Input tokens of *this request* already cached in the instance's
+    /// radix tree (longest-prefix probe, no stats recorded).
+    pub prefix_hit_tokens: u64,
+    /// The request's total input tokens (same for every instance).
+    pub input_tokens: u64,
+    /// Whether the instance has no fail-stopped GPU right now.
+    pub healthy: bool,
+    /// Which serving path the instance implements.
+    pub class: PathClass,
+}
+
+/// Where a request goes, and whether health signals overrode the score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Index of the chosen instance.
+    pub instance: usize,
+    /// True when the instance the score alone preferred was skipped
+    /// because it had a dead GPU.
+    pub rerouted_on_crash: bool,
+}
+
+/// An admission policy: maps a request plus per-instance signals to a
+/// [`Decision`]. Implementations must be deterministic — same inputs,
+/// same pick — or fleet replay identity breaks.
+pub trait RoutePolicy: Send {
+    /// Short policy name for report rows.
+    fn name(&self) -> &'static str;
+    /// Picks an instance for `spec`. `signals` is indexed by instance
+    /// and never empty.
+    fn pick(&mut self, spec: &RequestSpec, signals: &[InstanceSignals]) -> Decision;
+}
+
+/// The baseline: rotate through instances, skipping unhealthy ones.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Starts the rotation at instance 0.
+    pub fn new() -> RoundRobin {
+        RoundRobin::default()
+    }
+}
+
+impl RoutePolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn pick(&mut self, _spec: &RequestSpec, signals: &[InstanceSignals]) -> Decision {
+        let n = signals.len();
+        let start = self.next % n;
+        // First healthy instance from the rotation point; if every
+        // instance is unhealthy, keep the rotation pick (degraded
+        // service beats dropping on the floor).
+        let mut choice = start;
+        let mut rerouted = false;
+        for k in 0..n {
+            let cand = (start + k) % n;
+            if signals[cand].healthy {
+                choice = cand;
+                rerouted = k > 0;
+                break;
+            }
+        }
+        self.next = (choice + 1) % n;
+        Decision {
+            instance: choice,
+            rerouted_on_crash: rerouted,
+        }
+    }
+}
+
+/// EPP-style scoring: prefer the instance already holding the request's
+/// context, tempered by queue depth, with a per-request
+/// single-node-vs-split path decision.
+///
+/// Score: `w_prefix · hit_ratio − w_queue · queue_depth`, where
+/// `hit_ratio = prefix_hit_tokens / input_tokens`. Candidates are
+/// restricted to healthy instances of the preferred [`PathClass`]:
+/// [`PathClass::Split`] when even the best cache hit leaves at least
+/// `split_threshold_tokens` of fresh prefill (long prefills benefit from
+/// disaggregation) and a healthy split instance exists; otherwise
+/// [`PathClass::SingleNode`]. Falls back to any healthy instance, then
+/// to the raw argmax, so a pick always exists.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixAffinity {
+    /// Weight of the prefix hit ratio (cache affinity pull).
+    pub w_prefix: f64,
+    /// Weight of the queue depth (load-balance push, per request).
+    pub w_queue: f64,
+    /// Fresh-prefill size at which the split path is preferred.
+    pub split_threshold_tokens: u64,
+}
+
+impl Default for PrefixAffinity {
+    fn default() -> PrefixAffinity {
+        PrefixAffinity {
+            // A full-prefix hit outweighs ~20 queued requests; beyond
+            // that, load balance wins over affinity.
+            w_prefix: 1.0,
+            w_queue: 0.05,
+            split_threshold_tokens: 8_192,
+        }
+    }
+}
+
+impl RoutePolicy for PrefixAffinity {
+    fn name(&self) -> &'static str {
+        "prefix-affinity"
+    }
+
+    fn pick(&mut self, _spec: &RequestSpec, signals: &[InstanceSignals]) -> Decision {
+        let input = signals[0].input_tokens.max(1) as f64;
+        let best_hit = signals
+            .iter()
+            .map(|s| s.prefix_hit_tokens)
+            .max()
+            .unwrap_or(0);
+        let fresh = signals[0].input_tokens.saturating_sub(best_hit);
+        let want_split = fresh >= self.split_threshold_tokens
+            && signals
+                .iter()
+                .any(|s| s.healthy && s.class == PathClass::Split);
+        let want = if want_split {
+            PathClass::Split
+        } else {
+            PathClass::SingleNode
+        };
+
+        // One pass, three argmaxes: preferred class ∩ healthy, any
+        // healthy, and score-only (to detect crash reroutes). Strict `>`
+        // keeps the lowest index on ties — replay-stable.
+        let mut best_preferred: Option<(usize, f64)> = None;
+        let mut best_healthy: Option<(usize, f64)> = None;
+        let mut best_raw: Option<(usize, f64)> = None;
+        for (idx, s) in signals.iter().enumerate() {
+            let score = self.w_prefix * (s.prefix_hit_tokens as f64 / input)
+                - self.w_queue * s.queue_depth as f64;
+            if best_raw.is_none_or(|(_, b)| score > b) {
+                best_raw = Some((idx, score));
+            }
+            if !s.healthy {
+                continue;
+            }
+            if best_healthy.is_none_or(|(_, b)| score > b) {
+                best_healthy = Some((idx, score));
+            }
+            if s.class == want && best_preferred.is_none_or(|(_, b)| score > b) {
+                best_preferred = Some((idx, score));
+            }
+        }
+        let (choice, _) = best_preferred
+            .or(best_healthy)
+            .or(best_raw)
+            .unwrap_or((0, 0.0));
+        // A crash reroute is a pick that diverged from the raw argmax
+        // because that instance was unhealthy.
+        let rerouted = signals[choice].healthy
+            && best_raw.is_some_and(|(idx, _)| idx != choice && !signals[idx].healthy);
+        Decision {
+            instance: choice,
+            rerouted_on_crash: rerouted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(hit: u64, depth: usize, healthy: bool, class: PathClass) -> InstanceSignals {
+        InstanceSignals {
+            queue_depth: depth,
+            prefix_hit_tokens: hit,
+            input_tokens: 1000,
+            healthy,
+            class,
+        }
+    }
+
+    fn spec() -> RequestSpec {
+        RequestSpec {
+            id: 0,
+            arrival: simcore::SimTime::ZERO,
+            session: 1,
+            turn: 0,
+            content: workload::ContentSpec::single(1, 1000),
+            prior_context: 0,
+            output_tokens: 10,
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates_and_skips_dead() {
+        let mut rr = RoundRobin::new();
+        let s = spec();
+        let healthy = [
+            sig(0, 0, true, PathClass::SingleNode),
+            sig(0, 0, false, PathClass::SingleNode),
+            sig(0, 0, true, PathClass::SingleNode),
+        ];
+        let d0 = rr.pick(&s, &healthy);
+        assert_eq!((d0.instance, d0.rerouted_on_crash), (0, false));
+        let d1 = rr.pick(&s, &healthy);
+        assert_eq!((d1.instance, d1.rerouted_on_crash), (2, true));
+        let d2 = rr.pick(&s, &healthy);
+        assert_eq!(d2.instance, 0);
+    }
+
+    #[test]
+    fn affinity_prefers_cached_context_but_yields_to_load() {
+        let mut aff = PrefixAffinity::default();
+        let s = spec();
+        // Instance 1 holds the whole prefix: affinity wins.
+        let cached = [
+            sig(0, 0, true, PathClass::SingleNode),
+            sig(1000, 3, true, PathClass::SingleNode),
+        ];
+        assert_eq!(aff.pick(&s, &cached).instance, 1);
+        // Same hit but a deep queue: load balance overrides affinity.
+        let swamped = [
+            sig(0, 0, true, PathClass::SingleNode),
+            sig(1000, 30, true, PathClass::SingleNode),
+        ];
+        assert_eq!(aff.pick(&s, &swamped).instance, 0);
+    }
+
+    #[test]
+    fn affinity_reroutes_off_crashed_instance() {
+        let mut aff = PrefixAffinity::default();
+        let s = spec();
+        let signals = [
+            sig(0, 0, true, PathClass::SingleNode),
+            sig(1000, 0, false, PathClass::SingleNode),
+        ];
+        let d = aff.pick(&s, &signals);
+        assert_eq!(d.instance, 0);
+        assert!(d.rerouted_on_crash);
+    }
+
+    #[test]
+    fn long_fresh_prefill_takes_the_split_path() {
+        let mut aff = PrefixAffinity::default();
+        let mut s = spec();
+        s.content = workload::ContentSpec::single(1, 20_000);
+        let signals = [
+            InstanceSignals {
+                queue_depth: 0,
+                prefix_hit_tokens: 0,
+                input_tokens: 20_000,
+                healthy: true,
+                class: PathClass::SingleNode,
+            },
+            InstanceSignals {
+                queue_depth: 0,
+                prefix_hit_tokens: 0,
+                input_tokens: 20_000,
+                healthy: true,
+                class: PathClass::Split,
+            },
+        ];
+        assert_eq!(aff.pick(&s, &signals).instance, 1);
+        // Mostly cached: fresh work below threshold → single node.
+        let cached = [
+            InstanceSignals {
+                prefix_hit_tokens: 18_000,
+                ..signals[0]
+            },
+            InstanceSignals {
+                prefix_hit_tokens: 0,
+                ..signals[1]
+            },
+        ];
+        assert_eq!(aff.pick(&s, &cached).instance, 0);
+    }
+}

@@ -948,6 +948,15 @@ impl GpuSim {
         self.dead.get(gpu as usize).copied().unwrap_or(false)
     }
 
+    /// Number of currently fail-stopped GPUs (0 = healthy). Routers use
+    /// this as a cheap health signal when scoring instances.
+    pub fn num_dead_gpus(&self) -> u32 {
+        if !self.any_dead {
+            return 0;
+        }
+        self.dead.iter().filter(|&&d| d).count() as u32
+    }
+
     /// Whether any GPU of a group is currently failed (the lockstep
     /// group cannot run).
     pub fn group_has_dead_gpu(&self, group: GroupId) -> bool {

@@ -8,14 +8,15 @@
 
 use simcore::{EventQueue, SimDuration, SimTime};
 
-use gpusim::{CtxId, GpuSim, GroupId, HwDegradation};
+use gpusim::{CtxId, GpuSim, GroupId};
 use workload::RequestSpec;
 
 use crate::faults::{FaultKind, FaultPlan};
+use crate::instance::Instance;
 use crate::lease::LeaseTable;
 use crate::lifecycle::EngineCounters;
 use crate::metrics::{MetricsRecorder, Report};
-use crate::recovery::{CrashVictim, RecoveryManager};
+use crate::recovery::CrashVictim;
 use crate::request::{ReqId, SloSpec};
 
 /// Events delivered to the scheduler (`FaultBoundary` is internal: the
@@ -23,7 +24,7 @@ use crate::request::{ReqId, SloSpec};
 /// `Requeue` is the recovery manager's scheduled re-injection of a crash
 /// victim).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Event {
+pub(crate) enum Event {
     Arrival(ReqId),
     Timer(u64),
     FaultBoundary,
@@ -45,10 +46,10 @@ const _: () = {
 pub struct ServeCtx {
     /// The GPU server.
     pub gpu: GpuSim,
-    requests: Vec<RequestSpec>,
-    metrics: MetricsRecorder,
-    queue: EventQueue<Event>,
-    now: SimTime,
+    pub(crate) requests: Vec<RequestSpec>,
+    pub(crate) metrics: MetricsRecorder,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) now: SimTime,
 }
 
 impl ServeCtx {
@@ -244,15 +245,15 @@ impl Default for WatchdogConfig {
 /// ```
 #[derive(Debug)]
 pub struct Driver {
-    ctx: ServeCtx,
-    slo: SloSpec,
+    pub(crate) ctx: ServeCtx,
+    pub(crate) slo: SloSpec,
     /// Hard cap on simulated time (safety net against livelock).
-    max_sim_time: SimTime,
-    stalled: bool,
+    pub(crate) max_sim_time: SimTime,
+    pub(crate) stalled: bool,
     /// Scripted fault schedule (empty = healthy hardware, strict no-op).
-    faults: FaultPlan,
+    pub(crate) faults: FaultPlan,
     /// Overload protection; `None` disables the watchdog entirely.
-    watchdog: Option<WatchdogConfig>,
+    pub(crate) watchdog: Option<WatchdogConfig>,
 }
 
 impl Driver {
@@ -306,393 +307,25 @@ impl Driver {
     /// boundary-event count — throughput telemetry for benchmarks
     /// (events/wall-second). The report is bit-identical to
     /// [`Driver::run`]'s.
-    pub fn run_stats(mut self, scheduler: &mut dyn Scheduler) -> (Report, u64) {
-        // Fault boundaries are pushed before arrivals: the event queue is
-        // FIFO at equal timestamps, so a window opening at the same
-        // instant as an arrival reconfigures the hardware first.
-        for t in self.faults.boundaries() {
-            self.ctx.queue.push(t, Event::FaultBoundary);
-        }
-        if !self.faults.is_empty() {
-            self.ctx.metrics.track_tbt_threshold(self.slo.tbt.as_secs());
-        }
-        for (i, r) in self.ctx.requests.iter().enumerate() {
-            self.ctx.queue.push(r.arrival, Event::Arrival(i));
-        }
-        scheduler.on_start(&mut self.ctx);
-
-        // Watchdog bookkeeping (allocated even when disabled — the vecs
-        // are cheap and keep the loop branch-light).
-        let n = self.ctx.requests.len();
-        let mut delivered = vec![false; n];
-        let mut shed_attempted = vec![false; n];
-        let mut defer_count = vec![0u32; n];
-        // Delivered-but-tokenless requests watched for deadline shedding,
-        // in delivery order (kept in order so shed attempts replay
-        // identically at any thread count).
-        let mut watchlist: Vec<ReqId> = Vec::new();
-        let mut fault_retries: u64 = 0;
-        let mut severe_fault = false;
-        let mut orig_capacities: Option<Vec<u64>> = None;
-        // Crash failover state, engaged only when the plan schedules a
-        // fail-stop (strict no-op on crash-free runs).
-        let has_crashes = self.faults.has_fail_stop();
-        let mut prev_dead = vec![false; self.ctx.gpu.num_gpus() as usize];
-        let mut recovery = RecoveryManager::new();
-        // Reused completion buffers: the hot loop drains the simulator
-        // into caller-owned scratch instead of allocating per event.
-        let mut completed_kernels: Vec<(gpusim::KernelId, u64)> = Vec::new();
-        let mut completed_transfers: Vec<(gpusim::TransferId, u64)> = Vec::new();
-        // Fault-window memo: boundaries where the active set is unchanged
-        // skip the degradation rebuild (diff, don't rebuild).
-        let mut fault_memo: Option<(Vec<FaultKind>, bool, f64)> = None;
-
-        loop {
-            let t_queue = self.ctx.queue.peek_time();
-            // While the watchdog cannot observe intermediate instants
-            // (disabled, or an empty watchlist makes its scan a no-op),
-            // pure kernel-start boundaries are stepped through inside
-            // the simulator without a full driver round-trip each.
-            let merge_ok = self.watchdog.is_none() || watchlist.is_empty();
-            let limit = match t_queue {
-                Some(q) => q.min(self.max_sim_time),
-                None => self.max_sim_time,
-            };
-            let mut stepped = false;
-            let mut dispatch = false;
-            while let Some(t) = self.ctx.gpu.step_to_next_event(limit) {
-                stepped = true;
-                self.ctx.now = t;
-                if self.ctx.gpu.has_pending_dispatch() {
-                    dispatch = true;
-                    break;
-                }
-                if !merge_ok {
-                    break;
-                }
-            }
-            if !stepped {
-                // Nothing happens on the simulator within the limit: the
-                // next event is a queued one, or the run is over.
-                match t_queue {
-                    Some(q) if q <= self.max_sim_time => {
-                        // Progress partial kernel work up to the queue
-                        // event, exactly as the unmerged loop did.
-                        self.ctx.gpu.advance_to(q);
-                        self.ctx.now = q;
-                    }
-                    Some(_) => {
-                        self.stalled = true;
-                        break;
-                    }
-                    None => {
-                        if self.ctx.gpu.next_event_time().is_some() {
-                            // Simulator events exist beyond the time cap.
-                            self.stalled = true;
-                        }
-                        break;
-                    }
-                }
-            }
-
-            // GPU completions first (they may unblock queued decisions),
-            // then transfers, then queued events at this instant.
-            if dispatch {
-                self.ctx.gpu.drain_completed_into(&mut completed_kernels);
-                for &(_, tag) in &completed_kernels {
-                    scheduler.on_kernel_done(tag, &mut self.ctx);
-                }
-                self.ctx
-                    .gpu
-                    .drain_completed_transfers_into(&mut completed_transfers);
-                for &(_, tag) in &completed_transfers {
-                    scheduler.on_transfer_done(tag, &mut self.ctx);
-                }
-            }
-            let now = self.ctx.now;
-            while self.ctx.queue.peek_time() == Some(now) {
-                // The loop condition peeked Some, so pop() returns it;
-                // break rather than panic if that ever stops holding.
-                let Some((_, ev, _)) = self.ctx.queue.pop() else {
-                    debug_assert!(false, "queue popped None after peeking Some");
-                    break;
-                };
-                match ev {
-                    Event::Arrival(id) => {
-                        if let Some(cfg) = self.watchdog {
-                            // Bounded deferral: while a severe window is
-                            // open, hold arrivals back with linear
-                            // backoff rather than admitting into a
-                            // brownout, up to the retry budget.
-                            if severe_fault && defer_count[id] < cfg.retry_budget {
-                                defer_count[id] += 1;
-                                fault_retries += 1;
-                                let at =
-                                    self.ctx.now + cfg.retry_backoff * f64::from(defer_count[id]);
-                                self.ctx.queue.push(at, Event::Arrival(id));
-                                continue;
-                            }
-                            // Admission control: shed outright past the
-                            // in-flight cap (the scheduler never sees
-                            // the request).
-                            let in_flight = (0..n)
-                                .filter(|&i| {
-                                    delivered[i]
-                                        && !self.ctx.metrics.is_finished(i)
-                                        && !self.ctx.metrics.is_shed(i)
-                                })
-                                .count();
-                            if in_flight >= cfg.queue_depth_cap {
-                                self.ctx.metrics.mark_shed(id);
-                                continue;
-                            }
-                            watchlist.push(id);
-                        }
-                        delivered[id] = true;
-                        scheduler.on_arrival(id, &mut self.ctx);
-                    }
-                    Event::Timer(tag) => scheduler.on_timer(tag, &mut self.ctx),
-                    Event::FaultBoundary => self.apply_active_faults(
-                        scheduler,
-                        &mut orig_capacities,
-                        &mut severe_fault,
-                        &mut prev_dead,
-                        &mut recovery,
-                        &mut fault_memo,
-                    ),
-                    Event::Requeue(id) => {
-                        // A crash victim's scheduled re-injection. Skip
-                        // if the victim resolved some other way in the
-                        // meantime (finished, watchdog-shed, superseded
-                        // by a later crash's retry).
-                        if !recovery.is_pending(id)
-                            || self.ctx.metrics.is_finished(id)
-                            || self.ctx.metrics.is_shed(id)
-                        {
-                            continue;
-                        }
-                        let cfg = self.watchdog.unwrap_or_default();
-                        // TTFT-deadline-aware give-up: a victim that has
-                        // produced nothing and can no longer meet its
-                        // deadline is shed, not silently retried forever.
-                        let deadline = self.ctx.requests[id].arrival + cfg.ttft_deadline;
-                        let deadline_lost =
-                            self.ctx.metrics.tokens_emitted(id) == 0 && self.ctx.now >= deadline;
-                        if deadline_lost || recovery.attempts(id) > cfg.retry_budget {
-                            recovery.on_gave_up(id);
-                            self.ctx.metrics.mark_shed(id);
-                            continue;
-                        }
-                        recovery.on_reinjected(id, self.ctx.now);
-                        scheduler.on_arrival(id, &mut self.ctx);
-                    }
-                }
-            }
-
-            // Deadline shedding: a watched request that still has no
-            // tokens past its TTFT deadline is offered to the scheduler
-            // once; requests that produced output leave the watchlist.
-            if let Some(cfg) = self.watchdog {
-                let mut i = 0;
-                while i < watchlist.len() {
-                    let id = watchlist[i];
-                    if self.ctx.metrics.is_finished(id)
-                        || self.ctx.metrics.is_shed(id)
-                        || self.ctx.metrics.tokens_emitted(id) > 0
-                    {
-                        watchlist.remove(i);
-                        continue;
-                    }
-                    let deadline = self.ctx.requests[id].arrival + cfg.ttft_deadline;
-                    if self.ctx.now >= deadline && !shed_attempted[id] {
-                        shed_attempted[id] = true;
-                        watchlist.remove(i);
-                        if scheduler.on_shed(id, &mut self.ctx) {
-                            self.ctx.metrics.mark_shed(id);
-                        }
-                        continue;
-                    }
-                    i += 1;
-                }
-            }
-        }
-
-        let makespan = self.ctx.now - SimTime::ZERO;
-        let arrivals: Vec<SimTime> = self.ctx.requests.iter().map(|r| r.arrival).collect();
-        let inputs: Vec<u64> = self.ctx.requests.iter().map(|r| r.input_tokens()).collect();
-        let mut report = self
-            .ctx
-            .metrics
-            .report_with_inputs(&arrivals, &inputs, makespan, &self.slo);
-        let groups = scheduler.groups();
-        if !groups.is_empty() {
-            report.utilization = groups
-                .iter()
-                .map(|&g| self.ctx.gpu.utilization(g))
-                .sum::<f64>()
-                / groups.len() as f64;
-        }
-        let streams = scheduler.streams();
-        if !streams.is_empty() {
-            report.bubble_ratio = streams
-                .iter()
-                .map(|&(g, c)| 1.0 - self.ctx.gpu.ctx_busy_ratio(g, c))
-                .sum::<f64>()
-                / streams.len() as f64;
-        }
-        let mut counters = scheduler.counters();
-        // Leak detector: a cleanly drained run has no in-flight work, so
-        // every KV lease must have been returned. A run truncated by the
-        // time cap ends mid-flight and legitimately holds leases — those
-        // are not leaks and are neither counted nor fatal.
-        let held: usize = scheduler
-            .lease_tables()
-            .iter()
-            .map(|t| t.outstanding())
-            .sum();
-        if held > 0 && !self.stalled {
-            if cfg!(debug_assertions) {
-                panic!("KV lease leak: {held} lease(s) still held after the run drained");
-            }
-            counters.leaked_leases += held as u64;
-        }
-        counters.shed += report.shed as u64;
-        counters.fault_retries += fault_retries;
-        if has_crashes {
-            let metrics = &self.ctx.metrics;
-            recovery.finalize(|id| metrics.is_finished(id));
-            report.recovery = recovery.stats;
-        }
-        // Recovery time: how long after the last fault window closed the
-        // system kept violating the TBT SLO (0 = immediate recovery).
-        if let Some(fault_end) = self.faults.last_end() {
-            let rec = match self.ctx.metrics.last_tbt_violation() {
-                Some(v) if v > fault_end => (v - fault_end).as_secs(),
-                _ => 0.0,
-            };
-            report.recovery_secs = Some(rec);
-        }
-        report.counters = counters;
-        let events = self.ctx.gpu.events_processed();
-        (report, events)
+    ///
+    /// This is a thin wrapper over the resumable [`Instance`] state
+    /// machine: one unbounded step runs the historical event loop
+    /// unmodified (the bound check compiles out when the limit is
+    /// `SimTime::MAX`), so results are byte-identical to the
+    /// pre-`Instance` driver.
+    pub fn run_stats(self, scheduler: &mut dyn Scheduler) -> (Report, u64) {
+        let mut inst = Instance::start(self, scheduler);
+        inst.step_until(scheduler, SimTime::MAX);
+        inst.finish(scheduler)
     }
 
-    /// Re-evaluates the fault schedule at a window boundary. Boundaries
-    /// whose active-fault set matches the previous boundary's skip the
-    /// degradation rebuild and pool-capacity writes entirely (both are
-    /// pure functions of the set, so the diff is bit-identical to the
-    /// legacy clear-and-rebuild); changed sets rebuild as before: clear,
-    /// then min-merge each active fault, kill / revive fail-stopped
-    /// devices, shrink/restore KV pools, and notify the scheduler.
-    fn apply_active_faults(
-        &mut self,
-        scheduler: &mut dyn Scheduler,
-        orig_capacities: &mut Option<Vec<u64>>,
-        severe_fault: &mut bool,
-        prev_dead: &mut [bool],
-        recovery: &mut RecoveryManager,
-        memo: &mut Option<(Vec<FaultKind>, bool, f64)>,
-    ) {
-        let active = self.faults.active_at(self.ctx.now);
-        if let Some((prev, severe, _)) = memo.as_ref() {
-            if *prev == active {
-                // Same windows as the previous boundary: the degradation
-                // state, dead set, and pool capacities are already
-                // exactly what a rebuild would produce.
-                *severe_fault = *severe;
-                scheduler.on_fault(&active, &mut self.ctx);
-                return;
-            }
-        }
-        let mut shrink: f64 = 0.0;
-        self.ctx.gpu.clear_degradation();
-        *severe_fault = false;
-        for k in &active {
-            match *k {
-                FaultKind::SmBrownout { gpu, fraction } => {
-                    self.ctx
-                        .gpu
-                        .apply_degradation(&HwDegradation::SmOffline { gpu, fraction });
-                    if fraction >= 0.5 {
-                        *severe_fault = true;
-                    }
-                }
-                FaultKind::HbmDegrade { gpu, bw_fraction } => {
-                    self.ctx
-                        .gpu
-                        .apply_degradation(&HwDegradation::HbmBandwidth { gpu, bw_fraction });
-                }
-                FaultKind::NvlinkDegrade { link, bw_fraction } => {
-                    self.ctx
-                        .gpu
-                        .apply_degradation(&HwDegradation::NvlinkBandwidth { link, bw_fraction });
-                }
-                FaultKind::KvShrink { fraction } => {
-                    shrink = shrink.max(fraction);
-                    if fraction >= 0.25 {
-                        *severe_fault = true;
-                    }
-                }
-                FaultKind::KernelLatencySpike { mult, .. } => {
-                    self.ctx
-                        .gpu
-                        .apply_degradation(&HwDegradation::KernelSlowdown { mult });
-                }
-                // Fail-stop is not a degradation: the device is killed /
-                // revived on the window edge below, outside the
-                // clear-and-rebuild cycle.
-                FaultKind::GpuFailStop { .. } | FaultKind::GpuFailStopPermanent { .. } => {
-                    *severe_fault = true;
-                }
-            }
-        }
-        *memo = Some((active.clone(), *severe_fault, shrink));
-        // Fail-stop edges: compare the plan's dead set at this instant
-        // against the previous boundary's. A 0→1 edge kills the device
-        // and revokes everything the scheduler homed on it; a 1→0 edge
-        // revives it.
-        if self.faults.has_fail_stop() {
-            let cfg = self.watchdog.unwrap_or_default();
-            let dead = self
-                .faults
-                .dead_gpus_at(self.ctx.now, self.ctx.gpu.num_gpus());
-            for g in 0..prev_dead.len() {
-                let gpu = g as u32;
-                if dead[g] && !prev_dead[g] {
-                    let cancelled: Vec<u64> = self
-                        .ctx
-                        .gpu
-                        .fail_gpu(gpu)
-                        .into_iter()
-                        .map(|(_, tag)| tag)
-                        .collect();
-                    let victims = scheduler.on_gpu_lost(gpu, &cancelled, &mut self.ctx);
-                    let now = self.ctx.now;
-                    for v in victims {
-                        let at = recovery.on_victim(&v, now, cfg.retry_backoff);
-                        self.ctx.queue.push(at, Event::Requeue(v.id));
-                    }
-                } else if !dead[g] && prev_dead[g] {
-                    self.ctx.gpu.recover_gpu(gpu);
-                    scheduler.on_gpu_recovered(gpu, &mut self.ctx);
-                }
-                prev_dead[g] = dead[g];
-            }
-        }
-        let now = self.ctx.now;
-        if shrink > 0.0 {
-            let mut tables = scheduler.lease_tables_mut();
-            let caps = orig_capacities
-                .get_or_insert_with(|| tables.iter().map(|t| t.capacity_tokens()).collect());
-            for (t, &orig) in tables.iter_mut().zip(caps.iter()) {
-                t.set_capacity((orig as f64 * (1.0 - shrink)) as u64, now);
-            }
-        } else if let Some(caps) = orig_capacities.take() {
-            for (t, orig) in scheduler.lease_tables_mut().into_iter().zip(caps) {
-                t.set_capacity(orig, now);
-            }
-        }
-        scheduler.on_fault(&active, &mut self.ctx);
+    /// Converts the driver into a resumable [`Instance`]: fires
+    /// `on_start`, enqueues the fault schedule and any pre-loaded trace,
+    /// and returns the paused state machine at `t = 0`. Step it with
+    /// [`Instance::step_until`]; feed it routed requests with
+    /// [`Instance::admit`].
+    pub fn into_instance(self, scheduler: &mut dyn Scheduler) -> Instance {
+        Instance::start(self, scheduler)
     }
 }
 

@@ -45,6 +45,7 @@ pub mod capacity;
 pub mod driver;
 pub mod faults;
 pub mod goodput;
+pub mod instance;
 pub mod lease;
 pub mod lifecycle;
 pub mod metrics;
@@ -59,6 +60,7 @@ pub use faults::{FaultKind, FaultPlan, FaultWindow};
 pub use goodput::{
     assemble_goodput, find_goodput, find_goodput_faulty, FaultyGoodput, GoodputPoint, GoodputResult,
 };
+pub use instance::{Instance, StepOutcome};
 pub use lease::{KvLease, LeaseTable};
 pub use lifecycle::{EngineCounters, IllegalTransition, Lifecycle, Stage};
 pub use metrics::{MetricsRecorder, RecoveryStats, Report};

@@ -32,6 +32,14 @@ impl MetricsRecorder {
         }
     }
 
+    /// Grows the recorder by one request (dynamic admission into a
+    /// steppable [`crate::Instance`]). The new slot starts untouched —
+    /// identical to having been sized for it at construction.
+    pub(crate) fn push_request(&mut self) {
+        self.runtimes.push(ReqRuntime::new());
+        self.shed.push(false);
+    }
+
     /// Marks a request as shed by the overload watchdog. Shed requests
     /// count as `shed` in the report and are excluded from the stability
     /// criterion's denominator.
@@ -288,6 +296,11 @@ impl Report {
     /// Fraction of TBT samples within the SLO target.
     pub fn tbt_attainment(&self) -> f64 {
         self.tbt.fraction_le(self.slo.tbt.as_secs())
+    }
+
+    /// Fraction of TTFT samples within the SLO target.
+    pub fn ttft_attainment(&self) -> f64 {
+        self.ttft.fraction_le(self.slo.ttft.as_secs())
     }
 
     /// True when the 99th-percentile TBT meets the target (the paper's

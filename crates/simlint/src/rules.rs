@@ -29,7 +29,7 @@ use std::collections::{BTreeSet, HashMap as StdHashMap};
 /// Crates whose scheduling state feeds replay-visible decisions; R1
 /// applies only here (by `crates/<dir>` name, `None` = unknown file →
 /// treated as critical).
-const REPLAY_CRITICAL: [&str; 4] = ["gpusim", "serving", "baselines", "core"];
+const REPLAY_CRITICAL: [&str; 5] = ["gpusim", "serving", "baselines", "core", "fleet"];
 
 /// Files allowed to touch wall-clock / entropy sources (R2): the seeded
 /// RNG itself and the sweep worker pool (which times real threads, not
@@ -60,7 +60,7 @@ const POOL_MUTATORS: [&str; 9] = [
 ];
 
 /// Files whose panics take down a whole serving run (R4).
-const PANIC_FREE_FILES: [&str; 3] = ["driver.rs", "recovery.rs", "faults.rs"];
+const PANIC_FREE_FILES: [&str; 4] = ["driver.rs", "recovery.rs", "faults.rs", "instance.rs"];
 
 /// Iterator-producing methods whose order reflects hash layout.
 const UNORDERED_METHODS: [&str; 9] = [

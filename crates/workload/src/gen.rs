@@ -257,6 +257,37 @@ pub fn generate_sessions(
     reqs
 }
 
+/// Generates a fleet-level arrival stream: one global session trace
+/// whose aggregate rate scales with the fleet size, for feeding a router
+/// in front of `fleet_size` instances. Each instance's fair share is
+/// `sessions_per_instance` sessions arriving at `rate_per_instance`
+/// sessions/second; the returned trace interleaves all of them in global
+/// arrival order (dense ids), leaving placement entirely to the router.
+/// Sessions are multi-turn, so turn `k+1` shares turn `k`'s context
+/// stream — the prefix reuse a KV-affinity router exploits.
+///
+/// # Panics
+///
+/// Panics if `fleet_size` is zero or the rate/think parameters are not
+/// positive (see [`generate_sessions`]).
+pub fn generate_fleet_stream(
+    kind: WorkloadKind,
+    fleet_size: usize,
+    sessions_per_instance: usize,
+    rate_per_instance: f64,
+    think_secs: f64,
+    rng: &mut SimRng,
+) -> Vec<RequestSpec> {
+    assert!(fleet_size > 0, "empty fleet");
+    generate_sessions(
+        kind,
+        fleet_size * sessions_per_instance,
+        rate_per_instance * fleet_size as f64,
+        think_secs,
+        rng,
+    )
+}
+
 /// Assigns externally generated arrival timestamps (e.g. a bursty trace
 /// from [`crate::arrivals`]) to trace requests, preserving order, and
 /// truncating to the shorter of the two.

@@ -42,7 +42,7 @@ pub mod trace;
 
 pub use content::ContentSpec;
 pub use gen::{
-    assign_arrivals, generate, generate_mixed, generate_sessions, generate_turns, RequestSpec,
-    WorkloadKind,
+    assign_arrivals, generate, generate_fleet_stream, generate_mixed, generate_sessions,
+    generate_turns, RequestSpec, WorkloadKind,
 };
 pub use stats::{length_stats, LengthStats};

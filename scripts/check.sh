@@ -8,6 +8,7 @@
 #   ./scripts/check.sh recovery-smoke  # GPU fail-stop crash/recover grid only
 #   ./scripts/check.sh lint            # simlint invariant pass only
 #   ./scripts/check.sh perf-smoke      # hot-path throughput gate (>20% regression fails)
+#   ./scripts/check.sh fleet-smoke     # fleet router tier: leaks, accounting, thread identity
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,6 +24,11 @@ fi
 
 if [[ "${1:-}" == "perf-smoke" ]]; then
     cargo run --release -q -p bench --bin perf_smoke
+    exit 0
+fi
+
+if [[ "${1:-}" == "fleet-smoke" ]]; then
+    cargo run --release -q -p bench --bin fleet -- --smoke
     exit 0
 fi
 
@@ -43,3 +49,4 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 cargo test -q
 cargo run --release -q -p bench --bin chaos -- --smoke
 cargo run --release -q -p bench --bin chaos -- --recovery-smoke
+cargo run --release -q -p bench --bin fleet -- --smoke

@@ -1,0 +1,207 @@
+//! Fleet-tier equivalence and determinism.
+//!
+//! The fleet routes requests into instances dynamically
+//! ([`serving::Instance::admit`]) instead of pre-loading the trace, and
+//! steps instances in bounded slices instead of one unbounded loop.
+//! Neither may change a single scheduling decision: a 1-instance fleet
+//! must reproduce the bare [`Driver::run`] report bit-for-bit for every
+//! engine, healthy and crashing, and fleet reports must be bit-identical
+//! across thread counts and merge-barrier interleavings.
+
+use baselines::{ChunkedPrefill, LoongServe, SglangPd, TemporalMux, WindServe};
+use estimator::SoloPredictor;
+use fleet::{Fleet, PathClass, PrefixAffinity, RoundRobin};
+use gpusim::{ClusterSpec, GpuSim};
+use modelspec::{ModelSpec, Parallelism};
+use muxwise::{Estimators, MuxWise, MuxWiseConfig};
+use proptest::prelude::*;
+use serving::{Driver, FaultPlan, Report, Scheduler, SloSpec, WatchdogConfig};
+use simcore::{SimDuration, SimRng, SimTime};
+use workload::{generate, generate_fleet_stream, RequestSpec, WorkloadKind};
+
+fn engine_names() -> [&'static str; 7] {
+    [
+        "muxwise",
+        "chunked",
+        "nanoflow",
+        "loongserve",
+        "sglang-pd",
+        "windserve",
+        "temporal",
+    ]
+}
+
+fn build(name: &str) -> Box<dyn Scheduler> {
+    let cluster = ClusterSpec::dgx_a100();
+    let model = ModelSpec::llama8b();
+    let slo = SloSpec::llama8b();
+    match name {
+        "muxwise" => {
+            let est = Estimators::profile(&model, &cluster, 8);
+            Box::new(MuxWise::new(
+                &model,
+                &cluster,
+                8,
+                slo,
+                est,
+                MuxWiseConfig::default(),
+            ))
+        }
+        "chunked" => Box::new(ChunkedPrefill::tuned(&model, &cluster, 8, slo)),
+        "nanoflow" => Box::new(ChunkedPrefill::nanoflow(&model, &cluster, 8, slo)),
+        "loongserve" => Box::new(LoongServe::new(&model, &cluster, 2, slo)),
+        "sglang-pd" => Box::new(SglangPd::new(&model, &cluster, slo)),
+        "windserve" => Box::new(WindServe::new(&model, &cluster, 8, slo)),
+        "temporal" => {
+            let par = Parallelism::tp(8, cluster.nvlink_gbs);
+            Box::new(TemporalMux::new(
+                &model,
+                &cluster,
+                8,
+                slo,
+                SoloPredictor::profile(&model, &cluster, &par, &[cluster.gpu.sm_count]),
+            ))
+        }
+        other => panic!("unknown engine {other}"),
+    }
+}
+
+/// The refactor_invariance golden workload: Conversation, 60 requests at
+/// 2.5 req/s, seed 0xC0FFEE.
+fn golden_trace() -> Vec<RequestSpec> {
+    let mut rng = SimRng::seed_from(0xC0FFEE);
+    generate(WorkloadKind::Conversation, 60, 2.5, &mut rng)
+}
+
+/// A mid-trace crash: GPU 2 fail-stops at t=5s for 4s, squarely inside
+/// the golden trace's arrival span.
+fn crash_plan() -> FaultPlan {
+    FaultPlan::crash(2, SimTime::from_secs(5.0), SimDuration::from_secs(4.0))
+}
+
+fn bare_run(name: &str, plan: FaultPlan) -> Report {
+    let mut engine = build(name);
+    Driver::new(
+        GpuSim::from_cluster(&ClusterSpec::dgx_a100()),
+        golden_trace(),
+        SloSpec::llama8b(),
+    )
+    .with_faults(plan)
+    .with_watchdog(WatchdogConfig::default())
+    .run(engine.as_mut())
+}
+
+fn one_instance_fleet_run(name: &str, plan: FaultPlan) -> Report {
+    let mut fleet = Fleet::new();
+    let driver = Driver::new(
+        GpuSim::from_cluster(&ClusterSpec::dgx_a100()),
+        Vec::new(),
+        SloSpec::llama8b(),
+    )
+    .with_faults(plan)
+    .with_watchdog(WatchdogConfig::default());
+    fleet.push(driver, build(name), PathClass::SingleNode, name.to_string());
+    let mut report = fleet.run(&golden_trace(), &mut RoundRobin::new());
+    assert_eq!(report.reports.len(), 1);
+    report.reports.pop().expect("one instance")
+}
+
+#[test]
+fn one_instance_fleet_is_byte_identical_to_bare_driver_healthy() {
+    for name in engine_names() {
+        let bare = bare_run(name, FaultPlan::none());
+        let routed = one_instance_fleet_run(name, FaultPlan::none());
+        assert_eq!(
+            bare, routed,
+            "{name}: routed admission diverged from the bare driver"
+        );
+    }
+}
+
+#[test]
+fn one_instance_fleet_is_byte_identical_to_bare_driver_under_crash() {
+    for name in engine_names() {
+        let bare = bare_run(name, crash_plan());
+        let routed = one_instance_fleet_run(name, crash_plan());
+        assert_eq!(
+            bare, routed,
+            "{name}: crash failover diverged through the fleet path"
+        );
+    }
+}
+
+/// A small mixed-path fleet: one colocated engine, two disaggregated.
+fn mixed_fleet(threads: usize, crash_instance_0: bool) -> Fleet {
+    let cluster = ClusterSpec::dgx_a100();
+    let slo = SloSpec::llama8b();
+    let mut fleet = Fleet::new().with_threads(threads);
+    let members: [(&str, PathClass); 3] = [
+        ("chunked", PathClass::SingleNode),
+        ("sglang-pd", PathClass::Split),
+        ("windserve", PathClass::Split),
+    ];
+    for (i, (name, class)) in members.into_iter().enumerate() {
+        let mut driver = Driver::new(GpuSim::from_cluster(&cluster), Vec::new(), slo)
+            .with_watchdog(WatchdogConfig::default());
+        if crash_instance_0 && i == 0 {
+            driver = driver.with_faults(FaultPlan::crash(
+                0,
+                SimTime::from_secs(2.0),
+                SimDuration::from_secs(10.0),
+            ));
+        }
+        fleet.push(driver, build(name), class, format!("{name}#{i}"));
+    }
+    fleet
+}
+
+fn small_trace(seed: u64) -> Vec<RequestSpec> {
+    let mut rng = SimRng::seed_from(seed);
+    generate_fleet_stream(WorkloadKind::Conversation, 3, 2, 0.5, 5.0, &mut rng)
+}
+
+#[test]
+fn crash_reroutes_are_deterministic_across_threads() {
+    let trace = small_trace(0xFA11);
+    let one = mixed_fleet(1, true).run(&trace, &mut RoundRobin::new());
+    let four = mixed_fleet(4, true).run(&trace, &mut RoundRobin::new());
+    assert_eq!(
+        one, four,
+        "crash-window fleet diverged across thread counts"
+    );
+    assert!(
+        one.routing.rerouted_on_crash > 0,
+        "the 10s outage should force at least one reroute"
+    );
+    assert_eq!(one.finished() + one.shed(), one.total());
+    assert_eq!(one.leaked_leases(), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Thread counts and merge-barrier interleavings are pure wall-clock
+    /// knobs: the fleet report must not move by a bit.
+    #[test]
+    fn fleet_reports_are_bit_identical_across_threads_and_interleavings(
+        threads in 2usize..6,
+        barrier_ms in 200u64..2_000,
+        seed in 0u64..1_000,
+    ) {
+        let trace = small_trace(seed);
+        let base = mixed_fleet(1, false).run(&trace, &mut PrefixAffinity::default());
+        let threaded = mixed_fleet(threads, false).run(&trace, &mut PrefixAffinity::default());
+        prop_assert_eq!(&base, &threaded, "thread count changed the fleet report");
+        // Chop the timeline with no-op barriers (some coinciding with
+        // arrivals) — instance stepping must be insensitive to how the
+        // run is sliced.
+        let step = SimDuration::from_secs(barrier_ms as f64 / 1e3);
+        let barriers: Vec<SimTime> = (1..=60).map(|k| SimTime::ZERO + step * k as f64).collect();
+        let chopped = mixed_fleet(threads, false).run_opts(
+            &trace,
+            &mut PrefixAffinity::default(),
+            &barriers,
+        );
+        prop_assert_eq!(&base, &chopped, "merge-barrier interleaving changed the fleet report");
+    }
+}
