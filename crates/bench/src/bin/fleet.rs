@@ -123,12 +123,26 @@ fn row_json(p: &FleetPoint, report: &FleetReport) -> serde_json::Value {
         "events": report.total_events(),
         "crashed_instances": p.crash_every.map_or(0, |k| p.size.div_ceil(k)),
         "threads": p.threads,
+        // Fleet failover tier: migrated-victim recovery-class split. A
+        // migrated victim either re-enters as a full re-prefill
+        // (`reprefill_resumes`) or lands on a replica of its session
+        // prefix and resumes as a cheap cached prefill
+        // (`replica_hit_resumes`). All-zero unless a permanent
+        // fail-stop armed the tier (transient-crash sweeps recover
+        // locally and never migrate).
+        "migrated": report.failover.migrated,
+        "migrated_finished": report.failover.migrated_finished,
+        "replica_hit_resumes": report.failover.replica_hit,
+        "reprefill_resumes": report.failover.reprefill,
+        "failover_gave_up": report.failover.gave_up,
+        "replicas_pushed": report.replication.replicas_pushed,
+        "ejections": report.health.ejections,
     })
 }
 
 fn print_row(p: &FleetPoint, report: &FleetReport) {
     println!(
-        "{:>5} inst  {:<15} rate {:>4.2}/s  goodput {:>9.0} tok/s  ttft-att {:>5.1}%  hit {:>5.1}%  imbal {:>4.2}  reroutes {:>3}  split {:>4}  shed {:>4}",
+        "{:>5} inst  {:<15} rate {:>4.2}/s  goodput {:>9.0} tok/s  ttft-att {:>5.1}%  hit {:>5.1}%  imbal {:>4.2}  reroutes {:>3}  split {:>4}  shed {:>4}  migr {:>3} ({:>2} cached / {:>2} reprefill)",
         p.size,
         p.policy,
         p.rate,
@@ -139,6 +153,9 @@ fn print_row(p: &FleetPoint, report: &FleetReport) {
         report.routing.rerouted_on_crash,
         report.routing.split_routed,
         report.shed(),
+        report.failover.migrated,
+        report.failover.replica_hit,
+        report.failover.reprefill,
     );
 }
 

@@ -1,0 +1,257 @@
+//! Per-member health state machine: the fleet's circuit breaker.
+//!
+//! Each fleet member carries a [`HealthTracker`] fed with
+//! [`Observation`]s read at deterministic instants (arrival barriers and
+//! failover patrol ticks — never at the no-op extra barriers, so
+//! interleaving insensitivity survives). The tracker runs the classic
+//! half-open breaker: `Healthy → Degraded → Ejected → Probing`, with
+//! ejection after a sustained bad window, immediate ejection on a
+//! permanent crash, and exponentially backed-off re-probes so a flapping
+//! member does not oscillate in and out of the routing set.
+//!
+//! Routing consumes only [`HealthState::admits_traffic`]; the failover
+//! engine (`crate::failover`) additionally drains crash victims off
+//! ejected members. Crash-free runs observe nothing but healthy members,
+//! so every tracker stays in [`HealthState::Healthy`] forever and the
+//! whole layer is a strict no-op — the property the PR 7 goldens pin.
+
+use simcore::{SimDuration, SimTime};
+
+/// Where a member sits in the breaker cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// No bad observations outstanding; fully routable.
+    Healthy,
+    /// A bad window is open (dead GPU or severe degradation) but has not
+    /// lasted [`HealthConfig::eject_after`] yet. Routable, but policies
+    /// may score-penalize it.
+    Degraded,
+    /// Out of the routing set; re-enters via a scheduled probe.
+    Ejected,
+    /// Half-open: the next observation decides between recovery and
+    /// re-ejection with doubled probe backoff.
+    Probing,
+}
+
+impl HealthState {
+    /// Whether the router may send new work to a member in this state.
+    pub fn admits_traffic(self) -> bool {
+        !matches!(self, HealthState::Ejected)
+    }
+}
+
+/// Breaker timing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthConfig {
+    /// How long a bad window must last before ejection (a permanent
+    /// crash ejects immediately, skipping this grace).
+    pub eject_after: SimDuration,
+    /// Base delay from ejection to the first half-open probe; doubles on
+    /// every consecutive re-ejection.
+    pub probe_after: SimDuration,
+    /// Cap on the probe-backoff doubling (shift count), so a repeatedly
+    /// failing member still gets probed on a bounded cadence.
+    pub max_probe_shift: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> HealthConfig {
+        HealthConfig {
+            eject_after: SimDuration::from_secs(2.0),
+            probe_after: SimDuration::from_secs(2.0),
+            max_probe_shift: 6,
+        }
+    }
+}
+
+/// One deterministic health reading of a member.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Observation {
+    /// Currently fail-stopped GPUs ([`gpusim::GpuSim::num_dead_gpus`]).
+    pub dead_gpus: u32,
+    /// Whether a severe fault window (brownout/KV-shrink/fail-stop) is
+    /// open right now.
+    pub severe_fault: bool,
+    /// Whether a permanent fail-stop has struck — the member never fully
+    /// recovers, so ejection is immediate and probes are pointless (but
+    /// still scheduled; they simply observe bad and re-eject).
+    pub permanent_crash: bool,
+}
+
+impl Observation {
+    fn bad(&self) -> bool {
+        self.dead_gpus > 0 || self.severe_fault
+    }
+}
+
+/// Fleet-wide breaker counters, folded into the fleet report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthStats {
+    /// Ejections (including re-ejections out of probing).
+    pub ejections: u64,
+    /// Half-open probes opened.
+    pub probes: u64,
+}
+
+/// The breaker for one member. All transitions are pure functions of
+/// `(state, observation, now)`, so replay determinism reduces to feeding
+/// observations at deterministic instants.
+#[derive(Debug, Clone)]
+pub struct HealthTracker {
+    cfg: HealthConfig,
+    state: HealthState,
+    bad_since: Option<SimTime>,
+    probe_at: SimTime,
+    consecutive_ejections: u32,
+}
+
+impl HealthTracker {
+    /// A healthy tracker.
+    pub fn new(cfg: HealthConfig) -> HealthTracker {
+        HealthTracker {
+            cfg,
+            state: HealthState::Healthy,
+            bad_since: None,
+            probe_at: SimTime::ZERO,
+            consecutive_ejections: 0,
+        }
+    }
+
+    /// Current state (between observations).
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Feeds one observation at `now` and returns the new state.
+    pub fn observe(
+        &mut self,
+        now: SimTime,
+        obs: Observation,
+        stats: &mut HealthStats,
+    ) -> HealthState {
+        match self.state {
+            HealthState::Healthy => {
+                if obs.bad() {
+                    self.bad_since = Some(now);
+                    self.state = HealthState::Degraded;
+                    if obs.permanent_crash {
+                        self.eject(now, stats);
+                    }
+                }
+            }
+            HealthState::Degraded => {
+                if !obs.bad() {
+                    self.recover();
+                } else {
+                    let since = self.bad_since.unwrap_or(now);
+                    if obs.permanent_crash || now.since(since) >= self.cfg.eject_after {
+                        self.eject(now, stats);
+                    }
+                }
+            }
+            HealthState::Ejected => {
+                if now >= self.probe_at {
+                    self.state = HealthState::Probing;
+                    stats.probes += 1;
+                    // The probe observation itself decides immediately:
+                    // fall through by re-observing in the new state.
+                    return self.observe(now, obs, stats);
+                }
+            }
+            HealthState::Probing => {
+                if obs.bad() {
+                    self.eject(now, stats);
+                } else {
+                    self.recover();
+                }
+            }
+        }
+        self.state
+    }
+
+    fn recover(&mut self) {
+        self.state = HealthState::Healthy;
+        self.bad_since = None;
+        self.consecutive_ejections = 0;
+    }
+
+    fn eject(&mut self, now: SimTime, stats: &mut HealthStats) {
+        self.state = HealthState::Ejected;
+        stats.ejections += 1;
+        let shift = self.consecutive_ejections.min(self.cfg.max_probe_shift);
+        let delay = self
+            .cfg
+            .probe_after
+            .as_nanos()
+            .saturating_mul(1u64 << shift);
+        self.probe_at = now.saturating_add(SimDuration::from_nanos(delay));
+        self.consecutive_ejections += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn bad() -> Observation {
+        Observation {
+            dead_gpus: 1,
+            severe_fault: true,
+            permanent_crash: false,
+        }
+    }
+
+    fn good() -> Observation {
+        Observation::default()
+    }
+
+    #[test]
+    fn sustained_badness_ejects_then_probe_recovers() {
+        let mut h = HealthTracker::new(HealthConfig::default());
+        let mut s = HealthStats::default();
+        assert_eq!(h.observe(t(1.0), bad(), &mut s), HealthState::Degraded);
+        assert!(h.state().admits_traffic());
+        // Still inside the grace window.
+        assert_eq!(h.observe(t(2.0), bad(), &mut s), HealthState::Degraded);
+        assert_eq!(h.observe(t(3.0), bad(), &mut s), HealthState::Ejected);
+        assert!(!h.state().admits_traffic());
+        // Probe opens 2s after ejection; a good reading recovers fully.
+        assert_eq!(h.observe(t(4.0), good(), &mut s), HealthState::Ejected);
+        assert_eq!(h.observe(t(5.0), good(), &mut s), HealthState::Healthy);
+        assert_eq!((s.ejections, s.probes), (1, 1));
+    }
+
+    #[test]
+    fn transient_blip_never_ejects() {
+        let mut h = HealthTracker::new(HealthConfig::default());
+        let mut s = HealthStats::default();
+        assert_eq!(h.observe(t(1.0), bad(), &mut s), HealthState::Degraded);
+        assert_eq!(h.observe(t(1.5), good(), &mut s), HealthState::Healthy);
+        assert_eq!(s.ejections, 0);
+    }
+
+    #[test]
+    fn permanent_crash_ejects_immediately_and_probe_backoff_doubles() {
+        let mut h = HealthTracker::new(HealthConfig::default());
+        let mut s = HealthStats::default();
+        let perm = Observation {
+            dead_gpus: 1,
+            severe_fault: true,
+            permanent_crash: true,
+        };
+        assert_eq!(h.observe(t(10.0), perm, &mut s), HealthState::Ejected);
+        // First probe at +2s: observes bad, re-ejects with doubled delay.
+        assert_eq!(h.observe(t(12.0), perm, &mut s), HealthState::Ejected);
+        assert_eq!(s.probes, 1);
+        // Doubled: next probe not before +4s.
+        assert_eq!(h.observe(t(15.0), perm, &mut s), HealthState::Ejected);
+        assert_eq!(s.probes, 1, "re-probe must wait the doubled backoff");
+        assert_eq!(h.observe(t(16.0), perm, &mut s), HealthState::Ejected);
+        assert_eq!(s.probes, 2);
+        assert_eq!(s.ejections, 3);
+    }
+}

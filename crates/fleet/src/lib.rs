@@ -42,14 +42,20 @@
 //! assert_eq!(report.total(), 0);
 //! ```
 
-use simcore::SimTime;
+use simcore::{SimDuration, SimTime};
 
 use kvcache::Block;
 use serving::{Driver, Instance, Report, Scheduler};
 use workload::RequestSpec;
 
+mod failover;
+mod health;
+mod replicate;
 mod router;
 
+pub use failover::{pick_migration_target, FailoverConfig, FailoverEngine, FailoverStats};
+pub use health::{HealthConfig, HealthState, HealthStats, HealthTracker, Observation};
+pub use replicate::{HotPrefix, ReplicationConfig, ReplicationStats, Replicator};
 pub use router::{Decision, InstanceSignals, PrefixAffinity, RoundRobin, RoutePolicy};
 
 /// Which serving path an instance implements, for the router's
@@ -110,10 +116,19 @@ pub struct FleetReport {
     pub reports: Vec<Report>,
     /// Per-instance simulator boundary-event counts.
     pub events: Vec<u64>,
-    /// Requests routed to each instance.
+    /// Requests routed to each instance (migrated re-admissions
+    /// included — they are real load on the target).
     pub routed: Vec<u64>,
     /// Fleet-wide routing counters.
     pub routing: RoutingStats,
+    /// Cross-instance failover outcomes (all-zero when no fail-stop
+    /// fired or failover is disabled).
+    pub failover: FailoverStats,
+    /// Hot-prefix replication outcomes (all-zero unless replication is
+    /// enabled and a fail-stop is scheduled).
+    pub replication: ReplicationStats,
+    /// Health-breaker counters (all-zero on crash-free runs).
+    pub health: HealthStats,
 }
 
 impl FleetReport {
@@ -236,18 +251,30 @@ impl Scheduler for IdleSink {
 
 /// N serving instances and the machinery to drive them in lockstep
 /// against one global arrival stream.
-#[derive(Default)]
 pub struct Fleet {
     members: Vec<FleetMember>,
     threads: usize,
+    health: HealthConfig,
+    failover: Option<FailoverConfig>,
+    replication: Option<ReplicationConfig>,
+}
+
+impl Default for Fleet {
+    fn default() -> Fleet {
+        Fleet::new()
+    }
 }
 
 impl Fleet {
-    /// An empty, single-threaded fleet.
+    /// An empty, single-threaded fleet with failover on (default knobs)
+    /// and replication off.
     pub fn new() -> Fleet {
         Fleet {
             members: Vec::new(),
             threads: 1,
+            health: HealthConfig::default(),
+            failover: Some(FailoverConfig::default()),
+            replication: None,
         }
     }
 
@@ -257,6 +284,35 @@ impl Fleet {
     /// knob.
     pub fn with_threads(mut self, threads: usize) -> Fleet {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the per-member health-breaker knobs.
+    pub fn with_health(mut self, cfg: HealthConfig) -> Fleet {
+        self.health = cfg;
+        self
+    }
+
+    /// Overrides the failover knobs (failover is on by default).
+    pub fn with_failover(mut self, cfg: FailoverConfig) -> Fleet {
+        self.failover = Some(cfg);
+        self
+    }
+
+    /// Disables cross-instance failover: ejected members keep their
+    /// victims and shed them locally — the control arm of the chaos
+    /// benchmark.
+    pub fn without_failover(mut self) -> Fleet {
+        self.failover = None;
+        self
+    }
+
+    /// Enables hot-prefix KV replication (off by default). Like
+    /// failover, the replicator only arms when some member schedules a
+    /// fail-stop, so crash-free runs are byte-identical with or without
+    /// this call.
+    pub fn with_replication(mut self, cfg: ReplicationConfig) -> Fleet {
+        self.replication = Some(cfg);
         self
     }
 
@@ -331,22 +387,97 @@ impl Fleet {
         let mut signals: Vec<InstanceSignals> = Vec::with_capacity(self.members.len());
         let mut blocks_by_size: Vec<(u32, Vec<Block>)> = Vec::new();
 
+        // Fault-tolerance tier. Armed ONLY when some member schedules a
+        // fail-stop: on a crash-free plan the engine, replicator and
+        // health observations would all be provable no-ops, and skipping
+        // them entirely makes that proof trivial — the barrier sequence
+        // is then exactly the pre-failover one, byte-for-byte.
+        let fail_horizon = self
+            .members
+            .iter()
+            .filter_map(|m| m.instance.fault_horizon())
+            .max();
+        let mut trackers: Vec<HealthTracker> = self
+            .members
+            .iter()
+            .map(|_| HealthTracker::new(self.health))
+            .collect();
+        let mut states: Vec<HealthState> = vec![HealthState::Healthy; self.members.len()];
+        let mut health_stats = HealthStats::default();
+        let mut engine: Option<FailoverEngine> = match (self.failover, fail_horizon) {
+            (Some(cfg), Some(horizon)) => {
+                // Patrol long enough to see the last crash through the
+                // full eject → drain → retry-backoff chain.
+                let chain = cfg
+                    .backoff
+                    .as_nanos()
+                    .saturating_mul(1u64 << (cfg.retry_budget + 1).min(32));
+                let end = horizon
+                    .saturating_add(self.health.eject_after)
+                    .saturating_add(SimDuration::from_nanos(chain))
+                    .saturating_add(cfg.patrol * 4.0);
+                Some(FailoverEngine::new(cfg, end))
+            }
+            _ => None,
+        };
+        let mut replicator: Option<Replicator> = match (self.replication, fail_horizon) {
+            (Some(cfg), Some(_)) => Some(Replicator::new(cfg)),
+            _ => None,
+        };
+
         let mut i = 0;
         let mut b = 0;
-        while i < trace.len() || b < extra_barriers.len() {
+        loop {
             let t_arrival = trace.get(i).map(|r| r.arrival);
             let t_extra = extra_barriers.get(b).copied();
-            let t = match (t_arrival, t_extra) {
-                (Some(a), Some(e)) => a.min(e),
-                (a, e) => a.or(e).unwrap_or(SimTime::MAX),
+            let t_fleet = engine.as_ref().and_then(FailoverEngine::next_wake);
+            let Some(t) = [t_arrival, t_extra, t_fleet].into_iter().flatten().min() else {
+                break;
             };
             self.step_all(t);
+            // Health observation + failover work happen only at arrival
+            // and patrol barriers — never at extras-only instants, so
+            // injected no-op barriers stay strict no-ops.
+            if t_arrival == Some(t) || t_fleet == Some(t) {
+                for (idx, m) in self.members.iter().enumerate() {
+                    let obs = Observation {
+                        dead_gpus: m.instance.dead_gpus(),
+                        severe_fault: m.instance.in_severe_fault(),
+                        permanent_crash: m.instance.permanently_crashed(),
+                    };
+                    states[idx] = trackers[idx].observe(t, obs, &mut health_stats);
+                }
+                if let Some(eng) = engine.as_mut() {
+                    eng.advance_patrol(t);
+                    self.drain_ejected(eng, &states, t);
+                    for victim in eng.take_due(t) {
+                        self.collect_signals(
+                            &victim.spec,
+                            &mut signals,
+                            &mut blocks_by_size,
+                            &states,
+                        );
+                        match pick_migration_target(&signals) {
+                            Some(target) => {
+                                let hit = signals[target].prefix_hit_tokens;
+                                let mut spec = victim.spec.clone();
+                                spec.arrival = t;
+                                let local = self.members[target].instance.admit(spec);
+                                routed[target] += 1;
+                                eng.placed(&victim, target, local, hit, t);
+                            }
+                            None => eng.no_target(victim, t),
+                        }
+                    }
+                }
+            }
             // Route every arrival at exactly `t`, trace order: signals
             // are re-read per request so back-to-back arrivals at one
             // instant see each other's queue-depth effect.
+            let mut sweep_due = false;
             while i < trace.len() && trace[i].arrival == t {
                 let spec = &trace[i];
-                self.collect_signals(spec, &mut signals, &mut blocks_by_size);
+                self.collect_signals(spec, &mut signals, &mut blocks_by_size, &states);
                 let decision = policy.pick(spec, &signals);
                 let m = &mut self.members[decision.instance];
                 m.instance.admit(spec.clone());
@@ -359,7 +490,15 @@ impl Fleet {
                     PathClass::SingleNode => routing.single_routed += 1,
                     PathClass::Split => routing.split_routed += 1,
                 }
+                if let Some(rep) = replicator.as_mut() {
+                    sweep_due |= rep.record(spec, &blocks_by_size, decision.instance);
+                }
                 i += 1;
+            }
+            if sweep_due {
+                if let Some(rep) = replicator.as_mut() {
+                    self.replicate_sweep(rep, &states, t);
+                }
             }
             while b < extra_barriers.len() && extra_barriers[b] <= t {
                 b += 1;
@@ -368,12 +507,31 @@ impl Fleet {
         // Drain: every instance runs out its admitted work unbounded.
         self.step_all(SimTime::MAX);
 
+        let failover_stats = match engine.as_mut() {
+            Some(eng) => {
+                let members = &self.members;
+                eng.finalize(|target, local| members[target].instance.request_finished(local));
+                eng.stats.clone()
+            }
+            None => FailoverStats::default(),
+        };
+        // A permanently crashed member ends its run stalled with
+        // requests still buffered — its watchdog clock froze with the
+        // last event, so deadline sheds never fired. Close the books
+        // explicitly; on resolved runs this is a no-op.
+        for m in &mut self.members {
+            m.instance.shed_unresolved();
+        }
+
         let mut report = FleetReport {
             labels: Vec::with_capacity(self.members.len()),
             reports: Vec::with_capacity(self.members.len()),
             events: Vec::with_capacity(self.members.len()),
             routed,
             routing,
+            failover: failover_stats,
+            replication: replicator.map(|r| r.stats).unwrap_or_default(),
+            health: health_stats,
         };
         for mut m in self.members {
             let (rep, events) = m.instance.finish(m.scheduler.as_mut());
@@ -382,6 +540,108 @@ impl Fleet {
             report.events.push(events);
         }
         report
+    }
+
+    /// Drains crash victims off every ejected member that has somewhere
+    /// to send them (another routable member with all GPUs alive), in
+    /// member-index order. Reinjected-but-buffered victims are only
+    /// drained off permanently crashed members — on a transient crash
+    /// the local copy will run again, and draining it would double-run
+    /// the request.
+    fn drain_ejected(&mut self, eng: &mut FailoverEngine, states: &[HealthState], now: SimTime) {
+        let escape_exists = |members: &[FleetMember], idx: usize| {
+            members
+                .iter()
+                .enumerate()
+                .any(|(j, m)| j != idx && states[j].admits_traffic() && m.instance.dead_gpus() == 0)
+        };
+        for (idx, state) in states.iter().enumerate() {
+            if state.admits_traffic() || !escape_exists(&self.members, idx) {
+                continue;
+            }
+            let permanent = self.members[idx].instance.permanently_crashed();
+            let victims = self.members[idx].instance.drain_crash_victims(permanent);
+            if !victims.is_empty() {
+                eng.enqueue_drained(victims, now);
+            }
+        }
+    }
+
+    /// Executes one replication sweep: for each of the hottest prefixes,
+    /// exports the origin's cached slice of the recorded block streams
+    /// and imports it into routable non-holders until
+    /// [`ReplicationConfig::factor`] members hold it. Candidates are
+    /// scanned on a ring starting antipodal to the origin
+    /// (`origin + n/2`): correlated failures tend to strike neighboring
+    /// members (a rack, a staggered crash wave), so a replica placed as
+    /// far from its origin as possible is the one most likely to
+    /// survive the fault that kills the original. Transfer cost is
+    /// modeled as a background copy off the serving critical path (see
+    /// DESIGN.md §14).
+    fn replicate_sweep(&mut self, rep: &mut Replicator, states: &[HealthState], now: SimTime) {
+        let factor = rep.config().factor;
+        if factor <= 1 {
+            return;
+        }
+        let hot: Vec<HotPrefix> = rep.hottest().into_iter().map(|(_, h)| h.clone()).collect();
+        for h in hot {
+            // Clip each recorded stream to what the origin still holds.
+            let mut exports: Vec<(u32, Vec<Block>)> = Vec::new();
+            for table in self.members[h.origin].scheduler.lease_tables() {
+                let bs = table.block_size();
+                let Some((_, blocks)) = h.blocks_by_size.iter().find(|(s, _)| *s == bs) else {
+                    continue;
+                };
+                let clipped = table.export_prefix(blocks);
+                if !clipped.is_empty() && !exports.iter().any(|(s, _)| *s == bs) {
+                    exports.push((bs, clipped.to_vec()));
+                }
+            }
+            let export_tokens = exports
+                .iter()
+                .map(|(_, blocks)| Block::total_tokens(blocks))
+                .max()
+                .unwrap_or(0);
+            if export_tokens == 0 {
+                continue;
+            }
+            let holds = |m: &FleetMember| {
+                m.scheduler.lease_tables().iter().any(|table| {
+                    exports
+                        .iter()
+                        .find(|(s, _)| *s == table.block_size())
+                        .is_some_and(|(_, blocks)| table.peek_prefix(blocks) >= export_tokens)
+                })
+            };
+            let mut holders = self.members.iter().filter(|m| holds(m)).count();
+            let n = self.members.len();
+            let antipode = (h.origin + n / 2) % n;
+            for step in 0..n {
+                let j = (antipode + step) % n;
+                if holders >= factor {
+                    break;
+                }
+                if !states[j].admits_traffic() || self.members[j].instance.dead_gpus() > 0 {
+                    continue;
+                }
+                if holds(&self.members[j]) {
+                    continue;
+                }
+                let mut pushed = false;
+                for table in self.members[j].scheduler.lease_tables_mut() {
+                    if let Some((_, blocks)) =
+                        exports.iter().find(|(s, _)| *s == table.block_size())
+                    {
+                        pushed |= table.insert(blocks, now);
+                    }
+                }
+                if pushed {
+                    holders += 1;
+                    rep.stats.replicas_pushed += 1;
+                    rep.stats.tokens_pushed += export_tokens;
+                }
+            }
+        }
     }
 
     /// Advances every instance to the merge barrier at `t`, optionally
@@ -412,11 +672,12 @@ impl Fleet {
         spec: &RequestSpec,
         signals: &mut Vec<InstanceSignals>,
         blocks_by_size: &mut Vec<(u32, Vec<Block>)>,
+        states: &[HealthState],
     ) {
         signals.clear();
         blocks_by_size.clear();
         let input_tokens = spec.input_tokens();
-        for m in &self.members {
+        for (idx, m) in self.members.iter().enumerate() {
             let mut hit = 0u64;
             for table in m.scheduler.lease_tables() {
                 let bs = table.block_size();
@@ -434,6 +695,7 @@ impl Fleet {
                 prefix_hit_tokens: hit.min(input_tokens),
                 input_tokens,
                 healthy: m.instance.dead_gpus() == 0,
+                health: states[idx],
                 class: m.class,
             });
         }
@@ -454,28 +716,71 @@ fn step_members(members: &mut [FleetMember], t: SimTime) {
 mod tests {
     use super::*;
     use gpusim::{ClusterSpec, CtxId, GpuSim, GroupId, KernelKind, WorkItem};
-    use serving::{LeaseTable, ReqId, ServeCtx, SloSpec};
+    use serving::{
+        CrashVictim, FaultKind, FaultPlan, LeaseTable, RecoveryClass, ReqId, ServeCtx, SloSpec,
+    };
     use simcore::SimRng;
-    use workload::{generate_fleet_stream, WorkloadKind};
+    use workload::{generate_fleet_stream, ContentSpec, WorkloadKind};
 
     /// A miniature engine with a real lease table: prefill kernel sized
     /// by uncached tokens, full context committed to the radix on finish
-    /// — enough for the router's prefix probes to see genuine reuse.
+    /// — enough for the router's prefix probes to see genuine reuse. It
+    /// is crash-aware: fail-stop revokes in-flight leases and reports
+    /// victims; arrivals while dead are buffered and resubmitted on
+    /// recovery (never on a permanent crash).
     struct MiniEngine {
         group: Option<GroupId>,
         ctx_id: Option<CtxId>,
         table: LeaseTable,
         leases: Vec<Option<serving::KvLease>>,
+        secs_per_kilotoken: f64,
+        dead: bool,
+        buffered: Vec<ReqId>,
     }
 
     impl MiniEngine {
         fn new() -> MiniEngine {
+            // 10 µs per uncached kilo-token: cached prefixes finish fast.
+            MiniEngine::with_speed(1e-5)
+        }
+
+        /// A slow variant whose kernels span simulated seconds, so a
+        /// mid-run crash reliably catches work in flight.
+        fn slow() -> MiniEngine {
+            MiniEngine::with_speed(0.5)
+        }
+
+        fn with_speed(secs_per_kilotoken: f64) -> MiniEngine {
             MiniEngine {
                 group: None,
                 ctx_id: None,
                 table: LeaseTable::new(2_000_000, 64),
                 leases: Vec::new(),
+                secs_per_kilotoken,
+                dead: false,
+                buffered: Vec::new(),
             }
+        }
+
+        fn submit_one(&mut self, id: ReqId, ctx: &mut ServeCtx) {
+            let now = ctx.now();
+            let spec = ctx.request(id);
+            let blocks = spec.content.blocks(self.table.block_size());
+            let lease = self.table.lease_prefix(&blocks, now);
+            let fresh = spec.input_tokens() - lease.matched_tokens();
+            if self.leases.len() <= id {
+                self.leases.resize_with(id + 1, || None);
+            }
+            self.leases[id] = Some(lease);
+            let secs = self.secs_per_kilotoken * (fresh as f64 / 1000.0).max(0.1);
+            let work = WorkItem::new(KernelKind::Prefill, 0.0, 0.0, secs);
+            ctx.gpu.submit(
+                self.group.unwrap(),
+                self.ctx_id.unwrap(),
+                work,
+                now,
+                id as u64,
+            );
         }
     }
 
@@ -486,25 +791,11 @@ mod tests {
             self.ctx_id = Some(ctx.gpu.set_context(g, 108));
         }
         fn on_arrival(&mut self, id: ReqId, ctx: &mut ServeCtx) {
-            let now = ctx.now();
-            let spec = ctx.request(id);
-            let blocks = spec.content.blocks(self.table.block_size());
-            let lease = self.table.lease_prefix(&blocks, now);
-            let fresh = spec.input_tokens() - lease.matched_tokens();
-            if self.leases.len() <= id {
-                self.leases.resize_with(id + 1, || None);
+            if self.dead {
+                self.buffered.push(id);
+                return;
             }
-            self.leases[id] = Some(lease);
-            // 10 µs per uncached kilo-token: cached prefixes finish fast.
-            let secs = 1e-5 * (fresh as f64 / 1000.0).max(0.1);
-            let work = WorkItem::new(KernelKind::Prefill, 0.0, 0.0, secs);
-            ctx.gpu.submit(
-                self.group.unwrap(),
-                self.ctx_id.unwrap(),
-                work,
-                now,
-                id as u64,
-            );
+            self.submit_one(id, ctx);
         }
         fn on_kernel_done(&mut self, tag: u64, ctx: &mut ServeCtx) {
             let id = tag as ReqId;
@@ -515,6 +806,33 @@ mod tests {
             self.table.release_and_commit(lease, &blocks, now);
             ctx.emit_tokens(id, out);
             ctx.finish_request(id);
+        }
+        fn on_gpu_lost(
+            &mut self,
+            _gpu: u32,
+            cancelled: &[u64],
+            ctx: &mut ServeCtx,
+        ) -> Vec<CrashVictim> {
+            self.dead = true;
+            let mut victims = Vec::new();
+            for &tag in cancelled {
+                let id = tag as ReqId;
+                if let Some(lease) = self.leases.get_mut(id).and_then(Option::take) {
+                    self.table.release(lease);
+                }
+                victims.push(CrashVictim {
+                    id,
+                    class: RecoveryClass::ReprefillFull,
+                    lost_tokens: ctx.request(id).input_tokens(),
+                });
+            }
+            victims
+        }
+        fn on_gpu_recovered(&mut self, _gpu: u32, ctx: &mut ServeCtx) {
+            self.dead = false;
+            for id in std::mem::take(&mut self.buffered) {
+                self.submit_one(id, ctx);
+            }
         }
         fn groups(&self) -> Vec<GroupId> {
             self.group.into_iter().collect()
@@ -528,18 +846,48 @@ mod tests {
     }
 
     fn mini_fleet(n: usize, threads: usize) -> Fleet {
+        mini_fleet_faults(n, threads, |_| FaultPlan::none(), MiniEngine::new)
+    }
+
+    fn mini_fleet_faults(
+        n: usize,
+        threads: usize,
+        plan: impl Fn(usize) -> FaultPlan,
+        engine: impl Fn() -> MiniEngine,
+    ) -> Fleet {
         let mut fleet = Fleet::new().with_threads(threads);
         for i in 0..n {
             let gpu = GpuSim::from_cluster(&ClusterSpec::single_a100());
-            let driver = Driver::new(gpu, Vec::new(), SloSpec::llama8b());
+            let driver = Driver::new(gpu, Vec::new(), SloSpec::llama8b()).with_faults(plan(i));
             fleet.push(
                 driver,
-                Box::new(MiniEngine::new()),
+                Box::new(engine()),
                 PathClass::SingleNode,
                 format!("mini{i}"),
             );
         }
         fleet
+    }
+
+    /// One permanent fail-stop on the member's single GPU at `start`.
+    fn perm_crash(start: f64) -> FaultPlan {
+        FaultPlan::single(
+            FaultKind::GpuFailStopPermanent { gpu: 0 },
+            SimTime::from_secs(start),
+            SimTime::from_secs(1e9),
+        )
+    }
+
+    fn req(id: u64, arrival: f64, session: u64, tokens: u64) -> RequestSpec {
+        RequestSpec {
+            id,
+            arrival: SimTime::from_secs(arrival),
+            session,
+            turn: 0,
+            content: ContentSpec::single(session, tokens),
+            prior_context: 0,
+            output_tokens: 10,
+        }
     }
 
     fn trace(fleet_size: usize) -> Vec<RequestSpec> {
@@ -613,5 +961,181 @@ mod tests {
             Fleet::new().run(&t, &mut RoundRobin::new())
         }));
         assert!(result.is_err());
+    }
+
+    /// The tentpole end-to-end: a permanent crash on member 0 catches a
+    /// slow prefill in flight; the health breaker ejects the member, the
+    /// failover engine drains the victim and re-admits it on member 1,
+    /// where it finishes — and the fleet books still balance.
+    fn failover_trace() -> Vec<RequestSpec> {
+        vec![
+            req(0, 0.5, 10, 2000), // member 0 (round robin), finishes pre-crash
+            req(1, 0.6, 11, 2000), // member 1
+            req(2, 2.5, 12, 2000), // member 0: in flight at the 3.0s crash
+            req(3, 8.0, 13, 2000), // post-crash: routes around the dead member
+        ]
+    }
+
+    fn failover_fleet(threads: usize) -> Fleet {
+        mini_fleet_faults(
+            2,
+            threads,
+            |i| {
+                if i == 0 {
+                    perm_crash(3.0)
+                } else {
+                    FaultPlan::none()
+                }
+            },
+            MiniEngine::slow,
+        )
+    }
+
+    #[test]
+    fn permanent_crash_migrates_victims_to_a_survivor() {
+        let report = failover_fleet(1).run(&failover_trace(), &mut RoundRobin::new());
+        assert_eq!(report.failover.drained, 1, "{:?}", report.failover);
+        assert_eq!(report.failover.migrated, 1);
+        assert_eq!(report.failover.migrated_finished, 1);
+        assert_eq!(report.failover.reprefill, 1, "no replication configured");
+        assert_eq!(report.failover.gave_up, 0);
+        assert!(report.health.ejections >= 1);
+        // The victim's local copy was closed as shed on member 0 and its
+        // migrated copy finished on member 1 — nothing double-runs.
+        assert_eq!(report.reports[0].recovery.migrated_out, 1);
+        assert_eq!(report.finished() + report.shed(), report.total());
+        assert_eq!(report.leaked_leases(), 0);
+        assert_eq!(report.routed, vec![2, 3], "migration lands on member 1");
+    }
+
+    #[test]
+    fn migration_is_bit_identical_across_thread_counts() {
+        let one = failover_fleet(1).run(&failover_trace(), &mut RoundRobin::new());
+        let four = failover_fleet(4).run(&failover_trace(), &mut RoundRobin::new());
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn extra_barriers_stay_no_ops_under_crash_and_failover() {
+        let plain = failover_fleet(1).run(&failover_trace(), &mut RoundRobin::new());
+        let barriers: Vec<SimTime> = (1..80)
+            .map(|k| SimTime::from_secs(k as f64 * 0.37))
+            .collect();
+        let chopped =
+            failover_fleet(1).run_opts(&failover_trace(), &mut RoundRobin::new(), &barriers);
+        assert_eq!(plain, chopped);
+    }
+
+    #[test]
+    fn without_failover_sheds_what_migration_would_save() {
+        let report = failover_fleet(1)
+            .without_failover()
+            .run(&failover_trace(), &mut RoundRobin::new());
+        assert_eq!(report.failover, FailoverStats::default());
+        assert_eq!(report.finished() + report.shed(), report.total());
+        assert!(
+            report.shed() >= 1,
+            "the crash victim must shed without failover"
+        );
+        assert_eq!(report.reports[0].recovery.migrated_out, 0);
+    }
+
+    /// Hot-prefix replication pre-positions a hot session's context on a
+    /// second member, so the migrated victim re-enters as a cached
+    /// resume instead of a full re-prefill.
+    #[test]
+    fn replication_converts_migrations_to_cached_resumes() {
+        let run = |replicate: bool| {
+            let mut fleet = mini_fleet_faults(
+                2,
+                1,
+                |i| {
+                    if i == 0 {
+                        perm_crash(2.8)
+                    } else {
+                        FaultPlan::none()
+                    }
+                },
+                MiniEngine::slow,
+            );
+            if replicate {
+                fleet = fleet.with_replication(ReplicationConfig {
+                    factor: 2,
+                    top_k: 4,
+                    min_hits: 2,
+                    sweep_every: 2,
+                });
+            }
+            // One hot session growing its context across turns
+            // (block-aligned so the replicated prefix carries no partial
+            // tail); turn 3 is in flight on member 0 when the crash hits.
+            let trace = vec![
+                req(0, 0.3, 42, 2048),
+                req(1, 2.0, 42, 3072),
+                req(2, 2.6, 42, 4096),
+            ];
+            fleet.run(&trace, &mut PrefixAffinity::default())
+        };
+        let plain = run(false);
+        assert_eq!(plain.failover.migrated, 1, "{:?}", plain.failover);
+        assert_eq!(plain.failover.replica_hit, 0);
+        assert_eq!(plain.replication, ReplicationStats::default());
+
+        let replicated = run(true);
+        assert_eq!(replicated.failover.migrated, 1, "{:?}", replicated.failover);
+        assert!(
+            replicated.replication.replicas_pushed >= 1,
+            "{:?}",
+            replicated.replication
+        );
+        assert_eq!(
+            replicated.failover.replica_hit, 1,
+            "the migrated victim must find its replicated prefix: {:?}",
+            replicated.failover
+        );
+        assert_eq!(replicated.failover.migrated_finished, 1);
+        assert_eq!(replicated.leaked_leases(), 0);
+    }
+
+    /// A transient crash never migrates: its victims are reinjected
+    /// locally (draining them too would double-run the request once the
+    /// GPU recovers).
+    #[test]
+    fn transient_crash_recovers_locally_without_migration() {
+        let plan = |i: usize| {
+            if i == 0 {
+                FaultPlan::crash(0, SimTime::from_secs(3.0), SimDuration::from_secs(5.0))
+            } else {
+                FaultPlan::none()
+            }
+        };
+        let fleet = mini_fleet_faults(2, 1, plan, MiniEngine::slow);
+        let report = fleet.run(&failover_trace(), &mut RoundRobin::new());
+        assert_eq!(report.failover.drained, 0, "{:?}", report.failover);
+        assert_eq!(report.failover.migrated, 0);
+        assert!(
+            report.reports[0].recovery.recovered >= 1,
+            "local retry wins"
+        );
+        assert_eq!(report.finished() + report.shed(), report.total());
+        assert_eq!(report.leaked_leases(), 0);
+    }
+
+    /// Failover/replication config on a crash-free fleet is a strict
+    /// no-op: no member schedules a fail-stop, so neither tier arms and
+    /// the report is bit-identical to the plain run.
+    #[test]
+    fn crash_free_runs_ignore_fault_tolerance_config() {
+        let trace = trace(3);
+        let plain = mini_fleet(3, 1).run(&trace, &mut PrefixAffinity::default());
+        let configured = mini_fleet(3, 1)
+            .with_health(HealthConfig::default())
+            .with_failover(FailoverConfig::default())
+            .with_replication(ReplicationConfig::default())
+            .run(&trace, &mut PrefixAffinity::default());
+        assert_eq!(plain, configured);
+        assert_eq!(plain.failover, FailoverStats::default());
+        assert_eq!(plain.replication, ReplicationStats::default());
+        assert_eq!(plain.health, HealthStats::default());
     }
 }

@@ -9,6 +9,7 @@
 
 use workload::RequestSpec;
 
+use crate::health::HealthState;
 use crate::PathClass;
 
 /// The router's per-instance snapshot for one request, read after every
@@ -24,8 +25,21 @@ pub struct InstanceSignals {
     pub input_tokens: u64,
     /// Whether the instance has no fail-stopped GPU right now.
     pub healthy: bool,
+    /// The health tracker's breaker state (always
+    /// [`HealthState::Healthy`] on crash-free runs, so gating on it is a
+    /// strict no-op there).
+    pub health: HealthState,
     /// Which serving path the instance implements.
     pub class: PathClass,
+}
+
+impl InstanceSignals {
+    /// Whether the router may pick this instance: no dead GPU right now
+    /// *and* the breaker admits traffic ([`HealthState::Ejected`] is the
+    /// only state that refuses).
+    pub fn routable(&self) -> bool {
+        self.healthy && self.health.admits_traffic()
+    }
 }
 
 /// Where a request goes, and whether health signals overrode the score.
@@ -49,7 +63,7 @@ pub trait RoutePolicy: Send {
     fn pick(&mut self, spec: &RequestSpec, signals: &[InstanceSignals]) -> Decision;
 }
 
-/// The baseline: rotate through instances, skipping unhealthy ones.
+/// The baseline: rotate through instances, skipping unroutable ones.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RoundRobin {
     next: usize,
@@ -70,14 +84,16 @@ impl RoutePolicy for RoundRobin {
     fn pick(&mut self, _spec: &RequestSpec, signals: &[InstanceSignals]) -> Decision {
         let n = signals.len();
         let start = self.next % n;
-        // First healthy instance from the rotation point; if every
-        // instance is unhealthy, keep the rotation pick (degraded
-        // service beats dropping on the floor).
+        // First routable instance from the rotation point (healthy GPU
+        // *and* breaker admits traffic); if every instance is
+        // unroutable, keep the rotation pick (degraded service beats
+        // dropping on the floor). Skipping k > 0 instances to get there
+        // is a crash reroute — count it for both skip causes.
         let mut choice = start;
         let mut rerouted = false;
         for k in 0..n {
             let cand = (start + k) % n;
-            if signals[cand].healthy {
+            if signals[cand].routable() {
                 choice = cand;
                 rerouted = k > 0;
                 break;
@@ -95,20 +111,26 @@ impl RoutePolicy for RoundRobin {
 /// context, tempered by queue depth, with a per-request
 /// single-node-vs-split path decision.
 ///
-/// Score: `w_prefix · hit_ratio − w_queue · queue_depth`, where
-/// `hit_ratio = prefix_hit_tokens / input_tokens`. Candidates are
-/// restricted to healthy instances of the preferred [`PathClass`]:
+/// Score: `w_prefix · hit_ratio − w_queue · queue_depth − w_degraded ·
+/// [health = Degraded]`, where `hit_ratio = prefix_hit_tokens /
+/// input_tokens`. Candidates are restricted to routable instances
+/// (healthy GPU, breaker admits traffic) of the preferred [`PathClass`]:
 /// [`PathClass::Split`] when even the best cache hit leaves at least
 /// `split_threshold_tokens` of fresh prefill (long prefills benefit from
-/// disaggregation) and a healthy split instance exists; otherwise
-/// [`PathClass::SingleNode`]. Falls back to any healthy instance, then
-/// to the raw argmax, so a pick always exists.
+/// disaggregation) and a routable split instance exists; otherwise
+/// [`PathClass::SingleNode`]. Falls back to any routable instance, then
+/// to the raw argmax, so a pick always exists. A
+/// [`HealthState::Degraded`] member stays routable but pays the
+/// `w_degraded` score penalty — the breaker's soft half.
 #[derive(Debug, Clone, Copy)]
 pub struct PrefixAffinity {
     /// Weight of the prefix hit ratio (cache affinity pull).
     pub w_prefix: f64,
     /// Weight of the queue depth (load-balance push, per request).
     pub w_queue: f64,
+    /// Score penalty for [`HealthState::Degraded`] members (brownout
+    /// still serving, but steer elsewhere while alternatives exist).
+    pub w_degraded: f64,
     /// Fresh-prefill size at which the split path is preferred.
     pub split_threshold_tokens: u64,
 }
@@ -120,6 +142,9 @@ impl Default for PrefixAffinity {
             // that, load balance wins over affinity.
             w_prefix: 1.0,
             w_queue: 0.05,
+            // A degradation window costs a quarter of a full prefix hit:
+            // strong cache affinity still wins, weak affinity loses.
+            w_degraded: 0.25,
             split_threshold_tokens: 8_192,
         }
     }
@@ -141,43 +166,45 @@ impl RoutePolicy for PrefixAffinity {
         let want_split = fresh >= self.split_threshold_tokens
             && signals
                 .iter()
-                .any(|s| s.healthy && s.class == PathClass::Split);
+                .any(|s| s.routable() && s.class == PathClass::Split);
         let want = if want_split {
             PathClass::Split
         } else {
             PathClass::SingleNode
         };
 
-        // One pass, three argmaxes: preferred class ∩ healthy, any
-        // healthy, and score-only (to detect crash reroutes). Strict `>`
+        // One pass, three argmaxes: preferred class ∩ routable, any
+        // routable, and score-only (to detect crash reroutes). Strict `>`
         // keeps the lowest index on ties — replay-stable.
         let mut best_preferred: Option<(usize, f64)> = None;
-        let mut best_healthy: Option<(usize, f64)> = None;
+        let mut best_routable: Option<(usize, f64)> = None;
         let mut best_raw: Option<(usize, f64)> = None;
         for (idx, s) in signals.iter().enumerate() {
+            let degraded = u64::from(s.health == HealthState::Degraded);
             let score = self.w_prefix * (s.prefix_hit_tokens as f64 / input)
-                - self.w_queue * s.queue_depth as f64;
+                - self.w_queue * s.queue_depth as f64
+                - self.w_degraded * degraded as f64;
             if best_raw.is_none_or(|(_, b)| score > b) {
                 best_raw = Some((idx, score));
             }
-            if !s.healthy {
+            if !s.routable() {
                 continue;
             }
-            if best_healthy.is_none_or(|(_, b)| score > b) {
-                best_healthy = Some((idx, score));
+            if best_routable.is_none_or(|(_, b)| score > b) {
+                best_routable = Some((idx, score));
             }
             if s.class == want && best_preferred.is_none_or(|(_, b)| score > b) {
                 best_preferred = Some((idx, score));
             }
         }
         let (choice, _) = best_preferred
-            .or(best_healthy)
+            .or(best_routable)
             .or(best_raw)
             .unwrap_or((0, 0.0));
         // A crash reroute is a pick that diverged from the raw argmax
-        // because that instance was unhealthy.
-        let rerouted = signals[choice].healthy
-            && best_raw.is_some_and(|(idx, _)| idx != choice && !signals[idx].healthy);
+        // because that instance was unroutable (dead GPU or ejected).
+        let rerouted = signals[choice].routable()
+            && best_raw.is_some_and(|(idx, _)| idx != choice && !signals[idx].routable());
         Decision {
             instance: choice,
             rerouted_on_crash: rerouted,
@@ -195,6 +222,11 @@ mod tests {
             prefix_hit_tokens: hit,
             input_tokens: 1000,
             healthy,
+            health: if healthy {
+                HealthState::Healthy
+            } else {
+                HealthState::Ejected
+            },
             class,
         }
     }
@@ -226,6 +258,66 @@ mod tests {
         assert_eq!((d1.instance, d1.rerouted_on_crash), (2, true));
         let d2 = rr.pick(&s, &healthy);
         assert_eq!(d2.instance, 0);
+    }
+
+    /// Satellite pin: *both* policies count `rerouted_on_crash` on their
+    /// crash-skip path — RoundRobin when the rotation pick is skipped,
+    /// PrefixAffinity when the raw argmax is overridden — and neither
+    /// counts it when the natural pick was routable anyway.
+    #[test]
+    fn both_policies_count_crash_reroutes() {
+        let s = spec();
+        let signals = [
+            sig(0, 0, false, PathClass::SingleNode),
+            sig(900, 0, true, PathClass::SingleNode),
+        ];
+        let mut rr = RoundRobin::new();
+        let d = rr.pick(&s, &signals);
+        assert_eq!((d.instance, d.rerouted_on_crash), (1, true));
+        // Rotation wrapped back to instance 0; once it recovers, the
+        // same rotation pick is not a reroute.
+        let recovered = [
+            sig(0, 0, true, PathClass::SingleNode),
+            sig(900, 0, true, PathClass::SingleNode),
+        ];
+        let d = rr.pick(&s, &recovered);
+        assert_eq!((d.instance, d.rerouted_on_crash), (0, false));
+        let mut aff = PrefixAffinity::default();
+        let hot_dead = [
+            sig(900, 0, false, PathClass::SingleNode),
+            sig(0, 0, true, PathClass::SingleNode),
+        ];
+        let d = aff.pick(&s, &hot_dead);
+        assert_eq!((d.instance, d.rerouted_on_crash), (1, true));
+        let d = aff.pick(&s, &signals);
+        assert_eq!((d.instance, d.rerouted_on_crash), (1, false));
+    }
+
+    /// An ejected member is skipped even while its GPUs report alive
+    /// (brownout ejection), and a degraded member pays the score
+    /// penalty without leaving the routing set.
+    #[test]
+    fn breaker_states_gate_and_penalize() {
+        let s = spec();
+        let mut ejected = sig(1000, 0, true, PathClass::SingleNode);
+        ejected.health = HealthState::Ejected;
+        let signals = [ejected, sig(0, 0, true, PathClass::SingleNode)];
+        let mut rr = RoundRobin::new();
+        let d = rr.pick(&s, &signals);
+        assert_eq!((d.instance, d.rerouted_on_crash), (1, true));
+        let mut aff = PrefixAffinity::default();
+        let d = aff.pick(&s, &signals);
+        assert_eq!((d.instance, d.rerouted_on_crash), (1, true));
+        // Degraded: weak affinity (200/1000 < w_degraded) loses the
+        // pick, strong affinity keeps it.
+        let mut degraded = sig(200, 0, true, PathClass::SingleNode);
+        degraded.health = HealthState::Degraded;
+        let weak = [degraded, sig(0, 0, true, PathClass::SingleNode)];
+        assert_eq!(aff.pick(&s, &weak).instance, 1);
+        degraded.prefix_hit_tokens = 900;
+        let strong = [degraded, sig(0, 0, true, PathClass::SingleNode)];
+        let d = aff.pick(&s, &strong);
+        assert_eq!((d.instance, d.rerouted_on_crash), (0, false));
     }
 
     #[test]
@@ -270,6 +362,7 @@ mod tests {
                 prefix_hit_tokens: 0,
                 input_tokens: 20_000,
                 healthy: true,
+                health: HealthState::Healthy,
                 class: PathClass::SingleNode,
             },
             InstanceSignals {
@@ -277,6 +370,7 @@ mod tests {
                 prefix_hit_tokens: 0,
                 input_tokens: 20_000,
                 healthy: true,
+                health: HealthState::Healthy,
                 class: PathClass::Split,
             },
         ];

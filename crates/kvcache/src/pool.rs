@@ -120,6 +120,14 @@ impl KvPool {
         self.tree.walk(blocks).1
     }
 
+    /// Number of leading blocks of `blocks` currently cached — the
+    /// export half of hot-prefix replication: `&blocks[..n]` is exactly
+    /// the stream another pool can import with [`KvPool::insert`]
+    /// without fabricating KV state the origin never computed.
+    pub fn cached_prefix_blocks(&self, blocks: &[Block]) -> usize {
+        self.tree.prefix_block_len(blocks)
+    }
+
     /// Locks the longest cached prefix **without** recording hit
     /// statistics. Used when a scheduler migrates a running request's
     /// freshly computed KV into the shared radix (an internal move, not a

@@ -223,6 +223,15 @@ impl RadixTree {
         (path, tokens)
     }
 
+    /// Length in blocks of the longest existing path matching `blocks` —
+    /// the block-granular sibling of [`RadixTree::walk`]'s token count.
+    /// Replica export uses it to clip a recorded block stream to what
+    /// this tree actually holds; the clipped stream imports into another
+    /// tree via [`RadixTree::insert_path`].
+    pub fn prefix_block_len(&self, blocks: &[Block]) -> usize {
+        self.walk(blocks).0.len()
+    }
+
     /// Inserts missing nodes along `blocks`, returning the full path and
     /// the number of **new** tokens added.
     pub fn insert_path(&mut self, blocks: &[Block], now: SimTime) -> (Vec<NodeId>, u64) {
@@ -359,6 +368,22 @@ mod tests {
         let (_, added2) = t.insert_path(&blocks, SimTime::ZERO);
         assert_eq!(added2, 0);
         assert_eq!(t.total_tokens(), 300);
+    }
+
+    #[test]
+    fn prefix_block_len_clips_replica_exports() {
+        let mut origin = RadixTree::new();
+        origin.insert_path(&Block::sequence(9, 256, 64), SimTime::ZERO);
+        // A recorded stream longer than what the origin holds: export
+        // must clip to the cached prefix, not the full recording.
+        let recorded = Block::sequence(9, 512, 64);
+        let n = origin.prefix_block_len(&recorded);
+        assert_eq!(n, 4);
+        // Importing the clipped stream mirrors exactly the origin state.
+        let mut replica = RadixTree::new();
+        let (_, added) = replica.insert_path(&recorded[..n], SimTime::ZERO);
+        assert_eq!(added, 256);
+        assert_eq!(replica.walk(&recorded).1, origin.walk(&recorded).1);
     }
 
     #[test]

@@ -293,6 +293,28 @@ impl FaultPlan {
     pub fn last_end(&self) -> Option<SimTime> {
         self.windows.iter().map(|w| w.end).max()
     }
+
+    /// The latest fail-stop window *start*, if any. Unlike
+    /// [`FaultPlan::last_end`] this is finite even for permanent crashes
+    /// (whose window ends sit past the horizon by construction), so the
+    /// fleet uses it to bound how long its failover patrol must keep
+    /// observing members after the trace drains.
+    pub fn last_fail_stop_start(&self) -> Option<SimTime> {
+        self.windows
+            .iter()
+            .filter(|w| w.kind.fail_stop_gpu().is_some())
+            .map(|w| w.start)
+            .max()
+    }
+
+    /// Whether a [`FaultKind::GpuFailStopPermanent`] window has opened at
+    /// or before `t` — the device it names never comes back, so work
+    /// buffered behind it can safely be drained elsewhere.
+    pub fn permanent_dead_at(&self, t: SimTime) -> bool {
+        self.windows
+            .iter()
+            .any(|w| matches!(w.kind, FaultKind::GpuFailStopPermanent { .. }) && w.start <= t)
+    }
 }
 
 #[cfg(test)]

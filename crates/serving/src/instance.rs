@@ -33,7 +33,7 @@ use workload::RequestSpec;
 use crate::driver::{Driver, Event, Scheduler, ServeCtx, WatchdogConfig};
 use crate::faults::{FaultKind, FaultPlan};
 use crate::metrics::Report;
-use crate::recovery::RecoveryManager;
+use crate::recovery::{MigratableVictim, RecoveryManager};
 use crate::request::{ReqId, SloSpec};
 
 /// What [`Instance::step_until`] observed at its time bound.
@@ -184,6 +184,88 @@ impl Instance {
     /// Read-only view of the shared serve context (router probes).
     pub fn serve_ctx(&self) -> &ServeCtx {
         &self.ctx
+    }
+
+    /// Whether a severe fault window (brownout, KV shrink, fail-stop) is
+    /// open right now — the fleet health tracker's degradation signal.
+    pub fn in_severe_fault(&self) -> bool {
+        self.severe_fault
+    }
+
+    /// Whether this instance's plan schedules any fault at all. The
+    /// fleet only arms its failover patrol when some member can
+    /// misbehave, so crash-free runs replay the exact pre-failover
+    /// barrier sequence.
+    pub fn has_fault_plan(&self) -> bool {
+        !self.faults.is_empty()
+    }
+
+    /// The latest scheduled fail-stop start (finite even for permanent
+    /// crashes, whose window ends sit past the horizon).
+    pub fn fault_horizon(&self) -> Option<SimTime> {
+        self.faults.last_fail_stop_start()
+    }
+
+    /// Whether a permanent GPU fail-stop has struck this instance: the
+    /// device never revives, so victims buffered behind it can safely be
+    /// migrated without any risk of the local copy running again.
+    pub fn permanently_crashed(&self) -> bool {
+        self.faults.permanent_dead_at(self.ctx.now)
+    }
+
+    /// Whether `id` finished (fleet failover outcome accounting).
+    pub fn request_finished(&self, id: ReqId) -> bool {
+        self.ctx.metrics.is_finished(id)
+    }
+
+    /// Drains this instance's unresolved crash victims for migration to
+    /// another instance, in deterministic `(crash_time, id)` order. Each
+    /// drained victim is accounted shed locally (keeping the member's
+    /// `finished + shed == total` books closed) and forgotten by the
+    /// recovery manager, so its queued requeue events become no-ops.
+    ///
+    /// `include_reinjected` additionally takes victims already
+    /// re-injected into the engine's admission buffer — only sound on a
+    /// [`Instance::permanently_crashed`] member, where the buffered copy
+    /// can never run.
+    pub fn drain_crash_victims(&mut self, include_reinjected: bool) -> Vec<MigratableVictim> {
+        let mut out = Vec::new();
+        for (id, crash_time) in self.recovery.drainable(include_reinjected) {
+            if self.ctx.metrics.is_finished(id) || self.ctx.metrics.is_shed(id) {
+                continue;
+            }
+            let Some(spec) = self.ctx.requests.get(id) else {
+                debug_assert!(false, "recovery tracked an unknown request {id}");
+                continue;
+            };
+            let tokens_emitted = self.ctx.metrics.tokens_emitted(id);
+            out.push(MigratableVictim {
+                spec: spec.clone(),
+                crash_time,
+                tokens_emitted,
+            });
+            self.recovery.on_migrated_out(id);
+            self.ctx.metrics.mark_shed(id);
+        }
+        out
+    }
+
+    /// Closes the books on a fully drained run: any request still
+    /// neither finished nor shed (possible only when work is parked
+    /// behind a permanently dead device, or arrivals were deferred past
+    /// the stall point) is marked shed. Returns how many were closed —
+    /// zero on every run that resolved all its work, which is why the
+    /// fleet can call this unconditionally without perturbing healthy
+    /// or transient-crash reports.
+    pub fn shed_unresolved(&mut self) -> u64 {
+        let mut closed = 0u64;
+        for id in 0..self.ctx.requests.len() {
+            if !self.ctx.metrics.is_finished(id) && !self.ctx.metrics.is_shed(id) {
+                self.ctx.metrics.mark_shed(id);
+                closed += 1;
+            }
+        }
+        closed
     }
 
     /// Admits a request into this instance: the spec joins the request

@@ -112,6 +112,17 @@ impl LeaseTable {
         self.pool.peek_prefix(blocks)
     }
 
+    /// The cached leading slice of `blocks` — the export half of
+    /// hot-prefix KV replication. The returned stream is exactly what
+    /// this table holds of the prefix, so importing it into another
+    /// table via [`LeaseTable::insert`] mirrors real state rather than
+    /// fabricating cache the origin never computed. Exporting never
+    /// locks nodes or touches access times.
+    pub fn export_prefix<'a>(&self, blocks: &'a [Block]) -> &'a [Block] {
+        let n = self.pool.cached_prefix_blocks(blocks);
+        &blocks[..n]
+    }
+
     /// Reserves raw private pool space not (yet) attributed to a lease.
     /// Attribute it afterwards with [`KvLease::absorb_private`], or hold
     /// it raw for cross-queue handoff (e.g. a decode slot reserved while

@@ -208,6 +208,10 @@ pub struct RecoveryStats {
     /// Failover latency samples: crash instant → the victim's successful
     /// re-dispatch, seconds.
     pub failover: Summary,
+    /// Victims handed off to another instance by the fleet failover tier
+    /// (accounted shed locally — the migrated copy's outcome lives in
+    /// the fleet report, not this instance's).
+    pub migrated_out: u64,
 }
 
 /// Aggregated latency/throughput results of one serving run.

@@ -30,6 +30,24 @@ use crate::metrics::RecoveryStats;
 use crate::request::ReqId;
 use simcore::{SimDuration, SimTime};
 use std::collections::HashMap;
+use workload::RequestSpec;
+
+/// A crash victim packaged for cross-instance failover: everything the
+/// fleet tier needs to re-admit the request on a healthy member via
+/// [`Instance::admit`](crate::instance::Instance::admit).
+#[derive(Debug, Clone)]
+pub struct MigratableVictim {
+    /// The request spec as originally admitted (`arrival` is rewritten
+    /// to the migration instant by the fleet before re-admission).
+    pub spec: RequestSpec,
+    /// When the crash that victimized it struck (drain order key, and
+    /// the start of the fleet-level failover latency sample).
+    pub crash_time: SimTime,
+    /// Output tokens the origin instance had already delivered; zero
+    /// means the victim's TTFT clock is still running and the fleet's
+    /// deadline give-up applies.
+    pub tokens_emitted: u64,
+}
 
 /// How a crash victim's lost state is re-materialized on a survivor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,6 +155,36 @@ impl RecoveryManager {
         self.stats.shed_on_crash += 1;
     }
 
+    /// Lists victims eligible for cross-instance migration, sorted by
+    /// `(crash_time, id)` so the fleet drains them in deterministic
+    /// crash-time order. Pending victims (awaiting their local requeue)
+    /// are always safe to take — removing them makes the queued requeue
+    /// event a no-op. Reinjected-but-unfinished victims sit buffered
+    /// inside the engine behind a dead group; they are only safe to
+    /// take when that group can never come back, so callers pass
+    /// `include_reinjected` only for permanently crashed members.
+    pub fn drainable(&self, include_reinjected: bool) -> Vec<(ReqId, SimTime)> {
+        let mut out: Vec<(ReqId, SimTime)> =
+            // simlint: allow(R1) reason="collected then totally ordered by (crash_time, id) before return; hash order never escapes"
+            self.victims.iter().map(|(&id, st)| (id, st.crash_time)).collect();
+        if include_reinjected {
+            // simlint: allow(R1) reason="feeds the same sort below; hash order never escapes"
+            out.extend(self.reinjected.iter().map(|(&id, &ct)| (id, ct)));
+        }
+        out.sort_by_key(|&(id, ct)| (ct, id));
+        out
+    }
+
+    /// Forgets a victim handed off to another instance: it no longer
+    /// counts toward this instance's recovered/shed split (the fleet
+    /// accounts the migrated copy) and any queued requeue event for it
+    /// becomes a no-op.
+    pub fn on_migrated_out(&mut self, id: ReqId) {
+        self.victims.remove(&id);
+        self.reinjected.remove(&id);
+        self.stats.migrated_out += 1;
+    }
+
     /// Folds terminal outcomes into the stats: every re-injected victim
     /// for which `finished(id)` holds counts as recovered; re-injected
     /// victims that never finished (run ended, later shed by the
@@ -204,6 +252,32 @@ mod tests {
         };
         m.on_victim(&v, t(1.0), SimDuration::from_secs(0.25));
         assert_eq!(m.stats.reprefill_tokens, 0);
+    }
+
+    #[test]
+    fn drainable_sorts_by_crash_time_then_id() {
+        let mut m = RecoveryManager::new();
+        let b = SimDuration::from_secs(0.25);
+        m.on_victim(&victim(7), t(2.0), b);
+        m.on_victim(&victim(3), t(1.0), b);
+        m.on_victim(&victim(5), t(1.0), b);
+        m.on_reinjected(5, t(1.5));
+        assert_eq!(m.drainable(false), vec![(3, t(1.0)), (7, t(2.0))]);
+        assert_eq!(
+            m.drainable(true),
+            vec![(3, t(1.0)), (5, t(1.0)), (7, t(2.0))]
+        );
+        m.on_migrated_out(3);
+        m.on_migrated_out(5);
+        assert_eq!(m.drainable(true), vec![(7, t(2.0))]);
+        assert_eq!(m.stats.migrated_out, 2);
+        assert!(!m.is_pending(3));
+        // Migrated victims are the fleet's problem now: finalize must
+        // not double-account them as locally recovered or shed.
+        m.on_gave_up(7);
+        m.finalize(|_| false);
+        assert_eq!(m.stats.recovered, 0);
+        assert_eq!(m.stats.shed_on_crash, 1);
     }
 
     #[test]

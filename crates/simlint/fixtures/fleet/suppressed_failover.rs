@@ -1,0 +1,12 @@
+//! R4 fixture, compliant (name ends in `failover.rs`): an untracked
+//! victim is an accounting anomaly, not a reason to take the fleet
+//! down — the lookup stays fallible and the caller skips it.
+
+fn placement_target(placements: &[(usize, u64)], victim: u64) -> Option<usize> {
+    placements.iter().find(|&&(_, id)| id == victim).map(|p| p.0)
+}
+
+fn first_due(queue: &[u64]) -> u64 {
+    // simlint: allow(R4) reason="fixture: the engine only calls this after a non-empty check one line above; an empty queue here is a bug worth stopping on"
+    queue.first().copied().expect("non-empty migration queue")
+}

@@ -1,0 +1,17 @@
+//! R4 fixture, compliant (name ends in `health.rs`): the breaker keeps
+//! a panic-free fallback — a missing bad-window start falls back to
+//! `now` instead of unwrapping.
+
+fn eject_deadline(bad_since: Option<u64>, now: u64, eject_after: u64) -> u64 {
+    // The restructured form: `unwrap_or` has no panic path.
+    bad_since.unwrap_or(now) + eject_after
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        let t: Option<u64> = Some(7);
+        assert_eq!(t.unwrap(), 7);
+    }
+}

@@ -1,0 +1,11 @@
+//! R4 fixture (name ends in `failover.rs`, so the fleet fault-tolerance
+//! panic scope applies): expect on the migration placement path.
+//! This file is lint input only; it is never compiled.
+
+fn placement_target(placements: &[(usize, u64)], victim: u64) -> usize {
+    placements
+        .iter()
+        .find(|&&(_, id)| id == victim)
+        .expect("placed victim must be tracked")
+        .0
+}

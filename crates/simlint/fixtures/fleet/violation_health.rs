@@ -1,0 +1,7 @@
+//! R4 fixture (name ends in `health.rs`, so the fleet fault-tolerance
+//! panic scope applies): unwrap on the breaker transition path.
+//! This file is lint input only; it is never compiled.
+
+fn eject_deadline(bad_since: Option<u64>, eject_after: u64) -> u64 {
+    bad_since.unwrap() + eject_after
+}

@@ -1,0 +1,7 @@
+//! R4 fixture (name ends in `replicate.rs`, so the fleet
+//! fault-tolerance panic scope applies): unwrap on the sweep path.
+//! This file is lint input only; it is never compiled.
+
+fn hottest_session(heat: &[(u64, u64)]) -> u64 {
+    heat.iter().max_by_key(|&&(_, hits)| hits).unwrap().0
+}

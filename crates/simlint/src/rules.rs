@@ -59,8 +59,19 @@ const POOL_MUTATORS: [&str; 9] = [
     "unprotect_prefix",
 ];
 
-/// Files whose panics take down a whole serving run (R4).
-const PANIC_FREE_FILES: [&str; 4] = ["driver.rs", "recovery.rs", "faults.rs", "instance.rs"];
+/// Files whose panics take down a whole serving run (R4): the driver's
+/// failure-handling files plus the fleet's fault-tolerance tier (a
+/// panic in health/failover/replication code kills every instance of
+/// the fleet at once).
+const PANIC_FREE_FILES: [&str; 7] = [
+    "driver.rs",
+    "recovery.rs",
+    "faults.rs",
+    "instance.rs",
+    "health.rs",
+    "failover.rs",
+    "replicate.rs",
+];
 
 /// Iterator-producing methods whose order reflects hash layout.
 const UNORDERED_METHODS: [&str; 9] = [

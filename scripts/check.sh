@@ -9,6 +9,7 @@
 #   ./scripts/check.sh lint            # simlint invariant pass only
 #   ./scripts/check.sh perf-smoke      # hot-path throughput gate (>20% regression fails)
 #   ./scripts/check.sh fleet-smoke     # fleet router tier: leaks, accounting, thread identity
+#   ./scripts/check.sh fleet-chaos-smoke  # fleet failover: a victim must migrate and finish elsewhere
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,6 +33,11 @@ if [[ "${1:-}" == "fleet-smoke" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "fleet-chaos-smoke" ]]; then
+    cargo run --release -q -p bench --bin fleet_chaos -- --smoke
+    exit 0
+fi
+
 if [[ "${1:-}" == "chaos-smoke" ]]; then
     cargo run --release -q -p bench --bin chaos -- --smoke
     exit 0
@@ -50,3 +56,4 @@ cargo test -q
 cargo run --release -q -p bench --bin chaos -- --smoke
 cargo run --release -q -p bench --bin chaos -- --recovery-smoke
 cargo run --release -q -p bench --bin fleet -- --smoke
+cargo run --release -q -p bench --bin fleet_chaos -- --smoke

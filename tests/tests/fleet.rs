@@ -15,7 +15,7 @@ use gpusim::{ClusterSpec, GpuSim};
 use modelspec::{ModelSpec, Parallelism};
 use muxwise::{Estimators, MuxWise, MuxWiseConfig};
 use proptest::prelude::*;
-use serving::{Driver, FaultPlan, Report, Scheduler, SloSpec, WatchdogConfig};
+use serving::{Driver, FaultKind, FaultPlan, Report, Scheduler, SloSpec, WatchdogConfig};
 use simcore::{SimDuration, SimRng, SimTime};
 use workload::{generate, generate_fleet_stream, RequestSpec, WorkloadKind};
 
@@ -131,7 +131,9 @@ fn one_instance_fleet_is_byte_identical_to_bare_driver_under_crash() {
 }
 
 /// A small mixed-path fleet: one colocated engine, two disaggregated.
-fn mixed_fleet(threads: usize, crash_instance_0: bool) -> Fleet {
+/// `plan0` is instance 0's fault plan; an empty plan keeps the fleet's
+/// fault-tolerance tier unarmed (no fail-stop horizon).
+fn mixed_fleet_with(threads: usize, plan0: FaultPlan) -> Fleet {
     let cluster = ClusterSpec::dgx_a100();
     let slo = SloSpec::llama8b();
     let mut fleet = Fleet::new().with_threads(threads);
@@ -143,16 +145,31 @@ fn mixed_fleet(threads: usize, crash_instance_0: bool) -> Fleet {
     for (i, (name, class)) in members.into_iter().enumerate() {
         let mut driver = Driver::new(GpuSim::from_cluster(&cluster), Vec::new(), slo)
             .with_watchdog(WatchdogConfig::default());
-        if crash_instance_0 && i == 0 {
-            driver = driver.with_faults(FaultPlan::crash(
-                0,
-                SimTime::from_secs(2.0),
-                SimDuration::from_secs(10.0),
-            ));
+        if i == 0 {
+            driver = driver.with_faults(plan0.clone());
         }
         fleet.push(driver, build(name), class, format!("{name}#{i}"));
     }
     fleet
+}
+
+fn mixed_fleet(threads: usize, crash_instance_0: bool) -> Fleet {
+    let plan = if crash_instance_0 {
+        FaultPlan::crash(0, SimTime::from_secs(2.0), SimDuration::from_secs(10.0))
+    } else {
+        FaultPlan::none()
+    };
+    mixed_fleet_with(threads, plan)
+}
+
+/// Instance 0's GPU 0 fail-stops permanently at t=2s: the member never
+/// revives, so its crash victims can only finish via fleet failover.
+fn perm_plan() -> FaultPlan {
+    FaultPlan::single(
+        FaultKind::GpuFailStopPermanent { gpu: 0 },
+        SimTime::from_secs(2.0),
+        SimTime::from_secs(1e9),
+    )
 }
 
 fn small_trace(seed: u64) -> Vec<RequestSpec> {
@@ -175,6 +192,31 @@ fn crash_reroutes_are_deterministic_across_threads() {
     );
     assert_eq!(one.finished() + one.shed(), one.total());
     assert_eq!(one.leaked_leases(), 0);
+}
+
+#[test]
+fn permanent_crash_closes_the_books_through_real_engines() {
+    let trace = small_trace(0xDEAD);
+    let one = mixed_fleet_with(1, perm_plan()).run(&trace, &mut PrefixAffinity::default());
+    let four = mixed_fleet_with(4, perm_plan()).run(&trace, &mut PrefixAffinity::default());
+    assert_eq!(one, four, "permanent-crash fleet diverged across threads");
+    assert_eq!(
+        one.finished() + one.shed(),
+        one.total(),
+        "a request fell between the crashed member and the fleet"
+    );
+    assert_eq!(one.leaked_leases(), 0, "crash drain leaked KV leases");
+    assert!(
+        one.health.ejections >= 1,
+        "a permanent fail-stop must eject the member: {:?}",
+        one.health
+    );
+    assert_eq!(
+        one.failover.drained,
+        one.failover.migrated + one.failover.gave_up,
+        "drained victims must all be placed or given up: {:?}",
+        one.failover
+    );
 }
 
 proptest! {
@@ -203,5 +245,37 @@ proptest! {
             &barriers,
         );
         prop_assert_eq!(&base, &chopped, "merge-barrier interleaving changed the fleet report");
+    }
+
+    /// With a mid-run permanent fail-stop the failover tier arms, the
+    /// ejected member drains, and victims re-enter elsewhere — yet the
+    /// books must still close (`finished + shed == total`), no lease may
+    /// leak, and the report must stay bit-identical across 1/2/4
+    /// threads and arbitrary merge-barrier interleavings.
+    #[test]
+    fn permanent_crash_failover_is_deterministic_and_leak_free(
+        threads in prop_oneof![Just(2usize), Just(4usize)],
+        barrier_ms in 150u64..1_500,
+        seed in 0u64..1_000,
+    ) {
+        let trace = small_trace(seed);
+        let base = mixed_fleet_with(1, perm_plan()).run(&trace, &mut PrefixAffinity::default());
+        prop_assert_eq!(
+            base.finished() + base.shed(),
+            base.total(),
+            "a request fell between the crashed member and the fleet: {:?}",
+            base.failover
+        );
+        prop_assert_eq!(base.leaked_leases(), 0, "crash drain leaked KV leases");
+        let threaded = mixed_fleet_with(threads, perm_plan()).run(&trace, &mut PrefixAffinity::default());
+        prop_assert_eq!(&base, &threaded, "thread count changed the failover run");
+        let step = SimDuration::from_secs(barrier_ms as f64 / 1e3);
+        let barriers: Vec<SimTime> = (1..=60).map(|k| SimTime::ZERO + step * k as f64).collect();
+        let chopped = mixed_fleet_with(threads, perm_plan()).run_opts(
+            &trace,
+            &mut PrefixAffinity::default(),
+            &barriers,
+        );
+        prop_assert_eq!(&base, &chopped, "barrier interleaving changed the failover run");
     }
 }
