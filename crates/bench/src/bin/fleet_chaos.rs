@@ -26,16 +26,27 @@
 //! the chaos headline point replays bit-identically across thread
 //! counts.
 //!
+//! A second, gray-failure grid runs latency/bandwidth-only fault
+//! windows (kernel latency spikes, HBM degrades — no GPU ever dies)
+//! with hedged dispatch off vs on: the latency-aware health tier trips
+//! the breaker on EWMA evidence, hedging races duplicates on healthy
+//! members, and the slow copies are cancelled into their own
+//! accounting class — the claim is recovered TTFT-weighted goodput at
+//! the same offered rate.
+//!
 //! `--smoke` runs one small crashing fleet and asserts that at least
 //! one victim migrates and finishes on a different instance — wired
-//! into `scripts/check.sh` as `fleet-chaos-smoke`.
+//! into `scripts/check.sh` as `fleet-chaos-smoke`. `--gray-smoke` does
+//! the same for the gray tier (`scripts/check.sh gray-smoke`).
 
 use bench::systems::{SystemKind, Testbed};
 use bench::{banner, save_record};
-use fleet::{Fleet, FleetReport, PathClass, PrefixAffinity, ReplicationConfig, RoutePolicy};
+use fleet::{
+    Fleet, FleetReport, HedgeConfig, PathClass, PrefixAffinity, ReplicationConfig, RoutePolicy,
+};
 use gpusim::GpuSim;
 use serving::{Driver, FaultKind, FaultPlan, WatchdogConfig};
-use simcore::{SimRng, SimTime};
+use simcore::{SimDuration, SimRng, SimTime};
 use workload::{generate_fleet_stream, RequestSpec, WorkloadKind};
 
 const SEED: u64 = 0xC4405;
@@ -156,7 +167,7 @@ fn crash_shed(r: &FleetReport) -> u64 {
 fn assert_invariants(label: &str, report: &FleetReport) {
     assert_eq!(report.leaked_leases(), 0, "{label}: fleet leaked KV leases");
     assert_eq!(
-        report.finished() + report.shed(),
+        report.finished() + report.shed() + report.cancelled(),
         report.total(),
         "{label}: fleet lost requests"
     );
@@ -259,9 +270,209 @@ fn smoke() {
     println!("fleet chaos smoke passed");
 }
 
+/// First gray window opening, seconds. Late enough that the fleet has
+/// finished-request latency evidence before the EWMAs start diverging.
+const GRAY_START_SECS: f64 = 15.0;
+/// Gray window length, seconds — spans the bulk of the arrival stream.
+const GRAY_LEN_SECS: f64 = 90.0;
+
+/// One gray-failure grid point: latency/bandwidth-only fault windows
+/// (no GPU ever dies, no severe flag fires) on a member subset, with
+/// hedged dispatch on or off.
+#[derive(Clone, Copy)]
+struct GrayPoint {
+    size: usize,
+    sessions: usize,
+    rate: f64,
+    /// Fraction of members struck by a gray window.
+    gray_fraction: f64,
+    hedging: bool,
+    threads: usize,
+}
+
+impl GrayPoint {
+    fn gray_members(&self) -> usize {
+        (self.size as f64 * self.gray_fraction).round() as usize
+    }
+
+    fn arm(&self) -> &'static str {
+        if self.hedging {
+            "gray+hedge"
+        } else {
+            "gray"
+        }
+    }
+}
+
+/// The gray fault mix: even-indexed victims take a kernel latency spike
+/// (driver stutter / thermal throttle), odd-indexed ones an HBM
+/// bandwidth degrade — both leave every GPU alive, which is exactly
+/// what makes them invisible to the fail-stop breaker path.
+fn gray_plan(i: usize) -> FaultPlan {
+    let kind = if i.is_multiple_of(2) {
+        FaultKind::KernelLatencySpike {
+            mult: 20.0,
+            duration: SimDuration::from_secs(GRAY_LEN_SECS),
+        }
+    } else {
+        FaultKind::HbmDegrade {
+            gpu: 0,
+            bw_fraction: 0.05,
+        }
+    };
+    FaultPlan::single(
+        kind,
+        SimTime::from_secs(GRAY_START_SECS),
+        SimTime::from_secs(GRAY_START_SECS + GRAY_LEN_SECS),
+    )
+}
+
+fn build_gray_fleet(tb: &Testbed, p: &GrayPoint) -> Fleet {
+    let mut fleet = Fleet::new().with_threads(p.threads);
+    if p.hedging {
+        fleet = fleet.with_hedging(HedgeConfig::default());
+    }
+    for i in 0..p.size {
+        let engine = tb
+            .build(SystemKind::MuxWise)
+            .expect("muxwise fits the testbed");
+        let mut driver = Driver::new(GpuSim::from_cluster(&tb.cluster), Vec::new(), tb.slo)
+            .with_watchdog(WatchdogConfig::default());
+        if i < p.gray_members() {
+            driver = driver.with_faults(gray_plan(i));
+        }
+        fleet.push(
+            driver,
+            engine,
+            PathClass::SingleNode,
+            format!("muxwise#{i}"),
+        );
+    }
+    fleet
+}
+
+fn run_gray_point(tb: &Testbed, p: &GrayPoint) -> FleetReport {
+    let mut rng = SimRng::seed_from(SEED);
+    let trace = generate_fleet_stream(
+        WorkloadKind::Conversation,
+        p.size,
+        p.sessions,
+        p.rate,
+        THINK_SECS,
+        &mut rng,
+    );
+    let mut policy: Box<dyn RoutePolicy> = Box::new(PrefixAffinity::default());
+    build_gray_fleet(tb, p).run(&trace, policy.as_mut())
+}
+
+/// TTFT-weighted goodput: tokens weighted by their instance's TTFT
+/// attainment over the fleet makespan. This is the number gray windows
+/// crater — a 6× kernel stutter rarely breaks a decode TBT budget, but
+/// it blows the prefill deadline on everything queued behind it.
+fn ttft_goodput(r: &FleetReport) -> f64 {
+    let span = r.makespan_secs();
+    if span <= 0.0 {
+        return 0.0;
+    }
+    r.reports
+        .iter()
+        .map(|m| m.total_tokens as f64 * m.ttft_attainment())
+        .sum::<f64>()
+        / span
+}
+
+fn gray_row_json(p: &GrayPoint, report: &FleetReport) -> serde_json::Value {
+    serde_json::json!({
+        "size": p.size, "gray_fraction": p.gray_fraction, "arm": p.arm(),
+        "gray_instances": p.gray_members(),
+        "hedging": p.hedging,
+        "rate_per_instance": p.rate,
+        "requests": report.total(), "finished": report.finished(),
+        "shed": report.shed(), "cancelled": report.cancelled(),
+        "tokens": report.total_tokens(),
+        "ttft_goodput_tokens_per_s": ttft_goodput(report),
+        "ttft_attainment": report.ttft_attainment(),
+        "goodput_tokens_per_s": report.goodput_tokens_per_sec(),
+        "gray_trips": report.health.gray_trips,
+        "gray_ejections": report.health.gray_ejections,
+        "hedges_launched": report.hedge.launched,
+        "hedge_wins": report.hedge.hedge_wins,
+        "primary_wins": report.hedge.primary_wins,
+        "cancelled_dropped": report.hedge.cancelled_dropped,
+        "cancelled_detached": report.hedge.cancelled_detached,
+        "suppressed_budget": report.hedge.suppressed_budget,
+        "suppressed_no_target": report.hedge.suppressed_no_target,
+        "budget_spent_hedge": report.overload.budget_spent_hedge,
+        "ingress_shed": report.overload.ingress_shed,
+        "makespan_s": report.makespan_secs(),
+        "threads": p.threads,
+    })
+}
+
+fn print_gray_row(p: &GrayPoint, report: &FleetReport) {
+    println!(
+        "{:>4} inst  gray {:>4.2}  {:<12}  trips {:>3}  hedges {:>4}  wins {:>4}  cancelled {:>4}  ttft-att {:>5.3}  ttft-goodput {:>9.0} tok/s",
+        p.size,
+        p.gray_fraction,
+        p.arm(),
+        report.health.gray_trips,
+        report.hedge.launched,
+        report.hedge.hedge_wins,
+        report.cancelled(),
+        report.ttft_attainment(),
+        ttft_goodput(report),
+    );
+}
+
+/// Sub-minute gray smoke (`scripts/check.sh gray-smoke`): a small fleet
+/// under latency-only faults must trip the gray breaker, launch at
+/// least one hedge, close its books with the cancelled class included,
+/// and replay identically across thread counts.
+fn gray_smoke() {
+    banner("Fleet gray-failure smoke");
+    let tb = Testbed::llama8b_a100();
+    let p = GrayPoint {
+        size: 6,
+        sessions: SESSIONS_PER_INSTANCE,
+        rate: 0.5,
+        gray_fraction: 0.5,
+        hedging: true,
+        threads: 1,
+    };
+    let one = run_gray_point(&tb, &p);
+    assert_invariants("gray-smoke", &one);
+    assert!(
+        one.health.gray_trips >= 1,
+        "gray windows must trip the breaker: {:?}",
+        one.health
+    );
+    assert!(
+        one.hedge.launched >= 1,
+        "a degraded member must draw at least one hedge: {:?}",
+        one.hedge
+    );
+    let two = run_gray_point(&tb, &GrayPoint { threads: 2, ..p });
+    assert_eq!(one, two, "gray smoke diverged across thread counts");
+    println!(
+        "{} requests, {} finished, {} shed, {} cancelled; {} gray trips, {} hedges ({} hedge wins) — ok",
+        one.total(),
+        one.finished(),
+        one.shed(),
+        one.cancelled(),
+        one.health.gray_trips,
+        one.hedge.launched,
+        one.hedge.hedge_wins,
+    );
+    println!("fleet gray smoke passed");
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--smoke") {
         smoke();
+        return;
+    }
+    if std::env::args().any(|a| a == "--gray-smoke") {
+        gray_smoke();
         return;
     }
     let tb = Testbed::llama8b_a100();
@@ -390,6 +601,82 @@ fn main() {
     assert!(identical, "chaos replay diverged across thread counts");
     println!("threads 1 vs 4: identical_results = {identical}");
 
+    // Gray-failure arms: latency/bandwidth-only faults, hedging off vs
+    // on at the same rate. The claim is tail-TTFT recovery — hedging
+    // must win back a measurable share of the TTFT-weighted goodput the
+    // gray windows cost, without losing a request.
+    banner("Gray failures — hedging off vs on (8 instances, half gray)");
+    let gray_base = GrayPoint {
+        size: 8,
+        sessions: SESSIONS_PER_INSTANCE,
+        rate: 1.5,
+        gray_fraction: 0.5,
+        hedging: false,
+        threads: bench::sweep::num_threads(),
+    };
+    let mut gray_rows = Vec::new();
+    let mut gray_goodputs = [0.0f64; 2];
+    for (k, hedging) in [false, true].into_iter().enumerate() {
+        let p = GrayPoint {
+            hedging,
+            ..gray_base
+        };
+        let report = run_gray_point(&tb, &p);
+        assert_invariants(&format!("gray/{}", p.arm()), &report);
+        assert!(
+            report.health.gray_trips >= 1,
+            "{}: gray windows must trip the breaker: {:?}",
+            p.arm(),
+            report.health
+        );
+        print_gray_row(&p, &report);
+        gray_goodputs[k] = ttft_goodput(&report);
+        if hedging {
+            assert!(
+                report.hedge.launched >= 1,
+                "gray+hedge must launch hedges: {:?}",
+                report.hedge
+            );
+        }
+        let row = gray_row_json(&p, &report);
+        save_record("fleet_chaos", &row);
+        gray_rows.push(row);
+    }
+    let gray_recovery = if gray_goodputs[0] > 0.0 {
+        gray_goodputs[1] / gray_goodputs[0]
+    } else {
+        1.0
+    };
+    println!(
+        "\ngray TTFT-weighted goodput: hedge-off {:.0} tok/s, hedge-on {:.0} tok/s — ratio {gray_recovery:.3}",
+        gray_goodputs[0], gray_goodputs[1]
+    );
+    assert!(
+        gray_recovery > 1.01,
+        "hedging must recover a measurable share of TTFT-weighted goodput under gray faults, got ratio {gray_recovery:.3}"
+    );
+
+    // Gray determinism: the hedged gray point replays bit-identically.
+    let gray_seq = run_gray_point(
+        &tb,
+        &GrayPoint {
+            hedging: true,
+            threads: 1,
+            ..gray_base
+        },
+    );
+    let gray_thr = run_gray_point(
+        &tb,
+        &GrayPoint {
+            hedging: true,
+            threads: 4,
+            ..gray_base
+        },
+    );
+    let gray_identical = gray_seq == gray_thr;
+    assert!(gray_identical, "gray replay diverged across thread counts");
+    println!("gray threads 1 vs 4: identical_results = {gray_identical}");
+
     let _ = std::fs::write(
         "BENCH_fleet_chaos.json",
         serde_json::to_string(&serde_json::json!({
@@ -400,7 +687,9 @@ fn main() {
             "sizes": sizes,
             "intensities": intensities,
             "worst_recovery_ratio_at_0_5": worst_ratio,
-            "identical_results": identical,
+            "identical_results": identical && gray_identical,
+            "gray_ttft_goodput_recovery": gray_recovery,
+            "gray_rows": gray_rows,
             "rows": rows,
         }))
         .unwrap_or_default(),
@@ -409,8 +698,10 @@ fn main() {
         "\nExpected shape: with failover off, every victim of a permanent fail-stop \
          is stranded and shed; arming failover finishes >=70% of them on surviving \
          members; adding R=2 hot-prefix replication turns part of those migrations \
-         into cached-prefill resumes instead of full re-prefills; crash-free points \
-         are byte-identical across all arms and replay is bit-identical across \
-         thread counts."
+         into cached-prefill resumes instead of full re-prefills; under gray \
+         (latency-only) faults, hedged dispatch wins back TTFT-weighted goodput by \
+         racing duplicates on healthy members and cancelling the slow copy; \
+         crash-free points are byte-identical across all arms and replay is \
+         bit-identical across thread counts."
     );
 }

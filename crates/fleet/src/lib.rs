@@ -45,16 +45,23 @@
 use simcore::{SimDuration, SimTime};
 
 use kvcache::Block;
-use serving::{Driver, Instance, Report, Scheduler};
+use serving::{CancelOutcome, Driver, Instance, Report, Scheduler};
 use workload::RequestSpec;
 
 mod failover;
 mod health;
+mod hedge;
 mod replicate;
 mod router;
 
 pub use failover::{pick_migration_target, FailoverConfig, FailoverEngine, FailoverStats};
-pub use health::{HealthConfig, HealthState, HealthStats, HealthTracker, Observation};
+pub use health::{
+    latency_exceeds, HealthConfig, HealthState, HealthStats, HealthTracker, LatencyEwma,
+    Observation,
+};
+pub use hedge::{
+    HedgeConfig, HedgeEngine, HedgePair, HedgeStats, OverloadStats, PairStatus, RetryBudget,
+};
 pub use replicate::{HotPrefix, ReplicationConfig, ReplicationStats, Replicator};
 pub use router::{Decision, InstanceSignals, PrefixAffinity, RoundRobin, RoutePolicy};
 
@@ -129,6 +136,12 @@ pub struct FleetReport {
     pub replication: ReplicationStats,
     /// Health-breaker counters (all-zero on crash-free runs).
     pub health: HealthStats,
+    /// Hedged-dispatch counters (all-zero unless hedging is enabled and
+    /// some member schedules a fault).
+    pub hedge: HedgeStats,
+    /// Overload-control counters: ingress sheds and retry-budget spend
+    /// (all-zero unless hedging is enabled and armed).
+    pub overload: OverloadStats,
 }
 
 impl FleetReport {
@@ -143,9 +156,18 @@ impl FleetReport {
         self.reports.iter().map(|r| r.shed).sum()
     }
 
-    /// Requests admitted fleet-wide.
+    /// Requests admitted fleet-wide. Hedge duplicates count (each copy
+    /// is real load on its member); arrivals shed at ingress do not —
+    /// they never reached an instance (see
+    /// [`OverloadStats::ingress_shed`]).
     pub fn total(&self) -> usize {
         self.reports.iter().map(|r| r.total).sum()
+    }
+
+    /// Requests cancelled fleet-wide (hedge losers). The fleet books
+    /// close as `finished + shed + cancelled == total`.
+    pub fn cancelled(&self) -> usize {
+        self.reports.iter().map(|r| r.cancelled).sum()
     }
 
     /// Output tokens produced fleet-wide.
@@ -257,6 +279,7 @@ pub struct Fleet {
     health: HealthConfig,
     failover: Option<FailoverConfig>,
     replication: Option<ReplicationConfig>,
+    hedging: Option<HedgeConfig>,
 }
 
 impl Default for Fleet {
@@ -275,6 +298,7 @@ impl Fleet {
             health: HealthConfig::default(),
             failover: Some(FailoverConfig::default()),
             replication: None,
+            hedging: None,
         }
     }
 
@@ -313,6 +337,16 @@ impl Fleet {
     /// this call.
     pub fn with_replication(mut self, cfg: ReplicationConfig) -> Fleet {
         self.replication = Some(cfg);
+        self
+    }
+
+    /// Enables hedged dispatch and retry-storm-safe overload control
+    /// (off by default). Like failover and replication, the tier only
+    /// arms when some member schedules a fault — crash-free and
+    /// gray-free runs are byte-identical with or without this call —
+    /// and its retry budget is shared with failover re-admissions.
+    pub fn with_hedging(mut self, cfg: HedgeConfig) -> Fleet {
+        self.hedging = Some(cfg);
         self
     }
 
@@ -424,6 +458,30 @@ impl Fleet {
             (Some(cfg), Some(_)) => Some(Replicator::new(cfg)),
             _ => None,
         };
+        // Gray tier: latency-aware health plus hedged dispatch. Armed on
+        // ANY scheduled fault — not just fail-stops — because gray
+        // failures (latency spikes, degraded links) never kill a GPU,
+        // yet are exactly what EWMA sampling and hedging exist to catch.
+        // Unarmed runs skip the sampling and the extra barrier source
+        // entirely, so fault-free replays stay byte-identical.
+        let gray_armed = self.members.iter().any(|m| m.instance.has_fault_plan());
+        let mut ewmas: Vec<LatencyEwma> = self
+            .members
+            .iter()
+            .map(|_| LatencyEwma::new(self.health.ewma_alpha))
+            .collect();
+        let mut exceeds: Vec<bool> = vec![false; self.members.len()];
+        let mut hedger: Option<HedgeEngine> = match (self.hedging, gray_armed) {
+            (Some(cfg), true) => Some(HedgeEngine::new(cfg)),
+            _ => None,
+        };
+        // The shared retry budget exists only alongside hedging: plain
+        // failover keeps its own per-victim retry counter, so PR-8-style
+        // crash runs without hedging are bit-for-bit unchanged.
+        let mut budget: Option<RetryBudget> = hedger.as_ref().map(|h| {
+            RetryBudget::new(h.config().budget_capacity, h.config().budget_refill_per_sec)
+        });
+        let mut overload = OverloadStats::default();
 
         let mut i = 0;
         let mut b = 0;
@@ -431,7 +489,12 @@ impl Fleet {
             let t_arrival = trace.get(i).map(|r| r.arrival);
             let t_extra = extra_barriers.get(b).copied();
             let t_fleet = engine.as_ref().and_then(FailoverEngine::next_wake);
-            let Some(t) = [t_arrival, t_extra, t_fleet].into_iter().flatten().min() else {
+            let t_hedge = hedger.as_ref().and_then(HedgeEngine::next_wake);
+            let Some(t) = [t_arrival, t_extra, t_fleet, t_hedge]
+                .into_iter()
+                .flatten()
+                .min()
+            else {
                 break;
             };
             self.step_all(t);
@@ -439,11 +502,25 @@ impl Fleet {
             // and patrol barriers — never at extras-only instants, so
             // injected no-op barriers stay strict no-ops.
             if t_arrival == Some(t) || t_fleet == Some(t) {
+                // Latency evidence is sampled only at these barriers:
+                // batch means over the finished-request deltas since the
+                // previous sample, folded into per-member EWMAs, then
+                // compared against the fleet median. Reading cumulative
+                // totals at settled instants keeps the fold independent
+                // of stepping order and thread count.
+                if gray_armed {
+                    for (idx, m) in self.members.iter().enumerate() {
+                        ewmas[idx].sample(m.instance.finished_latency());
+                    }
+                    exceeds = latency_exceeds(&ewmas, self.health.gray_exceed_ratio);
+                }
                 for (idx, m) in self.members.iter().enumerate() {
                     let obs = Observation {
                         dead_gpus: m.instance.dead_gpus(),
                         severe_fault: m.instance.in_severe_fault(),
                         permanent_crash: m.instance.permanently_crashed(),
+                        gray_fault: gray_armed && m.instance.in_gray_fault(),
+                        latency_exceed: exceeds[idx],
                     };
                     states[idx] = trackers[idx].observe(t, obs, &mut health_stats);
                 }
@@ -459,6 +536,20 @@ impl Fleet {
                         );
                         match pick_migration_target(&signals) {
                             Some(target) => {
+                                // Re-admissions draw on the shared retry
+                                // budget when one exists; a dry bucket
+                                // defers the victim to its next backoff
+                                // slot instead of piling retries onto an
+                                // already-stressed fleet.
+                                if let Some(bud) = budget.as_mut() {
+                                    bud.refill(t);
+                                    if !bud.try_spend() {
+                                        overload.failover_deferred += 1;
+                                        eng.no_target(victim, t);
+                                        continue;
+                                    }
+                                    overload.budget_spent_failover += 1;
+                                }
                                 let hit = signals[target].prefix_hit_tokens;
                                 let mut spec = victim.spec.clone();
                                 spec.arrival = t;
@@ -471,6 +562,15 @@ impl Fleet {
                     }
                 }
             }
+            // Hedge resolution: winners are read off the settled
+            // instances at arrival, patrol and hedge-check barriers, and
+            // losers cancelled in launch order. Extras-only instants are
+            // excluded for the same reason as above.
+            if let Some(h) = hedger.as_mut() {
+                if t_arrival == Some(t) || t_fleet == Some(t) || t_hedge == Some(t) {
+                    Self::resolve_hedges(&mut self.members, h, t);
+                }
+            }
             // Route every arrival at exactly `t`, trace order: signals
             // are re-read per request so back-to-back arrivals at one
             // instant see each other's queue-depth effect.
@@ -478,9 +578,20 @@ impl Fleet {
             while i < trace.len() && trace[i].arrival == t {
                 let spec = &trace[i];
                 self.collect_signals(spec, &mut signals, &mut blocks_by_size, &states);
+                // Ingress watermark: when every routable member is over
+                // the line, queueing one more first copy only deepens
+                // the overload — shed it here, before it costs anyone
+                // KV or a queue slot.
+                if let Some(h) = hedger.as_ref() {
+                    if h.ingress_overloaded(&signals) {
+                        overload.ingress_shed += 1;
+                        i += 1;
+                        continue;
+                    }
+                }
                 let decision = policy.pick(spec, &signals);
                 let m = &mut self.members[decision.instance];
-                m.instance.admit(spec.clone());
+                let primary_local = m.instance.admit(spec.clone());
                 routed[decision.instance] += 1;
                 routing.requests += 1;
                 routing.prefix_hit_tokens += signals[decision.instance].prefix_hit_tokens;
@@ -492,6 +603,41 @@ impl Fleet {
                 }
                 if let Some(rep) = replicator.as_mut() {
                     sweep_due |= rep.record(spec, &blocks_by_size, decision.instance);
+                }
+                // Hedged dispatch: a degraded or slow-estimating primary
+                // gets a speculative duplicate on the runner-up, budget
+                // and watermark permitting. The duplicate is ordinary
+                // admitted load on its member; the pair race is settled
+                // at the next resolution barrier.
+                if let Some(h) = hedger.as_mut() {
+                    if h.should_hedge(&signals[decision.instance], ewmas[decision.instance].ttft())
+                    {
+                        let bud = budget
+                            .as_mut()
+                            .expect("budget exists whenever hedging does");
+                        bud.refill(t);
+                        if bud.available() < h.config().min_budget_for_hedge {
+                            h.stats.suppressed_budget += 1;
+                        } else {
+                            match h.pick_runner_up(&signals, decision.instance) {
+                                Some(ru) => {
+                                    let spent = bud.try_spend();
+                                    debug_assert!(spent, "reserve check guarantees a token");
+                                    overload.budget_spent_hedge += 1;
+                                    let hedge_local = self.members[ru].instance.admit(spec.clone());
+                                    routed[ru] += 1;
+                                    h.launched(
+                                        HedgePair {
+                                            primary: (decision.instance, primary_local),
+                                            hedge: (ru, hedge_local),
+                                        },
+                                        t,
+                                    );
+                                }
+                                None => h.stats.suppressed_no_target += 1,
+                            }
+                        }
+                    }
                 }
                 i += 1;
             }
@@ -506,6 +652,12 @@ impl Fleet {
         }
         // Drain: every instance runs out its admitted work unbounded.
         self.step_all(SimTime::MAX);
+        // Settle the last hedge races on the fully drained instances:
+        // any pair with a finished copy retires here and its loser is
+        // cancelled, before the books close.
+        if let Some(h) = hedger.as_mut() {
+            Self::resolve_hedges(&mut self.members, h, SimTime::MAX);
+        }
 
         let failover_stats = match engine.as_mut() {
             Some(eng) => {
@@ -522,6 +674,13 @@ impl Fleet {
         for m in &mut self.members {
             m.instance.shed_unresolved();
         }
+        // Pairs whose copies both ended without a finish (crashed or
+        // shed on both members) are now fully resolved — retire them
+        // winnerless so no pair outlives the run.
+        if let Some(h) = hedger.as_mut() {
+            Self::resolve_hedges(&mut self.members, h, SimTime::MAX);
+            debug_assert!(h.pairs().is_empty(), "every hedge pair must retire");
+        }
 
         let mut report = FleetReport {
             labels: Vec::with_capacity(self.members.len()),
@@ -532,6 +691,8 @@ impl Fleet {
             failover: failover_stats,
             replication: replicator.map(|r| r.stats).unwrap_or_default(),
             health: health_stats,
+            hedge: hedger.as_ref().map(|h| h.stats).unwrap_or_default(),
+            overload,
         };
         for mut m in self.members {
             let (rep, events) = m.instance.finish(m.scheduler.as_mut());
@@ -642,6 +803,31 @@ impl Fleet {
                 }
             }
         }
+    }
+
+    /// Settles hedge races against the instances as stepped to the
+    /// current barrier: pair statuses are read first (immutably), then
+    /// [`HedgeEngine::resolve`] retires decided pairs in launch order,
+    /// cancelling each loser on its member via [`Instance::cancel`].
+    fn resolve_hedges(members: &mut [FleetMember], hedger: &mut HedgeEngine, now: SimTime) {
+        let status: Vec<PairStatus> = hedger
+            .pairs()
+            .iter()
+            .map(|p| PairStatus {
+                primary_finished: members[p.primary.0].instance.request_finished(p.primary.1),
+                hedge_finished: members[p.hedge.0].instance.request_finished(p.hedge.1),
+                primary_resolved: members[p.primary.0].instance.request_resolved(p.primary.1),
+                hedge_resolved: members[p.hedge.0].instance.request_resolved(p.hedge.1),
+            })
+            .collect();
+        hedger.resolve(now, &status, |m, id| {
+            let member = &mut members[m];
+            match member.instance.cancel(member.scheduler.as_mut(), id) {
+                CancelOutcome::Dropped => Some(true),
+                CancelOutcome::Detached => Some(false),
+                CancelOutcome::AlreadyResolved => None,
+            }
+        });
     }
 
     /// Advances every instance to the merge barrier at `t`, optionally
@@ -1121,8 +1307,8 @@ mod tests {
         assert_eq!(report.leaked_leases(), 0);
     }
 
-    /// Failover/replication config on a crash-free fleet is a strict
-    /// no-op: no member schedules a fail-stop, so neither tier arms and
+    /// Failover/replication/hedging config on a fault-free fleet is a
+    /// strict no-op: no member schedules any fault, so no tier arms and
     /// the report is bit-identical to the plain run.
     #[test]
     fn crash_free_runs_ignore_fault_tolerance_config() {
@@ -1132,10 +1318,116 @@ mod tests {
             .with_health(HealthConfig::default())
             .with_failover(FailoverConfig::default())
             .with_replication(ReplicationConfig::default())
+            .with_hedging(HedgeConfig::default())
             .run(&trace, &mut PrefixAffinity::default());
         assert_eq!(plain, configured);
         assert_eq!(plain.failover, FailoverStats::default());
         assert_eq!(plain.replication, ReplicationStats::default());
         assert_eq!(plain.health, HealthStats::default());
+        assert_eq!(plain.hedge, HedgeStats::default());
+        assert_eq!(plain.overload, OverloadStats::default());
+    }
+
+    /// One kernel-latency-spike gray window on member 0: every kernel
+    /// runs `mult`× slower for `len` seconds; no GPU dies, no severe
+    /// flag is raised.
+    fn gray_spike(start: f64, len: f64, mult: f64) -> FaultPlan {
+        FaultPlan::single(
+            FaultKind::KernelLatencySpike {
+                mult,
+                duration: SimDuration::from_secs(len),
+            },
+            SimTime::from_secs(start),
+            SimTime::from_secs(start + len),
+        )
+    }
+
+    fn gray_fleet(threads: usize) -> Fleet {
+        mini_fleet_faults(
+            2,
+            threads,
+            |i| {
+                if i == 0 {
+                    gray_spike(1.0, 60.0, 20.0)
+                } else {
+                    FaultPlan::none()
+                }
+            },
+            MiniEngine::slow,
+        )
+    }
+
+    fn gray_trace() -> Vec<RequestSpec> {
+        vec![
+            req(0, 0.5, 10, 2000), // member 0 (round robin)
+            req(1, 0.6, 11, 2000), // member 1, finishes fast
+            req(2, 2.5, 12, 2000), // member 0: degraded by now → hedged
+        ]
+    }
+
+    /// The gray tentpole end-to-end: the spike degrades member 0 via
+    /// its gray observation, the request routed there gets a hedge on
+    /// member 1, the hedge finishes first, and the slow primary copy is
+    /// cancelled — with the books still closing.
+    #[test]
+    fn hedging_rescues_a_request_from_a_gray_member() {
+        let report = gray_fleet(1)
+            .with_hedging(HedgeConfig::default())
+            .run(&gray_trace(), &mut RoundRobin::new());
+        assert!(report.health.gray_trips >= 1, "{:?}", report.health);
+        assert_eq!(report.hedge.launched, 1, "{:?}", report.hedge);
+        assert_eq!(report.hedge.hedge_wins, 1);
+        assert_eq!(report.hedge.cancelled_detached, 1);
+        assert_eq!(report.overload.budget_spent_hedge, 1);
+        assert_eq!(report.cancelled(), 1);
+        assert_eq!(report.total(), 4, "three arrivals plus one hedge copy");
+        assert_eq!(
+            report.finished() + report.shed() + report.cancelled(),
+            report.total()
+        );
+        assert_eq!(report.leaked_leases(), 0);
+    }
+
+    #[test]
+    fn hedged_runs_are_bit_identical_across_thread_counts() {
+        let one = gray_fleet(1)
+            .with_hedging(HedgeConfig::default())
+            .run(&gray_trace(), &mut RoundRobin::new());
+        let four = gray_fleet(4)
+            .with_hedging(HedgeConfig::default())
+            .run(&gray_trace(), &mut RoundRobin::new());
+        assert_eq!(one, four);
+    }
+
+    /// Hedging that is configured but can never fire (infinite delay
+    /// threshold, no degraded trigger) is dormant even when a gray
+    /// fault arms the tier: the barrier sequence and report match the
+    /// hedging-free run bit for bit.
+    #[test]
+    fn armed_but_untriggerable_hedging_is_dormant() {
+        let plain = gray_fleet(1).run(&gray_trace(), &mut RoundRobin::new());
+        let dormant = gray_fleet(1)
+            .with_hedging(HedgeConfig::untriggerable())
+            .run(&gray_trace(), &mut RoundRobin::new());
+        assert_eq!(plain, dormant);
+        assert_eq!(dormant.hedge, HedgeStats::default());
+        assert!(plain.health.gray_trips >= 1, "the gray signal still fires");
+    }
+
+    /// With the ingress watermark at zero, every arrival after the first
+    /// barrier sees all members "over the line" and sheds at ingress —
+    /// nothing is admitted, nothing leaks.
+    #[test]
+    fn ingress_watermark_sheds_first_copies() {
+        let report = gray_fleet(1)
+            .with_hedging(HedgeConfig {
+                ingress_watermark: 0,
+                ..HedgeConfig::default()
+            })
+            .run(&gray_trace(), &mut RoundRobin::new());
+        assert_eq!(report.overload.ingress_shed, 3, "{:?}", report.overload);
+        assert_eq!(report.total(), 0);
+        assert_eq!(report.hedge.launched, 0);
+        assert_eq!(report.leaked_leases(), 0);
     }
 }

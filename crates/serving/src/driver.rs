@@ -82,7 +82,8 @@ impl ServeCtx {
     /// Marks a request complete.
     pub fn finish_request(&mut self, id: ReqId) {
         let now = self.now;
-        self.metrics.finish(id, now);
+        let arrival = self.requests[id].arrival;
+        self.metrics.finish(id, now, arrival);
     }
 
     /// Whether a request has been marked complete.

@@ -184,7 +184,7 @@ mod tests {
         m.emit_tokens(0, SimTime::from_secs(1.0), 1);
         m.emit_tokens(0, SimTime::from_secs(1.0 + tbt), 1);
         if rate <= 8.0 {
-            m.finish(0, SimTime::from_secs(2.0));
+            m.finish(0, SimTime::from_secs(2.0), SimTime::ZERO);
         }
         m.report(
             &[SimTime::ZERO],

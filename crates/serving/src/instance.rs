@@ -95,8 +95,28 @@ pub struct Instance {
     completed_kernels: Vec<(KernelId, u64)>,
     completed_transfers: Vec<(TransferId, u64)>,
     /// Fault-window memo: boundaries where the active set is unchanged
-    /// skip the degradation rebuild (diff, don't rebuild).
-    fault_memo: Option<(Vec<FaultKind>, bool, f64)>,
+    /// skip the degradation rebuild (diff, don't rebuild). Fields:
+    /// `(active set, severe, gray, kv shrink)`.
+    fault_memo: Option<(Vec<FaultKind>, bool, bool, f64)>,
+    /// Whether a gray (non-severe, slow-but-alive) fault window is open:
+    /// kernel latency spike or HBM/NVLink bandwidth degrade.
+    gray_fault: bool,
+}
+
+/// What [`Instance::cancel`] did with the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The scheduler still held the request waiting and dropped it
+    /// (lease released through the engine's shed path); no further work
+    /// will run for it.
+    Dropped,
+    /// The request was already running and could not be revoked: it is
+    /// accounted cancelled now, and its in-flight work drains to a
+    /// completion whose tokens and latency are discarded.
+    Detached,
+    /// The request had already finished, been shed, or been cancelled —
+    /// nothing to do.
+    AlreadyResolved,
 }
 
 impl Instance {
@@ -150,6 +170,7 @@ impl Instance {
             completed_kernels: Vec::new(),
             completed_transfers: Vec::new(),
             fault_memo: None,
+            gray_fault: false,
         }
     }
 
@@ -171,6 +192,7 @@ impl Instance {
                 self.delivered[i]
                     && !self.ctx.metrics.is_finished(i)
                     && !self.ctx.metrics.is_shed(i)
+                    && !self.ctx.metrics.is_cancelled(i)
             })
             .count()
     }
@@ -190,6 +212,22 @@ impl Instance {
     /// open right now — the fleet health tracker's degradation signal.
     pub fn in_severe_fault(&self) -> bool {
         self.severe_fault
+    }
+
+    /// Whether a gray fault window — a `KernelLatencySpike` or an
+    /// HBM/NVLink bandwidth degrade — is open right now. Gray windows
+    /// leave every GPU alive and set no severe flag, so without this
+    /// signal the fleet breaker is blind to a member that is silently
+    /// dragging tail latency.
+    pub fn in_gray_fault(&self) -> bool {
+        self.gray_fault
+    }
+
+    /// Cumulative finished-request latency totals
+    /// ([`crate::MetricsRecorder::finished_latency`]): the fleet's
+    /// latency-aware health EWMA reads this at merge barriers.
+    pub fn finished_latency(&self) -> (u64, f64, u64, f64) {
+        self.ctx.metrics.finished_latency()
     }
 
     /// Whether this instance's plan schedules any fault at all. The
@@ -213,9 +251,44 @@ impl Instance {
         self.faults.permanent_dead_at(self.ctx.now)
     }
 
-    /// Whether `id` finished (fleet failover outcome accounting).
+    /// Whether `id` finished (fleet failover outcome accounting). A
+    /// cancelled hedge loser that drained to completion does not count —
+    /// its finish was discarded.
     pub fn request_finished(&self, id: ReqId) -> bool {
+        self.ctx.metrics.is_finished(id) && !self.ctx.metrics.is_cancelled(id)
+    }
+
+    /// Whether `id` has reached any terminal accounting class
+    /// (finished, shed, or cancelled) — the hedge engine's
+    /// pair-retirement predicate.
+    pub fn request_resolved(&self, id: ReqId) -> bool {
         self.ctx.metrics.is_finished(id)
+            || self.ctx.metrics.is_shed(id)
+            || self.ctx.metrics.is_cancelled(id)
+    }
+
+    /// Cancels a request: the losing copy of a hedged pair. If the
+    /// scheduler still holds it waiting, [`Scheduler::on_shed`] drops it
+    /// (releasing its KV lease through the engine's own shed path) and
+    /// the outcome is [`CancelOutcome::Dropped`]; if it is already
+    /// running, the copy is detached — accounted cancelled immediately,
+    /// while its in-flight work drains to a completion whose tokens and
+    /// latency are discarded ([`CancelOutcome::Detached`]). Either way
+    /// the request leaves the `finished`/`shed` books and joins the
+    /// `cancelled` class, so `finished + shed + cancelled == admitted`
+    /// still closes. Idempotent: a request that already resolved returns
+    /// [`CancelOutcome::AlreadyResolved`] untouched.
+    pub fn cancel(&mut self, scheduler: &mut dyn Scheduler, id: ReqId) -> CancelOutcome {
+        if self.request_resolved(id) {
+            return CancelOutcome::AlreadyResolved;
+        }
+        let dropped = scheduler.on_shed(id, &mut self.ctx);
+        self.ctx.metrics.mark_cancelled(id);
+        if dropped {
+            CancelOutcome::Dropped
+        } else {
+            CancelOutcome::Detached
+        }
     }
 
     /// Drains this instance's unresolved crash victims for migration to
@@ -231,7 +304,7 @@ impl Instance {
     pub fn drain_crash_victims(&mut self, include_reinjected: bool) -> Vec<MigratableVictim> {
         let mut out = Vec::new();
         for (id, crash_time) in self.recovery.drainable(include_reinjected) {
-            if self.ctx.metrics.is_finished(id) || self.ctx.metrics.is_shed(id) {
+            if self.request_resolved(id) {
                 continue;
             }
             let Some(spec) = self.ctx.requests.get(id) else {
@@ -260,7 +333,7 @@ impl Instance {
     pub fn shed_unresolved(&mut self) -> u64 {
         let mut closed = 0u64;
         for id in 0..self.ctx.requests.len() {
-            if !self.ctx.metrics.is_finished(id) && !self.ctx.metrics.is_shed(id) {
+            if !self.request_resolved(id) {
                 self.ctx.metrics.mark_shed(id);
                 closed += 1;
             }
@@ -395,6 +468,11 @@ impl Instance {
                 };
                 match ev {
                     Event::Arrival(id) => {
+                        // A hedge copy cancelled before delivery never
+                        // reaches the scheduler at all.
+                        if self.ctx.metrics.is_cancelled(id) {
+                            continue;
+                        }
                         if let Some(cfg) = self.watchdog {
                             // Bounded deferral: while a severe window is
                             // open, hold arrivals back with linear
@@ -430,6 +508,7 @@ impl Instance {
                         if !self.recovery.is_pending(id)
                             || self.ctx.metrics.is_finished(id)
                             || self.ctx.metrics.is_shed(id)
+                            || self.ctx.metrics.is_cancelled(id)
                         {
                             continue;
                         }
@@ -460,6 +539,7 @@ impl Instance {
                     let id = self.watchlist[i];
                     if self.ctx.metrics.is_finished(id)
                         || self.ctx.metrics.is_shed(id)
+                        || self.ctx.metrics.is_cancelled(id)
                         || self.ctx.metrics.tokens_emitted(id) > 0
                     {
                         self.watchlist.remove(i);
@@ -530,7 +610,7 @@ impl Instance {
         if self.has_crashes {
             let metrics = &self.ctx.metrics;
             let mut recovery = self.recovery;
-            recovery.finalize(|id| metrics.is_finished(id));
+            recovery.finalize(|id| metrics.is_finished(id) && !metrics.is_cancelled(id));
             report.recovery = recovery.stats;
         }
         // Recovery time: how long after the last fault window closed the
@@ -556,12 +636,13 @@ impl Instance {
     /// devices, shrink/restore KV pools, and notify the scheduler.
     fn apply_active_faults(&mut self, scheduler: &mut dyn Scheduler) {
         let active = self.faults.active_at(self.ctx.now);
-        if let Some((prev, severe, _)) = self.fault_memo.as_ref() {
+        if let Some((prev, severe, gray, _)) = self.fault_memo.as_ref() {
             if *prev == active {
                 // Same windows as the previous boundary: the degradation
                 // state, dead set, and pool capacities are already
                 // exactly what a rebuild would produce.
                 self.severe_fault = *severe;
+                self.gray_fault = *gray;
                 scheduler.on_fault(&active, &mut self.ctx);
                 return;
             }
@@ -569,6 +650,7 @@ impl Instance {
         let mut shrink: f64 = 0.0;
         self.ctx.gpu.clear_degradation();
         self.severe_fault = false;
+        self.gray_fault = false;
         for k in &active {
             match *k {
                 FaultKind::SmBrownout { gpu, fraction } => {
@@ -583,11 +665,13 @@ impl Instance {
                     self.ctx
                         .gpu
                         .apply_degradation(&HwDegradation::HbmBandwidth { gpu, bw_fraction });
+                    self.gray_fault = true;
                 }
                 FaultKind::NvlinkDegrade { link, bw_fraction } => {
                     self.ctx
                         .gpu
                         .apply_degradation(&HwDegradation::NvlinkBandwidth { link, bw_fraction });
+                    self.gray_fault = true;
                 }
                 FaultKind::KvShrink { fraction } => {
                     shrink = shrink.max(fraction);
@@ -599,6 +683,7 @@ impl Instance {
                     self.ctx
                         .gpu
                         .apply_degradation(&HwDegradation::KernelSlowdown { mult });
+                    self.gray_fault = true;
                 }
                 // Fail-stop is not a degradation: the device is killed /
                 // revived on the window edge below, outside the
@@ -608,7 +693,7 @@ impl Instance {
                 }
             }
         }
-        self.fault_memo = Some((active.clone(), self.severe_fault, shrink));
+        self.fault_memo = Some((active.clone(), self.severe_fault, self.gray_fault, shrink));
         // Fail-stop edges: compare the plan's dead set at this instant
         // against the previous boundary's. A 0→1 edge kills the device
         // and revokes everything the scheduler homed on it; a 1→0 edge

@@ -60,7 +60,7 @@ pub use faults::{FaultKind, FaultPlan, FaultWindow};
 pub use goodput::{
     assemble_goodput, find_goodput, find_goodput_faulty, FaultyGoodput, GoodputPoint, GoodputResult,
 };
-pub use instance::{Instance, StepOutcome};
+pub use instance::{CancelOutcome, Instance, StepOutcome};
 pub use lease::{KvLease, LeaseTable};
 pub use lifecycle::{EngineCounters, IllegalTransition, Lifecycle, Stage};
 pub use metrics::{MetricsRecorder, RecoveryStats, Report};

@@ -13,11 +13,22 @@ pub struct MetricsRecorder {
     total_tokens: u64,
     /// Requests intentionally shed by the driver's overload watchdog.
     shed: Vec<bool>,
+    /// Hedge losers cancelled by the fleet tier: a third accounting
+    /// class next to `finished` and `shed`, so duplicate copies never
+    /// inflate latency summaries or completion rates.
+    cancelled: Vec<bool>,
     /// TBT target tracked live for the recovery-time metric; `None`
     /// (the default) skips the tracking entirely.
     tbt_threshold: Option<f64>,
     /// Last instant a TBT sample exceeded the tracked threshold.
     last_tbt_violation_at: Option<SimTime>,
+    /// Cumulative finished-request latency totals (non-cancelled only):
+    /// the fleet's latency-aware health tracker reads these at merge
+    /// barriers and EWMA-folds the per-barrier deltas.
+    fin_count: u64,
+    fin_ttft_sum: f64,
+    fin_tbt_sum: f64,
+    fin_tbt_count: u64,
 }
 
 impl MetricsRecorder {
@@ -27,8 +38,13 @@ impl MetricsRecorder {
             runtimes: (0..n).map(|_| ReqRuntime::new()).collect(),
             total_tokens: 0,
             shed: vec![false; n],
+            cancelled: vec![false; n],
             tbt_threshold: None,
             last_tbt_violation_at: None,
+            fin_count: 0,
+            fin_ttft_sum: 0.0,
+            fin_tbt_sum: 0.0,
+            fin_tbt_count: 0,
         }
     }
 
@@ -38,6 +54,7 @@ impl MetricsRecorder {
     pub(crate) fn push_request(&mut self) {
         self.runtimes.push(ReqRuntime::new());
         self.shed.push(false);
+        self.cancelled.push(false);
     }
 
     /// Marks a request as shed by the overload watchdog. Shed requests
@@ -50,6 +67,19 @@ impl MetricsRecorder {
     /// Whether a request was shed.
     pub fn is_shed(&self, req: ReqId) -> bool {
         self.shed.get(req).copied().unwrap_or(false)
+    }
+
+    /// Marks a request as a cancelled hedge loser. Cancelled requests
+    /// form their own accounting class: excluded from latency summaries
+    /// and the finished count, but still admitted — the fleet books
+    /// close as `finished + shed + cancelled == admitted`.
+    pub fn mark_cancelled(&mut self, req: ReqId) {
+        self.cancelled[req] = true;
+    }
+
+    /// Whether a request was cancelled.
+    pub fn is_cancelled(&self, req: ReqId) -> bool {
+        self.cancelled.get(req).copied().unwrap_or(false)
     }
 
     /// Enables live tracking of TBT-threshold violations (used by the
@@ -93,9 +123,38 @@ impl MetricsRecorder {
         }
     }
 
-    /// Marks a request finished.
-    pub fn finish(&mut self, req: ReqId, now: SimTime) {
-        self.runtimes[req].finished_at = Some(now);
+    /// Marks a request finished. `arrival` is the request's arrival
+    /// time, used to fold its TTFT/TBT into the cumulative
+    /// finished-latency totals ([`MetricsRecorder::finished_latency`]).
+    /// Cancelled hedge losers that run to completion still get a
+    /// `finished_at` stamp (so in-flight accounting settles) but are
+    /// kept out of the latency totals — a duplicate's latency says
+    /// nothing about the member's health.
+    pub fn finish(&mut self, req: ReqId, now: SimTime, arrival: SimTime) {
+        let r = &mut self.runtimes[req];
+        r.finished_at = Some(now);
+        if self.cancelled.get(req).copied().unwrap_or(false) {
+            return;
+        }
+        self.fin_count += 1;
+        if let Some(first) = r.first_token_at {
+            self.fin_ttft_sum += (first - arrival).as_secs();
+        }
+        self.fin_tbt_count += r.tbt_samples.len() as u64;
+        self.fin_tbt_sum += r.tbt_samples.iter().sum::<f64>();
+    }
+
+    /// Cumulative finished-request latency totals, in finish order:
+    /// `(finished count, TTFT sum secs, TBT sample count, TBT sum secs)`.
+    /// Monotone over a run; the fleet health layer diffs consecutive
+    /// barrier readings to get deterministic per-window batch means.
+    pub fn finished_latency(&self) -> (u64, f64, u64, f64) {
+        (
+            self.fin_count,
+            self.fin_ttft_sum,
+            self.fin_tbt_count,
+            self.fin_tbt_sum,
+        )
     }
 
     /// Whether the request has finished.
@@ -123,7 +182,17 @@ impl MetricsRecorder {
         let mut e2e = Summary::new();
         let mut ttft_per_token = Summary::new();
         let mut finished = 0usize;
-        for (r, &arr) in self.runtimes.iter().zip(arrivals) {
+        let mut cancelled = 0usize;
+        let mut cancelled_tokens = 0u64;
+        for (i, (r, &arr)) in self.runtimes.iter().zip(arrivals).enumerate() {
+            if self.cancelled[i] {
+                // Cancelled hedge losers: their tokens are wasted
+                // compute, not served output, and their latencies are
+                // duplicates — keep both out of the summaries.
+                cancelled += 1;
+                cancelled_tokens += r.tokens_emitted;
+                continue;
+            }
             if let Some(first) = r.first_token_at {
                 let t = (first - arr).as_secs();
                 ttft.record(t);
@@ -154,8 +223,10 @@ impl MetricsRecorder {
             ttft_per_token,
             finished,
             total: self.runtimes.len(),
-            total_tokens: self.total_tokens,
+            total_tokens: self.total_tokens - cancelled_tokens,
             shed: self.shed.iter().filter(|&&s| s).count(),
+            cancelled,
+            cancelled_tokens,
             makespan,
             slo: *slo,
             utilization: 0.0,
@@ -178,7 +249,16 @@ impl MetricsRecorder {
     ) -> Report {
         let mut rep = self.report(arrivals, makespan, slo);
         let mut per_token = Summary::new();
-        for ((r, &arr), &inp) in self.runtimes.iter().zip(arrivals).zip(input_tokens) {
+        for (i, ((r, &arr), &inp)) in self
+            .runtimes
+            .iter()
+            .zip(arrivals)
+            .zip(input_tokens)
+            .enumerate()
+        {
+            if self.cancelled[i] {
+                continue;
+            }
             if let Some(first) = r.first_token_at {
                 per_token.record((first - arr).as_secs() / inp.max(1) as f64);
             }
@@ -241,6 +321,14 @@ pub struct Report {
     /// from the stability denominator (shedding is graceful degradation,
     /// not instability).
     pub shed: usize,
+    /// Hedge losers cancelled by the fleet tier (duplicate copies whose
+    /// twin won the race). Disjoint from `finished` and `shed`, so
+    /// `finished + shed + cancelled == total`.
+    pub cancelled: usize,
+    /// Output tokens emitted by cancelled copies before the cancel
+    /// landed — wasted compute charged to hedging, excluded from
+    /// `total_tokens`.
+    pub cancelled_tokens: u64,
     /// Simulated wall-clock span.
     pub makespan: SimDuration,
     /// The SLO the run was evaluated against.
@@ -276,11 +364,12 @@ impl Report {
         }
     }
 
-    /// Fraction of *served* requests that finished: shed requests are
-    /// removed from the denominator, so intentional load shedding under
-    /// a fault does not read as the engine falling behind.
+    /// Fraction of *served* requests that finished: shed and cancelled
+    /// requests are removed from the denominator, so intentional load
+    /// shedding under a fault (or a hedge loser losing its race) does
+    /// not read as the engine falling behind.
     pub fn served_completion_rate(&self) -> f64 {
-        let served = self.total.saturating_sub(self.shed);
+        let served = self.total.saturating_sub(self.shed + self.cancelled);
         if served == 0 {
             1.0
         } else {
@@ -338,6 +427,9 @@ impl Report {
             self.counters.drops,
             self.shed,
         );
+        if self.cancelled > 0 {
+            line.push_str(&format!(" cancelled={}", self.cancelled));
+        }
         if let Some(rec) = self.recovery_secs {
             line.push_str(&format!(" recovery={rec:.2}s"));
         }
@@ -360,7 +452,7 @@ mod tests {
         m.emit_tokens(0, SimTime::from_secs(1.5), 1); // TTFT 0.5
         m.emit_tokens(0, SimTime::from_secs(1.58), 1); // TBT 0.08
         m.emit_tokens(0, SimTime::from_secs(1.70), 1); // TBT 0.12
-        m.finish(0, SimTime::from_secs(1.70));
+        m.finish(0, SimTime::from_secs(1.70), arr[0]);
         let rep = m.report(&arr, SimDuration::from_secs(1.0), &slo());
         assert!((rep.ttft.mean() - 0.5).abs() < 1e-9);
         assert_eq!(rep.tbt.len(), 2);
@@ -419,7 +511,7 @@ mod tests {
     fn shed_requests_do_not_break_stability() {
         let mut m = MetricsRecorder::new(2);
         m.emit_tokens(0, SimTime::from_secs(0.5), 1);
-        m.finish(0, SimTime::from_secs(0.5));
+        m.finish(0, SimTime::from_secs(0.5), SimTime::ZERO);
         m.mark_shed(1);
         assert!(m.is_shed(1) && !m.is_shed(0));
         let rep = m.report(
@@ -444,6 +536,55 @@ mod tests {
         assert_eq!(m.last_tbt_violation(), None);
         m.emit_tokens(0, SimTime::from_secs(1.5), 1); // 450 ms gap
         assert_eq!(m.last_tbt_violation(), Some(SimTime::from_secs(1.5)));
+    }
+
+    #[test]
+    fn cancelled_requests_form_their_own_class() {
+        let mut m = MetricsRecorder::new(3);
+        // Request 0 finishes normally.
+        m.emit_tokens(0, SimTime::from_secs(0.5), 2);
+        m.finish(0, SimTime::from_secs(0.5), SimTime::ZERO);
+        // Request 1 is a hedge loser: cancelled mid-run, then its
+        // in-flight work drains to a (discarded) completion.
+        m.emit_tokens(1, SimTime::from_secs(9.0), 5);
+        m.mark_cancelled(1);
+        m.finish(1, SimTime::from_secs(9.5), SimTime::ZERO);
+        // Request 2 is shed.
+        m.mark_shed(2);
+        assert!(m.is_cancelled(1) && !m.is_cancelled(0));
+        let rep = m.report(&[SimTime::ZERO; 3], SimDuration::from_secs(10.0), &slo());
+        assert_eq!((rep.finished, rep.shed, rep.cancelled), (1, 1, 1));
+        assert_eq!(rep.finished + rep.shed + rep.cancelled, rep.total);
+        // The loser's tokens are wasted compute, not served output, and
+        // its (terrible) latency never reaches the summaries.
+        assert_eq!(rep.total_tokens, 2);
+        assert_eq!(rep.cancelled_tokens, 5);
+        assert_eq!(rep.ttft.len(), 1);
+        assert!(rep.ttft.max() < 1.0);
+        assert_eq!(rep.served_completion_rate(), 1.0);
+        assert!(rep.oneline().contains("cancelled=1"));
+    }
+
+    #[test]
+    fn finished_latency_totals_accumulate_in_finish_order() {
+        let mut m = MetricsRecorder::new(3);
+        m.emit_tokens(0, SimTime::from_secs(0.4), 1);
+        m.emit_tokens(0, SimTime::from_secs(0.6), 1); // TBT 0.2
+        m.finish(0, SimTime::from_secs(0.6), SimTime::ZERO);
+        let (n, ttft, tbt_n, tbt) = m.finished_latency();
+        assert_eq!((n, tbt_n), (1, 1));
+        assert!((ttft - 0.4).abs() < 1e-9 && (tbt - 0.2).abs() < 1e-9);
+        // A cancelled loser's completion must not move the totals.
+        m.emit_tokens(1, SimTime::from_secs(5.0), 1);
+        m.mark_cancelled(1);
+        m.finish(1, SimTime::from_secs(5.0), SimTime::ZERO);
+        assert_eq!(m.finished_latency(), (n, ttft, tbt_n, tbt));
+        // A second real finish folds in.
+        m.emit_tokens(2, SimTime::from_secs(1.0), 1);
+        m.finish(2, SimTime::from_secs(1.0), SimTime::from_secs(0.5));
+        let (n2, ttft2, _, _) = m.finished_latency();
+        assert_eq!(n2, 2);
+        assert!((ttft2 - (ttft + 0.5)).abs() < 1e-9);
     }
 
     #[test]

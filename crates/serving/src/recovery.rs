@@ -25,6 +25,14 @@
 //! instantiates it when [`crate::faults::FaultPlan::has_fail_stop`] is
 //! true, so healthy runs stay byte-identical to their pre-recovery
 //! golden reports.
+//!
+//! Interplay with hedged dispatch (`fleet::hedge`): a victim may also be
+//! a hedged copy that loses its race and gets
+//! [`Instance::cancel`](crate::instance::Instance::cancel)led while a
+//! requeue is pending. Cancelled victims are treated exactly like shed
+//! ones — pending requeues become no-ops, and the finalize pass never
+//! counts a cancelled copy's drained completion as `recovered` (the
+//! instance passes a cancel-aware finished predicate).
 
 use crate::metrics::RecoveryStats;
 use crate::request::ReqId;

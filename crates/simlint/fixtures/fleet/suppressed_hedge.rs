@@ -1,0 +1,16 @@
+//! R4 fixture, compliant (name ends in `hedge.rs`): a pair with no
+//! distinct loser is a book-keeping anomaly, not a reason to take the
+//! fleet down — the resolution path returns `None` and the caller
+//! counts it.
+
+fn loser_of(pair: &[(usize, u64)], winner: usize) -> Option<(usize, u64)> {
+    pair.iter().find(|&&(m, _)| m != winner).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        assert_eq!(super::loser_of(&[(0, 7), (1, 9)], 0).unwrap(), (1, 9));
+    }
+}

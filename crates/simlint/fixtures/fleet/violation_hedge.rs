@@ -1,0 +1,7 @@
+//! R4 fixture (name ends in `hedge.rs`, so the fleet fault-tolerance
+//! panic scope applies): unwrap on the pair-resolution path. This file
+//! is lint input only; it is never compiled.
+
+fn loser_of(pair: &[(usize, u64)], winner: usize) -> (usize, u64) {
+    *pair.iter().find(|&&(m, _)| m != winner).unwrap()
+}

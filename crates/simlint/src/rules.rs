@@ -61,9 +61,9 @@ const POOL_MUTATORS: [&str; 9] = [
 
 /// Files whose panics take down a whole serving run (R4): the driver's
 /// failure-handling files plus the fleet's fault-tolerance tier (a
-/// panic in health/failover/replication code kills every instance of
-/// the fleet at once).
-const PANIC_FREE_FILES: [&str; 7] = [
+/// panic in health/failover/replication/hedging code kills every
+/// instance of the fleet at once).
+const PANIC_FREE_FILES: [&str; 8] = [
     "driver.rs",
     "recovery.rs",
     "faults.rs",
@@ -71,6 +71,7 @@ const PANIC_FREE_FILES: [&str; 7] = [
     "health.rs",
     "failover.rs",
     "replicate.rs",
+    "hedge.rs",
 ];
 
 /// Iterator-producing methods whose order reflects hash layout.

@@ -10,6 +10,7 @@
 #   ./scripts/check.sh perf-smoke      # hot-path throughput gate (>20% regression fails)
 #   ./scripts/check.sh fleet-smoke     # fleet router tier: leaks, accounting, thread identity
 #   ./scripts/check.sh fleet-chaos-smoke  # fleet failover: a victim must migrate and finish elsewhere
+#   ./scripts/check.sh gray-smoke      # gray failures: hedged dispatch, cancelled books, thread identity
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,6 +39,11 @@ if [[ "${1:-}" == "fleet-chaos-smoke" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "gray-smoke" ]]; then
+    cargo run --release -q -p bench --bin fleet_chaos -- --gray-smoke
+    exit 0
+fi
+
 if [[ "${1:-}" == "chaos-smoke" ]]; then
     cargo run --release -q -p bench --bin chaos -- --smoke
     exit 0
@@ -57,3 +63,4 @@ cargo run --release -q -p bench --bin chaos -- --smoke
 cargo run --release -q -p bench --bin chaos -- --recovery-smoke
 cargo run --release -q -p bench --bin fleet -- --smoke
 cargo run --release -q -p bench --bin fleet_chaos -- --smoke
+cargo run --release -q -p bench --bin fleet_chaos -- --gray-smoke

@@ -10,7 +10,7 @@
 
 use baselines::{ChunkedPrefill, LoongServe, SglangPd, TemporalMux, WindServe};
 use estimator::SoloPredictor;
-use fleet::{Fleet, PathClass, PrefixAffinity, RoundRobin};
+use fleet::{Fleet, HedgeConfig, HedgeStats, PathClass, PrefixAffinity, RoundRobin};
 use gpusim::{ClusterSpec, GpuSim};
 use modelspec::{ModelSpec, Parallelism};
 use muxwise::{Estimators, MuxWise, MuxWiseConfig};
@@ -219,6 +219,44 @@ fn permanent_crash_closes_the_books_through_real_engines() {
     );
 }
 
+/// A gray window (kernel latency spike, no dead GPU) on instance 0 with
+/// hedging enabled, through real engines: the run must stay thread- and
+/// interleaving-deterministic and the books must close with the
+/// cancelled class included.
+#[test]
+fn gray_spike_hedging_closes_books_through_real_engines() {
+    let spike = || {
+        FaultPlan::single(
+            FaultKind::KernelLatencySpike {
+                mult: 8.0,
+                duration: SimDuration::from_secs(30.0),
+            },
+            SimTime::from_secs(1.0),
+            SimTime::from_secs(31.0),
+        )
+    };
+    let trace = small_trace(0x6EA7);
+    let run = |threads| {
+        mixed_fleet_with(threads, spike())
+            .with_hedging(HedgeConfig::default())
+            .run(&trace, &mut PrefixAffinity::default())
+    };
+    let one = run(1);
+    let four = run(4);
+    assert_eq!(one, four, "gray-spike hedging diverged across threads");
+    assert!(
+        one.health.gray_trips >= 1,
+        "the spike must trip the gray breaker: {:?}",
+        one.health
+    );
+    assert_eq!(
+        one.finished() + one.shed() + one.cancelled(),
+        one.total(),
+        "a request fell between the winner and the cancelled loser"
+    );
+    assert_eq!(one.leaked_leases(), 0, "hedge cancel leaked KV leases");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
@@ -245,6 +283,32 @@ proptest! {
             &barriers,
         );
         prop_assert_eq!(&base, &chopped, "merge-barrier interleaving changed the fleet report");
+    }
+
+    /// Hedging configured but untriggerable (infinite delay threshold,
+    /// no degraded trigger) on a fault-free fleet is a strict no-op:
+    /// the gray tier never arms, so the report matches the hedging-free
+    /// run byte for byte across thread counts and merge-barrier
+    /// interleavings.
+    #[test]
+    fn untriggerable_hedging_replays_identically(
+        threads in prop_oneof![Just(1usize), Just(2usize), Just(4usize)],
+        barrier_ms in 200u64..2_000,
+        seed in 0u64..1_000,
+    ) {
+        let trace = small_trace(seed);
+        let base = mixed_fleet(1, false).run(&trace, &mut PrefixAffinity::default());
+        let hedged = mixed_fleet(threads, false)
+            .with_hedging(HedgeConfig::untriggerable())
+            .run(&trace, &mut PrefixAffinity::default());
+        prop_assert_eq!(&base, &hedged, "dormant hedging changed the fleet report");
+        prop_assert_eq!(hedged.hedge, HedgeStats::default());
+        let step = SimDuration::from_secs(barrier_ms as f64 / 1e3);
+        let barriers: Vec<SimTime> = (1..=60).map(|k| SimTime::ZERO + step * k as f64).collect();
+        let chopped = mixed_fleet(threads, false)
+            .with_hedging(HedgeConfig::untriggerable())
+            .run_opts(&trace, &mut PrefixAffinity::default(), &barriers);
+        prop_assert_eq!(&base, &chopped, "dormant hedging changed the interleaved report");
     }
 
     /// With a mid-run permanent fail-stop the failover tier arms, the
