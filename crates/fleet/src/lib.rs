@@ -398,6 +398,7 @@ impl Fleet {
     /// instance at a barrier where nothing arrives is a pure no-op, so
     /// the report is bit-identical for any `extra_barriers` — the
     /// interleaving proptest exercises exactly this.
+    // simlint: barrier
     pub fn run_opts(
         mut self,
         trace: &[RequestSpec],

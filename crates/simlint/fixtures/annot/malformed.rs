@@ -8,7 +8,7 @@ fn missing_reason() {}
 // simlint: allow(R1) reason="   "
 fn blank_reason() {}
 
-// simlint: allow(R9) reason="no such rule"
+// simlint: allow(R12) reason="no such rule"
 fn unknown_rule() {}
 
 // simlint: allow(R1) reason="trailing junk" and then some

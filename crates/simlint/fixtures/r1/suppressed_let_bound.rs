@@ -1,0 +1,21 @@
+//! R1 alias form, suppressed: same shape as `violation_let_bound.rs`
+//! but the fold is order-insensitive and carries an audited
+//! annotation. Lint input only; never compiled.
+
+use std::collections::HashMap;
+
+pub struct FrontierS1 {
+    pending: HashMap<u64, u32>,
+}
+
+impl FrontierS1 {
+    pub fn sweep_s1(&self) -> u64 {
+        let snapshot = &self.pending;
+        let mut acc = 0u64;
+        // simlint: allow(R1) reason="integer sum; addition order cannot change the result"
+        for (_req, age) in snapshot {
+            acc += u64::from(*age);
+        }
+        acc
+    }
+}

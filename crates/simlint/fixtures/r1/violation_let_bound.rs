@@ -1,0 +1,21 @@
+//! R1 positive, alias form: the HashMap escapes through a `let`
+//! binding before iteration, so the iterating statement itself carries
+//! no `HashMap` token — only the alias chain knows the loop runs in
+//! hash order. Lint input only; never compiled.
+
+use std::collections::HashMap;
+
+pub struct FrontierV1 {
+    pending: HashMap<u64, u32>,
+}
+
+impl FrontierV1 {
+    pub fn sweep_v1(&self) -> u64 {
+        let snapshot = &self.pending;
+        let mut acc = 0u64;
+        for (_req, age) in snapshot {
+            acc += u64::from(*age);
+        }
+        acc
+    }
+}

@@ -1,0 +1,20 @@
+//! R7 suppressed: same taint path as `violation.rs`, but the
+//! entrypoint carries an audited `allow(R7)` (the mux is explicitly a
+//! reporting-only baseline, never replayed). Lint input only; never
+//! compiled.
+
+pub struct AuditedMux {
+    jitter_us: u64,
+}
+
+impl Scheduler for AuditedMux {
+    // simlint: allow(R7) reason="audited: reporting-only baseline, excluded from replay suite"
+    fn admit_s7(&mut self, now_us: u64) -> u64 {
+        now_us + wall_probe_s7()
+    }
+}
+
+fn wall_probe_s7() -> u64 {
+    let t = std::time::Instant::now(); // simlint: allow(R2) reason="audited: reporting-only timing"
+    t.elapsed().as_micros() as u64
+}

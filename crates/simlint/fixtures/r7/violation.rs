@@ -1,0 +1,24 @@
+//! R7 positive: the scheduler entrypoint never touches the clock
+//! itself — it reaches `Instant` through two hops of helpers, and the
+//! source even carries an audited `allow(R2)`. Per-file rules are
+//! silent; only the interprocedural taint walk sees the path. Lint
+//! input only; never compiled.
+
+pub struct VolatileMux {
+    jitter_us: u64,
+}
+
+impl Scheduler for VolatileMux {
+    fn admit_v7(&mut self, now_us: u64) -> u64 {
+        now_us + jitter_probe_v7()
+    }
+}
+
+fn jitter_probe_v7() -> u64 {
+    inner_probe_v7()
+}
+
+fn inner_probe_v7() -> u64 {
+    let t = std::time::Instant::now(); // simlint: allow(R2) reason="audited: reporting-only timing"
+    t.elapsed().as_micros() as u64
+}

@@ -1,0 +1,28 @@
+//! R8 clean: the same signal reads, but inside barrier scope. The
+//! `// simlint: barrier` marker seeds the set; `fold_signals_s8` joins
+//! through the call-graph closure (its only caller is barrier-scoped);
+//! the one genuinely mid-step read carries an audited `allow(R8)`.
+//! Lint input only; never compiled.
+
+struct Scope8 {
+    gray: bool,
+}
+
+impl Scope8 {
+    fn in_gray_fault(&self) -> bool {
+        self.gray
+    }
+}
+
+// simlint: barrier
+fn barrier_poll_s8(s: &Scope8) -> bool {
+    fold_signals_s8(s)
+}
+
+fn fold_signals_s8(s: &Scope8) -> bool {
+    s.in_gray_fault()
+}
+
+fn drain_probe_s8(s: &Scope8) -> bool {
+    s.in_gray_fault() // simlint: allow(R8) reason="audited: read feeds a log line, never a decision"
+}

@@ -1,0 +1,26 @@
+//! R8 positive: a fleet health signal sampled mid-step, outside any
+//! barrier-scoped function, plus an `Observation` built ad hoc. The
+//! accessor that *defines* the signal is exempt (it is the signal);
+//! the caller that samples it is not. Lint input only; never compiled.
+
+pub struct Observation {
+    pub dead_gpus: usize,
+}
+
+struct Probe8 {
+    gray: bool,
+}
+
+impl Probe8 {
+    fn in_gray_fault(&self) -> bool {
+        self.gray
+    }
+}
+
+fn midstep_poll_v8(p: &Probe8) -> bool {
+    p.in_gray_fault()
+}
+
+fn synthesize_v8() -> Observation {
+    Observation { dead_gpus: 0 }
+}

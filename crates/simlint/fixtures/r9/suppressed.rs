@@ -1,0 +1,15 @@
+//! R9 suppressed: every shared-state site carries an audited
+//! `allow(R9)` — the canonical shape for debug-only instrumentation
+//! that reviewers have confirmed never feeds replay state. Lint input
+//! only; never compiled.
+
+// simlint: allow(R9) reason="audited: debug trace cell, never read by engine code"
+use std::cell::RefCell;
+
+pub struct TraceS9 {
+    // simlint: allow(R9) reason="audited: debug trace cell, never read by engine code"
+    scratch: RefCell<u64>,
+}
+
+// simlint: allow(R9) reason="audited: crash-dump breadcrumb, written once on panic"
+static mut CRUMB_S9: u64 = 0;

@@ -1,0 +1,14 @@
+//! R9 positive: shared mutable state smuggled into a replay-critical
+//! crate — a lock, an atomic, and a `static mut`. Fleet members run on
+//! scoped threads *because* they share nothing; any of these turns
+//! thread scheduling into replay input. Lint input only; never
+//! compiled.
+
+use std::sync::Mutex;
+
+pub struct TallyV9 {
+    lock: Mutex<u64>,
+    hits: std::sync::atomic::AtomicUsize,
+}
+
+static mut LAST_V9: u64 = 0;

@@ -1,5 +1,5 @@
-//! Simlint directives: `// simlint: allow(<rules>) reason="…"` and
-//! `// simlint: hot`.
+//! Simlint directives: `// simlint: allow(<rules>) reason="…"`,
+//! `// simlint: hot`, and `// simlint: barrier`.
 //!
 //! Every exception to a rule must be written down where reviewers see
 //! it. The grammar is deliberately rigid — one annotation per comment,
@@ -17,6 +17,14 @@
 //! directly below it as hot-path code: rule R6 then forbids heap
 //! allocation (`Vec::new`, `vec!`, `.to_vec()`, `.clone()`,
 //! `.collect()`) inside that function's body.
+//!
+//! The third directive, `// simlint: barrier`, marks the function
+//! declared directly below it as barrier-scoped: it runs only at fleet
+//! merge barriers, so rule R8 permits it (and any function reachable
+//! exclusively from barrier-scoped functions) to read fleet health
+//! signals. Unlike `allow`, a barrier marker is not a suppression — it
+//! extends the checked scope, and mismarking a mid-step function is a
+//! reviewable claim sitting right next to the code.
 //!
 //! A comment that *starts* with `simlint:` but does not parse as either
 //! directive — unknown rule, missing or empty reason, stray trailing
@@ -55,13 +63,16 @@ pub enum Directive {
     Allow(Annotation),
     /// `hot`: the function below must not allocate (rule R6).
     Hot,
+    /// `barrier`: the function below is barrier-scoped and may read
+    /// fleet health signals (rule R8).
+    Barrier,
 }
 
 /// Why a `simlint:`-prefixed comment failed to parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AnnotError {
     /// The text after `simlint:` did not match `allow(<rules>) reason="…"`
-    /// or the bare `hot` marker.
+    /// or the bare `hot` / `barrier` markers.
     Malformed,
     /// A rule id inside `allow(…)` is not a known rule.
     UnknownRule(String),
@@ -74,8 +85,8 @@ impl AnnotError {
     pub fn message(&self) -> String {
         match self {
             AnnotError::Malformed => {
-                "malformed annotation; expected `simlint: allow(<rules>) reason=\"…\"` \
-                 or `simlint: hot`"
+                "malformed annotation; expected `simlint: allow(<rules>) reason=\"…\"`, \
+                 `simlint: hot`, or `simlint: barrier`"
                     .into()
             }
             AnnotError::UnknownRule(r) => format!("unknown rule `{r}` in allow(…)"),
@@ -97,15 +108,18 @@ pub fn parse_directive(text: &str) -> Option<Result<Directive, AnnotError>> {
     if rest.trim() == "hot" {
         return Some(Ok(Directive::Hot));
     }
+    if rest.trim() == "barrier" {
+        return Some(Ok(Directive::Barrier));
+    }
     Some(parse_body(rest).map(Directive::Allow))
 }
 
-/// [`parse_directive`] restricted to suppression annotations; `hot`
-/// markers read as non-simlint comments (`None`).
+/// [`parse_directive`] restricted to suppression annotations; `hot` and
+/// `barrier` markers read as non-simlint comments (`None`).
 pub fn parse_comment(text: &str) -> Option<Result<Annotation, AnnotError>> {
     match parse_directive(text)? {
         Ok(Directive::Allow(a)) => Some(Ok(a)),
-        Ok(Directive::Hot) => None,
+        Ok(Directive::Hot) | Ok(Directive::Barrier) => None,
         Err(e) => Some(Err(e)),
     }
 }
@@ -197,8 +211,8 @@ mod tests {
     #[test]
     fn unknown_rule_and_trailing_garbage_are_rejected() {
         assert_eq!(
-            parse_comment("simlint: allow(R9) reason=\"x\"").unwrap(),
-            Err(AnnotError::UnknownRule("R9".into()))
+            parse_comment("simlint: allow(R12) reason=\"x\"").unwrap(),
+            Err(AnnotError::UnknownRule("R12".into()))
         );
         assert_eq!(
             parse_comment("simlint: allow(R1) reason=\"x\" plus junk").unwrap(),
@@ -228,6 +242,27 @@ mod tests {
         );
         // The allow-only view treats markers as non-annotations.
         assert_eq!(parse_comment("simlint: hot"), None);
+    }
+
+    #[test]
+    fn barrier_marker_parses_and_rejects_trailing_text() {
+        assert_eq!(
+            parse_directive(" simlint: barrier"),
+            Some(Ok(Directive::Barrier))
+        );
+        assert_eq!(
+            parse_directive("simlint:   barrier  "),
+            Some(Ok(Directive::Barrier))
+        );
+        assert_eq!(
+            parse_directive("simlint: barrier scope"),
+            Some(Err(AnnotError::Malformed))
+        );
+        assert_eq!(
+            parse_directive("simlint: barriers"),
+            Some(Err(AnnotError::Malformed))
+        );
+        assert_eq!(parse_comment("simlint: barrier"), None);
     }
 
     #[test]

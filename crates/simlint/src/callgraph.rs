@@ -1,0 +1,307 @@
+//! Conservative workspace call graph over the symbol index.
+//!
+//! With no type information, call resolution is by name, biased toward
+//! over-approximation — a spurious edge can at worst demand an audited
+//! annotation, while a missed edge would silently unprotect a replay
+//! invariant. The resolution rules:
+//!
+//! * `name(…)` (no receiver) resolves to every *free* fn named `name`.
+//! * `recv.name(…)` resolves to every *method* named `name`, on any
+//!   type — receivers are untyped, so all candidates stay live.
+//! * `Ty::name(…)` resolves to methods named `name` on `Ty`; if no
+//!   such method is indexed, it falls back to the union of all free
+//!   fns and methods named `name` (the path may be a re-export or a
+//!   trait fn called through the type).
+//!
+//! Functions inside `#[cfg(test)]` spans are excluded as callers *and*
+//! as callees: test-only edges must not taint production entrypoints,
+//! and the test fns themselves are outside the replay perimeter.
+//!
+//! Call sites are attributed to the innermost containing fn, so a
+//! closure inside `Fleet::run_opts` counts as `run_opts` calling its
+//! contents — exactly the attribution the barrier rule needs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{TokKind, Token};
+use crate::symbols::SymbolIndex;
+
+/// Rust keywords (and call-position words) that can precede `(` without
+/// being a call: `if x …(`, `match (…)`, `return (…)`, etc.
+const NON_CALL_WORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "as",
+    "let", "mut", "ref", "move", "fn", "impl", "trait", "struct", "enum", "union", "where", "pub",
+    "use", "mod", "unsafe", "dyn", "box", "async", "await", "static", "const", "type", "true",
+    "false",
+];
+
+/// The workspace call graph: forward and reverse adjacency between
+/// indices into [`SymbolIndex::fns`].
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `calls[f]` = deduped `(callee, line)` pairs, in source order of
+    /// first occurrence.
+    pub calls: Vec<Vec<(usize, u32)>>,
+    /// `callers[f]` = sorted, deduped callers of `f`.
+    pub callers: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from the index plus each unit's token stream
+    /// (same order the index was scanned in).
+    pub fn build(idx: &SymbolIndex, unit_tokens: &[&[Token]]) -> CallGraph {
+        let n = idx.fns.len();
+        // Candidate tables over non-test fns only.
+        let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut qualified: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (fi, f) in idx.fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            match &f.self_ty {
+                None => free.entry(f.name.as_str()).or_default().push(fi),
+                Some(ty) => {
+                    methods.entry(f.name.as_str()).or_default().push(fi);
+                    qualified
+                        .entry((ty.as_str(), f.name.as_str()))
+                        .or_default()
+                        .push(fi);
+                }
+            }
+        }
+
+        let mut calls: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+        let mut seen: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        for (u, tokens) in unit_tokens.iter().enumerate() {
+            for i in 0..tokens.len() {
+                let TokKind::Ident(name) = &tokens[i].kind else {
+                    continue;
+                };
+                if tokens.get(i + 1).map(|t| &t.kind) != Some(&TokKind::Punct('(')) {
+                    continue;
+                }
+                if NON_CALL_WORDS.contains(&name.as_str()) {
+                    continue;
+                }
+                // `fn name(` is a declaration, not a call.
+                if i > 0 && tokens[i - 1].kind == TokKind::Ident("fn".into()) {
+                    continue;
+                }
+                let Some(caller) = idx.innermost_at(u, i) else {
+                    continue;
+                };
+                if idx.fns[caller].in_test {
+                    continue;
+                }
+                let is_method = i > 0 && tokens[i - 1].kind == TokKind::Punct('.');
+                let qual_ty = if i >= 3
+                    && tokens[i - 1].kind == TokKind::Punct(':')
+                    && tokens[i - 2].kind == TokKind::Punct(':')
+                {
+                    match &tokens[i - 3].kind {
+                        TokKind::Ident(t) => Some(t.as_str()),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                let empty: Vec<usize> = Vec::new();
+                let targets: &Vec<usize> = if is_method {
+                    methods.get(name.as_str()).unwrap_or(&empty)
+                } else if let Some(ty) = qual_ty {
+                    match qualified.get(&(ty, name.as_str())) {
+                        Some(v) => v,
+                        // Fall back to anything by this name: the path
+                        // head may be a module or re-export.
+                        None => {
+                            for &t in free
+                                .get(name.as_str())
+                                .unwrap_or(&empty)
+                                .iter()
+                                .chain(methods.get(name.as_str()).unwrap_or(&empty))
+                            {
+                                if t != caller && seen[caller].insert(t) {
+                                    calls[caller].push((t, tokens[i].line));
+                                }
+                            }
+                            continue;
+                        }
+                    }
+                } else {
+                    free.get(name.as_str()).unwrap_or(&empty)
+                };
+                for &t in targets {
+                    if t != caller && seen[caller].insert(t) {
+                        calls[caller].push((t, tokens[i].line));
+                    }
+                }
+            }
+        }
+
+        let mut callers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (c, edges) in calls.iter().enumerate() {
+            for &(t, _) in edges {
+                callers[t].push(c);
+            }
+        }
+        for v in &mut callers {
+            v.sort_unstable();
+            v.dedup();
+        }
+        CallGraph { calls, callers }
+    }
+
+    /// Backward reachability: every fn that can transitively reach one
+    /// of `seeds` through the call graph (seeds included).
+    pub fn reaches(&self, seeds: &[usize]) -> Vec<bool> {
+        let mut hit = vec![false; self.callers.len()];
+        let mut work: Vec<usize> = Vec::new();
+        for &s in seeds {
+            if !hit[s] {
+                hit[s] = true;
+                work.push(s);
+            }
+        }
+        while let Some(f) = work.pop() {
+            for &c in &self.callers[f] {
+                if !hit[c] {
+                    hit[c] = true;
+                    work.push(c);
+                }
+            }
+        }
+        hit
+    }
+
+    /// Shortest forward path (BFS, ties by lowest fn index) from `from`
+    /// to any fn in `targets`, restricted to fns where `within` is
+    /// true. Returns the fn-index path including both endpoints.
+    pub fn path_to(&self, from: usize, targets: &[bool], within: &[bool]) -> Vec<usize> {
+        if targets[from] {
+            return vec![from];
+        }
+        let mut parent: Vec<Option<usize>> = vec![None; self.calls.len()];
+        let mut queue = std::collections::VecDeque::new();
+        parent[from] = Some(from);
+        queue.push_back(from);
+        while let Some(f) = queue.pop_front() {
+            let mut next: Vec<usize> = self.calls[f].iter().map(|&(t, _)| t).collect();
+            next.sort_unstable();
+            for t in next {
+                if parent[t].is_some() || !within[t] {
+                    continue;
+                }
+                parent[t] = Some(f);
+                if targets[t] {
+                    let mut path = vec![t];
+                    let mut cur = t;
+                    while cur != from {
+                        cur = parent[cur].unwrap_or(from);
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return path;
+                }
+                queue.push_back(t);
+            }
+        }
+        vec![from]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::symbols::SymbolIndex;
+
+    fn graph_of(srcs: &[(&str, &[(u32, u32)])]) -> (SymbolIndex, CallGraph) {
+        let lexed: Vec<_> = srcs.iter().map(|(s, _)| lex(s)).collect();
+        let mut idx = SymbolIndex::default();
+        for (u, (_, spans)) in srcs.iter().enumerate() {
+            idx.scan_unit(u, &lexed[u].tokens, spans);
+        }
+        let toks: Vec<&[Token]> = lexed.iter().map(|l| l.tokens.as_slice()).collect();
+        let g = CallGraph::build(&idx, &toks);
+        (idx, g)
+    }
+
+    fn fn_idx(idx: &SymbolIndex, name: &str) -> usize {
+        idx.fns.iter().position(|f| f.name == name).unwrap()
+    }
+
+    #[test]
+    fn free_method_and_qualified_calls_resolve() {
+        let src = "fn leaf() {}\n\
+                   impl Widget { fn leaf(&self) {} fn spin(&self) { self.leaf(); } }\n\
+                   fn top(w: &Widget) { leaf(); w.spin(); Widget::leaf(&w); }\n";
+        let (idx, g) = graph_of(&[(src, &[])]);
+        let top = fn_idx(&idx, "top");
+        let callees: Vec<&str> = g.calls[top]
+            .iter()
+            .map(|&(t, _)| idx.fns[t].name.as_str())
+            .collect();
+        // `leaf()` → free leaf; `w.spin()` → method spin;
+        // `Widget::leaf` → the Widget method only (qualified hit).
+        assert_eq!(callees, vec!["leaf", "spin", "leaf"]);
+        let free_leaf = fn_idx(&idx, "leaf");
+        assert!(g.calls[top].iter().any(|&(t, _)| t == free_leaf));
+    }
+
+    #[test]
+    fn method_calls_fan_out_to_all_same_named_methods() {
+        let src = "impl A { fn probe(&self) {} }\n\
+                   impl B { fn probe(&self) {} }\n\
+                   fn go(a: &A) { a.probe(); }\n";
+        let (idx, g) = graph_of(&[(src, &[])]);
+        let go = fn_idx(&idx, "go");
+        // Untyped receiver: both A::probe and B::probe are candidates.
+        assert_eq!(g.calls[go].len(), 2);
+    }
+
+    #[test]
+    fn taint_does_not_propagate_through_cfg_test_edges() {
+        // `timer` is entropy-ish; only the test fn calls it. The
+        // production entrypoint calls a clean helper. Taint from
+        // `timer` must reach neither `clean` nor `entry`.
+        let src = "fn timer() {}\n\
+                   fn clean() {}\n\
+                   fn entry() { clean(); }\n\
+                   fn bench_it() { timer(); entry(); }\n";
+        // Line 4 (`bench_it`) is inside a cfg(test) span.
+        let (idx, g) = graph_of(&[(src, &[(4, 4)])]);
+        let tainted = g.reaches(&[fn_idx(&idx, "timer")]);
+        assert!(tainted[fn_idx(&idx, "timer")]);
+        assert!(!tainted[fn_idx(&idx, "bench_it")], "test fn is no caller");
+        assert!(!tainted[fn_idx(&idx, "entry")]);
+        assert!(!tainted[fn_idx(&idx, "clean")]);
+        // And test fns are not callees either: entry() from bench_it
+        // created no edge.
+        assert!(g.callers[fn_idx(&idx, "entry")].is_empty());
+    }
+
+    #[test]
+    fn backward_taint_crosses_units() {
+        let a = "pub fn stamp() { helper_clock(); }\nfn helper_clock() {}\n";
+        let b = "impl Driver { fn run_to_end(&mut self) { stamp(); } }\n";
+        let (idx, g) = graph_of(&[(a, &[]), (b, &[])]);
+        let tainted = g.reaches(&[fn_idx(&idx, "helper_clock")]);
+        assert!(tainted[fn_idx(&idx, "stamp")]);
+        assert!(tainted[fn_idx(&idx, "run_to_end")]);
+        let within = vec![true; idx.fns.len()];
+        let mut targets = vec![false; idx.fns.len()];
+        targets[fn_idx(&idx, "helper_clock")] = true;
+        let path = g.path_to(fn_idx(&idx, "run_to_end"), &targets, &within);
+        let names: Vec<&str> = path.iter().map(|&f| idx.fns[f].name.as_str()).collect();
+        assert_eq!(names, vec!["run_to_end", "stamp", "helper_clock"]);
+    }
+
+    #[test]
+    fn declarations_and_keywords_are_not_call_sites() {
+        let src = "fn maker() { if (1 > 0) { let x = (2, 3); } }\nfn other() {}\n";
+        let (idx, g) = graph_of(&[(src, &[])]);
+        assert!(g.calls[fn_idx(&idx, "maker")].is_empty());
+        assert!(g.callers[fn_idx(&idx, "other")].is_empty());
+    }
+}

@@ -12,13 +12,17 @@
 //! at `check.sh` time instead.
 //!
 //! The tool is self-contained: a lightweight lexer ([`lexer`]) feeds a
-//! per-file token-pattern rule engine ([`rules`]) — no external parser,
-//! no type information. That makes the checks heuristic by design: they
-//! track `HashMap`/`HashSet`/`KvPool`-typed *bindings* declared in the
-//! same file (fields, lets, params, struct-literal inits) and flag
-//! suspicious operations on them. False positives are expected to be
-//! rare and are silenced with an audited inline annotation
-//! ([`annot`]):
+//! token-pattern rule engine ([`rules`]) — no external parser, no type
+//! information. Rules R1–R6 and R9 are per-file: they track
+//! `HashMap`/`HashSet`/`KvPool`-typed *bindings* declared in the same
+//! file (fields, lets, params, struct-literal inits) and flag
+//! suspicious operations on them. Rules R7 and R8 are
+//! *interprocedural*: a workspace symbol index ([`symbols`]) and a
+//! conservative call graph ([`callgraph`]) let them reason about what a
+//! function can transitively reach, so an entropy source hidden two
+//! helpers deep still taints the engine entrypoint that calls it.
+//! False positives are expected to be rare and are silenced with an
+//! audited inline annotation ([`annot`]):
 //!
 //! ```text
 //! // simlint: allow(R1) reason="order-insensitive counter fold"
@@ -28,26 +32,40 @@
 //!
 //! | id | name | scope | checks |
 //! |----|------|-------|--------|
-//! | R1 | unordered-iter | `gpusim`, `serving`, `baselines`, `core` (non-test) | `.iter()/.keys()/.values()/.drain()/…` or `for … in &m` on a `HashMap`/`HashSet` binding, unless the same statement chain sorts or collects into an ordered container |
+//! | R1 | unordered-iter | `gpusim`, `serving`, `baselines`, `core`, `fleet` (non-test) | `.iter()/.keys()/.values()/.drain()/…` or `for … in &m` on a `HashMap`/`HashSet` binding (including aliases bound through an intermediate `let`), unless the same statement chain sorts or collects into an ordered container |
 //! | R2 | entropy | everywhere except `simcore/src/rng.rs`, `bench/src/sweep.rs` | `Instant`, `SystemTime`, `thread_rng`, `rand::` |
 //! | R3 | lease-hygiene | everywhere except `crates/kvcache/`, `serving/src/lease.rs` (non-test) | `KvPool::new` or alloc/free/lock calls on a `KvPool` binding |
 //! | R4 | panic | `driver.rs`, `recovery.rs`, `faults.rs` (non-test) | `.unwrap()` / `.expect(…)` |
 //! | R5 | float-order | everywhere (non-test) | `.sum::<f64>()` / `.fold(…)` fed by an unordered iterator |
 //! | R6 | alloc-in-hot-loop | functions marked `// simlint: hot` | `Vec::new`, `vec!`, `.to_vec()`, `.clone()`, `.collect()` — per-event heap traffic on the simulator's hot path; reuse caller-owned scratch instead |
+//! | R7 | entropy-taint | replay-critical entrypoints, workspace-wide | entrypoint (`Driver::run*`, `Instance::step_until`, `Fleet::step_all`, `Scheduler` impl methods) transitively reaches a function containing an R2 entropy source — even an allowlisted one |
+//! | R8 | barrier-discipline | `gpusim`, `serving`, `baselines`, `core`, `fleet` (non-test) | fleet health signal reads (`dead_gpus`, `in_gray_fault`, `finished_latency`, `latency_exceeds`, `Observation` construction) outside barrier-scoped functions (`fleet::{health,failover,hedge,replicate}` plus `// simlint: barrier`) |
+//! | R9 | shared-state | `gpusim`, `serving`, `baselines`, `core`, `fleet` (non-test) | `static mut`, `Mutex`, `RwLock`, `RefCell`, `Cell`, `OnceLock`, atomics — cross-thread shared mutable state that `fleet::step_all`'s scoped-thread determinism assumes away |
 //!
 //! Files whose path does not identify a workspace crate (fixtures,
 //! ad-hoc runs) get the conservative treatment: every rule active.
 //!
+//! # Workspace semantics
+//!
+//! Because R7/R8 need the call graph, the unit of linting is a *set* of
+//! files ([`lint_files`]), not a single file. The binary and
+//! [`lint_workspace`] lint everything they are given as one workspace;
+//! [`lint_source`] is the single-file special case (interprocedural
+//! rules then only see that file's functions).
+//!
 //! # Exit status
 //!
 //! The `simlint` binary prints `file:line: rule-id: message` per finding
-//! and exits non-zero if any finding is unsuppressed — including
-//! malformed annotations, which are findings themselves (`annot`), so a
-//! typo in an `allow(…)` can never silently disable a check.
+//! (or a JSON array under `--json`) and exits non-zero if any finding is
+//! unsuppressed — including malformed annotations, which are findings
+//! themselves (`annot`), so a typo in an `allow(…)` can never silently
+//! disable a check.
 
 pub mod annot;
+pub mod callgraph;
 pub mod lexer;
 pub mod rules;
+pub mod symbols;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -67,19 +85,28 @@ pub enum Rule {
     FloatOrder,
     /// R6: heap allocation inside a `// simlint: hot` function.
     AllocInHot,
+    /// R7: replay-critical entrypoint transitively reaches entropy.
+    EntropyTaint,
+    /// R8: fleet health signal read outside barrier scope.
+    BarrierDiscipline,
+    /// R9: shared mutable state in a replay-critical crate.
+    SharedState,
     /// A `simlint:` comment that does not parse; not suppressible.
     Annotation,
 }
 
 impl Rule {
     /// All suppressible rules, in id order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 9] = [
         Rule::UnorderedIter,
         Rule::Entropy,
         Rule::LeaseHygiene,
         Rule::Panic,
         Rule::FloatOrder,
         Rule::AllocInHot,
+        Rule::EntropyTaint,
+        Rule::BarrierDiscipline,
+        Rule::SharedState,
     ];
 
     /// Full id used in output lines, e.g. `R1-unordered-iter`.
@@ -91,6 +118,9 @@ impl Rule {
             Rule::Panic => "R4-panic",
             Rule::FloatOrder => "R5-float-order",
             Rule::AllocInHot => "R6-alloc-in-hot-loop",
+            Rule::EntropyTaint => "R7-entropy-taint",
+            Rule::BarrierDiscipline => "R8-barrier-discipline",
+            Rule::SharedState => "R9-shared-state",
             Rule::Annotation => "annot",
         }
     }
@@ -104,6 +134,9 @@ impl Rule {
             Rule::Panic => "R4",
             Rule::FloatOrder => "R5",
             Rule::AllocInHot => "R6",
+            Rule::EntropyTaint => "R7",
+            Rule::BarrierDiscipline => "R8",
+            Rule::SharedState => "R9",
             Rule::Annotation => "annot",
         }
     }
@@ -145,12 +178,35 @@ impl fmt::Display for Finding {
     }
 }
 
+/// One source file handed to [`lint_files`]: a `/`-separated relative
+/// path (decides crate-scoped rule applicability, echoed into findings)
+/// plus its full text.
+#[derive(Debug, Clone)]
+pub struct FileUnit {
+    /// Path as given to the linter, `/`-separated.
+    pub rel_path: String,
+    /// Full source text.
+    pub src: String,
+}
+
+/// Lints a set of files as one workspace. Per-file rules (R1–R6, R9)
+/// see each file independently; interprocedural rules (R7, R8) see the
+/// symbol index and call graph of the whole set. Findings are grouped
+/// by file in input order, sorted by `(line, rule)` within each file.
+pub fn lint_files(units: &[FileUnit]) -> Vec<Finding> {
+    rules::lint_units(units)
+}
+
 /// Lints one file's source text. `rel_path` should use `/` separators;
 /// it decides which crate-scoped rules apply and is echoed into the
 /// findings. Suppressed findings are dropped; malformed annotations are
-/// reported as [`Rule::Annotation`] findings.
+/// reported as [`Rule::Annotation`] findings. Interprocedural rules
+/// (R7/R8) only see this single file's call graph.
 pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
-    rules::lint_source(rel_path, src)
+    lint_files(&[FileUnit {
+        rel_path: rel_path.to_string(),
+        src: src.to_string(),
+    }])
 }
 
 /// Recursively collects `.rs` files under `dir`, sorted by path so the
@@ -175,17 +231,17 @@ pub fn collect_rs_files(dir: &Path) -> Vec<PathBuf> {
     out
 }
 
-/// Lints every `crates/*/src` tree under `root` (the workspace layout),
-/// returning findings with `root`-relative paths. Fixture directories
-/// (anything outside `src/`) are not walked.
-pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+/// Collects every `crates/*/src` tree under `root` (the workspace
+/// layout) into [`FileUnit`]s with `root`-relative paths. Fixture
+/// directories (anything outside `src/`) are not walked.
+pub fn lint_workspace_units(root: &Path) -> std::io::Result<Vec<FileUnit>> {
     let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(root.join("crates"))?
         .flatten()
         .map(|e| e.path())
         .filter(|p| p.join("src").is_dir())
         .collect();
     crate_dirs.sort();
-    let mut findings = Vec::new();
+    let mut units = Vec::new();
     for dir in crate_dirs {
         for file in collect_rs_files(&dir.join("src")) {
             let src = std::fs::read_to_string(&file)?;
@@ -194,10 +250,85 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
                 .unwrap_or(&file)
                 .to_string_lossy()
                 .replace('\\', "/");
-            findings.extend(lint_source(&rel, &src));
+            units.push(FileUnit { rel_path: rel, src });
         }
     }
-    Ok(findings)
+    Ok(units)
+}
+
+/// Lints the whole workspace under `root` as one unit.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    Ok(lint_files(&lint_workspace_units(root)?))
+}
+
+/// Stable 64-bit fingerprint for one finding: FNV-1a over the rule id,
+/// file path, message, and the finding's occurrence index among
+/// same-keyed findings in the run. The source *line* is deliberately
+/// excluded so unrelated edits that renumber a file do not churn
+/// fingerprints; the occurrence index keeps two identical findings in
+/// one file distinguishable.
+pub fn fingerprint(finding: &Finding, occurrence: u32) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h ^= 0;
+        h = h.wrapping_mul(PRIME);
+    };
+    eat(finding.rule.id().as_bytes());
+    eat(finding.file.as_bytes());
+    eat(finding.message.as_bytes());
+    eat(occurrence.to_string().as_bytes());
+    h
+}
+
+/// Renders findings as a JSON array (one object per line) with stable
+/// fingerprints, for CI and tooling to diff structurally. The text
+/// format stays the byte-golden human surface; this is the machine one.
+pub fn render_json(findings: &[Finding]) -> String {
+    use std::collections::BTreeMap;
+    let mut seen: BTreeMap<(String, String, String), u32> = BTreeMap::new();
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        let key = (f.rule.id().to_string(), f.file.clone(), f.message.clone());
+        let occ = seen.entry(key).or_insert(0);
+        let fp = fingerprint(f, *occ);
+        *occ += 1;
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "  {{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\",\"fingerprint\":\"{:016x}\"}}",
+            json_escape(f.rule.id()),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message),
+            fp
+        ));
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -212,7 +343,7 @@ mod tests {
             assert_eq!(Rule::parse(&r.id().to_uppercase()), Some(r));
         }
         assert_eq!(Rule::parse("annot"), None);
-        assert_eq!(Rule::parse("R9"), None);
+        assert_eq!(Rule::parse("R12"), None);
     }
 
     #[test]
@@ -227,5 +358,32 @@ mod tests {
             f.to_string(),
             "crates/x/src/lib.rs:7: R2-entropy: no clocks"
         );
+    }
+
+    #[test]
+    fn json_rendering_is_escaped_and_fingerprints_ignore_lines() {
+        let f = |line| Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line,
+            rule: Rule::Entropy,
+            message: "say \"no\" to clocks".into(),
+        };
+        // Same finding on a different line: identical fingerprint.
+        assert_eq!(fingerprint(&f(7), 0), fingerprint(&f(99), 0));
+        // Second occurrence of the same finding: distinct fingerprint.
+        assert_ne!(fingerprint(&f(7), 0), fingerprint(&f(7), 1));
+        let json = render_json(&[f(7), f(12)]);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("\"line\":7"));
+        assert!(json.contains("say \\\"no\\\" to clocks"));
+        // Two entries, distinct fingerprints despite identical messages.
+        let fps: Vec<&str> = json
+            .match_indices("\"fingerprint\":\"")
+            .map(|(i, pat)| &json[i + pat.len()..i + pat.len() + 16])
+            .collect();
+        assert_eq!(fps.len(), 2);
+        assert_ne!(fps[0], fps[1]);
+        assert_eq!(render_json(&[]), "[]\n");
     }
 }

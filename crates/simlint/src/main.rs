@@ -1,25 +1,55 @@
-//! `cargo run -p simlint [paths…]` — lint the workspace (default) or
-//! the given files/directories; exit non-zero on any unsuppressed
-//! finding. See the library docs for the rule table and the annotation
-//! grammar.
+//! `cargo run -p simlint [--json] [--changed] [paths…]` — lint the
+//! workspace (default) or the given files/directories; exit non-zero
+//! on any unsuppressed finding. See the library docs for the rule
+//! table and the annotation grammar.
+//!
+//! Flags:
+//! * `--json` — machine-readable output: a JSON array of findings with
+//!   stable fingerprints (see [`simlint::render_json`]).
+//! * `--changed <files…>` — lint the *whole* workspace (the
+//!   interprocedural rules need every file to build the call graph)
+//!   but report only findings located in the listed files. This is the
+//!   diff-scoped mode `scripts/check.sh lint --changed` drives from
+//!   `git diff`.
+//!
+//! Explicit paths are linted together as one workspace unit, so
+//! cross-file taint is visible even on a subset.
 
-use simlint::{collect_rs_files, lint_source, lint_workspace, Finding};
+use simlint::{collect_rs_files, lint_files, lint_workspace_units, render_json, FileUnit, Finding};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let findings = if args.is_empty() {
-        let root = workspace_root();
-        match lint_workspace(&root) {
+    let mut json = false;
+    let mut changed = false;
+    let mut paths: Vec<String> = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--json" => json = true,
+            "--changed" => changed = true,
+            _ => paths.push(a),
+        }
+    }
+
+    let findings = if changed {
+        match lint_changed(&paths) {
             Ok(f) => f,
+            Err(e) => {
+                eprintln!("simlint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else if paths.is_empty() {
+        let root = workspace_root();
+        match lint_workspace_units(&root) {
+            Ok(units) => lint_files(&units),
             Err(e) => {
                 eprintln!("simlint: cannot walk workspace at {}: {e}", root.display());
                 return ExitCode::from(2);
             }
         }
     } else {
-        match lint_args(&args) {
+        match lint_args(&paths) {
             Ok(f) => f,
             Err(e) => {
                 eprintln!("simlint: {e}");
@@ -28,8 +58,12 @@ fn main() -> ExitCode {
         }
     };
 
-    for f in &findings {
-        println!("{f}");
+    if json {
+        print!("{}", render_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
     }
     if findings.is_empty() {
         eprintln!("simlint: clean");
@@ -55,9 +89,10 @@ fn workspace_root() -> PathBuf {
     }
 }
 
-/// Lints explicit files/directories; paths are echoed as given (with
-/// `/` separators) so fixture goldens are stable.
-fn lint_args(args: &[String]) -> std::io::Result<Vec<Finding>> {
+/// Expands files/directories into one sorted workspace unit list;
+/// paths are echoed as given (with `/` separators) so fixture goldens
+/// are stable.
+fn read_units(args: &[String]) -> std::io::Result<Vec<FileUnit>> {
     let mut files: Vec<PathBuf> = Vec::new();
     for a in args {
         let p = PathBuf::from(a);
@@ -69,11 +104,33 @@ fn lint_args(args: &[String]) -> std::io::Result<Vec<Finding>> {
     }
     files.sort();
     files.dedup();
-    let mut findings = Vec::new();
+    let mut units = Vec::new();
     for f in files {
-        let src = std::fs::read_to_string(&f)?;
-        let rel = f.to_string_lossy().replace('\\', "/");
-        findings.extend(lint_source(&rel, &src));
+        units.push(FileUnit {
+            rel_path: f.to_string_lossy().replace('\\', "/"),
+            src: std::fs::read_to_string(&f)?,
+        });
     }
+    Ok(units)
+}
+
+/// Lints explicit files/directories as one workspace unit.
+fn lint_args(args: &[String]) -> std::io::Result<Vec<Finding>> {
+    Ok(lint_files(&read_units(args)?))
+}
+
+/// Diff-scoped mode: lint the full workspace, report only findings in
+/// the named files (matched by path suffix, so both repo-relative and
+/// absolute spellings work).
+fn lint_changed(args: &[String]) -> std::io::Result<Vec<Finding>> {
+    let root = workspace_root();
+    let units = lint_workspace_units(&root)?;
+    let wanted: Vec<String> = args.iter().map(|a| a.replace('\\', "/")).collect();
+    let mut findings = lint_files(&units);
+    findings.retain(|f| {
+        wanted
+            .iter()
+            .any(|w| f.file == *w || f.file.ends_with(w) || w.ends_with(&f.file))
+    });
     Ok(findings)
 }

@@ -1,29 +1,38 @@
-//! The per-file rule engine.
+//! The rule engine: per-file token-pattern rules (R1–R6, R9) plus the
+//! workspace phase that runs the interprocedural rules (R7, R8).
 //!
-//! Works on the flat token stream from [`crate::lexer`] plus three
-//! per-file side tables computed up front:
+//! Per file, the engine works on the flat token stream from
+//! [`crate::lexer`] plus side tables computed up front:
 //!
 //! 1. **`#[cfg(test)]` spans** — line ranges of test-gated items.
-//!    Rules R1/R3/R4/R5 skip them (test assertions legitimately poke at
-//!    raw pools and unwrap); R2 does *not* — entropy in a test makes
-//!    the test itself flaky.
+//!    Rules R1/R3/R4/R5/R8/R9 skip them (test assertions legitimately
+//!    poke at raw pools and unwrap); R2 does *not* — entropy in a test
+//!    makes the test itself flaky.
 //! 2. **binding types** — names declared `HashMap`/`HashSet`-typed or
 //!    `KvPool`-typed anywhere in the file (struct fields, lets, params,
-//!    struct-literal inits). Receiver resolution is name-based: the
-//!    engine sees `self.transferring.drain()` and asks "is
-//!    `transferring` hash-typed in this file?".
+//!    struct-literal inits), plus *aliases*: `let snapshot = &self.m;`
+//!    marks `snapshot` unordered when `m` is. Receiver resolution is
+//!    name-based: the engine sees `self.transferring.drain()` and asks
+//!    "is `transferring` hash-typed in this file?".
 //! 3. **suppressions** — parsed `// simlint: allow(…) reason="…"`
 //!    annotations by line. An annotation suppresses matching findings
 //!    on its own line and the line directly below (put it at the end of
 //!    the offending line or on its own line right above).
+//!
+//! The workspace phase then builds a [`SymbolIndex`] and [`CallGraph`]
+//! over *all* files of the run and evaluates R7 (entropy taint
+//! propagated backwards to replay-critical entrypoints) and R8 (fleet
+//! signal reads outside the barrier-scoped function set).
 //!
 //! Everything here is heuristic, deliberately biased toward false
 //! positives: an over-flag costs one audited annotation, an under-flag
 //! costs a nondeterministic replay hunted by proptest.
 
 use crate::annot::{self, Directive};
+use crate::callgraph::CallGraph;
 use crate::lexer::{lex, LineComment, TokKind, Token};
-use crate::{Finding, Rule};
+use crate::symbols::{FnSym, SymbolIndex};
+use crate::{FileUnit, Finding, Rule};
 use std::collections::{BTreeSet, HashMap as StdHashMap};
 
 /// Crates whose scheduling state feeds replay-visible decisions; R1
@@ -36,7 +45,7 @@ const REPLAY_CRITICAL: [&str; 5] = ["gpusim", "serving", "baselines", "core", "f
 /// simulated ones).
 const ENTROPY_ALLOWED: [&str; 2] = ["crates/simcore/src/rng.rs", "crates/bench/src/sweep.rs"];
 
-/// Identifiers that mark ambient entropy (R2).
+/// Identifiers that mark ambient entropy (R2, and R7 taint sources).
 const ENTROPY_IDENTS: [&str; 3] = ["Instant", "SystemTime", "thread_rng"];
 
 /// The only legal homes of raw `KvPool` traffic (R3): the pool crate
@@ -115,27 +124,97 @@ const ORDER_MARKERS: [&str; 18] = [
 /// speed, never the result).
 const BOOL_MARKERS: [&str; 3] = ["all", "any", "contains"];
 
-/// Lints one file; the only entry point (re-exported as
-/// [`crate::lint_source`]).
-pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
-    let lexed = lex(src);
-    let ctx = FileCtx::new(rel_path, &lexed.tokens);
-    let (suppressions, hot_lines, mut findings) = parse_annotations(rel_path, &lexed.comments);
-    let hot_spans = resolve_hot_spans(&ctx, &hot_lines, &mut findings);
+/// Shared-mutable-state wrapper types banned in replay-critical crates
+/// (R9). `Atomic*` is matched by prefix.
+const SHARED_STATE_IDENTS: [&str; 9] = [
+    "Mutex",
+    "RwLock",
+    "RefCell",
+    "Cell",
+    "UnsafeCell",
+    "OnceCell",
+    "OnceLock",
+    "LazyCell",
+    "LazyLock",
+];
 
-    run_unordered_rules(&ctx, &mut findings); // R1 + R5
-    run_entropy_rule(&ctx, &mut findings); // R2
-    run_lease_rule(&ctx, &mut findings); // R3
-    run_panic_rule(&ctx, &mut findings); // R4
-    run_alloc_rule(&ctx, &hot_spans, &mut findings); // R6
+/// Files whose fns are barrier-scoped by construction (R8 seed set):
+/// the fleet's merge-barrier tier itself.
+const BARRIER_SEED_FILES: [&str; 4] = [
+    "crates/fleet/src/health.rs",
+    "crates/fleet/src/failover.rs",
+    "crates/fleet/src/hedge.rs",
+    "crates/fleet/src/replicate.rs",
+];
 
-    findings.retain(|f| f.rule == Rule::Annotation || !suppressions.allows(f.line, f.rule));
-    // One finding per (line, rule): a single statement can trip the same
-    // pattern twice and a single annotation answers for the line.
-    let mut seen = BTreeSet::new();
-    findings.retain(|f| seen.insert((f.line, f.rule, f.message.clone())));
-    findings.sort_by_key(|a| (a.line, a.rule));
-    findings
+/// Fleet health signal reads (R8): call names whose results are only
+/// stepping-order independent when sampled at a merge barrier.
+const SIGNAL_READS: [&str; 5] = [
+    "num_dead_gpus",
+    "dead_gpus",
+    "in_gray_fault",
+    "finished_latency",
+    "latency_exceeds",
+];
+
+/// Lints a set of files as one workspace; the only entry point
+/// (re-exported as [`crate::lint_files`] / [`crate::lint_source`]).
+pub fn lint_units(units: &[FileUnit]) -> Vec<Finding> {
+    let lexed: Vec<_> = units.iter().map(|u| lex(&u.src)).collect();
+    let mut per_unit: Vec<Vec<Finding>> = Vec::with_capacity(units.len());
+    let mut supps: Vec<Suppressions> = Vec::with_capacity(units.len());
+    let mut infos: Vec<UnitInfo> = Vec::with_capacity(units.len());
+    let mut symbols = SymbolIndex::default();
+
+    for (ui, u) in units.iter().enumerate() {
+        let ctx = FileCtx::new(&u.rel_path, &lexed[ui].tokens);
+        let (supp, hot_lines, barrier_lines, mut findings) =
+            parse_annotations(&u.rel_path, &lexed[ui].comments);
+        let hot_spans = resolve_marker_spans(&ctx, &hot_lines, "hot", &mut findings);
+        let barrier_spans = resolve_marker_spans(&ctx, &barrier_lines, "barrier", &mut findings);
+
+        run_unordered_rules(&ctx, &mut findings); // R1 + R5
+        run_entropy_rule(&ctx, &mut findings); // R2
+        run_lease_rule(&ctx, &mut findings); // R3
+        run_panic_rule(&ctx, &mut findings); // R4
+        run_alloc_rule(&ctx, &hot_spans, &mut findings); // R6
+        run_shared_state_rule(&ctx, &mut findings); // R9
+
+        symbols.scan_unit(ui, &lexed[ui].tokens, &ctx.test_spans);
+        infos.push(UnitInfo {
+            replay_critical: ctx.replay_critical(),
+            test_spans: ctx.test_spans.clone(),
+            barrier_fn_lines: barrier_spans.iter().map(|s| s.0).collect(),
+        });
+        per_unit.push(findings);
+        supps.push(supp);
+    }
+
+    let toks: Vec<&[Token]> = lexed.iter().map(|l| l.tokens.as_slice()).collect();
+    let graph = CallGraph::build(&symbols, &toks);
+    run_taint_rule(units, &symbols, &graph, &toks, &mut per_unit); // R7
+    run_barrier_rule(units, &symbols, &graph, &toks, &infos, &mut per_unit); // R8
+
+    let mut out = Vec::new();
+    for (ui, mut findings) in per_unit.into_iter().enumerate() {
+        findings.retain(|f| f.rule == Rule::Annotation || !supps[ui].allows(f.line, f.rule));
+        // One finding per (line, rule, message): a single statement can
+        // trip the same pattern twice and a single annotation answers
+        // for the line.
+        let mut seen = BTreeSet::new();
+        findings.retain(|f| seen.insert((f.line, f.rule, f.message.clone())));
+        findings.sort_by_key(|a| (a.line, a.rule));
+        out.extend(findings);
+    }
+    out
+}
+
+/// Per-unit facts the workspace phase needs after the per-file pass.
+struct UnitInfo {
+    replay_critical: bool,
+    test_spans: Vec<(u32, u32)>,
+    /// Declaration lines of fns marked `// simlint: barrier`.
+    barrier_fn_lines: Vec<u32>,
 }
 
 /// Per-line suppression table.
@@ -155,15 +234,17 @@ impl Suppressions {
 fn parse_annotations(
     rel_path: &str,
     comments: &[LineComment],
-) -> (Suppressions, Vec<u32>, Vec<Finding>) {
+) -> (Suppressions, Vec<u32>, Vec<u32>, Vec<Finding>) {
     let mut by_line: StdHashMap<u32, Vec<Rule>> = StdHashMap::new();
     let mut hot_lines = Vec::new();
+    let mut barrier_lines = Vec::new();
     let mut findings = Vec::new();
     for c in comments {
         match annot::parse_directive(&c.text) {
             None => {}
             Some(Ok(Directive::Allow(a))) => by_line.entry(c.line).or_default().extend(a.rules),
             Some(Ok(Directive::Hot)) => hot_lines.push(c.line),
+            Some(Ok(Directive::Barrier)) => barrier_lines.push(c.line),
             Some(Err(e)) => findings.push(Finding {
                 file: rel_path.to_string(),
                 line: c.line,
@@ -172,36 +253,37 @@ fn parse_annotations(
             }),
         }
     }
-    (Suppressions { by_line }, hot_lines, findings)
+    (Suppressions { by_line }, hot_lines, barrier_lines, findings)
 }
 
-/// Resolves each `// simlint: hot` marker to the body span of the
-/// function declared below it. A marker whose next `fn` is more than a
-/// few lines away (or missing) is dangling — reported loudly as an
-/// `annot` finding rather than silently scoping nothing.
-fn resolve_hot_spans(
+/// Resolves each `// simlint: <label>` marker (`hot` or `barrier`) to
+/// the span of the function declared below it: `(fn line, body end
+/// line)`. A marker whose next `fn` is more than a few lines away (or
+/// missing) is dangling — reported loudly as an `annot` finding rather
+/// than silently scoping nothing.
+fn resolve_marker_spans(
     ctx: &FileCtx<'_>,
-    hot_lines: &[u32],
+    marker_lines: &[u32],
+    label: &str,
     findings: &mut Vec<Finding>,
 ) -> Vec<(u32, u32)> {
     let tokens = ctx.tokens;
     let mut spans = Vec::new();
-    for &marker in hot_lines {
+    for &marker in marker_lines {
         let fn_idx = tokens.iter().position(|t| {
             t.line > marker
                 && t.line <= marker.saturating_add(8)
                 && matches!(&t.kind, TokKind::Ident(s) if s == "fn")
         });
         let Some(i) = fn_idx else {
-            findings.push(
-                ctx.finding(
-                    marker,
-                    Rule::Annotation,
-                    "dangling `simlint: hot` marker; it must sit directly above the \
-                 `fn` it marks"
-                        .to_string(),
+            findings.push(ctx.finding(
+                marker,
+                Rule::Annotation,
+                format!(
+                    "dangling `simlint: {label}` marker; it must sit directly above the \
+                     `fn` it marks"
                 ),
-            );
+            ));
             continue;
         };
         // Find the body: first `{` at bracket depth 0 after the
@@ -223,15 +305,14 @@ fn resolve_hot_spans(
             j += 1;
         }
         let Some(open) = open else {
-            findings.push(
-                ctx.finding(
-                    marker,
-                    Rule::Annotation,
-                    "`simlint: hot` marks a bodyless `fn`; the marker belongs on the \
-                 implementation"
-                        .to_string(),
+            findings.push(ctx.finding(
+                marker,
+                Rule::Annotation,
+                format!(
+                    "`simlint: {label}` marks a bodyless `fn`; the marker belongs on the \
+                     implementation"
                 ),
-            );
+            ));
             continue;
         };
         let mut braces = 1i32;
@@ -253,7 +334,7 @@ fn resolve_hot_spans(
     spans
 }
 
-/// Everything the rules need to know about one file.
+/// Everything the per-file rules need to know about one file.
 struct FileCtx<'a> {
     rel_path: &'a str,
     tokens: &'a [Token],
@@ -266,6 +347,10 @@ struct FileCtx<'a> {
     unordered: BTreeSet<String>,
     /// Binding names with `KvPool` type evidence.
     pools: BTreeSet<String>,
+    /// Subset of `unordered` that got there via a `let` alias of an
+    /// unordered binding (no type token of their own); by-value loops
+    /// over these are still hash-ordered.
+    alias_unordered: BTreeSet<String>,
 }
 
 impl<'a> FileCtx<'a> {
@@ -285,9 +370,15 @@ impl<'a> FileCtx<'a> {
             test_spans: Vec::new(),
             unordered: BTreeSet::new(),
             pools: BTreeSet::new(),
+            alias_unordered: BTreeSet::new(),
         };
         ctx.test_spans = find_cfg_test_spans(tokens);
-        collect_bindings(tokens, &mut ctx.unordered, &mut ctx.pools);
+        collect_bindings(
+            tokens,
+            &mut ctx.unordered,
+            &mut ctx.pools,
+            &mut ctx.alias_unordered,
+        );
         ctx
     }
 
@@ -438,16 +529,24 @@ fn find_cfg_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
 
 /// Records names with `HashMap`/`HashSet` or `KvPool` type evidence.
 ///
-/// Two patterns:
+/// Two direct patterns:
 /// * `name :` followed (within the same field/param/ascription, i.e.
 ///   before `,` `;` `=` `)` `{` or 12 tokens) by the type name — covers
 ///   struct fields, fn params, let ascriptions, and struct-literal
 ///   inits like `transferring: HashMap::new()`.
 /// * `let [mut] name … = … HashMap::… ;` — constructor calls.
+///
+/// Then an alias fixpoint: `let alias = [&][mut] path.to.name;` marks
+/// `alias` unordered when `name` already is. This closes the R1
+/// false-negative where the container is bound through an intermediate
+/// `let` before iteration (`let snapshot = &self.m; for x in snapshot`)
+/// — no `HashMap` token appears in the iterating statement, so only
+/// the alias chain knows the order is hash-dependent.
 fn collect_bindings(
     tokens: &[Token],
     unordered: &mut BTreeSet<String>,
     pools: &mut BTreeSet<String>,
+    alias_unordered: &mut BTreeSet<String>,
 ) {
     let ident = |i: usize| match tokens.get(i).map(|t| &t.kind) {
         Some(TokKind::Ident(s)) => Some(s.as_str()),
@@ -515,6 +614,64 @@ fn collect_bindings(
             }
         }
     }
+
+    // Alias fixpoint: `let [mut] alias = [&][mut] a.b.name ;` where
+    // `name` is already unordered. Iterate so alias-of-alias chains
+    // converge.
+    loop {
+        let mut changed = false;
+        for i in 0..tokens.len() {
+            if ident(i) != Some("let") {
+                continue;
+            }
+            let mut j = i + 1;
+            if ident(j) == Some("mut") {
+                j += 1;
+            }
+            let Some(name) = ident(j) else { continue };
+            // Plain `=` binding only (an ascribed alias would have hit
+            // pattern 1 if it carried the type).
+            if !punct(j + 1, '=') {
+                continue;
+            }
+            let mut k = j + 2;
+            if punct(k, '&') {
+                k += 1;
+            }
+            if ident(k) == Some("mut") {
+                k += 1;
+            }
+            // A dotted ident path, nothing else, ending at `;`.
+            let last = loop {
+                match ident(k) {
+                    Some(s) => {
+                        k += 1;
+                        if punct(k, '.') {
+                            k += 1;
+                            continue;
+                        }
+                        break Some(s);
+                    }
+                    None => break None,
+                }
+            };
+            if !punct(k, ';') {
+                continue;
+            }
+            let Some(src) = last else { continue };
+            if src == "self" || src == name {
+                continue;
+            }
+            if unordered.contains(src) && !unordered.contains(name) {
+                unordered.insert(name.to_string());
+                alias_unordered.insert(name.to_string());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
 }
 
 /// Resolves the receiver name of a `.method(` call at token index `dot`
@@ -553,19 +710,21 @@ fn run_unordered_rules(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
             let chain = chain_span(ctx, i + 1);
             emit_unordered(ctx, findings, line, recv, m, &chain);
         }
-        // Loop form: `for pat in &[mut] recv {` / `for pat in [&]self.recv {`.
+        // Loop form: `for pat in &[mut] recv {` / `for pat in [&]self.recv {`
+        // / `for pat in alias {` when `alias` came from an unordered `let`.
         if ctx.ident(i) == Some("for") && ctx.replay_critical() {
-            let Some((recv, line)) = for_loop_receiver(ctx, i) else {
+            let Some((recv, line, borrowed)) = for_loop_receiver(ctx, i) else {
                 continue;
             };
             if !ctx.unordered.contains(recv) || ctx.in_test_span(line) {
                 continue;
             }
+            let amp = if borrowed { "&" } else { "" };
             findings.push(ctx.finding(
                 line,
                 Rule::UnorderedIter,
                 format!(
-                    "`for … in &{recv}` iterates a HashMap/HashSet in hash order; \
+                    "`for … in {amp}{recv}` iterates a HashMap/HashSet in hash order; \
                      replay order must not depend on it (sort first, use \
                      serving::order::drain_sorted, or annotate)"
                 ),
@@ -574,12 +733,15 @@ fn run_unordered_rules(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
     }
 }
 
-/// Matches `for … in &[mut] name {` or `for … in [&]self.name {`
-/// starting at the `for` token; returns the receiver name and the line
-/// to report. Plain by-value loops (`for x in name {`) are excluded:
+/// Matches `for … in &[mut] name {`, `for … in [&]self.name {`, or —
+/// for alias bindings only — by-value `for … in name {`; returns the
+/// receiver name, the line to report, and whether the loop borrows.
+/// Plain by-value loops over directly-typed bindings stay excluded:
 /// moving a container out of a binding is the local-`Vec` shape, while
-/// the hash-order hazard comes from borrowing a long-lived field.
-fn for_loop_receiver<'t>(ctx: &'t FileCtx<'t>, for_idx: usize) -> Option<(&'t str, u32)> {
+/// the hash-order hazard comes from borrowing a long-lived field. An
+/// alias binding (`let snapshot = &self.m;`) is usually already a
+/// borrow, so its by-value loop form iterates the hash container.
+fn for_loop_receiver<'t>(ctx: &'t FileCtx<'t>, for_idx: usize) -> Option<(&'t str, u32, bool)> {
     let tokens = ctx.tokens;
     // Find `in` at pattern depth 0 within a short window.
     let mut depth = 0i32;
@@ -611,16 +773,16 @@ fn for_loop_receiver<'t>(ctx: &'t FileCtx<'t>, for_idx: usize) -> Option<(&'t st
         borrowed = true;
         k += 2;
     }
-    if !borrowed {
-        return None;
-    }
     let name = ctx.ident(k)?;
     // Only the bare-binding form: `recv.iter()`-style is the method
     // path, and `recv.field` sub-expressions are unknown.
     if !ctx.punct(k + 1, '{') {
         return None;
     }
-    Some((name, tokens[k].line))
+    if !borrowed && !ctx.alias_unordered.contains(name) {
+        return None;
+    }
+    Some((name, tokens[k].line, borrowed))
 }
 
 /// What the rest of the statement chain after an unordered call says.
@@ -901,9 +1063,263 @@ fn run_alloc_rule(ctx: &FileCtx<'_>, hot_spans: &[(u32, u32)], findings: &mut Ve
     }
 }
 
+/// R9: shared mutable state in a replay-critical crate. Everything a
+/// fleet member owns must be instance-local and merged at barriers;
+/// `fleet::step_all` runs members on scoped threads *because* nothing
+/// is shared, so a `Mutex` or atomic smuggled into engine state turns
+/// thread scheduling into replay input.
+fn run_shared_state_rule(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if !ctx.replay_critical() {
+        return;
+    }
+    const TAIL: &str = "fleet::step_all's scoped-thread determinism assumes members share \
+                        nothing mutable — keep state instance-owned and merge at \
+                        barriers, or annotate with an audited allow(R9)";
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        let TokKind::Ident(s) = &t.kind else { continue };
+        if ctx.in_test_span(t.line) {
+            continue;
+        }
+        if s == "static" && ctx.ident(i + 1) == Some("mut") {
+            findings.push(ctx.finding(
+                t.line,
+                Rule::SharedState,
+                format!(
+                    "`static mut` is process-global mutable state in a replay-critical \
+                     crate; {TAIL}"
+                ),
+            ));
+        }
+        let shared = SHARED_STATE_IDENTS.contains(&s.as_str())
+            || (s.starts_with("Atomic") && s.len() > "Atomic".len());
+        if shared {
+            findings.push(ctx.finding(
+                t.line,
+                Rule::SharedState,
+                format!(
+                    "`{s}` is cross-thread shared mutable state in a replay-critical \
+                     crate; {TAIL}"
+                ),
+            ));
+        }
+    }
+}
+
+/// A replay-critical entrypoint for R7: the functions whose transitive
+/// call trees must be entropy-free for replays to be bit-identical.
+fn is_replay_entrypoint(f: &FnSym) -> bool {
+    if f.trait_name.as_deref() == Some("Scheduler") {
+        return true;
+    }
+    matches!(
+        (f.self_ty.as_deref(), f.name.as_str()),
+        (Some("Driver"), n) if n.starts_with("run")
+    ) || matches!(
+        (f.self_ty.as_deref(), f.name.as_str()),
+        (Some("Instance"), "step_until") | (Some("Fleet"), "step_all")
+    )
+}
+
+/// First entropy ident inside a fn body, if any — the R7 direct-taint
+/// predicate. Note it deliberately ignores both the `ENTROPY_ALLOWED`
+/// file list and `allow(R2)` suppressions: an *audited* entropy source
+/// is fine where it lives, but becomes a violation the moment engine
+/// code can call it.
+fn entropy_hit_in(tokens: &[Token], body: (usize, usize)) -> Option<(String, u32)> {
+    let end = body.1.min(tokens.len());
+    let punct = |i: usize, c: char| matches!(tokens.get(i), Some(t) if t.kind == TokKind::Punct(c));
+    for (i, tok) in tokens.iter().enumerate().take(end).skip(body.0 + 1) {
+        let TokKind::Ident(s) = &tok.kind else {
+            continue;
+        };
+        if ENTROPY_IDENTS.contains(&s.as_str())
+            || (s == "rand" && punct(i + 1, ':') && punct(i + 2, ':'))
+        {
+            return Some((s.clone(), tok.line));
+        }
+    }
+    None
+}
+
+/// R7: entropy taint. Functions directly containing an entropy source
+/// seed the taint; taint propagates backwards over the call graph; any
+/// replay-critical entrypoint that became tainted is flagged, with the
+/// (deterministic, shortest) call path in the message.
+fn run_taint_rule(
+    units: &[FileUnit],
+    sym: &SymbolIndex,
+    graph: &CallGraph,
+    toks: &[&[Token]],
+    per_unit: &mut [Vec<Finding>],
+) {
+    let n = sym.fns.len();
+    let mut direct: Vec<Option<(String, u32)>> = vec![None; n];
+    for (fi, f) in sym.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        direct[fi] = entropy_hit_in(toks[f.unit], f.body);
+    }
+    let seeds: Vec<usize> = (0..n).filter(|&i| direct[i].is_some()).collect();
+    if seeds.is_empty() {
+        return;
+    }
+    let tainted = graph.reaches(&seeds);
+    let targets: Vec<bool> = direct.iter().map(|d| d.is_some()).collect();
+    for (fi, f) in sym.fns.iter().enumerate() {
+        if !tainted[fi] || f.in_test || !is_replay_entrypoint(f) {
+            continue;
+        }
+        let path = graph.path_to(fi, &targets, &tainted);
+        let src_fn = *path.last().unwrap_or(&fi);
+        let (ident, src_line) = direct[src_fn].clone().unwrap_or_default();
+        let chain = path
+            .iter()
+            .map(|&p| format!("`{}`", sym.fns[p].qualified()))
+            .collect::<Vec<_>>()
+            .join(" → ");
+        let src_file = &units[sym.fns[src_fn].unit].rel_path;
+        per_unit[f.unit].push(Finding {
+            file: units[f.unit].rel_path.clone(),
+            line: f.line,
+            rule: Rule::EntropyTaint,
+            message: format!(
+                "replay-critical entrypoint `{}` can transitively reach ambient \
+                 entropy via {chain}; `{}` touches `{ident}` ({src_file}:{src_line}) \
+                 — even an allow(R2)-audited source must not be callable from engine \
+                 code (route timing through simcore::SimTime, or annotate)",
+                f.qualified(),
+                sym.fns[src_fn].qualified(),
+            ),
+        });
+    }
+}
+
+/// R8: barrier discipline. The barrier-scoped set starts from
+/// `BARRIER_SEED_FILES` plus every fn marked `// simlint: barrier`,
+/// then closes over the call graph: a fn joins when it has at least
+/// one non-test caller and *all* its non-test callers are already
+/// barrier-scoped. Any fleet signal read outside the set (in a
+/// replay-critical file, outside tests) is flagged — except inside a
+/// fn whose own name is the signal (the forwarding accessor that
+/// *defines* the signal for its layer).
+fn run_barrier_rule(
+    units: &[FileUnit],
+    sym: &SymbolIndex,
+    graph: &CallGraph,
+    toks: &[&[Token]],
+    infos: &[UnitInfo],
+    per_unit: &mut [Vec<Finding>],
+) {
+    let n = sym.fns.len();
+    let seed_unit: Vec<bool> = units
+        .iter()
+        .map(|u| BARRIER_SEED_FILES.iter().any(|s| u.rel_path.ends_with(s)))
+        .collect();
+    let mut barrier = vec![false; n];
+    for (fi, f) in sym.fns.iter().enumerate() {
+        if seed_unit[f.unit] || infos[f.unit].barrier_fn_lines.contains(&f.line) {
+            barrier[fi] = true;
+        }
+    }
+    loop {
+        let mut changed = false;
+        for fi in 0..n {
+            if barrier[fi] || sym.fns[fi].in_test {
+                continue;
+            }
+            let mut callers = graph.callers[fi]
+                .iter()
+                .copied()
+                .filter(|&c| !sym.fns[c].in_test)
+                .peekable();
+            if callers.peek().is_some() && callers.all(|c| barrier[c]) {
+                barrier[fi] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    const WHERE: &str = "fleet signals may only be sampled at merge barriers \
+                         (fleet::{health,failover,hedge,replicate} or a \
+                         `// simlint: barrier` fn) so results cannot depend on \
+                         stepping interleaving";
+    for (ui, tokens) in toks.iter().enumerate() {
+        if seed_unit[ui] || !infos[ui].replay_critical {
+            continue;
+        }
+        for i in 0..tokens.len() {
+            let TokKind::Ident(name) = &tokens[i].kind else {
+                continue;
+            };
+            let line = tokens[i].line;
+            let punct =
+                |k: usize, c: char| matches!(tokens.get(k), Some(t) if t.kind == TokKind::Punct(c));
+            let is_decl = i > 0 && matches!(&tokens[i - 1].kind, TokKind::Ident(p) if p == "fn");
+            let sig_call = SIGNAL_READS.contains(&name.as_str()) && punct(i + 1, '(') && !is_decl;
+            let obs = name == "Observation" && {
+                let construct = punct(i + 1, '{') || (punct(i + 1, ':') && punct(i + 2, ':'));
+                let prev_item_kw = i > 0
+                    && matches!(&tokens[i - 1].kind,
+                        TokKind::Ident(p)
+                            if p == "struct" || p == "impl" || p == "trait"
+                                || p == "enum" || p == "for" || p == "use");
+                // `-> Observation {`: a return type, not a literal.
+                let prev_arrow = i > 0 && tokens[i - 1].kind == TokKind::Punct('>');
+                construct && !prev_item_kw && !prev_arrow
+            };
+            if !sig_call && !obs {
+                continue;
+            }
+            if infos[ui]
+                .test_spans
+                .iter()
+                .any(|&(a, b)| a <= line && line <= b)
+            {
+                continue;
+            }
+            if let Some(o) = sym.innermost_at(ui, i) {
+                if sym.fns[o].in_test {
+                    continue;
+                }
+                // The accessor that defines/forwards the signal is the
+                // signal, not a sample of it.
+                if SIGNAL_READS.contains(&sym.fns[o].name.as_str()) {
+                    continue;
+                }
+                if barrier[o] {
+                    continue;
+                }
+            }
+            let message = if obs {
+                format!(
+                    "`Observation` is constructed outside barrier scope; {WHERE} \
+                     (move construction behind a barrier, or annotate)"
+                )
+            } else {
+                format!(
+                    "`{name}()` samples a fleet health signal outside barrier scope; \
+                     {WHERE} (move the read behind a barrier, mark the enclosing fn \
+                     `// simlint: barrier`, or annotate)"
+                )
+            };
+            per_unit[ui].push(Finding {
+                file: units[ui].rel_path.clone(),
+                line,
+                rule: Rule::BarrierDiscipline,
+                message,
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lint_source;
 
     fn lint(path: &str, src: &str) -> Vec<Finding> {
         lint_source(path, src)
@@ -949,6 +1365,39 @@ mod tests {
         let f = lint("crates/core/src/x.rs", src);
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].rule, Rule::UnorderedIter);
+    }
+
+    #[test]
+    fn r1_alias_let_binding_is_caught() {
+        // The false-negative class: container escapes through a `let`
+        // alias before iteration — no HashMap token in the loop
+        // statement.
+        let src = format!(
+            "{MAP_DECL}impl S {{ fn sweep(&self) -> u64 {{\n\
+             let snapshot = &self.m;\n\
+             let mut acc = 0;\n\
+             for (_k, v) in snapshot {{ acc += u64::from(*v); }}\n\
+             acc }} }}"
+        );
+        let f = lint("crates/serving/src/x.rs", &src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::UnorderedIter);
+        assert_eq!(f[0].line, 5);
+        assert!(f[0].message.contains("`for … in snapshot`"), "{f:?}");
+        // Method calls through the alias are caught too, and alias
+        // chains converge.
+        let src2 = format!(
+            "{MAP_DECL}fn g(s: &S) {{\n\
+             let first = &s.m;\n\
+             let second = first;\n\
+             for k in second {{ u(k); }}\n}}"
+        );
+        let f2 = lint("crates/serving/src/x.rs", &src2);
+        assert_eq!(f2.len(), 1, "{f2:?}");
+        // By-value loops over directly-typed (non-alias) bindings stay
+        // excluded — the local-Vec shape.
+        let src3 = "fn h() { let v = collect_vec(); for x in v { u(x); } }";
+        assert!(lint("crates/serving/src/x.rs", src3).is_empty());
     }
 
     #[test]
@@ -1030,12 +1479,134 @@ mod tests {
     }
 
     #[test]
+    fn r7_taint_reaches_entrypoints_through_helpers() {
+        let src = "impl Scheduler for VolatileMux {\n\
+                   fn admit(&mut self, now_us: u64) -> u64 { now_us + probe() }\n\
+                   }\n\
+                   fn probe() -> u64 { inner_probe() }\n\
+                   fn inner_probe() -> u64 {\n\
+                   let t = Instant::now(); // simlint: allow(R2) reason=\"test\"\n\
+                   0\n}\n";
+        let f = lint("crates/baselines/src/x.rs", src);
+        let r7: Vec<_> = f.iter().filter(|f| f.rule == Rule::EntropyTaint).collect();
+        assert_eq!(r7.len(), 1, "{f:?}");
+        assert_eq!(r7[0].line, 2);
+        assert!(r7[0].message.contains("`VolatileMux::admit`"), "{f:?}");
+        assert!(r7[0].message.contains("`probe`"), "{f:?}");
+        assert!(r7[0].message.contains("`Instant`"), "{f:?}");
+        // A clean entrypoint is silent.
+        let clean = "impl Scheduler for TidyMux {\n\
+                     fn admit(&mut self) -> u64 { helper() }\n}\n\
+                     fn helper() -> u64 { 7 }\n";
+        assert!(lint("crates/baselines/src/x.rs", clean)
+            .iter()
+            .all(|f| f.rule != Rule::EntropyTaint));
+    }
+
+    #[test]
+    fn r7_ignores_test_only_edges_and_suppresses_at_entrypoint() {
+        // Tainted helper called only from a cfg(test) fn: no taint.
+        let src = "impl Driver { fn run_to_end(&mut self) -> u64 { step() } }\n\
+                   fn step() -> u64 { 1 }\n\
+                   fn clock_probe() -> u64 { let t = Instant::now(); 2 }\n\
+                   // simlint: allow(R2) reason=\"test-only timing\"\n\
+                   #[cfg(test)]\n\
+                   mod tests { fn bench() { super::clock_probe(); super::step(); } }\n";
+        let f = lint("crates/serving/src/x.rs", src);
+        assert!(f.iter().all(|f| f.rule != Rule::EntropyTaint), "{f:?}");
+        // Suppression sits on the entrypoint line (or the line above).
+        let sup = "impl Scheduler for AuditedMux {\n\
+                   // simlint: allow(R7) reason=\"reporting-only, audited\"\n\
+                   fn admit(&mut self) -> u64 { probe2() }\n\
+                   }\n\
+                   fn probe2() -> u64 { let t = Instant::now(); 0 }\n\
+                   // simlint: allow(R2) reason=\"reporting only\"\n";
+        let f = lint("crates/baselines/src/x.rs", sup);
+        assert!(f.iter().all(|f| f.rule != Rule::EntropyTaint), "{f:?}");
+    }
+
+    #[test]
+    fn r8_signal_reads_need_barrier_scope() {
+        let src = "struct Probe { gray: bool }\n\
+                   impl Probe { fn in_gray_fault(&self) -> bool { self.gray } }\n\
+                   fn midstep_poll(p: &Probe) -> bool { p.in_gray_fault() }\n";
+        let f = lint("crates/fleet/src/lib.rs", src);
+        let r8: Vec<_> = f
+            .iter()
+            .filter(|f| f.rule == Rule::BarrierDiscipline)
+            .collect();
+        assert_eq!(r8.len(), 1, "{f:?}");
+        assert_eq!(r8[0].line, 3);
+        // The forwarder (fn named like the signal) is exempt; so is a
+        // fn marked `// simlint: barrier`, and fns only reachable from
+        // barrier fns join the set through the closure.
+        let ok = "struct Probe { gray: bool }\n\
+                  impl Probe { fn in_gray_fault(&self) -> bool { self.gray } }\n\
+                  // simlint: barrier\n\
+                  fn merge_point(p: &Probe) -> bool { helper_read(p) }\n\
+                  fn helper_read(p: &Probe) -> bool { p.in_gray_fault() }\n";
+        let f = lint("crates/fleet/src/lib.rs", ok);
+        assert!(f.iter().all(|f| f.rule != Rule::BarrierDiscipline), "{f:?}");
+        // Seed files are barrier-scoped by construction.
+        let seed = "fn fold(p: &super::Probe) -> bool { p.in_gray_fault() }\n";
+        assert!(lint("crates/fleet/src/health.rs", seed).is_empty());
+        // Non-replay-critical crates are out of scope.
+        let f = lint("crates/workload/src/x.rs", src);
+        assert!(f.iter().all(|f| f.rule != Rule::BarrierDiscipline));
+    }
+
+    #[test]
+    fn r8_observation_constructions_are_sites() {
+        let src = "pub struct Observation { pub dead_gpus: usize }\n\
+                   fn synthesize() -> Observation {\n\
+                   Observation { dead_gpus: 0 }\n\
+                   }\n";
+        let f = lint("crates/fleet/src/lib.rs", src);
+        let r8: Vec<_> = f
+            .iter()
+            .filter(|f| f.rule == Rule::BarrierDiscipline)
+            .collect();
+        // Only the literal on line 3 — not the struct decl, not the
+        // return type.
+        assert_eq!(r8.len(), 1, "{f:?}");
+        assert_eq!(r8[0].line, 3);
+    }
+
+    #[test]
+    fn r9_flags_shared_state_in_critical_crates_only() {
+        let src = "use std::sync::Mutex;\n\
+                   struct S { tally: Mutex<u64>, hits: AtomicUsize }\n\
+                   static mut LAST: u64 = 0;\n";
+        let f = lint("crates/core/src/x.rs", src);
+        let r9: Vec<_> = f.iter().filter(|f| f.rule == Rule::SharedState).collect();
+        assert_eq!(r9.len(), 4, "{f:?}"); // use Mutex, field Mutex, AtomicUsize, static mut
+        assert!(lint("crates/workload/src/x.rs", src)
+            .iter()
+            .all(|f| f.rule != Rule::SharedState));
+        // Test spans are exempt; suppressions work.
+        let gated = "#[cfg(test)]\nmod tests { use std::sync::Mutex; }\n";
+        assert!(lint("crates/core/src/x.rs", gated).is_empty());
+        let sup = "// simlint: allow(R9) reason=\"audited: debug trace only\"\n\
+                   static mut TRACE: u64 = 0;\n";
+        assert!(lint("crates/core/src/x.rs", sup).is_empty());
+    }
+
+    #[test]
     fn dangling_hot_marker_is_loud() {
         let src = "// simlint: hot\nconst X: u32 = 3;\n";
         let f = lint("crates/gpusim/src/x.rs", src);
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].rule, Rule::Annotation);
         assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn dangling_barrier_marker_is_loud() {
+        let src = "// simlint: barrier\nconst X: u32 = 3;\n";
+        let f = lint("crates/fleet/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::Annotation);
+        assert!(f[0].message.contains("barrier"), "{f:?}");
     }
 
     #[test]
@@ -1067,5 +1638,31 @@ mod tests {
     fn unknown_crate_paths_are_treated_as_critical() {
         let src = format!("{MAP_DECL}fn f(s: &S) {{ for (k, _) in s.m.iter() {{ u(k); }} }}");
         assert_eq!(lint("fixtures/r1/violation.rs", &src).len(), 1);
+    }
+
+    #[test]
+    fn workspace_taint_crosses_files() {
+        use crate::lint_files;
+        let units = [
+            FileUnit {
+                rel_path: "crates/bench/src/timing.rs".into(),
+                src: "pub fn wall_probe() -> u64 { let t = Instant::now(); 0 }\n\
+                      // simlint: allow(R2) reason=\"sweep timing\"\n"
+                    .into(),
+            },
+            FileUnit {
+                rel_path: "crates/serving/src/driver.rs".into(),
+                src: "impl Driver { pub fn run_to_end(&mut self) -> u64 { wall_probe() } }\n"
+                    .into(),
+            },
+        ];
+        let f = lint_files(&units);
+        let r7: Vec<_> = f.iter().filter(|f| f.rule == Rule::EntropyTaint).collect();
+        assert_eq!(r7.len(), 1, "{f:?}");
+        assert_eq!(r7[0].file, "crates/serving/src/driver.rs");
+        assert!(
+            r7[0].message.contains("crates/bench/src/timing.rs:1"),
+            "{f:?}"
+        );
     }
 }

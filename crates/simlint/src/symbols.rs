@@ -1,0 +1,430 @@
+//! Workspace symbol index: function, impl-method, and trait-method
+//! extraction over the flat token stream.
+//!
+//! The index is the foundation of the interprocedural rules (R7
+//! entropy-taint, R8 barrier-discipline). It records, for every bodied
+//! `fn` in every file handed to the linter: its name, the `Self` type
+//! and trait it is implemented for (when inside an `impl`/`trait`
+//! block), its declaration line, the token range of its body, and
+//! whether it lives inside a `#[cfg(test)]` span.
+//!
+//! Like the rest of simlint this is a heuristic scan, not a parse. A
+//! single forward pass keeps a stack of brace frames; `impl`, `trait`,
+//! and `fn` headers are recognised by scanning from the keyword to the
+//! first `{` or `;` at bracket depth zero (angle brackets are tracked
+//! so `fn f<T: Ord>(…) -> Vec<T> {` finds the right brace; `->` is
+//! special-cased since `>` lexes as a bare punct). The scan is total:
+//! malformed code degrades into missed or truncated symbols, never a
+//! panic — and missing a symbol makes the dependent rules *more*
+//! conservative for R8 (an unknown function is not barrier-scoped) and
+//! less complete for R7, the usual static-analysis trade.
+
+use crate::lexer::{TokKind, Token};
+
+/// One bodied function found in the scanned files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSym {
+    /// Index of the [`crate::FileUnit`] this fn lives in.
+    pub unit: usize,
+    /// The function's name.
+    pub name: String,
+    /// `Self` type when declared inside `impl Ty`, `impl Tr for Ty`, or
+    /// a `trait Tr` block (the trait itself then stands in as `Self`).
+    pub self_ty: Option<String>,
+    /// Trait name when inside `impl Tr for Ty` or `trait Tr { … }`.
+    pub trait_name: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token indices of the body's `{` and its matching `}` (inclusive)
+    /// within the unit's token stream.
+    pub body: (usize, usize),
+    /// True when the declaration line falls inside a `#[cfg(test)]`
+    /// span; test fns neither give nor receive taint.
+    pub in_test: bool,
+}
+
+impl FnSym {
+    /// `Ty::name` when the fn has a self type, else just `name` — the
+    /// form used in finding messages.
+    pub fn qualified(&self) -> String {
+        match &self.self_ty {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// All functions of a file set, in scan order (unit order, then
+/// position within the unit).
+#[derive(Debug, Default)]
+pub struct SymbolIndex {
+    /// Every bodied fn found.
+    pub fns: Vec<FnSym>,
+}
+
+/// A brace frame on the scan stack.
+enum Frame {
+    /// Body of `fns[idx]`; closing it completes the symbol.
+    FnBody(usize),
+    /// An `impl`/`trait` block providing method context.
+    ImplBlock {
+        self_ty: Option<String>,
+        trait_name: Option<String>,
+    },
+    /// Any other `{ … }` (struct, match, closure, plain block).
+    Other,
+}
+
+impl SymbolIndex {
+    /// Scans one unit's tokens, appending its fns to the index.
+    /// `test_spans` are the unit's `#[cfg(test)]` line ranges.
+    pub fn scan_unit(&mut self, unit: usize, tokens: &[Token], test_spans: &[(u32, u32)]) {
+        let in_test = |line: u32| test_spans.iter().any(|&(lo, hi)| line >= lo && line <= hi);
+        let mut stack: Vec<Frame> = Vec::new();
+        let mut i = 0usize;
+        while i < tokens.len() {
+            match &tokens[i].kind {
+                TokKind::Ident(kw) if kw == "impl" => {
+                    let (end, opened, self_ty, trait_name) = parse_impl_header(tokens, i + 1);
+                    if opened {
+                        stack.push(Frame::ImplBlock {
+                            self_ty,
+                            trait_name,
+                        });
+                        i = end + 1;
+                    } else {
+                        i = end;
+                    }
+                }
+                TokKind::Ident(kw) if kw == "trait" => {
+                    // `trait Tr: Super { … }`: methods inside are
+                    // indexed with the trait as both self type and
+                    // trait name (default bodies are real code).
+                    let name = ident_at(tokens, i + 1).map(str::to_string);
+                    let (end, opened) = find_block_open(tokens, i + 1);
+                    if opened && name.is_some() {
+                        stack.push(Frame::ImplBlock {
+                            self_ty: name.clone(),
+                            trait_name: name,
+                        });
+                        i = end + 1;
+                    } else {
+                        i = end.max(i + 1);
+                    }
+                }
+                TokKind::Ident(kw) if kw == "fn" => {
+                    let Some(name) = ident_at(tokens, i + 1) else {
+                        i += 1;
+                        continue;
+                    };
+                    let line = tokens[i].line;
+                    let (end, opened) = find_block_open(tokens, i + 2);
+                    if opened {
+                        let (self_ty, trait_name) = innermost_impl(&stack);
+                        let idx = self.fns.len();
+                        self.fns.push(FnSym {
+                            unit,
+                            name: name.to_string(),
+                            self_ty,
+                            trait_name,
+                            line,
+                            body: (end, tokens.len().saturating_sub(1)),
+                            in_test: in_test(line),
+                        });
+                        stack.push(Frame::FnBody(idx));
+                    }
+                    i = end + 1;
+                }
+                TokKind::Punct('{') => {
+                    stack.push(Frame::Other);
+                    i += 1;
+                }
+                TokKind::Punct('}') => {
+                    if let Some(Frame::FnBody(idx)) = stack.pop() {
+                        self.fns[idx].body.1 = i;
+                    }
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// Index (into [`SymbolIndex::fns`]) of the innermost fn whose body
+    /// contains token `tok` of `unit`, or `None` for top-level tokens.
+    pub fn innermost_at(&self, unit: usize, tok: usize) -> Option<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.unit == unit && f.body.0 < tok && tok < f.body.1)
+            .max_by_key(|(_, f)| f.body.0)
+            .map(|(i, _)| i)
+    }
+}
+
+/// Most deeply nested impl/trait context on the frame stack.
+fn innermost_impl(stack: &[Frame]) -> (Option<String>, Option<String>) {
+    for frame in stack.iter().rev() {
+        if let Frame::ImplBlock {
+            self_ty,
+            trait_name,
+        } = frame
+        {
+            return (self_ty.clone(), trait_name.clone());
+        }
+    }
+    (None, None)
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Scans from `start` (just past a `fn name` or `trait Name` header
+/// prefix) to the first `{` or `;` at bracket depth zero. Returns the
+/// index of that token and whether it was an opening brace. Tracks
+/// `(`/`[` nesting and angle brackets (`->` does not close an angle).
+/// Bails after a bounded window so a pathological file cannot wedge the
+/// scan — the fn is then simply not indexed.
+fn find_block_open(tokens: &[Token], start: usize) -> (usize, bool) {
+    let mut paren = 0i32;
+    let mut angle = 0i32;
+    let limit = (start + 4096).min(tokens.len());
+    let mut j = start;
+    while j < limit {
+        match &tokens[j].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => paren += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => paren -= 1,
+            TokKind::Punct('<') => angle += 1,
+            TokKind::Punct('>') => {
+                // `->` / `=>` lex as two puncts; their `>` is not an
+                // angle close.
+                let arrow = j > 0
+                    && matches!(
+                        tokens[j - 1].kind,
+                        TokKind::Punct('-') | TokKind::Punct('=')
+                    );
+                if !arrow {
+                    angle -= 1;
+                }
+            }
+            TokKind::Punct('{') if paren <= 0 && angle <= 0 => return (j, true),
+            TokKind::Punct(';') if paren <= 0 && angle <= 0 => return (j, false),
+            _ => {}
+        }
+        j += 1;
+    }
+    (j, false)
+}
+
+/// Parses an `impl` header starting just past the `impl` keyword:
+/// `impl<T> Ty<T> { …`, `impl Tr for Ty { …`, `impl a::b::Ty { …`.
+/// Returns `(index of '{' or scan end, found_brace, self_ty,
+/// trait_name)`. The self type / trait name are the *last* identifier
+/// of each depth-zero path segment group — `a::b::Ty` resolves to `Ty`,
+/// generics inside `<…>` are ignored.
+fn parse_impl_header(
+    tokens: &[Token],
+    start: usize,
+) -> (usize, bool, Option<String>, Option<String>) {
+    let mut paren = 0i32;
+    let mut angle = 0i32;
+    let mut groups: Vec<Vec<String>> = vec![Vec::new()];
+    let mut collecting = true;
+    let limit = (start + 4096).min(tokens.len());
+    let mut j = start;
+    while j < limit {
+        match &tokens[j].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => paren += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => paren -= 1,
+            TokKind::Punct('<') => angle += 1,
+            TokKind::Punct('>') => {
+                let arrow = j > 0
+                    && matches!(
+                        tokens[j - 1].kind,
+                        TokKind::Punct('-') | TokKind::Punct('=')
+                    );
+                if !arrow {
+                    angle -= 1;
+                }
+            }
+            TokKind::Punct('{') if paren <= 0 && angle <= 0 => {
+                return (j, true, finish(&mut groups), trait_of(&groups));
+            }
+            TokKind::Punct(';') if paren <= 0 && angle <= 0 => {
+                return (j, false, None, None);
+            }
+            TokKind::Ident(s) if paren <= 0 && angle <= 0 && collecting => {
+                if s == "for" {
+                    groups.push(Vec::new());
+                } else if s == "where" {
+                    collecting = false;
+                } else if !matches!(
+                    s.as_str(),
+                    "unsafe" | "const" | "dyn" | "mut" | "ref" | "crate" | "super" | "self"
+                ) {
+                    if let Some(g) = groups.last_mut() {
+                        g.push(s.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (j, false, None, None)
+}
+
+/// Self type of a parsed impl header: with a `for` the second group is
+/// the implementing type, otherwise the first (inherent impl).
+fn finish(groups: &mut [Vec<String>]) -> Option<String> {
+    let g = if groups.len() >= 2 {
+        &groups[1]
+    } else {
+        &groups[0]
+    };
+    g.last().cloned()
+}
+
+/// Trait name: only present for `impl Tr for Ty`.
+fn trait_of(groups: &[Vec<String>]) -> Option<String> {
+    if groups.len() >= 2 {
+        groups[0].last().cloned()
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scan(src: &str) -> SymbolIndex {
+        scan_with_tests(src, &[])
+    }
+
+    fn scan_with_tests(src: &str, test_spans: &[(u32, u32)]) -> SymbolIndex {
+        let lexed = lex(src);
+        let mut idx = SymbolIndex::default();
+        idx.scan_unit(0, &lexed.tokens, test_spans);
+        idx
+    }
+
+    #[test]
+    fn free_fns_and_methods_are_indexed() {
+        let src = "fn free() { helper(); }\n\
+                   impl Driver {\n    pub fn run_to_end(&mut self) -> u64 { 0 }\n}\n\
+                   impl Scheduler for MuxWise {\n    fn on_arrival(&mut self) {}\n}\n";
+        let idx = scan(src);
+        let names: Vec<(String, Option<String>, Option<String>)> = idx
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.self_ty.clone(), f.trait_name.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free".into(), None, None),
+                ("run_to_end".into(), Some("Driver".into()), None),
+                (
+                    "on_arrival".into(),
+                    Some("MuxWise".into()),
+                    Some("Scheduler".into())
+                ),
+            ]
+        );
+        assert_eq!(idx.fns[0].line, 1);
+        assert_eq!(idx.fns[1].line, 3);
+    }
+
+    #[test]
+    fn generics_paths_and_where_clauses_do_not_confuse_headers() {
+        let src = "impl<K: Ord, V> Table<K, V> where K: Clone {\n\
+                       fn get<Q: Ord>(&self, q: &Q) -> Option<&V> { None }\n\
+                   }\n\
+                   impl fleet::Router for balancer::JoinShortest {\n\
+                       fn pick(&mut self, n: usize) -> usize { n - 1 }\n\
+                   }\n\
+                   fn arrowed() -> Vec<u32> { Vec::new() }\n";
+        let idx = scan(src);
+        assert_eq!(idx.fns[0].self_ty.as_deref(), Some("Table"));
+        assert_eq!(idx.fns[0].trait_name, None);
+        assert_eq!(idx.fns[1].self_ty.as_deref(), Some("JoinShortest"));
+        assert_eq!(idx.fns[1].trait_name.as_deref(), Some("Router"));
+        assert_eq!(idx.fns[2].name, "arrowed");
+        assert_eq!(idx.fns[2].self_ty, None);
+    }
+
+    #[test]
+    fn bodyless_fns_are_skipped_and_trait_defaults_kept() {
+        let src = "trait Scheduler {\n\
+                       fn on_arrival(&mut self, id: u64);\n\
+                       fn on_tick(&mut self) { let _ = 1; }\n\
+                   }\n";
+        let idx = scan(src);
+        assert_eq!(idx.fns.len(), 1);
+        assert_eq!(idx.fns[0].name, "on_tick");
+        assert_eq!(idx.fns[0].self_ty.as_deref(), Some("Scheduler"));
+        assert_eq!(idx.fns[0].trait_name.as_deref(), Some("Scheduler"));
+    }
+
+    #[test]
+    fn nested_fns_and_innermost_lookup() {
+        let src = "fn outer() {\n    fn inner() { probe(); }\n    inner();\n}\n";
+        let idx = scan(src);
+        assert_eq!(idx.fns.len(), 2);
+        let lexed = lex(src);
+        // Find the `probe` token and confirm it attributes to `inner`.
+        let probe = lexed
+            .tokens
+            .iter()
+            .position(|t| t.kind == TokKind::Ident("probe".into()))
+            .unwrap();
+        let owner = idx.innermost_at(0, probe).unwrap();
+        assert_eq!(idx.fns[owner].name, "inner");
+        // The later `inner()` call site attributes to `outer`.
+        let call = lexed
+            .tokens
+            .iter()
+            .rposition(|t| t.kind == TokKind::Ident("inner".into()))
+            .unwrap();
+        let owner = idx.innermost_at(0, call).unwrap();
+        assert_eq!(idx.fns[owner].name, "outer");
+    }
+
+    #[test]
+    fn test_spans_mark_fns_in_test() {
+        let src = "fn prod() {}\nfn testish() { prod(); }\n";
+        let idx = scan_with_tests(src, &[(2, 2)]);
+        assert!(!idx.fns[0].in_test);
+        assert!(idx.fns[1].in_test);
+    }
+
+    #[test]
+    fn closures_and_match_blocks_do_not_break_body_ranges() {
+        let src = "fn f(v: &[u32]) -> u32 {\n\
+                       let g = |x: u32| -> u32 { x + 1 };\n\
+                       match v.first() { Some(x) => g(*x), None => 0 }\n\
+                   }\n\
+                   fn h() {}\n";
+        let idx = scan(src);
+        assert_eq!(idx.fns.len(), 2);
+        let lexed = lex(src);
+        // `h`'s body must start after `f`'s body ends.
+        assert!(idx.fns[0].body.1 < idx.fns[1].body.0);
+        assert!(idx.fns[1].body.1 < lexed.tokens.len());
+    }
+
+    #[test]
+    fn scan_is_total_on_malformed_source() {
+        // Unbalanced braces, fn without a body, stray impl — no panics.
+        let _ = scan("fn broken( {");
+        let _ = scan("impl {{{{");
+        let _ = scan("fn x(); impl T for");
+        let _ = scan("} } } fn after_unbalanced() {}");
+    }
+}

@@ -1,9 +1,16 @@
 //! Self-test against the fixture corpus: the full findings list must
-//! match `fixtures/expected.txt` byte for byte, every `violation`
-//! fixture must fail the binary with a non-zero exit, and every
-//! `suppressed` fixture must pass it cleanly.
+//! match `fixtures/expected.txt` byte for byte (and its JSON rendering
+//! `fixtures/expected.json`), every `violation` fixture must fail the
+//! binary with a non-zero exit, and every `suppressed` fixture must
+//! pass it cleanly.
+//!
+//! The golden lints the whole fixture tree as ONE workspace — the same
+//! semantics the binary applies to multiple paths — so interprocedural
+//! rules (R7/R8) see their full call graphs. Fixture fn names carry
+//! per-fixture suffixes (`_v7`, `_s8`, …) precisely so the shared
+//! call graph gains no accidental cross-fixture edges.
 
-use simlint::{collect_rs_files, lint_source};
+use simlint::{collect_rs_files, lint_files, lint_source, render_json, FileUnit};
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
@@ -11,26 +18,29 @@ fn fixtures_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
 }
 
-fn lint_fixture(path: &Path) -> Vec<simlint::Finding> {
-    let rel = path
-        .strip_prefix(fixtures_dir())
-        .expect("fixture path")
-        .to_string_lossy()
-        .replace('\\', "/");
-    let src = std::fs::read_to_string(path).expect("readable fixture");
-    lint_source(&rel, &src)
+fn fixture_units() -> Vec<FileUnit> {
+    collect_rs_files(&fixtures_dir())
+        .iter()
+        .map(|f| FileUnit {
+            rel_path: f
+                .strip_prefix(fixtures_dir())
+                .expect("fixture path")
+                .to_string_lossy()
+                .replace('\\', "/"),
+            src: std::fs::read_to_string(f).expect("readable fixture"),
+        })
+        .collect()
 }
 
 #[test]
 fn fixture_findings_match_golden() {
-    let files = collect_rs_files(&fixtures_dir());
-    assert!(files.len() >= 19, "fixture corpus went missing: {files:?}");
+    let units = fixture_units();
+    assert!(units.len() >= 27, "fixture corpus went missing: {units:?}");
+    let findings = lint_files(&units);
     let mut got = String::new();
-    for f in &files {
-        for finding in lint_fixture(f) {
-            got.push_str(&finding.to_string());
-            got.push('\n');
-        }
+    for finding in &findings {
+        got.push_str(&finding.to_string());
+        got.push('\n');
     }
     let expected =
         std::fs::read_to_string(fixtures_dir().join("expected.txt")).expect("golden file");
@@ -38,17 +48,39 @@ fn fixture_findings_match_golden() {
         got, expected,
         "fixture findings drifted from fixtures/expected.txt; if the rule \
          engine changed intentionally, regenerate the golden with \
-         `cd crates/simlint/fixtures && cargo run -q -p simlint -- annot fleet r1 r2 r3 r4 r5 r6 > expected.txt`"
+         `cd crates/simlint/fixtures && cargo run -q -p simlint -- annot fleet r1 r2 r3 r4 r5 r6 r7 r8 r9 > expected.txt`"
+    );
+}
+
+#[test]
+fn fixture_json_matches_golden() {
+    let findings = lint_files(&fixture_units());
+    let got = render_json(&findings);
+    let expected =
+        std::fs::read_to_string(fixtures_dir().join("expected.json")).expect("json golden file");
+    assert_eq!(
+        got, expected,
+        "JSON rendering drifted from fixtures/expected.json; if the change is \
+         intentional, regenerate with `cd crates/simlint/fixtures && \
+         cargo run -q -p simlint -- --json annot fleet r1 r2 r3 r4 r5 r6 r7 r8 r9 > expected.json`"
     );
 }
 
 #[test]
 fn every_violation_fixture_fires_and_every_suppressed_fixture_is_clean() {
+    // Per-file pass: each fixture is written to be self-contained, so
+    // single-file and workspace lints agree on it.
     let mut violations = 0;
     let mut suppressed = 0;
     for f in collect_rs_files(&fixtures_dir()) {
         let name = f.file_stem().unwrap().to_string_lossy().into_owned();
-        let findings = lint_fixture(&f);
+        let rel = f
+            .strip_prefix(fixtures_dir())
+            .expect("fixture path")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&f).expect("readable fixture");
+        let findings = lint_source(&rel, &src);
         if name.starts_with("violation") || name.starts_with("malformed") {
             violations += 1;
             assert!(!findings.is_empty(), "{} found nothing", f.display());
@@ -64,9 +96,9 @@ fn every_violation_fixture_fires_and_every_suppressed_fixture_is_clean() {
         }
     }
     // One positive and one suppressed case per rule (four R4 pairs for
-    // the fleet fault-tolerance files), plus the annotation-grammar
-    // corpus.
-    assert_eq!((violations, suppressed), (11, 10));
+    // the fleet fault-tolerance files, two R1 pairs: direct and
+    // let-bound alias), plus the annotation-grammar corpus.
+    assert_eq!((violations, suppressed), (15, 14));
 }
 
 #[test]

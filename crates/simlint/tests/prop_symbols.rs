@@ -1,0 +1,236 @@
+//! Property test: the symbol-index scanner round-trips arbitrary "item
+//! soups" — random sequences of free fns, inherent and trait impls,
+//! trait declarations with and without default bodies, structs, and
+//! decoy items (strings and comments containing `fn`). Rendering a
+//! soup to source and scanning it must recover exactly the functions
+//! the soup declares, in order, with the right `self_ty`/`trait_name`
+//! attribution and sane body spans — and the scanner must stay total
+//! on arbitrarily truncated source.
+
+use proptest::prelude::*;
+use simlint::lexer::{lex, TokKind};
+use simlint::symbols::SymbolIndex;
+
+const NAMES: &[&str] = &[
+    "alpha", "beta", "gamma", "delta", "probe", "fold", "sweep", "merge",
+];
+const TYPES: &[&str] = &["Widget", "Router", "Table", "Gauge", "Mux"];
+
+/// One item of the soup, with everything needed to render it and to
+/// predict what the scanner should index.
+#[derive(Debug, Clone)]
+enum Item {
+    /// `fn name<T: Clone>(x: T) -> u64 where T: Sized { … }`
+    FreeFn { name: usize, generics: bool },
+    /// `impl Ty { fn m(&self) { … } … }` or `impl Tr for Ty { … }`
+    ImplBlock {
+        ty: usize,
+        trait_of: Option<usize>,
+        methods: Vec<usize>,
+    },
+    /// `trait Tr { fn a(&self); fn b(&self) { … } }` — only the
+    /// defaulted method is indexed.
+    TraitBlock {
+        tr: usize,
+        methods: Vec<(usize, bool)>,
+    },
+    /// `struct Ty { f: u64 }` — braces, no fns.
+    Struct { ty: usize },
+    /// A decoy: `fn`-lookalikes hidden in strings and comments.
+    Decoy,
+}
+
+fn item_strategy() -> impl Strategy<Value = Item> {
+    let name = 0usize..NAMES.len();
+    let ty = 0usize..TYPES.len();
+    prop_oneof![
+        (name.clone(), any::<bool>()).prop_map(|(name, generics)| Item::FreeFn { name, generics }),
+        (
+            ty.clone(),
+            (any::<bool>(), 0usize..TYPES.len()),
+            proptest::collection::vec(0usize..NAMES.len(), 1..4)
+        )
+            .prop_map(|(ty, (is_trait, tr), methods)| Item::ImplBlock {
+                ty,
+                trait_of: is_trait.then_some(tr),
+                methods
+            }),
+        (
+            ty.clone(),
+            proptest::collection::vec((0usize..NAMES.len(), any::<bool>()), 1..4)
+        )
+            .prop_map(|(tr, methods)| Item::TraitBlock { tr, methods }),
+        ty.prop_map(|ty| Item::Struct { ty }),
+        Just(Item::Decoy),
+    ]
+}
+
+/// What the scanner must report for one fn.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Expected {
+    name: String,
+    self_ty: Option<String>,
+    trait_name: Option<String>,
+    line: u32,
+}
+
+/// Renders the soup to source, returning the text plus the expected
+/// index contents in declaration order. `seq` uniquifies fn names so
+/// two soups items never collide (collisions are legal, but unique
+/// names make the positional comparison unambiguous).
+fn render(items: &[Item]) -> (String, Vec<Expected>) {
+    let mut src = String::new();
+    let mut line = 1u32;
+    let mut expected = Vec::new();
+    let mut seq = 0usize;
+    let push = |src: &mut String, line: &mut u32, s: &str| {
+        src.push_str(s);
+        src.push('\n');
+        *line += 1;
+    };
+    for item in items {
+        match item {
+            Item::FreeFn { name, generics } => {
+                seq += 1;
+                let n = format!("{}{}", NAMES[*name], seq);
+                let sig = if *generics {
+                    format!("fn {n}<T: Clone>(x: T) -> Vec<u64> where T: Sized {{")
+                } else {
+                    format!("fn {n}(x: u64) -> u64 {{")
+                };
+                expected.push(Expected {
+                    name: n,
+                    self_ty: None,
+                    trait_name: None,
+                    line,
+                });
+                push(&mut src, &mut line, &sig);
+                push(
+                    &mut src,
+                    &mut line,
+                    "    let y = if x > 0 { 1 } else { 2 };",
+                );
+                push(&mut src, &mut line, "    y");
+                push(&mut src, &mut line, "}");
+            }
+            Item::ImplBlock {
+                ty,
+                trait_of,
+                methods,
+            } => {
+                let t = TYPES[*ty];
+                let (header, trait_name) = match trait_of {
+                    Some(tr) => (format!("impl {} for {t} {{", TYPES[*tr]), Some(TYPES[*tr])),
+                    None => (format!("impl {t} {{"), None),
+                };
+                push(&mut src, &mut line, &header);
+                for m in methods {
+                    seq += 1;
+                    let n = format!("{}{}", NAMES[*m], seq);
+                    expected.push(Expected {
+                        name: n.clone(),
+                        self_ty: Some(t.to_string()),
+                        trait_name: trait_name.map(str::to_string),
+                        line,
+                    });
+                    push(&mut src, &mut line, &format!("    fn {n}(&self) -> u64 {{"));
+                    push(&mut src, &mut line, "        0");
+                    push(&mut src, &mut line, "    }");
+                }
+                push(&mut src, &mut line, "}");
+            }
+            Item::TraitBlock { tr, methods } => {
+                let t = TYPES[*tr];
+                push(&mut src, &mut line, &format!("trait {t} {{"));
+                for (m, defaulted) in methods {
+                    seq += 1;
+                    let n = format!("{}{}", NAMES[*m], seq);
+                    if *defaulted {
+                        expected.push(Expected {
+                            name: n.clone(),
+                            self_ty: Some(t.to_string()),
+                            trait_name: Some(t.to_string()),
+                            line,
+                        });
+                        push(&mut src, &mut line, &format!("    fn {n}(&self) -> u64 {{"));
+                        push(&mut src, &mut line, "        1");
+                        push(&mut src, &mut line, "    }");
+                    } else {
+                        // Bodyless: declared, never indexed.
+                        push(&mut src, &mut line, &format!("    fn {n}(&self) -> u64;"));
+                    }
+                }
+                push(&mut src, &mut line, "}");
+            }
+            Item::Struct { ty } => {
+                push(&mut src, &mut line, &format!("struct {}S {{", TYPES[*ty]));
+                push(&mut src, &mut line, "    field: u64,");
+                push(&mut src, &mut line, "}");
+            }
+            Item::Decoy => {
+                push(&mut src, &mut line, "// fn commented_out() { nope }");
+                push(
+                    &mut src,
+                    &mut line,
+                    "const DECOY: &str = \"fn in_a_string() { also nope }\";",
+                );
+            }
+        }
+    }
+    (src, expected)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// render → scan recovers exactly the declared fns, in order.
+    #[test]
+    fn scan_roundtrips_item_soups(items in proptest::collection::vec(item_strategy(), 0..12)) {
+        let (src, expected) = render(&items);
+        let lexed = lex(&src);
+        let mut idx = SymbolIndex::default();
+        idx.scan_unit(0, &lexed.tokens, &[]);
+        let got: Vec<Expected> = idx
+            .fns
+            .iter()
+            .map(|f| Expected {
+                name: f.name.clone(),
+                self_ty: f.self_ty.clone(),
+                trait_name: f.trait_name.clone(),
+                line: f.line,
+            })
+            .collect();
+        prop_assert_eq!(&got, &expected, "source:\n{}", src);
+        // Body spans are sane: open brace token, strictly ordered, and
+        // the recorded body never leaks past the token stream.
+        for f in &idx.fns {
+            prop_assert!(f.body.0 < f.body.1, "body span inverted: {f:?}");
+            prop_assert!(f.body.1 <= lexed.tokens.len(), "body escapes stream: {f:?}");
+            prop_assert_eq!(&lexed.tokens[f.body.0].kind, &TokKind::Punct('{'));
+        }
+        prop_assert!(!idx.fns.iter().any(|f| f.in_test), "no test spans were given");
+    }
+
+    /// The scanner is total on truncated/mangled source: any prefix of
+    /// a valid soup (cut at a char boundary) scans without panicking,
+    /// and every fn it does index keeps a sane span.
+    #[test]
+    fn scan_is_total_on_truncated_soups(
+        items in proptest::collection::vec(item_strategy(), 1..8),
+        cut in any::<usize>(),
+    ) {
+        let (src, _) = render(&items);
+        let mut at = cut % (src.len() + 1);
+        while at > 0 && !src.is_char_boundary(at) {
+            at -= 1;
+        }
+        let truncated = &src[..at];
+        let lexed = lex(truncated);
+        let mut idx = SymbolIndex::default();
+        idx.scan_unit(0, &lexed.tokens, &[]);
+        for f in &idx.fns {
+            prop_assert!(f.body.0 < f.body.1.max(f.body.0 + 1) + 1);
+            prop_assert!(f.body.1 <= lexed.tokens.len());
+        }
+    }
+}

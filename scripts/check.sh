@@ -7,6 +7,7 @@
 #   ./scripts/check.sh chaos-smoke     # fault-injection smoke grid only
 #   ./scripts/check.sh recovery-smoke  # GPU fail-stop crash/recover grid only
 #   ./scripts/check.sh lint            # simlint invariant pass only
+#   ./scripts/check.sh lint --changed  # simlint, findings scoped to files changed vs HEAD
 #   ./scripts/check.sh perf-smoke      # hot-path throughput gate (>20% regression fails)
 #   ./scripts/check.sh fleet-smoke     # fleet router tier: leaks, accounting, thread identity
 #   ./scripts/check.sh fleet-chaos-smoke  # fleet failover: a victim must migrate and finish elsewhere
@@ -20,6 +21,18 @@ if [[ "${1:-}" == "serving" ]]; then
 fi
 
 if [[ "${1:-}" == "lint" ]]; then
+    if [[ "${2:-}" == "--changed" ]]; then
+        # Diff-scoped lint: the full workspace is still linted (the
+        # interprocedural rules need every file for the call graph),
+        # but only findings in files changed vs HEAD are reported.
+        mapfile -t changed < <(git diff --name-only HEAD -- 'crates/*/src/**' | grep '\.rs$' || true)
+        if [[ ${#changed[@]} -eq 0 ]]; then
+            echo "check.sh: no changed .rs files under crates/*/src" >&2
+            exit 0
+        fi
+        cargo run --release -q -p simlint -- --changed "${changed[@]}"
+        exit 0
+    fi
     cargo run --release -q -p simlint
     exit 0
 fi
